@@ -1,0 +1,128 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! Pippenger vs naive MSM, fixed-base window width, NTT vs schoolbook
+//! polynomial multiplication, and tracing overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use zkperf_ec::bn254::{G1Affine, G1Params};
+use zkperf_ec::{msm, FixedBaseTable, Projective};
+use zkperf_ff::{bn254::Fr, Field};
+use zkperf_poly::DensePolynomial;
+
+fn setup_points(n: usize) -> (Vec<G1Affine>, Vec<Fr>) {
+    let mut rng = zkperf_ff::test_rng();
+    let table = FixedBaseTable::new(&Projective::<G1Params>::generator());
+    let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+    let bases = table.mul_batch(&scalars);
+    (bases, scalars)
+}
+
+/// Pippenger against per-point double-and-add at growing sizes: shows the
+/// crossover that justifies the bucket method for setup/proving.
+fn ablate_msm_algorithm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_msm");
+    group.sample_size(10);
+    for n in [16usize, 256, 2048] {
+        let (bases, scalars) = setup_points(n);
+        group.bench_with_input(BenchmarkId::new("pippenger", n), &n, |b, _| {
+            b.iter(|| msm(&bases, &scalars))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                bases
+                    .iter()
+                    .zip(&scalars)
+                    .fold(Projective::<G1Params>::identity(), |acc, (p, s)| {
+                        acc + p.to_projective() * *s
+                    })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fixed-base window width: table-build cost vs per-multiplication cost.
+fn ablate_fixed_base_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fixed_base_window");
+    group.sample_size(10);
+    let g = Projective::<G1Params>::generator();
+    let mut rng = zkperf_ff::test_rng();
+    let scalars: Vec<Fr> = (0..512).map(|_| Fr::random(&mut rng)).collect();
+    for bits in [4usize, 8, 12] {
+        let table = FixedBaseTable::with_window_bits(&g, bits);
+        group.bench_with_input(BenchmarkId::new("mul_batch", bits), &bits, |b, _| {
+            b.iter(|| table.mul_batch(&scalars))
+        });
+        group.bench_with_input(BenchmarkId::new("build_table", bits), &bits, |b, _| {
+            b.iter(|| FixedBaseTable::with_window_bits(&g, bits))
+        });
+    }
+    group.finish();
+}
+
+/// NTT-based polynomial product vs schoolbook at the crossover sizes.
+fn ablate_poly_mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_poly_mul");
+    let mut rng = zkperf_ff::test_rng();
+    for n in [8usize, 64, 512] {
+        let a = DensePolynomial::new((0..n).map(|_| Fr::random(&mut rng)).collect());
+        let b = DensePolynomial::new((0..n).map(|_| Fr::random(&mut rng)).collect());
+        group.bench_with_input(BenchmarkId::new("ntt_mul", n), &n, |bench, _| {
+            bench.iter(|| a.mul(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("schoolbook", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut out = vec![Fr::zero(); 2 * n - 1];
+                for (i, &x) in a.coeffs().iter().enumerate() {
+                    for (j, &y) in b.coeffs().iter().enumerate() {
+                        out[i + j] += x * y;
+                    }
+                }
+                DensePolynomial::new(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Cost of the always-on instrumentation: field multiplication with no
+/// session, with a counting session, and with the full machine simulator.
+fn ablate_tracing_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tracing");
+    let mut rng = zkperf_ff::test_rng();
+    let xs: Vec<Fr> = (0..1024).map(|_| Fr::random(&mut rng)).collect();
+    let work = |xs: &[Fr]| xs.iter().fold(Fr::one(), |acc, &x| acc * x);
+
+    group.bench_function("untraced", |b| b.iter(|| work(&xs)));
+    group.bench_function("counting_session", |b| {
+        b.iter(|| {
+            let session = zkperf_trace::Session::begin();
+            let r = work(&xs);
+            session.finish();
+            r
+        })
+    });
+    group.bench_function("machine_simulated", |b| {
+        b.iter(|| {
+            let (sink, _handle) = zkperf_machine::MachineSim::new(
+                zkperf_machine::CpuProfile::i7_8650u(),
+                zkperf_machine::ExecEnv::Native,
+            )
+            .shared();
+            let session = zkperf_trace::Session::begin_with_sink(Box::new(sink));
+            let r = work(&xs);
+            session.finish();
+            r
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablate_msm_algorithm,
+    ablate_fixed_base_window,
+    ablate_poly_mul,
+    ablate_tracing_overhead
+);
+criterion_main!(ablations);

@@ -1,0 +1,131 @@
+//! Criterion microbenchmarks of the cryptographic kernels the protocol
+//! stages are built from: field arithmetic, extension towers, MSM, NTT,
+//! fixed-base tables, and the pairing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use zkperf_circuit::library::exponentiate;
+use zkperf_ec::bn254::{pairing, G1Affine, G2Affine};
+use zkperf_ec::{msm, Bn254, FixedBaseTable, Projective};
+use zkperf_ff::{bls12_381, bn254, BigUint, Field, PrimeField};
+use zkperf_groth16::setup;
+use zkperf_poly::Radix2Domain;
+
+fn bench_fields(c: &mut Criterion) {
+    let mut rng = zkperf_ff::test_rng();
+    let mut group = c.benchmark_group("field");
+    let (a, b) = (bn254::Fr::random(&mut rng), bn254::Fr::random(&mut rng));
+    group.bench_function("bn254_fr_mul", |bench| bench.iter(|| std::hint::black_box(a) * b));
+    group.bench_function("bn254_fr_add", |bench| bench.iter(|| std::hint::black_box(a) + b));
+    group.bench_function("bn254_fr_inverse", |bench| {
+        bench.iter(|| std::hint::black_box(a).inverse())
+    });
+    let (x, y) = (
+        bls12_381::Fq::random(&mut rng),
+        bls12_381::Fq::random(&mut rng),
+    );
+    group.bench_function("bls12_381_fq_mul", |bench| {
+        bench.iter(|| std::hint::black_box(x) * y)
+    });
+    let (f, g) = (
+        bn254::Fq12::random(&mut rng),
+        bn254::Fq12::random(&mut rng),
+    );
+    group.bench_function("bn254_fq12_mul", |bench| {
+        bench.iter(|| std::hint::black_box(f) * g)
+    });
+    group.finish();
+}
+
+fn bench_bigint(c: &mut Criterion) {
+    let p = bn254::Fq::modulus();
+    let q = &p * &p;
+    c.bench_function("bigint_divrem_508_by_254_bits", |bench| {
+        bench.iter(|| std::hint::black_box(&q).divrem(&p))
+    });
+}
+
+fn bench_msm(c: &mut Criterion) {
+    let mut rng = zkperf_ff::test_rng();
+    let mut group = c.benchmark_group("msm");
+    group.sample_size(10);
+    for log in [8u32, 10, 12] {
+        let n = 1usize << log;
+        let table = FixedBaseTable::new(&Projective::<zkperf_ec::bn254::G1Params>::generator());
+        let scalars: Vec<bn254::Fr> = (0..n).map(|_| bn254::Fr::random(&mut rng)).collect();
+        let bases: Vec<G1Affine> = table.mul_batch(&scalars);
+        group.bench_with_input(BenchmarkId::new("pippenger_g1", n), &n, |bench, _| {
+            bench.iter(|| msm(&bases, &scalars))
+        });
+        group.bench_with_input(BenchmarkId::new("fixed_base_g1", n), &n, |bench, _| {
+            bench.iter(|| table.mul_batch(&scalars))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut rng = zkperf_ff::test_rng();
+    let mut group = c.benchmark_group("ntt");
+    for log in [10u32, 12, 14] {
+        let domain = Radix2Domain::<bn254::Fr>::new(1 << log).unwrap();
+        let values: Vec<bn254::Fr> = (0..domain.size())
+            .map(|_| bn254::Fr::random(&mut rng))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("forward", 1usize << log), &log, |bench, _| {
+            bench.iter(|| {
+                let mut buf = values.clone();
+                domain.fft_in_place(&mut buf);
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pairing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing");
+    group.sample_size(10);
+    let p = G1Affine::generator();
+    let q = G2Affine::generator();
+    group.bench_function("bn254_full_pairing", |bench| bench.iter(|| pairing(&p, &q)));
+    let p2 = zkperf_ec::bls12_381::G1Affine::generator();
+    let q2 = zkperf_ec::bls12_381::G2Affine::generator();
+    group.bench_function("bls12_381_full_pairing", |bench| {
+        bench.iter(|| zkperf_ec::bls12_381::pairing(&p2, &q2))
+    });
+    group.finish();
+}
+
+fn bench_scalar_mul(c: &mut Criterion) {
+    let g = Projective::<zkperf_ec::bn254::G1Params>::generator();
+    let e = BigUint::from_str_radix("123456789012345678901234567890123456789", 10).unwrap();
+    c.bench_function("g1_scalar_mul_127bit", |bench| {
+        bench.iter(|| g.mul_bigint(std::hint::black_box(&e)))
+    });
+}
+
+fn bench_setup_small(c: &mut Criterion) {
+    let circuit = exponentiate::<bn254::Fr>(256);
+    let mut group = c.benchmark_group("groth16");
+    group.sample_size(10);
+    group.bench_function("setup_256_constraints", |bench| {
+        bench.iter(|| {
+            let mut rng = zkperf_ff::test_rng();
+            setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fields,
+    bench_bigint,
+    bench_msm,
+    bench_fft,
+    bench_pairing,
+    bench_scalar_mul,
+    bench_setup_small
+);
+criterion_main!(benches);

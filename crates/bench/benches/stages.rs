@@ -1,0 +1,94 @@
+//! Criterion benchmarks of the five protocol stages themselves (untraced
+//! wall time of this implementation): the substrate's own Figure-1
+//! breakdown, complementing the simulated-machine experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use zkperf_circuit::library::{exponentiate, exponentiate_source};
+use zkperf_core::{Stage, Workload};
+use zkperf_ec::Bn254;
+use zkperf_ff::bn254::Fr;
+
+const CONSTRAINTS: usize = 1 << 10;
+
+fn bench_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage");
+    group.sample_size(10);
+
+    group.bench_with_input(
+        BenchmarkId::new("compile", CONSTRAINTS),
+        &CONSTRAINTS,
+        |b, &n| {
+            let src = exponentiate_source(n);
+            b.iter(|| zkperf_circuit::lang::compile::<Fr>(&src).unwrap())
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("setup", CONSTRAINTS),
+        &CONSTRAINTS,
+        |b, &n| {
+            let circuit = exponentiate::<Fr>(n);
+            b.iter(|| {
+                let mut rng = zkperf_ff::test_rng();
+                zkperf_groth16::setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap()
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("witness", CONSTRAINTS),
+        &CONSTRAINTS,
+        |b, &n| {
+            let circuit = exponentiate::<Fr>(n);
+            b.iter(|| {
+                circuit
+                    .generate_witness(&[zkperf_ff::Field::from_u64(3)], &[])
+                    .unwrap()
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("proving", CONSTRAINTS),
+        &CONSTRAINTS,
+        |b, &n| {
+            let mut w = Workload::<Bn254>::exponentiate(n);
+            w.prepare_for(Stage::Proving);
+            let circuit = exponentiate::<Fr>(n);
+            let mut rng = zkperf_ff::test_rng();
+            let pk = zkperf_groth16::setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+            let witness = circuit
+                .generate_witness(&[zkperf_ff::Field::from_u64(3)], &[])
+                .unwrap();
+            b.iter(|| {
+                zkperf_groth16::prove::<Bn254, _>(&pk, circuit.r1cs(), &witness, &mut rng)
+                    .unwrap()
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("verifying", CONSTRAINTS),
+        &CONSTRAINTS,
+        |b, &n| {
+            let circuit = exponentiate::<Fr>(n);
+            let mut rng = zkperf_ff::test_rng();
+            let pk = zkperf_groth16::setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+            let witness = circuit
+                .generate_witness(&[zkperf_ff::Field::from_u64(3)], &[])
+                .unwrap();
+            let proof =
+                zkperf_groth16::prove::<Bn254, _>(&pk, circuit.r1cs(), &witness, &mut rng)
+                    .unwrap();
+            b.iter(|| {
+                zkperf_groth16::verify::<Bn254>(&pk.vk, &proof, witness.public()).unwrap()
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(stage_benches, bench_stage);
+criterion_main!(stage_benches);

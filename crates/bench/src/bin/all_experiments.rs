@@ -1,0 +1,6 @@
+//! Regenerates every table and figure in one run (E0-E9), sharing the two
+//! cached sweeps. See EXPERIMENTS.md for the paper-vs-measured record.
+
+fn main() {
+    zkperf_bench::experiments::all();
+}

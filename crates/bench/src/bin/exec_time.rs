@@ -1,0 +1,6 @@
+//! E0 — §IV-B execution-time analysis: per-stage share of total time
+//! (paper: setup 76.1%, proving 13.4%).
+
+fn main() {
+    zkperf_bench::experiments::exec_time();
+}

@@ -1,0 +1,6 @@
+//! E1 — Fig. 4: top-down microarchitecture analysis for the five stages
+//! across CPUs, curves and constraint sizes.
+
+fn main() {
+    zkperf_bench::experiments::fig4_topdown();
+}

@@ -1,0 +1,6 @@
+//! E2 — Fig. 5: loads and stores per stage vs. constraint count
+//! (mean and min..max band across CPUs and curves).
+
+fn main() {
+    zkperf_bench::experiments::fig5_loads_stores();
+}

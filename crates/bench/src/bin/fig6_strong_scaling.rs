@@ -1,0 +1,6 @@
+//! E7 — Fig. 6: strong scaling on the (simulated) i9-13900K — speedup vs.
+//! thread count at fixed constraint counts.
+
+fn main() {
+    zkperf_bench::experiments::fig6_strong_scaling();
+}

@@ -1,0 +1,6 @@
+//! E8 — Fig. 7: weak scaling on the (simulated) i9-13900K — threads and
+//! constraint count double together.
+
+fn main() {
+    zkperf_bench::experiments::fig7_weak_scaling();
+}

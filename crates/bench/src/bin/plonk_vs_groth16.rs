@@ -1,0 +1,92 @@
+//! E10 (extension) — the paper's §IV-A remark: "The proving time of PlonK
+//! is twice as slow compared to Groth16." Measures both schemes' prove and
+//! verify wall times on the same exponentiation circuits.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use zkperf_bench::emit;
+use zkperf_circuit::library::exponentiate;
+use zkperf_core::render;
+use zkperf_ec::Bn254;
+use zkperf_ff::{bn254::Fr, Field};
+
+#[derive(Debug, Serialize)]
+struct SchemeRow {
+    constraints: usize,
+    groth16_prove_ms: f64,
+    plonk_prove_ms: f64,
+    prove_ratio: f64,
+    groth16_verify_ms: f64,
+    plonk_verify_ms: f64,
+}
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let max_log: u32 = std::env::var("ZKPERF_MAX_LOG")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(11);
+    let mut rows = Vec::new();
+    for log in 8..=max_log {
+        let n = 1usize << log;
+        let circuit = exponentiate::<Fr>(n);
+        let witness = circuit.generate_witness(&[Fr::from_u64(3)], &[]).unwrap();
+        let mut rng = zkperf_ff::test_rng();
+
+        let g_pk = zkperf_groth16::setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+        let start = Instant::now();
+        let g_proof =
+            zkperf_groth16::prove::<Bn254, _>(&g_pk, circuit.r1cs(), &witness, &mut rng)
+                .unwrap();
+        let groth16_prove_ms = ms(start);
+        let start = Instant::now();
+        assert!(zkperf_groth16::verify::<Bn254>(&g_pk.vk, &g_proof, witness.public()).unwrap());
+        let groth16_verify_ms = ms(start);
+
+        let p_pk = zkperf_plonk::plonk_setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+        let start = Instant::now();
+        let p_proof = zkperf_plonk::plonk_prove(&p_pk, witness.full()).unwrap();
+        let plonk_prove_ms = ms(start);
+        let start = Instant::now();
+        assert!(zkperf_plonk::plonk_verify(p_pk.vk(), &p_proof, witness.public()));
+        let plonk_verify_ms = ms(start);
+
+        rows.push(SchemeRow {
+            constraints: n,
+            groth16_prove_ms,
+            plonk_prove_ms,
+            prove_ratio: plonk_prove_ms / groth16_prove_ms,
+            groth16_verify_ms,
+            plonk_verify_ms,
+        });
+        eprintln!("[zkperf] 2^{log} done");
+    }
+    let text = render::table(
+        &[
+            "constraints",
+            "groth16 prove (ms)",
+            "plonk prove (ms)",
+            "plonk/groth16",
+            "groth16 verify (ms)",
+            "plonk verify (ms)",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.constraints.to_string(),
+                    render::f(r.groth16_prove_ms, 1),
+                    render::f(r.plonk_prove_ms, 1),
+                    render::f(r.prove_ratio, 2),
+                    render::f(r.groth16_verify_ms, 1),
+                    render::f(r.plonk_verify_ms, 1),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    emit("plonk_vs_groth16", &text, &rows);
+}

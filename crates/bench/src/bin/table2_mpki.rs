@@ -1,0 +1,5 @@
+//! E3 — Table II: maximum LLC load MPKI per stage × CPU × curve.
+
+fn main() {
+    zkperf_bench::experiments::table2_mpki();
+}

@@ -1,0 +1,6 @@
+//! E4 — Table III: maximum DRAM bandwidth per stage × curve, averaged
+//! over constraint sizes and CPUs.
+
+fn main() {
+    zkperf_bench::experiments::table3_bandwidth();
+}

@@ -1,0 +1,5 @@
+//! E5 — Table IV: the most CPU-time-consuming functions per stage.
+
+fn main() {
+    zkperf_bench::experiments::table4_functions();
+}

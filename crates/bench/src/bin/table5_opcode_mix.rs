@@ -1,0 +1,6 @@
+//! E6 — Table V: compute / control-flow / data-flow opcode mix per stage
+//! and curve.
+
+fn main() {
+    zkperf_bench::experiments::table5_opcode_mix();
+}

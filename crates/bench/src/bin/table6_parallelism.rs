@@ -1,0 +1,6 @@
+//! E9 — Table VI: serial/parallel percentages per stage from Amdahl (SS)
+//! and Gustafson (WS) fits, averaged over constraint sizes, on the i9.
+
+fn main() {
+    zkperf_bench::experiments::table6_parallelism();
+}

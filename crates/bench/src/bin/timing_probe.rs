@@ -1,0 +1,29 @@
+//! Quick sanity probe of per-stage metrics at one size (developer tool).
+fn main() {
+    for cpu in [zkperf_machine::CpuProfile::i7_8650u(), zkperf_machine::CpuProfile::i9_13900k()] {
+        let name = cpu.name;
+        let ms = zkperf_core::measure_cell(
+            zkperf_core::Curve::Bn128,
+            &cpu,
+            1 << 12,
+            &zkperf_core::Stage::ALL,
+        );
+        for m in &ms {
+            let td = m.machine.topdown();
+            println!(
+                "{name} {:<9} uops={:>11} mpki={:>6.2} peakBW={:>6.2} fe={:>4.1} bs={:>4.1} be={:>4.1} ret={:>4.1} mix={:.0}/{:.0}/{:.0}",
+                m.stage.name(),
+                m.counts.total_uops(),
+                m.machine.llc_load_mpki(),
+                m.machine.peak_dram_gbps,
+                td.frontend_bound,
+                td.bad_speculation,
+                td.backend_bound,
+                td.retiring,
+                m.counts.class_percent(zkperf_trace::OpClass::Compute),
+                m.counts.class_percent(zkperf_trace::OpClass::Control),
+                m.counts.class_percent(zkperf_trace::OpClass::Data),
+            );
+        }
+    }
+}

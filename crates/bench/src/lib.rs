@@ -1,0 +1,120 @@
+//! Shared harness for the experiment binaries: sweep caching, result
+//! output, and the default configuration.
+//!
+//! Each binary regenerates one table or figure of the paper. They share a
+//! measurement sweep cached under `results/` so that running all ten does
+//! not re-simulate the matrix ten times. Delete `results/sweep-*.json` (or
+//! change `ZKPERF_MIN_LOG`/`ZKPERF_MAX_LOG`) to force fresh measurements.
+
+pub mod experiments;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
+use zkperf_core::{run_sweep, StageMeasurement, SweepConfig};
+
+/// Directory all experiment outputs land in.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("ZKPERF_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let path = PathBuf::from(dir);
+    fs::create_dir_all(&path).expect("create results directory");
+    path
+}
+
+fn config_fingerprint(config: &SweepConfig) -> String {
+    let cpus: Vec<&str> = config.cpus.iter().map(|c| c.name).collect();
+    format!(
+        "logs={:?};cpus={:?};curves={:?};stages={:?}",
+        config.log_sizes, cpus, config.curves, config.stages
+    )
+}
+
+#[derive(Serialize, Deserialize)]
+struct CachedSweep {
+    fingerprint: String,
+    measurements: Vec<StageMeasurement>,
+}
+
+/// Runs (or loads from cache) the measurement sweep for `config`, printing
+/// progress to stderr.
+pub fn sweep_cached(config: &SweepConfig, cache_name: &str) -> Vec<StageMeasurement> {
+    let path = results_dir().join(format!("sweep-{cache_name}.json"));
+    let fingerprint = config_fingerprint(config);
+    if let Ok(bytes) = fs::read(&path) {
+        if let Ok(cached) = serde_json::from_slice::<CachedSweep>(&bytes) {
+            if cached.fingerprint == fingerprint {
+                eprintln!("[zkperf] loaded cached sweep from {}", path.display());
+                return cached.measurements;
+            }
+        }
+    }
+    eprintln!("[zkperf] running sweep ({fingerprint})");
+    let measurements = run_sweep(config, |done, total| {
+        eprintln!("[zkperf]   cell {done}/{total}");
+    });
+    let cached = CachedSweep {
+        fingerprint,
+        measurements,
+    };
+    fs::write(&path, serde_json::to_vec(&cached).expect("serialize sweep"))
+        .expect("write sweep cache");
+    cached.measurements
+}
+
+/// Writes an experiment's text rendering and JSON rows side by side and
+/// echoes the text to stdout.
+pub fn emit<T: Serialize>(name: &str, text: &str, rows: &T) {
+    let dir = results_dir();
+    fs::write(dir.join(format!("{name}.txt")), text).expect("write text output");
+    fs::write(
+        dir.join(format!("{name}.json")),
+        serde_json::to_vec_pretty(rows).expect("serialize rows"),
+    )
+    .expect("write json output");
+    println!("== {name} ==");
+    println!("{text}");
+}
+
+/// Loads a previously emitted JSON artifact (used by tests).
+pub fn load_rows<T: DeserializeOwned>(name: &str) -> Option<T> {
+    let path = results_dir().join(format!("{name}.json"));
+    read_json(&path)
+}
+
+fn read_json<T: DeserializeOwned>(path: &Path) -> Option<T> {
+    let bytes = fs::read(path).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_core::{Curve, Stage};
+    use zkperf_machine::CpuProfile;
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = SweepConfig::default();
+        let mut b = SweepConfig::default();
+        b.log_sizes = vec![99];
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+    }
+
+    #[test]
+    fn cache_roundtrip_via_explicit_dir() {
+        // Avoid env-var races with other tests by writing directly.
+        let config = SweepConfig {
+            log_sizes: vec![3],
+            cpus: vec![CpuProfile::i7_8650u()],
+            curves: vec![Curve::Bn128],
+            stages: vec![Stage::Witness],
+        };
+        let first = sweep_cached(&config, "unittest");
+        let second = sweep_cached(&config, "unittest");
+        assert_eq!(first.len(), second.len());
+        assert_eq!(first[0].constraints, second[0].constraints);
+        assert_eq!(first[0].counts.total_uops(), second[0].counts.total_uops());
+        let _ = fs::remove_file(results_dir().join("sweep-unittest.json"));
+    }
+}

@@ -1,0 +1,421 @@
+//! The gate-level circuit construction API (what circom templates lower to).
+
+use zkperf_ff::PrimeField;
+use zkperf_trace as trace;
+
+use crate::circuit::{Circuit, Instruction};
+use crate::lc::{LinearCombination, Variable};
+use crate::r1cs::{Constraint, R1cs};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireKind {
+    One,
+    Output,
+    PublicInput,
+    PrivateInput,
+    Aux,
+}
+
+/// Incrementally builds an arithmetic circuit: allocate inputs, compose
+/// linear combinations for free, pay one constraint per multiplication, and
+/// [`finish`](CircuitBuilder::finish) into an immutable [`Circuit`].
+///
+/// # Examples
+///
+/// ```
+/// use zkperf_circuit::CircuitBuilder;
+/// use zkperf_ff::{Field, bn254::Fr};
+///
+/// // y = x³ (the paper's Fig. 2 example).
+/// let mut b = CircuitBuilder::<Fr>::new("cube");
+/// let x = b.public_input("x");
+/// let x2 = b.mul(&x.into(), &x.into());
+/// let x3 = b.mul(&x2, &x.into());
+/// b.output("y", x3);
+/// let circuit = b.finish();
+/// assert_eq!(circuit.r1cs().num_constraints(), 3);
+/// let w = circuit.generate_witness(&[Fr::from_u64(3)], &[]).unwrap();
+/// assert_eq!(w.public()[1], Fr::from_u64(27)); // the output wire
+/// ```
+#[derive(Debug)]
+pub struct CircuitBuilder<F: PrimeField> {
+    name: String,
+    wires: Vec<WireKind>,
+    wire_names: Vec<String>,
+    constraints: Vec<Constraint<F>>,
+    instructions: Vec<Instruction<F>>,
+}
+
+impl<F: PrimeField> CircuitBuilder<F> {
+    /// Starts a new circuit with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            wires: vec![WireKind::One],
+            wire_names: vec!["one".into()],
+            constraints: Vec::new(),
+            instructions: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, kind: WireKind, name: impl Into<String>) -> Variable {
+        let v = Variable(u32::try_from(self.wires.len()).expect("too many wires"));
+        self.wires.push(kind);
+        self.wire_names.push(name.into());
+        trace::alloc(std::mem::size_of::<F>());
+        v
+    }
+
+    /// Allocates a public input wire.
+    pub fn public_input(&mut self, name: impl Into<String>) -> Variable {
+        self.alloc(WireKind::PublicInput, name)
+    }
+
+    /// Allocates a private input wire.
+    pub fn private_input(&mut self, name: impl Into<String>) -> Variable {
+        self.alloc(WireKind::PrivateInput, name)
+    }
+
+    /// Allocates an auxiliary wire whose value the witness solver computes
+    /// with `instruction` (the instruction's target is patched in).
+    pub(crate) fn alloc_aux(&mut self, name: impl Into<String>, make: impl FnOnce(Variable) -> Instruction<F>) -> Variable {
+        let v = self.alloc(WireKind::Aux, name);
+        self.instructions.push(make(v));
+        v
+    }
+
+    /// Designates `value` as a named circuit output: allocates a public
+    /// output wire constrained to equal the combination.
+    pub fn output(&mut self, name: impl Into<String>, value: LinearCombination<F>) -> Variable {
+        let v = self.alloc(WireKind::Output, name);
+        self.instructions.push(Instruction::EvalLc {
+            target: v,
+            lc: value.clone(),
+        });
+        // value · 1 = out
+        self.constraints.push(Constraint {
+            a: value,
+            b: LinearCombination::from_variable(Variable::ONE),
+            c: LinearCombination::from_variable(v),
+        });
+        v
+    }
+
+    /// Adds the raw constraint `a·b = c`.
+    pub fn enforce(
+        &mut self,
+        a: LinearCombination<F>,
+        b: LinearCombination<F>,
+        c: LinearCombination<F>,
+    ) {
+        self.constraints.push(Constraint { a, b, c });
+    }
+
+    /// Constrains `a = b` (one rank-1 row).
+    pub fn enforce_equal(&mut self, a: &LinearCombination<F>, b: &LinearCombination<F>) {
+        self.enforce(
+            a - b,
+            LinearCombination::from_variable(Variable::ONE),
+            LinearCombination::zero(),
+        );
+    }
+
+    /// Constrains the combination to be 0 or 1.
+    pub fn enforce_boolean(&mut self, bit: &LinearCombination<F>) {
+        // bit · (bit − 1) = 0
+        self.enforce(
+            bit.clone(),
+            bit - &LinearCombination::constant(F::one()),
+            LinearCombination::zero(),
+        );
+    }
+
+    /// Multiplies two combinations, spending a constraint unless one side is
+    /// constant (in which case the product stays linear and free).
+    pub fn mul(
+        &mut self,
+        a: &LinearCombination<F>,
+        b: &LinearCombination<F>,
+    ) -> LinearCombination<F> {
+        if let Some(c) = a.as_constant() {
+            return b.scale(c);
+        }
+        if let Some(c) = b.as_constant() {
+            return a.scale(c);
+        }
+        let (a, b) = (a.clone(), b.clone());
+        let prod = self.alloc_aux("mul", |v| Instruction::Mul {
+            target: v,
+            a: a.clone(),
+            b: b.clone(),
+        });
+        self.constraints.push(Constraint {
+            a,
+            b,
+            c: LinearCombination::from_variable(prod),
+        });
+        LinearCombination::from_variable(prod)
+    }
+
+    /// Decomposes `value` into `nbits` boolean wires (little-endian) and
+    /// constrains the recomposition, i.e. proves `value < 2^nbits`.
+    ///
+    /// Costs `nbits + 1` constraints.
+    pub fn decompose_bits(
+        &mut self,
+        value: &LinearCombination<F>,
+        nbits: usize,
+    ) -> Vec<LinearCombination<F>> {
+        let mut bits = Vec::with_capacity(nbits);
+        let mut recompose = LinearCombination::zero();
+        let mut coeff = F::one();
+        for i in 0..nbits {
+            let src = value.clone();
+            let bit = self.alloc_aux(format!("bit{i}"), |v| Instruction::Bit {
+                target: v,
+                of: src,
+                bit: i,
+            });
+            let bit_lc = LinearCombination::from_variable(bit);
+            self.enforce_boolean(&bit_lc);
+            recompose.add_term(bit, coeff);
+            coeff = coeff.double();
+            bits.push(bit_lc);
+        }
+        self.enforce_equal(&recompose, value);
+        bits
+    }
+
+    /// Returns `sel·a + (1−sel)·b`; `sel` must already be boolean.
+    pub fn select(
+        &mut self,
+        sel: &LinearCombination<F>,
+        a: &LinearCombination<F>,
+        b: &LinearCombination<F>,
+    ) -> LinearCombination<F> {
+        // sel·(a − b) + b, one multiplication.
+        let diff = a - b;
+        let scaled = self.mul(sel, &diff);
+        &scaled + b
+    }
+
+    /// Number of constraints emitted so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Freezes the builder into a [`Circuit`], renumbering wires into the
+    /// canonical `[1, outputs, public inputs, private inputs, aux]` order.
+    pub fn finish(self) -> Circuit<F> {
+        let _g = trace::region_profile("compile_finalize");
+        let count = |k: WireKind| self.wires.iter().filter(|&&w| w == k).count();
+        let (n_out, n_pub, n_priv) = (
+            count(WireKind::Output),
+            count(WireKind::PublicInput),
+            count(WireKind::PrivateInput),
+        );
+        let mut next = [
+            0usize,                         // One
+            1,                              // Output
+            1 + n_out,                      // PublicInput
+            1 + n_out + n_pub,              // PrivateInput
+            1 + n_out + n_pub + n_priv,     // Aux
+        ];
+        let mut map = Vec::with_capacity(self.wires.len());
+        for &kind in &self.wires {
+            let slot = match kind {
+                WireKind::One => 0,
+                WireKind::Output => 1,
+                WireKind::PublicInput => 2,
+                WireKind::PrivateInput => 3,
+                WireKind::Aux => 4,
+            };
+            map.push(Variable(next[slot] as u32));
+            next[slot] += 1;
+        }
+        let remap_lc = |lc: &LinearCombination<F>| {
+            let mut out = LinearCombination::zero();
+            for &(v, c) in lc.terms() {
+                out.add_term(map[v.index()], c);
+            }
+            trace::data_move(2 * lc.len() as u32);
+            out
+        };
+        let constraints = self
+            .constraints
+            .iter()
+            .map(|c| Constraint {
+                a: remap_lc(&c.a),
+                b: remap_lc(&c.b),
+                c: remap_lc(&c.c),
+            })
+            .collect();
+        let instructions = self
+            .instructions
+            .iter()
+            .map(|ins| match ins {
+                Instruction::EvalLc { target, lc } => Instruction::EvalLc {
+                    target: map[target.index()],
+                    lc: remap_lc(lc),
+                },
+                Instruction::Mul { target, a, b } => Instruction::Mul {
+                    target: map[target.index()],
+                    a: remap_lc(a),
+                    b: remap_lc(b),
+                },
+                Instruction::InvOrZero { target, of } => Instruction::InvOrZero {
+                    target: map[target.index()],
+                    of: remap_lc(of),
+                },
+                Instruction::Bit { target, of, bit } => Instruction::Bit {
+                    target: map[target.index()],
+                    of: remap_lc(of),
+                    bit: *bit,
+                },
+            })
+            .collect();
+        let mut wire_names = vec![String::new(); self.wires.len()];
+        for (old, name) in self.wire_names.into_iter().enumerate() {
+            wire_names[map[old].index()] = name;
+        }
+        let r1cs = R1cs::new(self.wires.len(), n_out, n_pub, n_priv, constraints);
+        let stats = analyze_constraints(&r1cs);
+        debug_assert!(stats.wire_uses.len() == r1cs.num_wires());
+        Circuit::new(self.name, r1cs, instructions, wire_names)
+    }
+}
+
+/// Statistics produced by the constraint-analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintStats {
+    /// How many constraint rows reference each wire.
+    pub wire_uses: Vec<u32>,
+    /// Wires referenced by no constraint (candidates circom's optimizer
+    /// would eliminate).
+    pub dead_wires: usize,
+    /// Rows whose A or B side is a constant (foldable multiplications).
+    pub foldable_rows: usize,
+}
+
+/// The constraint-analysis sweep circom performs after lowering (usage
+/// counting, dead-wire detection, constant-fold candidates). Semantically a
+/// no-op here — we keep the system untouched — but it does the same passes
+/// over the same data, so the compile stage's memory profile matches a real
+/// constraint optimizer's.
+pub fn analyze_constraints<F: PrimeField>(r1cs: &R1cs<F>) -> ConstraintStats {
+    let _g = trace::region_profile("constraint_analysis");
+    let mut wire_uses = vec![0u32; r1cs.num_wires()];
+    let mut foldable_rows = 0;
+    for c in r1cs.constraints() {
+        trace::control(3);
+        trace::compute(8);
+        trace::data_move(10);
+        for lc in [&c.a, &c.b, &c.c] {
+            for &(v, _) in lc.terms() {
+                trace::load(&wire_uses[v.index()] as *const u32 as usize, 4);
+                trace::store(&wire_uses[v.index()] as *const u32 as usize, 4);
+                wire_uses[v.index()] += 1;
+            }
+        }
+        trace::branch(0x9001, c.a.as_constant().is_some() || c.b.as_constant().is_some());
+        if c.a.as_constant().is_some() || c.b.as_constant().is_some() {
+            foldable_rows += 1;
+        }
+    }
+    let dead_wires = wire_uses.iter().skip(1).filter(|&&u| u == 0).count();
+    ConstraintStats {
+        wire_uses,
+        dead_wires,
+        foldable_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_ff::bn254::Fr;
+    use zkperf_ff::Field;
+
+    fn lc(v: Variable) -> LinearCombination<Fr> {
+        LinearCombination::from_variable(v)
+    }
+
+    #[test]
+    fn mul_by_constant_is_free() {
+        let mut b = CircuitBuilder::<Fr>::new("t");
+        let x = b.public_input("x");
+        let five = LinearCombination::constant(Fr::from_u64(5));
+        let _ = b.mul(&lc(x), &five);
+        let _ = b.mul(&five, &lc(x));
+        assert_eq!(b.num_constraints(), 0);
+    }
+
+    #[test]
+    fn mul_of_variables_costs_one_constraint() {
+        let mut b = CircuitBuilder::<Fr>::new("t");
+        let x = b.public_input("x");
+        let y = b.private_input("y");
+        let _ = b.mul(&lc(x), &lc(y));
+        assert_eq!(b.num_constraints(), 1);
+    }
+
+    #[test]
+    fn wire_order_is_canonical_after_finish() {
+        let mut b = CircuitBuilder::<Fr>::new("t");
+        // Allocate in scrambled order.
+        let p = b.private_input("p");
+        let x = b.public_input("x");
+        let prod = b.mul(&lc(x), &lc(p));
+        b.output("o", prod);
+        let circuit = b.finish();
+        let sys = circuit.r1cs();
+        assert_eq!(sys.num_outputs(), 1);
+        assert_eq!(sys.num_public_inputs(), 1);
+        assert_eq!(sys.num_private_inputs(), 1);
+        assert_eq!(sys.num_wires(), 5);
+        assert_eq!(circuit.wire_name(1), "o");
+        assert_eq!(circuit.wire_name(2), "x");
+        assert_eq!(circuit.wire_name(3), "p");
+        let w = circuit
+            .generate_witness(&[Fr::from_u64(6)], &[Fr::from_u64(7)])
+            .unwrap();
+        assert_eq!(w.public(), &[Fr::one(), Fr::from_u64(42), Fr::from_u64(6)]);
+    }
+
+    #[test]
+    fn boolean_and_select() {
+        let mut b = CircuitBuilder::<Fr>::new("t");
+        let s = b.private_input("s");
+        b.enforce_boolean(&lc(s));
+        let a = LinearCombination::constant(Fr::from_u64(10));
+        let c = LinearCombination::constant(Fr::from_u64(20));
+        let sel = b.select(&lc(s), &a, &c);
+        b.output("o", sel);
+        let circuit = b.finish();
+        let w1 = circuit.generate_witness(&[], &[Fr::one()]).unwrap();
+        assert_eq!(w1.public()[1], Fr::from_u64(10));
+        let w0 = circuit.generate_witness(&[], &[Fr::zero()]).unwrap();
+        assert_eq!(w0.public()[1], Fr::from_u64(20));
+        // Non-boolean selector violates the constraint system.
+        assert!(circuit.generate_witness(&[], &[Fr::from_u64(2)]).is_err());
+    }
+
+    #[test]
+    fn decompose_bits_recomposes_and_range_checks() {
+        let mut b = CircuitBuilder::<Fr>::new("t");
+        let x = b.public_input("x");
+        let bits = b.decompose_bits(&lc(x), 4);
+        assert_eq!(bits.len(), 4);
+        assert_eq!(b.num_constraints(), 5);
+        let circuit = b.finish();
+        let w = circuit.generate_witness(&[Fr::from_u64(13)], &[]).unwrap();
+        // 13 = 0b1101 → bits (LSB first) 1,0,1,1 live in the aux region.
+        let aux = &w.full()[2..6];
+        assert_eq!(
+            aux,
+            &[Fr::one(), Fr::zero(), Fr::one(), Fr::one()]
+        );
+        // 16 does not fit in 4 bits.
+        assert!(circuit.generate_witness(&[Fr::from_u64(16)], &[]).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! The finished circuit artifact and its witness solver.
+
+use std::fmt;
+
+use zkperf_ff::{Field, PrimeField};
+use zkperf_trace as trace;
+
+use crate::lc::{LinearCombination, Variable};
+use crate::r1cs::R1cs;
+
+/// How the witness solver computes one auxiliary or output wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instruction<F> {
+    /// `w[target] = ⟨lc, w⟩`.
+    EvalLc {
+        /// Wire to assign.
+        target: Variable,
+        /// Combination to evaluate.
+        lc: LinearCombination<F>,
+    },
+    /// `w[target] = ⟨a, w⟩ · ⟨b, w⟩`.
+    Mul {
+        /// Wire to assign.
+        target: Variable,
+        /// Left factor.
+        a: LinearCombination<F>,
+        /// Right factor.
+        b: LinearCombination<F>,
+    },
+    /// `w[target] = ⟨of, w⟩⁻¹`, or 0 when the value is 0 (the standard
+    /// hint for is-zero gadgets).
+    InvOrZero {
+        /// Wire to assign.
+        target: Variable,
+        /// Combination whose inverse-or-zero is taken.
+        of: LinearCombination<F>,
+    },
+    /// `w[target] = bit `bit` of the canonical value of `⟨of, w⟩``.
+    Bit {
+        /// Wire to assign.
+        target: Variable,
+        /// Combination whose value is decomposed.
+        of: LinearCombination<F>,
+        /// Bit index (little-endian).
+        bit: usize,
+    },
+}
+
+/// Errors from [`Circuit::generate_witness`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WitnessError {
+    /// Wrong number of public inputs supplied.
+    PublicInputCount {
+        /// Expected count.
+        expected: usize,
+        /// Supplied count.
+        got: usize,
+    },
+    /// Wrong number of private inputs supplied.
+    PrivateInputCount {
+        /// Expected count.
+        expected: usize,
+        /// Supplied count.
+        got: usize,
+    },
+    /// The computed witness violates the constraint at this index (the
+    /// inputs do not satisfy the circuit).
+    Unsatisfied(usize),
+}
+
+impl fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WitnessError::PublicInputCount { expected, got } => {
+                write!(f, "expected {expected} public inputs, got {got}")
+            }
+            WitnessError::PrivateInputCount { expected, got } => {
+                write!(f, "expected {expected} private inputs, got {got}")
+            }
+            WitnessError::Unsatisfied(i) => {
+                write!(f, "inputs do not satisfy constraint {i}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WitnessError {}
+
+/// A compiled circuit: constraint system plus the witness-generation
+/// program. Produced by [`crate::CircuitBuilder::finish`] or by compiling
+/// [`crate::lang`] source.
+#[derive(Debug, Clone)]
+pub struct Circuit<F: PrimeField> {
+    name: String,
+    r1cs: R1cs<F>,
+    instructions: Vec<Instruction<F>>,
+    wire_names: Vec<String>,
+}
+
+/// The solver's output: the full witness vector and its public prefix
+/// (`witnessFull` / `witnessPublic` in the paper's workflow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness<F> {
+    full: Vec<F>,
+    num_public_wires: usize,
+}
+
+impl<F: PrimeField> Witness<F> {
+    /// Rebuilds a witness from a raw assignment vector (e.g. one loaded
+    /// from a `.wtns` file). The caller asserts the layout; use
+    /// [`R1cs::check_satisfied`](crate::R1cs::check_satisfied) to validate
+    /// against a constraint system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is shorter than the public prefix or does not
+    /// start with the constant 1.
+    pub fn from_vector(full: Vec<F>, num_public_wires: usize) -> Self {
+        assert!(full.len() >= num_public_wires, "vector shorter than public prefix");
+        assert!(
+            full.first().is_some_and(Field::is_one),
+            "witness must start with the constant 1"
+        );
+        Witness {
+            full,
+            num_public_wires,
+        }
+    }
+
+    /// The full assignment `[1, outputs, public, private, aux]`.
+    pub fn full(&self) -> &[F] {
+        &self.full
+    }
+
+    /// The public prefix `[1, outputs, public inputs]` shared with the
+    /// verifier.
+    pub fn public(&self) -> &[F] {
+        &self.full[..self.num_public_wires]
+    }
+}
+
+impl<F: PrimeField> Circuit<F> {
+    pub(crate) fn new(
+        name: String,
+        r1cs: R1cs<F>,
+        instructions: Vec<Instruction<F>>,
+        wire_names: Vec<String>,
+    ) -> Self {
+        Circuit {
+            name,
+            r1cs,
+            instructions,
+            wire_names,
+        }
+    }
+
+    /// The circuit's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compiled constraint system.
+    pub fn r1cs(&self) -> &R1cs<F> {
+        &self.r1cs
+    }
+
+    /// The witness-generation program (for inspection and tests).
+    pub fn instructions(&self) -> &[Instruction<F>] {
+        &self.instructions
+    }
+
+    /// The debug name of a wire.
+    pub fn wire_name(&self, index: usize) -> &str {
+        &self.wire_names[index]
+    }
+
+    /// Runs the witness solver: seeds the input wires, executes the
+    /// instruction list, and checks every constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WitnessError`] on input-arity mismatch or if the inputs do
+    /// not satisfy the circuit.
+    pub fn generate_witness(
+        &self,
+        public_inputs: &[F],
+        private_inputs: &[F],
+    ) -> Result<Witness<F>, WitnessError> {
+        let _g = trace::region_profile("witness_solver");
+        let sys = &self.r1cs;
+        if public_inputs.len() != sys.num_public_inputs() {
+            return Err(WitnessError::PublicInputCount {
+                expected: sys.num_public_inputs(),
+                got: public_inputs.len(),
+            });
+        }
+        if private_inputs.len() != sys.num_private_inputs() {
+            return Err(WitnessError::PrivateInputCount {
+                expected: sys.num_private_inputs(),
+                got: private_inputs.len(),
+            });
+        }
+        trace::alloc(sys.num_wires() * std::mem::size_of::<F>());
+        let mut w = vec![F::zero(); sys.num_wires()];
+        w[0] = F::one();
+        let pub_base = 1 + sys.num_outputs();
+        w[pub_base..pub_base + public_inputs.len()].copy_from_slice(public_inputs);
+        trace::memcpy(
+            w[pub_base..].as_ptr() as usize,
+            public_inputs.as_ptr() as usize,
+            std::mem::size_of_val(public_inputs),
+        );
+        let priv_base = pub_base + public_inputs.len();
+        w[priv_base..priv_base + private_inputs.len()].copy_from_slice(private_inputs);
+        trace::memcpy(
+            w[priv_base..].as_ptr() as usize,
+            private_inputs.as_ptr() as usize,
+            std::mem::size_of_val(private_inputs),
+        );
+
+        for ins in &self.instructions {
+            // Instruction dispatch: opcode decode, operand fetch, bounds
+            // checks — the interpreter behaviour that makes the paper's
+            // witness stage the most control-flow-intensive one.
+            trace::control(9);
+            trace::data_move(5);
+            trace::compute(2);
+            match ins {
+                Instruction::EvalLc { target, lc } => {
+                    w[target.index()] = lc.evaluate(&w);
+                }
+                Instruction::Mul { target, a, b } => {
+                    w[target.index()] = a.evaluate(&w) * b.evaluate(&w);
+                }
+                Instruction::InvOrZero { target, of } => {
+                    let value = of.evaluate(&w);
+                    trace::branch(0x5002, value.is_zero());
+                    w[target.index()] = value.inverse().unwrap_or_else(F::zero);
+                }
+                Instruction::Bit { target, of, bit } => {
+                    let value = of.evaluate(&w).to_biguint();
+                    trace::branch(0x5001, value.bit(*bit));
+                    w[target.index()] = if value.bit(*bit) {
+                        F::one()
+                    } else {
+                        F::zero()
+                    };
+                }
+            }
+        }
+
+        if let Err(i) = sys.check_satisfied(&w) {
+            return Err(WitnessError::Unsatisfied(i));
+        }
+        Ok(Witness {
+            full: w,
+            num_public_wires: sys.num_public_wires(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use zkperf_ff::bn254::Fr;
+    use zkperf_ff::Field;
+
+    fn cube() -> Circuit<Fr> {
+        let mut b = CircuitBuilder::<Fr>::new("cube");
+        let x = b.public_input("x");
+        let xlc = LinearCombination::from_variable(x);
+        let x2 = b.mul(&xlc, &xlc);
+        let x3 = b.mul(&x2, &xlc);
+        b.output("y", x3);
+        b.finish()
+    }
+
+    #[test]
+    fn witness_layout_and_values() {
+        let c = cube();
+        let w = c.generate_witness(&[Fr::from_u64(5)], &[]).unwrap();
+        assert_eq!(w.full().len(), c.r1cs().num_wires());
+        assert_eq!(w.public().len(), 3);
+        assert_eq!(w.public()[0], Fr::one());
+        assert_eq!(w.public()[1], Fr::from_u64(125));
+        assert_eq!(w.public()[2], Fr::from_u64(5));
+    }
+
+    #[test]
+    fn arity_errors() {
+        let c = cube();
+        assert_eq!(
+            c.generate_witness(&[], &[]),
+            Err(WitnessError::PublicInputCount {
+                expected: 1,
+                got: 0
+            })
+        );
+        assert_eq!(
+            c.generate_witness(&[Fr::one()], &[Fr::one()]),
+            Err(WitnessError::PrivateInputCount {
+                expected: 0,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn witness_error_display() {
+        let e = WitnessError::Unsatisfied(4);
+        assert_eq!(e.to_string(), "inputs do not satisfy constraint 4");
+    }
+}

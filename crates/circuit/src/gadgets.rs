@@ -1,0 +1,232 @@
+//! Higher-level constraint gadgets built on the base builder API:
+//! zero tests, equality, comparisons, boolean logic, and multiplexers.
+
+use zkperf_ff::PrimeField;
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Instruction;
+use crate::lc::LinearCombination;
+
+type Lc<F> = LinearCombination<F>;
+
+impl<F: PrimeField> CircuitBuilder<F> {
+    /// Returns a boolean combination that is 1 iff `value = 0`.
+    ///
+    /// Standard construction: allocate the hint `m = value⁻¹` (or 0), set
+    /// `b = 1 − value·m`, and constrain `value·b = 0`. Costs 2 constraints.
+    pub fn is_zero(&mut self, value: &Lc<F>) -> Lc<F> {
+        let src = value.clone();
+        let inv = self.alloc_inv_or_zero(src);
+        // b = 1 − value·m  (one constraint: value·m = 1 − b)
+        let prod = self.mul(value, &inv.clone());
+        let b = &Lc::constant(F::one()) - &prod;
+        // value·b = 0
+        self.enforce(value.clone(), b.clone(), Lc::zero());
+        b
+    }
+
+    /// Allocates the inverse-or-zero hint wire for `of`.
+    fn alloc_inv_or_zero(&mut self, of: Lc<F>) -> Lc<F> {
+        let v = self.alloc_aux("inv_or_zero", |target| Instruction::InvOrZero {
+            target,
+            of,
+        });
+        Lc::from_variable(v)
+    }
+
+    /// Returns a boolean that is 1 iff `a = b`. Costs 2 constraints.
+    pub fn is_equal(&mut self, a: &Lc<F>, b: &Lc<F>) -> Lc<F> {
+        let diff = a - b;
+        self.is_zero(&diff)
+    }
+
+    /// Returns a boolean that is 1 iff `a < b`, treating both as `bits`-bit
+    /// unsigned values (which the caller must ensure, e.g. via
+    /// [`decompose_bits`](CircuitBuilder::decompose_bits)).
+    ///
+    /// Construction: decompose `a − b + 2^bits` into `bits + 1` bits; the
+    /// top bit is 0 exactly when `a < b`. Costs `bits + 3` constraints.
+    pub fn is_less_than(&mut self, a: &Lc<F>, b: &Lc<F>, bits: usize) -> Lc<F> {
+        assert!(bits < 250, "width must leave headroom below the modulus");
+        let mut shifted = a - b;
+        let two_pow = F::from_u64(2).pow(&zkperf_ff::BigUint::from_u64(bits as u64));
+        shifted.add_term(crate::lc::Variable::ONE, two_pow);
+        let decomposed = self.decompose_bits(&shifted, bits + 1);
+        // a < b ⇔ borrow ⇔ top bit of (a − b + 2^bits) is 0.
+        &Lc::constant(F::one()) - &decomposed[bits]
+    }
+
+    /// Boolean AND of two (already-constrained) booleans: one constraint.
+    pub fn bool_and(&mut self, a: &Lc<F>, b: &Lc<F>) -> Lc<F> {
+        self.mul(a, b)
+    }
+
+    /// Boolean OR: `a + b − a·b`. One constraint.
+    pub fn bool_or(&mut self, a: &Lc<F>, b: &Lc<F>) -> Lc<F> {
+        let ab = self.mul(a, b);
+        &(a + b) - &ab
+    }
+
+    /// Boolean XOR: `a + b − 2·a·b`. One constraint.
+    pub fn bool_xor(&mut self, a: &Lc<F>, b: &Lc<F>) -> Lc<F> {
+        let ab = self.mul(a, b);
+        &(a + b) - &ab.scale(F::from_u64(2))
+    }
+
+    /// Boolean NOT: `1 − a`. Free.
+    pub fn bool_not(&mut self, a: &Lc<F>) -> Lc<F> {
+        &Lc::constant(F::one()) - a
+    }
+
+    /// Selects `options[index]` where `index` is given by its little-endian
+    /// boolean decomposition `index_bits`. `options.len()` must equal
+    /// `2^index_bits.len()`. Costs `options.len() − 1` constraints.
+    pub fn mux(&mut self, index_bits: &[Lc<F>], options: &[Lc<F>]) -> Lc<F> {
+        assert_eq!(
+            options.len(),
+            1 << index_bits.len(),
+            "mux arity mismatch"
+        );
+        if index_bits.is_empty() {
+            return options[0].clone();
+        }
+        // Fold pairwise selections level by level.
+        let mut layer: Vec<Lc<F>> = options.to_vec();
+        for bit in index_bits {
+            let mut next = Vec::with_capacity(layer.len() / 2);
+            for pair in layer.chunks(2) {
+                next.push(self.select(bit, &pair[1], &pair[0]));
+            }
+            layer = next;
+        }
+        layer.into_iter().next().expect("non-empty mux")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_ff::Field;
+
+    type Fr = zkperf_ff::bn254::Fr;
+
+    fn builder() -> CircuitBuilder<Fr> {
+        CircuitBuilder::new("gadgets")
+    }
+
+    #[test]
+    fn is_zero_detects_zero_and_nonzero() {
+        let mut b = builder();
+        let x = b.public_input("x");
+        let flag = b.is_zero(&x.into());
+        b.output("is_zero", flag);
+        let c = b.finish();
+        let w = c.generate_witness(&[Fr::zero()], &[]).unwrap();
+        assert_eq!(w.public()[1], Fr::one());
+        let w = c.generate_witness(&[Fr::from_u64(7)], &[]).unwrap();
+        assert_eq!(w.public()[1], Fr::zero());
+    }
+
+    #[test]
+    fn is_equal_works_both_ways() {
+        let mut b = builder();
+        let x = b.public_input("x");
+        let y = b.public_input("y");
+        let eq = b.is_equal(&x.into(), &y.into());
+        b.output("eq", eq);
+        let c = b.finish();
+        let f = Fr::from_u64;
+        assert_eq!(
+            c.generate_witness(&[f(5), f(5)], &[]).unwrap().public()[1],
+            Fr::one()
+        );
+        assert_eq!(
+            c.generate_witness(&[f(5), f(6)], &[]).unwrap().public()[1],
+            Fr::zero()
+        );
+    }
+
+    #[test]
+    fn less_than_over_the_full_range() {
+        let mut b = builder();
+        let x = b.public_input("x");
+        let y = b.public_input("y");
+        let xlc: Lc<Fr> = x.into();
+        let ylc: Lc<Fr> = y.into();
+        // Constrain the ranges, as the gadget contract requires.
+        b.decompose_bits(&xlc, 8);
+        b.decompose_bits(&ylc, 8);
+        let lt = b.is_less_than(&xlc, &ylc, 8);
+        b.output("lt", lt);
+        let c = b.finish();
+        let f = Fr::from_u64;
+        for (a, bb, expect) in [
+            (0u64, 1u64, 1u64),
+            (1, 0, 0),
+            (7, 7, 0),
+            (254, 255, 1),
+            (255, 0, 0),
+            (0, 255, 1),
+        ] {
+            let w = c.generate_witness(&[f(a), f(bb)], &[]).unwrap();
+            assert_eq!(w.public()[1], f(expect), "{a} < {bb}");
+        }
+    }
+
+    #[test]
+    fn boolean_algebra_truth_tables() {
+        let mut b = builder();
+        let x = b.public_input("x");
+        let y = b.public_input("y");
+        let (xl, yl): (Lc<Fr>, Lc<Fr>) = (x.into(), y.into());
+        b.enforce_boolean(&xl);
+        b.enforce_boolean(&yl);
+        let and = b.bool_and(&xl, &yl);
+        let or = b.bool_or(&xl, &yl);
+        let xor = b.bool_xor(&xl, &yl);
+        let not = b.bool_not(&xl);
+        b.output("and", and);
+        b.output("or", or);
+        b.output("xor", xor);
+        b.output("not", not);
+        let c = b.finish();
+        let f = Fr::from_u64;
+        for (a, bb) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+            let w = c.generate_witness(&[f(a), f(bb)], &[]).unwrap();
+            assert_eq!(w.public()[1], f(a & bb), "and {a} {bb}");
+            assert_eq!(w.public()[2], f(a | bb), "or {a} {bb}");
+            assert_eq!(w.public()[3], f(a ^ bb), "xor {a} {bb}");
+            assert_eq!(w.public()[4], f(1 - a), "not {a}");
+        }
+    }
+
+    #[test]
+    fn mux_selects_every_slot() {
+        let mut b = builder();
+        let i0 = b.public_input("i0");
+        let i1 = b.public_input("i1");
+        let (l0, l1): (Lc<Fr>, Lc<Fr>) = (i0.into(), i1.into());
+        b.enforce_boolean(&l0);
+        b.enforce_boolean(&l1);
+        let options: Vec<Lc<Fr>> = (10..14).map(|v| Lc::constant(Fr::from_u64(v))).collect();
+        let picked = b.mux(&[l0, l1], &options);
+        b.output("picked", picked);
+        let c = b.finish();
+        let f = Fr::from_u64;
+        for idx in 0..4u64 {
+            let w = c
+                .generate_witness(&[f(idx & 1), f(idx >> 1)], &[])
+                .unwrap();
+            assert_eq!(w.public()[1], f(10 + idx), "index {idx}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mux arity")]
+    fn mux_rejects_wrong_arity() {
+        let mut b = builder();
+        let x = b.public_input("x");
+        let xl: Lc<Fr> = x.into();
+        let _ = b.mux(&[xl.clone()], &[xl]);
+    }
+}

@@ -1,0 +1,885 @@
+//! A small circom-flavoured circuit language.
+//!
+//! The paper's `compile` stage runs circom over a circuit source file; this
+//! module is the equivalent front end for our substrate: a lexer, a
+//! recursive-descent parser and a lowering pass that unrolls loops and emits
+//! one rank-1 constraint per non-constant multiplication, exactly like
+//! circom's constraint generation.
+//!
+//! # Grammar
+//!
+//! ```text
+//! program := "circuit" IDENT "{" stmt* "}"
+//! stmt    := "public" "input" IDENT ";"
+//!          | "private" "input" IDENT ";"
+//!          | "const" IDENT "=" INT ";"
+//!          | "let" IDENT "=" expr ";"
+//!          | IDENT "=" expr ";"
+//!          | "output" IDENT "=" expr ";"
+//!          | "assert" expr "==" expr ";"
+//!          | "repeat" (INT | IDENT) "{" stmt* "}"
+//! expr    := term (("+" | "-") term)*
+//! term    := factor (("*" factor) | ("^" INT))*
+//! factor  := INT | IDENT | "(" expr ")" | "-" factor
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use zkperf_circuit::lang::compile;
+//! use zkperf_ff::{Field, bn254::Fr};
+//!
+//! let src = "circuit square { public input x; output y = x * x; }";
+//! let circuit = compile::<Fr>(src).unwrap();
+//! let w = circuit.generate_witness(&[Fr::from_u64(9)], &[]).unwrap();
+//! assert_eq!(w.public()[1], Fr::from_u64(81));
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use zkperf_ff::PrimeField;
+use zkperf_trace as trace;
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Circuit;
+use crate::lc::LinearCombination;
+
+/// A compile error with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err<T>(message: impl Into<String>, line: usize, col: usize) -> Result<T, CompileError> {
+    Err(CompileError {
+        message: message.into(),
+        line,
+        col,
+    })
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    KwCircuit,
+    KwPublic,
+    KwPrivate,
+    KwInput,
+    KwOutput,
+    KwLet,
+    KwConst,
+    KwRepeat,
+    KwAssert,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Semi,
+    Eq,
+    EqEq,
+    Plus,
+    Minus,
+    Star,
+    Caret,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tok::Ident(n) => return write!(f, "identifier `{n}`"),
+            Tok::Int(v) => return write!(f, "integer `{v}`"),
+            Tok::KwCircuit => "`circuit`",
+            Tok::KwPublic => "`public`",
+            Tok::KwPrivate => "`private`",
+            Tok::KwInput => "`input`",
+            Tok::KwOutput => "`output`",
+            Tok::KwLet => "`let`",
+            Tok::KwConst => "`const`",
+            Tok::KwRepeat => "`repeat`",
+            Tok::KwAssert => "`assert`",
+            Tok::LBrace => "`{`",
+            Tok::RBrace => "`}`",
+            Tok::LParen => "`(`",
+            Tok::RParen => "`)`",
+            Tok::Semi => "`;`",
+            Tok::Eq => "`=`",
+            Tok::EqEq => "`==`",
+            Tok::Plus => "`+`",
+            Tok::Minus => "`-`",
+            Tok::Star => "`*`",
+            Tok::Caret => "`^`",
+            Tok::Eof => "end of input",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let _g = trace::region_profile("lexer");
+    let src_base = src.as_ptr() as usize;
+    let mut scanned = 0usize;
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if trace::is_active() {
+            trace::load(src_base + scanned.min(src.len().saturating_sub(1)), 1);
+            trace::compute(2);
+            trace::control(2);
+            trace::data_move(1);
+        }
+        scanned += 1;
+        let (tline, tcol) = (line, col);
+        let mut bump = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            c
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump(&mut chars);
+                continue;
+            }
+            '/' => {
+                bump(&mut chars);
+                if chars.peek() == Some(&'/') {
+                    while let Some(&n) = chars.peek() {
+                        if n == '\n' {
+                            break;
+                        }
+                        bump(&mut chars);
+                    }
+                    continue;
+                }
+                return err("unexpected `/` (only `//` comments supported)", tline, tcol);
+            }
+            '0'..='9' => {
+                let mut v: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        v = v
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add(u64::from(digit)))
+                            .ok_or(CompileError {
+                                message: "integer literal too large".into(),
+                                line: tline,
+                                col: tcol,
+                            })?;
+                        bump(&mut chars);
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Int(v),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        name.push(d);
+                        bump(&mut chars);
+                    } else {
+                        break;
+                    }
+                }
+                let tok = match name.as_str() {
+                    "circuit" => Tok::KwCircuit,
+                    "public" => Tok::KwPublic,
+                    "private" => Tok::KwPrivate,
+                    "input" => Tok::KwInput,
+                    "output" => Tok::KwOutput,
+                    "let" => Tok::KwLet,
+                    "const" => Tok::KwConst,
+                    "repeat" => Tok::KwRepeat,
+                    "assert" => Tok::KwAssert,
+                    _ => Tok::Ident(name),
+                };
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '=' => {
+                bump(&mut chars);
+                let tok = if chars.peek() == Some(&'=') {
+                    bump(&mut chars);
+                    Tok::EqEq
+                } else {
+                    Tok::Eq
+                };
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ => {
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    ';' => Tok::Semi,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '^' => Tok::Caret,
+                    other => {
+                        return err(format!("unexpected character `{other}`"), tline, tcol)
+                    }
+                };
+                bump(&mut chars);
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser --
+
+/// An expression of the circuit language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(u64),
+    /// Named signal reference.
+    Var(String),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Integer power (lowered by square-and-multiply with shared wires).
+    Pow(Box<Expr>, u64),
+}
+
+/// A statement of the circuit language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `public input NAME;`
+    PublicInput(String),
+    /// `private input NAME;`
+    PrivateInput(String),
+    /// `const NAME = INT;` (a compile-time integer, usable as a repeat count)
+    Const(String, u64),
+    /// `let NAME = expr;` (introduces a binding)
+    Let(String, Expr),
+    /// `NAME = expr;` (rebinds an existing name)
+    Assign(String, Expr),
+    /// `output NAME = expr;`
+    Output(String, Expr),
+    /// `assert lhs == rhs;`
+    Assert(Expr, Expr),
+    /// `repeat N { ... }` with a literal or `const` count (unrolled)
+    Repeat(RepeatCount, Vec<Stmt>),
+}
+
+/// A repeat bound: a literal or a reference to a `const`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepeatCount {
+    /// Literal count.
+    Literal(u64),
+    /// Named `const`.
+    Const(String),
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Circuit name from the `circuit` header.
+    pub name: String,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Spanned {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Spanned {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<Spanned, CompileError> {
+        let t = self.next();
+        if &t.tok == tok {
+            Ok(t)
+        } else {
+            err(format!("expected {}, found {}", tok, t.tok), t.line, t.col)
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        let t = self.next();
+        match t.tok {
+            Tok::Ident(name) => Ok(name),
+            other => err(format!("expected identifier, found {other}"), t.line, t.col),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        self.expect(&Tok::KwCircuit)?;
+        let name = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let body = self.block_body()?;
+        self.expect(&Tok::Eof)?;
+        Ok(Program { name, body })
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        let mut stmts = Vec::new();
+        loop {
+            if self.peek().tok == Tok::RBrace {
+                self.next();
+                return Ok(stmts);
+            }
+            stmts.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        trace::compute(6);
+        trace::control(4);
+        trace::data_move(6);
+        let t = self.next();
+        match t.tok {
+            Tok::KwPublic => {
+                self.expect(&Tok::KwInput)?;
+                let name = self.ident()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::PublicInput(name))
+            }
+            Tok::KwPrivate => {
+                self.expect(&Tok::KwInput)?;
+                let name = self.ident()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::PrivateInput(name))
+            }
+            Tok::KwLet => {
+                let name = self.ident()?;
+                self.expect(&Tok::Eq)?;
+                let e = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Let(name, e))
+            }
+            Tok::KwConst => {
+                let name = self.ident()?;
+                self.expect(&Tok::Eq)?;
+                let v = match self.next() {
+                    Spanned { tok: Tok::Int(v), .. } => v,
+                    other => {
+                        return err(
+                            format!("const needs an integer, found {}", other.tok),
+                            other.line,
+                            other.col,
+                        )
+                    }
+                };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Const(name, v))
+            }
+            Tok::KwOutput => {
+                let name = self.ident()?;
+                self.expect(&Tok::Eq)?;
+                let e = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Output(name, e))
+            }
+            Tok::KwAssert => {
+                let lhs = self.expr()?;
+                self.expect(&Tok::EqEq)?;
+                let rhs = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Assert(lhs, rhs))
+            }
+            Tok::KwRepeat => {
+                let count = match self.next() {
+                    Spanned {
+                        tok: Tok::Int(n), ..
+                    } => RepeatCount::Literal(n),
+                    Spanned {
+                        tok: Tok::Ident(name),
+                        ..
+                    } => RepeatCount::Const(name),
+                    other => {
+                        return err(
+                            format!("expected repeat count, found {}", other.tok),
+                            other.line,
+                            other.col,
+                        )
+                    }
+                };
+                self.expect(&Tok::LBrace)?;
+                let body = self.block_body()?;
+                Ok(Stmt::Repeat(count, body))
+            }
+            Tok::Ident(name) => {
+                self.expect(&Tok::Eq)?;
+                let e = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Assign(name, e))
+            }
+            other => err(format!("expected a statement, found {other}"), t.line, t.col),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek().tok {
+                Tok::Plus => {
+                    self.next();
+                    lhs = Expr::Add(Box::new(lhs), Box::new(self.term()?));
+                }
+                Tok::Minus => {
+                    self.next();
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(self.term()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.factor()?;
+        loop {
+            match self.peek().tok {
+                Tok::Star => {
+                    self.next();
+                    lhs = Expr::Mul(Box::new(lhs), Box::new(self.factor()?));
+                }
+                Tok::Caret => {
+                    self.next();
+                    let t = self.next();
+                    let exp = match t.tok {
+                        Tok::Int(v) if v >= 1 => v,
+                        other => {
+                            return err(
+                                format!("`^` needs a positive integer, found {other}"),
+                                t.line,
+                                t.col,
+                            )
+                        }
+                    };
+                    lhs = Expr::Pow(Box::new(lhs), exp);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, CompileError> {
+        trace::compute(2);
+        trace::control(2);
+        trace::data_move(3);
+        trace::alloc(std::mem::size_of::<Expr>());
+        let t = self.next();
+        match t.tok {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Ident(name) => Ok(Expr::Var(name)),
+            Tok::Minus => Ok(Expr::Neg(Box::new(self.factor()?))),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            other => err(
+                format!("expected an expression, found {other}"),
+                t.line,
+                t.col,
+            ),
+        }
+    }
+}
+
+/// Parses source into an AST without lowering it.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic [`CompileError`].
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    let _g = trace::region_profile("parser");
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.program()
+}
+
+// ------------------------------------------------------------- lowering --
+
+struct Lowerer<F: PrimeField> {
+    builder: CircuitBuilder<F>,
+    env: HashMap<String, LinearCombination<F>>,
+    consts: HashMap<String, u64>,
+}
+
+impl<F: PrimeField> Lowerer<F> {
+    fn lower_expr(&mut self, e: &Expr) -> Result<LinearCombination<F>, CompileError> {
+        Ok(match e {
+            Expr::Int(v) => LinearCombination::constant(F::from_u64(*v)),
+            Expr::Var(name) => self
+                .env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| CompileError {
+                    message: format!("unknown signal `{name}`"),
+                    line: 0,
+                    col: 0,
+                })?,
+            Expr::Neg(inner) => self.lower_expr(inner)?.scale(-F::one()),
+            Expr::Add(a, b) => &self.lower_expr(a)? + &self.lower_expr(b)?,
+            Expr::Sub(a, b) => &self.lower_expr(a)? - &self.lower_expr(b)?,
+            Expr::Mul(a, b) => {
+                let (a, b) = (self.lower_expr(a)?, self.lower_expr(b)?);
+                self.builder.mul(&a, &b)
+            }
+            Expr::Pow(base, exp) => {
+                // Square-and-multiply over the *lowered* base so partial
+                // powers share wires: O(log exp) gates.
+                let base = self.lower_expr(base)?;
+                let mut acc: Option<LinearCombination<F>> = None;
+                for i in (0..64 - exp.leading_zeros()).rev() {
+                    if let Some(a) = acc.take() {
+                        acc = Some(self.builder.mul(&a, &a));
+                    }
+                    if exp >> i & 1 == 1 {
+                        acc = Some(match acc.take() {
+                            None => base.clone(),
+                            Some(a) => self.builder.mul(&a, &base),
+                        });
+                    }
+                }
+                acc.expect("exponent >= 1 checked at parse")
+            }
+        })
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            // Template-instantiation bookkeeping per lowered statement:
+            // symbol-table lookups, environment updates, constraint
+            // buffer appends (the work circom spends most of compile on).
+            trace::compute(160);
+            trace::control(120);
+            trace::data_move(280);
+            trace::load(self.env.len() as usize * 64 + 0x10_0000, 32);
+            match s {
+                Stmt::PublicInput(name) => {
+                    let v = self.builder.public_input(name.clone());
+                    self.bind_new(name, LinearCombination::from_variable(v))?;
+                }
+                Stmt::PrivateInput(name) => {
+                    let v = self.builder.private_input(name.clone());
+                    self.bind_new(name, LinearCombination::from_variable(v))?;
+                }
+                Stmt::Const(name, v) => {
+                    if self.consts.insert(name.clone(), *v).is_some() {
+                        return err(format!("const `{name}` declared twice"), 0, 0);
+                    }
+                    // Constants are also usable in expressions.
+                    self.bind_new(name, LinearCombination::constant(F::from_u64(*v)))?;
+                }
+                Stmt::Let(name, e) => {
+                    let lc = self.lower_expr(e)?;
+                    self.bind_new(name, lc)?;
+                }
+                Stmt::Assign(name, e) => {
+                    if !self.env.contains_key(name) {
+                        return err(format!("assignment to undeclared signal `{name}`"), 0, 0);
+                    }
+                    let lc = self.lower_expr(e)?;
+                    self.env.insert(name.clone(), lc);
+                }
+                Stmt::Output(name, e) => {
+                    let lc = self.lower_expr(e)?;
+                    let v = self.builder.output(name.clone(), lc);
+                    self.bind_new(name, LinearCombination::from_variable(v))?;
+                }
+                Stmt::Assert(lhs, rhs) => {
+                    let (l, r) = (self.lower_expr(lhs)?, self.lower_expr(rhs)?);
+                    self.builder.enforce_equal(&l, &r);
+                }
+                Stmt::Repeat(count, body) => {
+                    let n = match count {
+                        RepeatCount::Literal(n) => *n,
+                        RepeatCount::Const(name) => {
+                            *self.consts.get(name).ok_or_else(|| CompileError {
+                                message: format!("repeat count `{name}` is not a const"),
+                                line: 0,
+                                col: 0,
+                            })?
+                        }
+                    };
+                    for _ in 0..n {
+                        self.lower_repeat_body(body)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Inside a repeat body only assignments, asserts and nested repeats
+    /// make sense (declarations would collide across iterations).
+    fn lower_repeat_body(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
+        for s in body {
+            match s {
+                Stmt::PublicInput(n)
+                | Stmt::PrivateInput(n)
+                | Stmt::Let(n, _)
+                | Stmt::Const(n, _)
+                | Stmt::Output(n, _) => {
+                    return err(
+                        format!("`{n}` declared inside repeat; declarations must be outside loops"),
+                        0,
+                        0,
+                    );
+                }
+                _ => {}
+            }
+        }
+        self.lower_stmts(body)
+    }
+
+    fn bind_new(
+        &mut self,
+        name: &str,
+        lc: LinearCombination<F>,
+    ) -> Result<(), CompileError> {
+        if self.env.insert(name.to_string(), lc).is_some() {
+            return err(format!("signal `{name}` declared twice"), 0, 0);
+        }
+        Ok(())
+    }
+}
+
+/// Compiles source text into a [`Circuit`] — the full `compile` stage:
+/// lex, parse, unroll, and lower to R1CS.
+///
+/// # Errors
+///
+/// Returns the first [`CompileError`] encountered.
+pub fn compile<F: PrimeField>(src: &str) -> Result<Circuit<F>, CompileError> {
+    let _g = trace::region_profile("compile");
+    let program = parse(src)?;
+    let mut lowerer = Lowerer {
+        builder: CircuitBuilder::new(program.name.clone()),
+        env: HashMap::new(),
+        consts: HashMap::new(),
+    };
+    lowerer.lower_stmts(&program.body)?;
+    Ok(lowerer.builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_ff::bn254::Fr;
+    use zkperf_ff::Field;
+
+    #[test]
+    fn parse_builds_expected_ast() {
+        let p = parse("circuit t { public input x; let y = x * x + 1; }").unwrap();
+        assert_eq!(p.name, "t");
+        assert_eq!(p.body.len(), 2);
+        assert_eq!(p.body[0], Stmt::PublicInput("x".into()));
+        match &p.body[1] {
+            Stmt::Let(n, Expr::Add(lhs, rhs)) => {
+                assert_eq!(n, "y");
+                assert!(matches!(**lhs, Expr::Mul(_, _)));
+                assert_eq!(**rhs, Expr::Int(1));
+            }
+            other => panic!("unexpected AST: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let c = compile::<Fr>(
+            "circuit t { public input x; output y = 2 + x * 3; output z = (2 + x) * 3; }",
+        )
+        .unwrap();
+        let w = c.generate_witness(&[Fr::from_u64(4)], &[]).unwrap();
+        assert_eq!(w.public()[1], Fr::from_u64(14));
+        assert_eq!(w.public()[2], Fr::from_u64(18));
+        // Constant multiplications are linear: no mul gates, two output rows.
+        assert_eq!(c.r1cs().num_constraints(), 2);
+    }
+
+    #[test]
+    fn repeat_unrolls_to_constraints() {
+        let src = "circuit e { public input x; let acc = x;\n\
+                   repeat 7 { acc = acc * x; }\n output y = acc; }";
+        let c = compile::<Fr>(src).unwrap();
+        // 7 mul gates + 1 output binding.
+        assert_eq!(c.r1cs().num_constraints(), 8);
+        let w = c.generate_witness(&[Fr::from_u64(2)], &[]).unwrap();
+        assert_eq!(w.public()[1], Fr::from_u64(256)); // 2^8
+    }
+
+    #[test]
+    fn assert_statement_constrains() {
+        let src = "circuit t { public input x; private input y; assert x == y * y; }";
+        let c = compile::<Fr>(src).unwrap();
+        assert!(c
+            .generate_witness(&[Fr::from_u64(49)], &[Fr::from_u64(7)])
+            .is_ok());
+        assert!(c
+            .generate_witness(&[Fr::from_u64(50)], &[Fr::from_u64(7)])
+            .is_err());
+    }
+
+    #[test]
+    fn negation_and_subtraction() {
+        let src = "circuit t { public input x; output y = -x + 10 - 2; }";
+        let c = compile::<Fr>(src).unwrap();
+        let w = c.generate_witness(&[Fr::from_u64(3)], &[]).unwrap();
+        assert_eq!(w.public()[1], Fr::from_u64(5));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse("circuit t {\n  public inpt x;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("expected `input`"), "{}", e.message);
+        let e = parse("circuit t { @ }").unwrap_err();
+        assert!(e.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn semantic_errors() {
+        assert!(compile::<Fr>("circuit t { output y = nope; }")
+            .unwrap_err()
+            .message
+            .contains("unknown signal"));
+        assert!(compile::<Fr>("circuit t { let a = 1; let a = 2; }")
+            .unwrap_err()
+            .message
+            .contains("declared twice"));
+        assert!(compile::<Fr>("circuit t { a = 3; }")
+            .unwrap_err()
+            .message
+            .contains("undeclared"));
+        assert!(
+            compile::<Fr>("circuit t { repeat 2 { let a = 1; } }")
+                .unwrap_err()
+                .message
+                .contains("inside repeat")
+        );
+    }
+
+    #[test]
+    fn nested_repeat_multiplies_counts() {
+        let src = "circuit n { public input x; let acc = x;\
+                    repeat 3 { repeat 4 { acc = acc * x; } } output y = acc; }";
+        let c = compile::<Fr>(src).unwrap();
+        // 12 mul gates + 1 output row.
+        assert_eq!(c.r1cs().num_constraints(), 13);
+        let w = c.generate_witness(&[Fr::from_u64(2)], &[]).unwrap();
+        assert_eq!(w.public()[1], Fr::from_u64(8192)); // 2^13
+    }
+
+    #[test]
+    fn repeat_zero_is_a_noop() {
+        let src = "circuit z { public input x; let acc = x; repeat 0 { acc = acc * x; } output y = acc; }";
+        let c = compile::<Fr>(src).unwrap();
+        assert_eq!(c.r1cs().num_constraints(), 1);
+    }
+
+    #[test]
+    fn const_and_power_operator() {
+        let src = "circuit p { const n = 6;\
+                    public input x; let acc = 1;\
+                    repeat n { acc = acc * x; }\
+                    output y = acc; output z = x ^ 6; }";
+        let c = compile::<Fr>(src).unwrap();
+        let w = c.generate_witness(&[Fr::from_u64(2)], &[]).unwrap();
+        assert_eq!(w.public()[1], Fr::from_u64(64)); // repeat-const path
+        assert_eq!(w.public()[2], Fr::from_u64(64)); // power operator
+        // Square-and-multiply: x^6 costs 3 muls, not 5.
+        let lean = compile::<Fr>("circuit q { public input x; output z = x ^ 6; }").unwrap();
+        assert_eq!(lean.r1cs().num_constraints(), 3 + 1);
+    }
+
+    #[test]
+    fn power_operator_edge_cases() {
+        let one = compile::<Fr>("circuit q { public input x; output z = x ^ 1; }").unwrap();
+        let w = one.generate_witness(&[Fr::from_u64(9)], &[]).unwrap();
+        assert_eq!(w.public()[1], Fr::from_u64(9));
+        assert!(parse("circuit q { public input x; output z = x ^ 0; }").is_err());
+        assert!(compile::<Fr>("circuit q { repeat m { } }")
+            .unwrap_err()
+            .message
+            .contains("not a const"));
+        assert!(compile::<Fr>("circuit q { const a = 1; const a = 2; }").is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "// header\ncircuit t { // trailing\n public input x; output y = x; }";
+        assert!(compile::<Fr>(src).is_ok());
+    }
+
+    #[test]
+    fn overflow_integer_literal_is_rejected() {
+        let src = format!("circuit t {{ let a = {}0; }}", u64::MAX);
+        assert!(parse(&src).unwrap_err().message.contains("too large"));
+    }
+}

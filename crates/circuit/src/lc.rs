@@ -1,0 +1,210 @@
+//! Variables and sparse linear combinations — the atoms of R1CS.
+
+use zkperf_ff::Field;
+use zkperf_trace as trace;
+
+/// Index of a wire in the witness vector.
+///
+/// By convention wire 0 is the constant `1`, followed by the public wires
+/// (outputs then public inputs), the private inputs, and finally the
+/// auxiliary wires allocated during synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Variable(pub u32);
+
+impl Variable {
+    /// The constant-one wire.
+    pub const ONE: Variable = Variable(0);
+
+    /// The wire's index into the witness vector.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A sparse linear combination `Σ coeffᵢ·wireᵢ`, kept sorted by wire index
+/// with no zero coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinearCombination<F> {
+    terms: Vec<(Variable, F)>,
+}
+
+impl<F: Field> LinearCombination<F> {
+    /// The empty (zero) combination.
+    pub fn zero() -> Self {
+        LinearCombination { terms: Vec::new() }
+    }
+
+    /// A single wire with coefficient 1.
+    pub fn from_variable(v: Variable) -> Self {
+        LinearCombination {
+            terms: vec![(v, F::one())],
+        }
+    }
+
+    /// The constant `c` (coefficient on the one-wire).
+    pub fn constant(c: F) -> Self {
+        if c.is_zero() {
+            Self::zero()
+        } else {
+            LinearCombination {
+                terms: vec![(Variable::ONE, c)],
+            }
+        }
+    }
+
+    /// The terms, sorted by wire index.
+    pub fn terms(&self) -> &[(Variable, F)] {
+        &self.terms
+    }
+
+    /// Number of non-zero terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` iff the combination is identically zero.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// If the combination is a constant (only the one-wire, or empty),
+    /// returns its value.
+    pub fn as_constant(&self) -> Option<F> {
+        match self.terms.as_slice() {
+            [] => Some(F::zero()),
+            [(v, c)] if *v == Variable::ONE => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Adds `coeff·var` into the combination.
+    pub fn add_term(&mut self, var: Variable, coeff: F) {
+        if trace::is_active() {
+            // Binary search + insertion shuffle of the sparse term list.
+            trace::compute(3);
+            trace::control(3);
+            trace::load(self.terms.as_ptr() as usize, 16);
+            trace::store(self.terms.as_ptr() as usize, 16);
+        }
+        if coeff.is_zero() {
+            return;
+        }
+        match self.terms.binary_search_by_key(&var, |&(v, _)| v) {
+            Ok(i) => {
+                self.terms[i].1 += coeff;
+                if self.terms[i].1.is_zero() {
+                    self.terms.remove(i);
+                }
+            }
+            Err(i) => self.terms.insert(i, (var, coeff)),
+        }
+    }
+
+    /// Scales every coefficient by `s`.
+    pub fn scale(&self, s: F) -> Self {
+        if s.is_zero() {
+            return Self::zero();
+        }
+        LinearCombination {
+            terms: self.terms.iter().map(|&(v, c)| (v, c * s)).collect(),
+        }
+    }
+
+    /// Evaluates the combination against a full witness vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a wire index is out of bounds.
+    pub fn evaluate(&self, witness: &[F]) -> F {
+        let mut acc = F::zero();
+        for &(v, c) in &self.terms {
+            trace::control(2); // term loop + bounds check
+            acc += c * witness[v.index()];
+        }
+        acc
+    }
+}
+
+impl<F: Field> std::ops::Add<&LinearCombination<F>> for &LinearCombination<F> {
+    type Output = LinearCombination<F>;
+    fn add(self, rhs: &LinearCombination<F>) -> LinearCombination<F> {
+        let mut out = self.clone();
+        for &(v, c) in rhs.terms() {
+            out.add_term(v, c);
+        }
+        out
+    }
+}
+
+impl<F: Field> std::ops::Sub<&LinearCombination<F>> for &LinearCombination<F> {
+    type Output = LinearCombination<F>;
+    fn sub(self, rhs: &LinearCombination<F>) -> LinearCombination<F> {
+        let mut out = self.clone();
+        for &(v, c) in rhs.terms() {
+            out.add_term(v, -c);
+        }
+        out
+    }
+}
+
+impl<F: Field> From<Variable> for LinearCombination<F> {
+    fn from(v: Variable) -> Self {
+        Self::from_variable(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_ff::bn254::Fr;
+
+    type Lc = LinearCombination<Fr>;
+
+    #[test]
+    fn add_term_merges_and_cancels() {
+        let mut lc = Lc::zero();
+        lc.add_term(Variable(3), Fr::from_u64(2));
+        lc.add_term(Variable(1), Fr::from_u64(5));
+        lc.add_term(Variable(3), Fr::from_u64(7));
+        assert_eq!(lc.len(), 2);
+        assert_eq!(lc.terms()[0], (Variable(1), Fr::from_u64(5)));
+        assert_eq!(lc.terms()[1], (Variable(3), Fr::from_u64(9)));
+        lc.add_term(Variable(1), -Fr::from_u64(5));
+        assert_eq!(lc.len(), 1, "cancelled term is removed");
+        lc.add_term(Variable(9), Fr::zero());
+        assert_eq!(lc.len(), 1, "zero coefficients are ignored");
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert_eq!(Lc::zero().as_constant(), Some(Fr::zero()));
+        assert_eq!(
+            Lc::constant(Fr::from_u64(6)).as_constant(),
+            Some(Fr::from_u64(6))
+        );
+        assert_eq!(Lc::from_variable(Variable(2)).as_constant(), None);
+        assert!(Lc::constant(Fr::zero()).is_empty());
+    }
+
+    #[test]
+    fn evaluate_against_witness() {
+        let w = vec![Fr::one(), Fr::from_u64(10), Fr::from_u64(20)];
+        let mut lc = Lc::constant(Fr::from_u64(3));
+        lc.add_term(Variable(1), Fr::from_u64(2));
+        lc.add_term(Variable(2), Fr::from_u64(1));
+        assert_eq!(lc.evaluate(&w), Fr::from_u64(43));
+    }
+
+    #[test]
+    fn arithmetic_on_combinations() {
+        let a = Lc::from_variable(Variable(1));
+        let b = Lc::from_variable(Variable(2));
+        let sum = &a + &b;
+        assert_eq!(sum.len(), 2);
+        let diff = &sum - &a;
+        assert_eq!(diff, b);
+        let scaled = sum.scale(Fr::from_u64(4));
+        assert_eq!(scaled.terms()[0].1, Fr::from_u64(4));
+        assert!(sum.scale(Fr::zero()).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Arithmetic circuits for the zkperf suite: a gate-level builder DSL, a
+//! circom-flavoured [`lang`]uage front end, the [`R1cs`] constraint-system
+//! representation, a witness solver, and a [`library`] of benchmark
+//! circuits (including the paper's exponentiation workload).
+//!
+//! Together these implement the paper's `compile` and `witness` stages.
+//!
+//! # Examples
+//!
+//! ```
+//! use zkperf_circuit::library::exponentiate;
+//! use zkperf_ff::{Field, bn254::Fr};
+//!
+//! let circuit = exponentiate::<Fr>(1 << 4); // y = x^16, 16 constraints
+//! let w = circuit.generate_witness(&[Fr::from_u64(2)], &[]).unwrap();
+//! assert_eq!(w.public()[1], Fr::from_u64(65536));
+//! ```
+
+mod builder;
+mod circuit;
+mod gadgets;
+pub mod lang;
+mod lc;
+pub mod library;
+pub mod poseidon;
+mod r1cs;
+
+pub use builder::{analyze_constraints, CircuitBuilder, ConstraintStats};
+pub use circuit::{Circuit, Instruction, Witness, WitnessError};
+pub use lc::{LinearCombination, Variable};
+pub use r1cs::{Constraint, R1cs};

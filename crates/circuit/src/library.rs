@@ -1,0 +1,270 @@
+//! Ready-made benchmark circuits.
+//!
+//! [`exponentiate`] is the paper's workload (`y = x^e` with `e` chosen so
+//! the constraint count matches the sweep variable); the others are the kind
+//! of application circuits the paper's introduction motivates (credentials,
+//! membership, range claims).
+
+use zkperf_ff::PrimeField;
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Circuit;
+use crate::lang;
+use crate::lc::LinearCombination;
+
+/// Generates the source text of the paper's exponentiation circuit with
+/// exactly `constraints` R1CS constraints (one multiplication per constraint
+/// after the output binding), i.e. `y = x^constraints`.
+///
+/// # Panics
+///
+/// Panics if `constraints == 0`.
+pub fn exponentiate_source(constraints: usize) -> String {
+    assert!(constraints > 0, "need at least one constraint");
+    format!(
+        "// y = x^{constraints}: the exponentiation benchmark circuit\n\
+         circuit exponentiate {{\n\
+         \x20   public input x;\n\
+         \x20   let acc = x;\n\
+         \x20   repeat {} {{ acc = acc * x; }}\n\
+         \x20   output y = acc;\n\
+         }}\n",
+        constraints - 1
+    )
+}
+
+/// Compiles the exponentiation circuit through the full language front end
+/// (this *is* the paper's `compile` stage for the benchmark workload).
+///
+/// # Panics
+///
+/// Panics if `constraints == 0` (the generated source is always valid).
+pub fn exponentiate<F: PrimeField>(constraints: usize) -> Circuit<F> {
+    lang::compile(&exponentiate_source(constraints)).expect("generated source is valid")
+}
+
+/// A chain of private-input multiplications proving knowledge of factors of
+/// a public product: `product = f₀·f₁·…·fₙ₋₁`.
+pub fn multiplier_chain<F: PrimeField>(factors: usize) -> Circuit<F> {
+    assert!(factors >= 2, "need at least two factors");
+    let mut b = CircuitBuilder::<F>::new("multiplier_chain");
+    let mut acc: LinearCombination<F> = b.private_input("f0").into();
+    for i in 1..factors {
+        let f: LinearCombination<F> = b.private_input(format!("f{i}")).into();
+        acc = b.mul(&acc, &f);
+    }
+    b.output("product", acc);
+    b.finish()
+}
+
+/// Proves a private value fits in `bits` bits (a range proof via bit
+/// decomposition), exposing the value's square as the public output so the
+/// statement is non-trivial.
+pub fn range_check<F: PrimeField>(bits: usize) -> Circuit<F> {
+    let mut b = CircuitBuilder::<F>::new("range_check");
+    let v: LinearCombination<F> = b.private_input("value").into();
+    let _bits = b.decompose_bits(&v, bits);
+    let sq = b.mul(&v, &v);
+    b.output("value_squared", sq);
+    b.finish()
+}
+
+/// Number of rounds in the toy arithmetic permutation used by
+/// [`merkle_membership`].
+pub const HASH_ROUNDS: usize = 8;
+
+/// One application of the toy MiMC-style compression function
+/// `h(l, r) = permute(l + 3r)` where `permute` is `HASH_ROUNDS` rounds of
+/// `t ← (t + cᵢ)⁵`. Three constraints per round.
+///
+/// This is **not** a production hash — it stands in for circom's Poseidon
+/// with the same arithmetic-circuit shape (low-degree S-box rounds).
+pub fn hash2_gadget<F: PrimeField>(
+    b: &mut CircuitBuilder<F>,
+    l: &LinearCombination<F>,
+    r: &LinearCombination<F>,
+) -> LinearCombination<F> {
+    let mut t = l + &r.scale(F::from_u64(3));
+    for i in 0..HASH_ROUNDS {
+        let c = LinearCombination::constant(F::from_u64(0x9e37_79b9 + i as u64));
+        let base = &t + &c;
+        let sq = b.mul(&base, &base);
+        let quad = b.mul(&sq, &sq);
+        t = b.mul(&quad, &base);
+    }
+    t
+}
+
+/// Evaluates [`hash2_gadget`] outside a circuit (for building test trees).
+pub fn hash2<F: PrimeField>(l: F, r: F) -> F {
+    let mut t = l + r * F::from_u64(3);
+    for i in 0..HASH_ROUNDS {
+        let base = t + F::from_u64(0x9e37_79b9 + i as u64);
+        t = base.square().square() * base;
+    }
+    t
+}
+
+/// Merkle-membership circuit of the given `depth`: proves a private leaf
+/// hashes up to the public root along a private path.
+///
+/// Private inputs: `leaf`, then per level a sibling value and a direction
+/// bit (0 = current node is the left child). Public input: none. Output:
+/// the recomputed root.
+pub fn merkle_membership<F: PrimeField>(depth: usize) -> Circuit<F> {
+    assert!(depth > 0, "depth must be positive");
+    let mut b = CircuitBuilder::<F>::new("merkle_membership");
+    let mut node: LinearCombination<F> = b.private_input("leaf").into();
+    for level in 0..depth {
+        let sibling: LinearCombination<F> =
+            b.private_input(format!("sibling{level}")).into();
+        let dir: LinearCombination<F> = b.private_input(format!("dir{level}")).into();
+        b.enforce_boolean(&dir);
+        // left = dir ? sibling : node; right = dir ? node : sibling
+        let left = b.select(&dir, &sibling, &node);
+        let right = b.select(&dir, &node, &sibling);
+        node = hash2_gadget(&mut b, &left, &right);
+    }
+    b.output("root", node);
+    b.finish()
+}
+
+/// Merkle-membership circuit using the [`crate::poseidon`] hash instead of
+/// the toy MiMC-style one: the production-shaped variant (~250 constraints
+/// per level instead of 24).
+pub fn merkle_membership_poseidon<F: PrimeField>(depth: usize) -> Circuit<F> {
+    assert!(depth > 0, "depth must be positive");
+    let mut b = CircuitBuilder::<F>::new("merkle_membership_poseidon");
+    let mut node: LinearCombination<F> = b.private_input("leaf").into();
+    for level in 0..depth {
+        let sibling: LinearCombination<F> =
+            b.private_input(format!("sibling{level}")).into();
+        let dir: LinearCombination<F> = b.private_input(format!("dir{level}")).into();
+        b.enforce_boolean(&dir);
+        let left = b.select(&dir, &sibling, &node);
+        let right = b.select(&dir, &node, &sibling);
+        node = crate::poseidon::poseidon_hash2_gadget(&mut b, &left, &right);
+    }
+    b.output("root", node);
+    b.finish()
+}
+
+/// Computes the [`merkle_membership_poseidon`] inputs for a leaf and path.
+pub fn merkle_path_inputs_poseidon<F: PrimeField>(
+    leaf: F,
+    path: &[(F, bool)],
+) -> (Vec<F>, F) {
+    let mut inputs = vec![leaf];
+    let mut node = leaf;
+    for &(sibling, is_right) in path {
+        inputs.push(sibling);
+        inputs.push(if is_right { F::one() } else { F::zero() });
+        node = if is_right {
+            crate::poseidon::poseidon_hash2(sibling, node)
+        } else {
+            crate::poseidon::poseidon_hash2(node, sibling)
+        };
+    }
+    (inputs, node)
+}
+
+/// Computes the private-input vector for [`merkle_membership`] given a leaf
+/// and a path of `(sibling, is_right_child)` pairs, plus the expected root.
+pub fn merkle_path_inputs<F: PrimeField>(leaf: F, path: &[(F, bool)]) -> (Vec<F>, F) {
+    let mut inputs = vec![leaf];
+    let mut node = leaf;
+    for &(sibling, is_right) in path {
+        inputs.push(sibling);
+        inputs.push(if is_right { F::one() } else { F::zero() });
+        node = if is_right {
+            hash2(sibling, node)
+        } else {
+            hash2(node, sibling)
+        };
+    }
+    (inputs, node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_ff::bn254::Fr;
+    use zkperf_ff::Field;
+
+    #[test]
+    fn exponentiate_has_requested_constraint_count() {
+        for n in [1usize, 2, 10, 64] {
+            let c = exponentiate::<Fr>(n);
+            assert_eq!(c.r1cs().num_constraints(), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn exponentiate_computes_powers() {
+        let c = exponentiate::<Fr>(5); // y = x^5
+        let w = c.generate_witness(&[Fr::from_u64(3)], &[]).unwrap();
+        assert_eq!(w.public()[1], Fr::from_u64(243));
+    }
+
+    #[test]
+    fn multiplier_chain_products() {
+        let c = multiplier_chain::<Fr>(4);
+        let ins: Vec<Fr> = [2u64, 3, 5, 7].iter().map(|&v| Fr::from_u64(v)).collect();
+        let w = c.generate_witness(&[], &ins).unwrap();
+        assert_eq!(w.public()[1], Fr::from_u64(210));
+    }
+
+    #[test]
+    fn range_check_accepts_in_range_rejects_out() {
+        let c = range_check::<Fr>(8);
+        assert!(c.generate_witness(&[], &[Fr::from_u64(255)]).is_ok());
+        assert!(c.generate_witness(&[], &[Fr::from_u64(256)]).is_err());
+    }
+
+    #[test]
+    fn hash2_gadget_matches_reference() {
+        let mut b = CircuitBuilder::<Fr>::new("h");
+        let l: LinearCombination<Fr> = b.private_input("l").into();
+        let r: LinearCombination<Fr> = b.private_input("r").into();
+        let h = hash2_gadget(&mut b, &l, &r);
+        b.output("h", h);
+        let c = b.finish();
+        let (lv, rv) = (Fr::from_u64(11), Fr::from_u64(22));
+        let w = c.generate_witness(&[], &[lv, rv]).unwrap();
+        assert_eq!(w.public()[1], hash2(lv, rv));
+    }
+
+    #[test]
+    fn poseidon_merkle_membership_roundtrip() {
+        let leaf = Fr::from_u64(42);
+        let path = [(Fr::from_u64(7), false), (Fr::from_u64(8), true)];
+        let (inputs, root) = merkle_path_inputs_poseidon(leaf, &path);
+        let c = merkle_membership_poseidon::<Fr>(2);
+        let w = c.generate_witness(&[], &inputs).unwrap();
+        assert_eq!(w.public()[1], root);
+        assert!(c.r1cs().num_constraints() > 400, "poseidon-sized tree");
+    }
+
+    #[test]
+    fn merkle_membership_roundtrip() {
+        let leaf = Fr::from_u64(42);
+        let path = [
+            (Fr::from_u64(7), false),
+            (Fr::from_u64(8), true),
+            (Fr::from_u64(9), false),
+        ];
+        let (inputs, root) = merkle_path_inputs(leaf, &path);
+        let c = merkle_membership::<Fr>(3);
+        let w = c.generate_witness(&[], &inputs).unwrap();
+        assert_eq!(w.public()[1], root);
+        // A corrupted sibling still produces a witness, but a different root.
+        let mut bad = inputs.clone();
+        bad[1] += Fr::one();
+        let wbad = c.generate_witness(&[], &bad).unwrap();
+        assert_ne!(wbad.public()[1], root);
+        // A non-boolean direction is rejected.
+        let mut nonbool = inputs;
+        nonbool[2] = Fr::from_u64(2);
+        assert!(c.generate_witness(&[], &nonbool).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! The Rank-1 Constraint System representation (the paper's `ccs`).
+
+use zkperf_ff::Field;
+use zkperf_trace as trace;
+
+use crate::lc::LinearCombination;
+
+/// One rank-1 constraint `⟨A,w⟩ · ⟨B,w⟩ = ⟨C,w⟩`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint<F> {
+    /// Left input combination.
+    pub a: LinearCombination<F>,
+    /// Right input combination.
+    pub b: LinearCombination<F>,
+    /// Output combination.
+    pub c: LinearCombination<F>,
+}
+
+/// A compiled constraint system: the output of the `compile` stage and the
+/// input to `setup`, `witness` and `proving`.
+///
+/// Wire layout: `[1, outputs…, public inputs…, private inputs…, aux…]`;
+/// the first `1 + num_outputs + num_public_inputs` wires form the public
+/// witness (`witnessPublic` in the paper's terminology).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct R1cs<F> {
+    num_wires: usize,
+    num_outputs: usize,
+    num_public_inputs: usize,
+    num_private_inputs: usize,
+    constraints: Vec<Constraint<F>>,
+}
+
+impl<F: Field> R1cs<F> {
+    /// Assembles a system from raw parts, validating the wire layout and
+    /// every referenced wire index. Used by deserializers; circuits built
+    /// through [`crate::CircuitBuilder`] uphold these invariants by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the public/private wire counts exceed `num_wires` or any
+    /// constraint references an out-of-range wire.
+    pub fn from_parts(
+        num_wires: usize,
+        num_outputs: usize,
+        num_public_inputs: usize,
+        num_private_inputs: usize,
+        constraints: Vec<Constraint<F>>,
+    ) -> Self {
+        assert!(
+            1 + num_outputs + num_public_inputs + num_private_inputs <= num_wires,
+            "wire layout exceeds the wire count"
+        );
+        for (i, c) in constraints.iter().enumerate() {
+            for lc in [&c.a, &c.b, &c.c] {
+                for &(v, _) in lc.terms() {
+                    assert!(v.index() < num_wires, "constraint {i} references wire {v:?} out of range");
+                }
+            }
+        }
+        Self::new(
+            num_wires,
+            num_outputs,
+            num_public_inputs,
+            num_private_inputs,
+            constraints,
+        )
+    }
+
+    /// Assembles a system; called by the circuit builder.
+    pub(crate) fn new(
+        num_wires: usize,
+        num_outputs: usize,
+        num_public_inputs: usize,
+        num_private_inputs: usize,
+        constraints: Vec<Constraint<F>>,
+    ) -> Self {
+        R1cs {
+            num_wires,
+            num_outputs,
+            num_public_inputs,
+            num_private_inputs,
+            constraints,
+        }
+    }
+
+    /// Total number of wires (including the constant-one wire).
+    pub fn num_wires(&self) -> usize {
+        self.num_wires
+    }
+
+    /// Number of designated output wires.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Number of public input wires.
+    pub fn num_public_inputs(&self) -> usize {
+        self.num_public_inputs
+    }
+
+    /// Number of private input wires.
+    pub fn num_private_inputs(&self) -> usize {
+        self.num_private_inputs
+    }
+
+    /// Number of public wires (one-wire + outputs + public inputs); the
+    /// length of the public witness.
+    pub fn num_public_wires(&self) -> usize {
+        1 + self.num_outputs + self.num_public_inputs
+    }
+
+    /// Number of constraints (the paper's `#constraints` sweep variable).
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The constraint rows.
+    pub fn constraints(&self) -> &[Constraint<F>] {
+        &self.constraints
+    }
+
+    /// Checks that `witness` satisfies every constraint.
+    ///
+    /// Returns the index of the first violated constraint on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `witness.len() != num_wires` or `witness[0] != 1`.
+    pub fn check_satisfied(&self, witness: &[F]) -> Result<(), usize> {
+        assert_eq!(witness.len(), self.num_wires, "witness length mismatch");
+        assert!(witness[0].is_one(), "witness[0] must be the constant 1");
+        for (i, c) in self.constraints.iter().enumerate() {
+            trace::control(1);
+            let a = c.a.evaluate(witness);
+            let b = c.b.evaluate(witness);
+            let cc = c.c.evaluate(witness);
+            if a * b != cc {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Density statistics: total non-zero entries across the A, B, C rows.
+    pub fn num_nonzero_entries(&self) -> usize {
+        self.constraints
+            .iter()
+            .map(|c| c.a.len() + c.b.len() + c.c.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lc::Variable;
+    use zkperf_ff::bn254::Fr;
+
+    /// Hand-rolled system for y = x³ exactly as in the paper's Fig. 2:
+    /// w0 = x·1, w1 = x·w0, y = x·w1 — wires [1, y, x, w0, w1].
+    fn cube_system() -> R1cs<Fr> {
+        let x = Variable(2);
+        let y = Variable(1);
+        let w0 = Variable(3);
+        let w1 = Variable(4);
+        let lc = LinearCombination::from_variable;
+        let constraints = vec![
+            Constraint {
+                a: lc(x),
+                b: lc(Variable::ONE),
+                c: lc(w0),
+            },
+            Constraint {
+                a: lc(x),
+                b: lc(w0),
+                c: lc(w1),
+            },
+            Constraint {
+                a: lc(x),
+                b: lc(w1),
+                c: lc(y),
+            },
+        ];
+        R1cs::new(5, 1, 1, 0, constraints)
+    }
+
+    #[test]
+    fn accepts_satisfying_witness() {
+        let sys = cube_system();
+        let x = Fr::from_u64(3);
+        let w = vec![Fr::one(), Fr::from_u64(27), x, x, Fr::from_u64(9)];
+        assert_eq!(sys.check_satisfied(&w), Ok(()));
+        assert_eq!(sys.num_constraints(), 3);
+        assert_eq!(sys.num_public_wires(), 3);
+        assert_eq!(sys.num_nonzero_entries(), 9);
+    }
+
+    #[test]
+    fn reports_first_violated_constraint() {
+        let sys = cube_system();
+        let x = Fr::from_u64(3);
+        // Corrupt w1: constraint 1 (x·w0 = w1) breaks first.
+        let w = vec![Fr::one(), Fr::from_u64(27), x, x, Fr::from_u64(10)];
+        assert_eq!(sys.check_satisfied(&w), Err(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "witness length")]
+    fn rejects_short_witness() {
+        let sys = cube_system();
+        let _ = sys.check_satisfied(&[Fr::one()]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Sweep driver: runs the measurement matrix
+//! (stage × constraint size × CPU × curve).
+
+use serde::Serialize;
+use zkperf_ec::{Bls12_381, Bn254, Engine};
+use zkperf_machine::CpuProfile;
+
+use crate::measure::{measure_stage, StageMeasurement};
+use crate::stage::{Curve, Stage};
+use crate::workload::Workload;
+
+/// Which cells of the paper's measurement matrix to run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepConfig {
+    /// `log₂` of each constraint count to sweep.
+    pub log_sizes: Vec<u32>,
+    /// Simulated CPUs.
+    pub cpus: Vec<CpuProfile>,
+    /// Curves.
+    pub curves: Vec<Curve>,
+    /// Stages to measure.
+    pub stages: Vec<Stage>,
+}
+
+impl SweepConfig {
+    /// The paper's full matrix: sizes 2^10..2^18, three CPUs, two curves,
+    /// five stages. Hours of simulation — prefer [`SweepConfig::default`]
+    /// unless regenerating everything.
+    pub fn paper_full() -> Self {
+        SweepConfig {
+            log_sizes: (10..=18).collect(),
+            cpus: CpuProfile::paper_cpus(),
+            curves: Curve::ALL.to_vec(),
+            stages: Stage::ALL.to_vec(),
+        }
+    }
+
+    /// Restricts the sweep to one CPU (for the scalability experiments the
+    /// paper runs only on the i9).
+    pub fn with_cpu(mut self, cpu: CpuProfile) -> Self {
+        self.cpus = vec![cpu];
+        self
+    }
+
+    /// Restricts the sweep to the given sizes.
+    pub fn with_log_sizes(mut self, log_sizes: impl IntoIterator<Item = u32>) -> Self {
+        self.log_sizes = log_sizes.into_iter().collect();
+        self
+    }
+}
+
+impl Default for SweepConfig {
+    /// Reads the sweep bounds from `ZKPERF_MIN_LOG` / `ZKPERF_MAX_LOG`
+    /// (defaults 10 and 13; set `ZKPERF_MAX_LOG=18` for the paper's full
+    /// range).
+    fn default() -> Self {
+        let read = |name: &str, fallback: u32| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(fallback)
+        };
+        let min = read("ZKPERF_MIN_LOG", 10);
+        let max = read("ZKPERF_MAX_LOG", 13).max(min);
+        SweepConfig {
+            log_sizes: (min..=max).collect(),
+            cpus: CpuProfile::paper_cpus(),
+            curves: Curve::ALL.to_vec(),
+            stages: Stage::ALL.to_vec(),
+        }
+    }
+}
+
+fn measure_pipeline<E: Engine>(
+    curve: Curve,
+    cpu: &CpuProfile,
+    constraints: usize,
+    stages: &[Stage],
+) -> Vec<StageMeasurement> {
+    let mut workload = Workload::<E>::exponentiate(constraints);
+    let mut out = Vec::new();
+    for stage in Stage::ALL {
+        if stages.contains(&stage) {
+            out.push(measure_stage(&mut workload, stage, curve, cpu));
+        } else {
+            // Still run it (untraced) so later stages have prerequisites.
+            workload.run_stage(stage);
+        }
+    }
+    out
+}
+
+/// Measures the requested stages for one (curve, CPU, size) pipeline.
+pub fn measure_cell(
+    curve: Curve,
+    cpu: &CpuProfile,
+    constraints: usize,
+    stages: &[Stage],
+) -> Vec<StageMeasurement> {
+    match curve {
+        Curve::Bn128 => measure_pipeline::<Bn254>(curve, cpu, constraints, stages),
+        Curve::Bls12_381 => measure_pipeline::<Bls12_381>(curve, cpu, constraints, stages),
+    }
+}
+
+/// Runs the whole configured sweep, invoking `progress` after each cell
+/// with (cells done, cells total).
+pub fn run_sweep(
+    config: &SweepConfig,
+    mut progress: impl FnMut(usize, usize),
+) -> Vec<StageMeasurement> {
+    let total = config.log_sizes.len() * config.cpus.len() * config.curves.len();
+    let mut done = 0;
+    let mut out = Vec::new();
+    for &curve in &config.curves {
+        for cpu in &config.cpus {
+            for &log in &config.log_sizes {
+                out.extend(measure_cell(curve, cpu, 1 << log, &config.stages));
+                done += 1;
+                progress(done, total);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_reads_env_bounds() {
+        let c = SweepConfig::default();
+        assert!(!c.log_sizes.is_empty());
+        assert_eq!(c.cpus.len(), 3);
+        assert_eq!(c.curves.len(), 2);
+        assert_eq!(c.stages.len(), 5);
+    }
+
+    #[test]
+    fn paper_full_matches_evaluation_section() {
+        let c = SweepConfig::paper_full();
+        assert_eq!(c.log_sizes, (10..=18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiny_sweep_produces_every_cell() {
+        let config = SweepConfig {
+            log_sizes: vec![4],
+            cpus: vec![CpuProfile::i7_8650u()],
+            curves: vec![Curve::Bn128],
+            stages: vec![Stage::Compile, Stage::Witness],
+        };
+        let mut calls = 0;
+        let ms = run_sweep(&config, |done, total| {
+            calls += 1;
+            assert!(done <= total);
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].stage, Stage::Compile);
+        assert_eq!(ms[1].stage, Stage::Witness);
+        assert_eq!(ms[0].constraints, 16);
+    }
+}

@@ -1,0 +1,144 @@
+//! Running one protocol stage under the microarchitecture simulator.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use zkperf_ec::Engine;
+use zkperf_machine::{CpuProfile, MachineReport, MachineSim};
+use zkperf_trace::{self as trace, OpCounts};
+
+use crate::stage::{Curve, Stage};
+use crate::workload::{emit_runtime_init, emit_stage_io, Workload};
+
+/// Per-function attribution extracted from the trace session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionSummary {
+    /// Region name ("msm", "bigint", "memcpy", ...).
+    pub name: String,
+    /// Micro-ops retired inside the region (self, excluding children).
+    pub uops: u64,
+    /// Wall-clock self time in nanoseconds (host time, used for ranking).
+    pub self_nanos: u64,
+    /// Times the region was entered.
+    pub calls: u64,
+    /// Heap bytes requested inside the region.
+    pub alloc_bytes: u64,
+    /// Bytes moved by bulk copies inside the region.
+    pub memcpy_bytes: u64,
+}
+
+/// Everything measured for one (stage, curve, CPU, size) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageMeasurement {
+    /// Stage that ran.
+    pub stage: Stage,
+    /// Curve it ran on.
+    pub curve: Curve,
+    /// Constraint count of the workload.
+    pub constraints: usize,
+    /// The simulated CPU's view of the run.
+    pub machine: MachineReport,
+    /// Raw tracer counters (CPU-independent).
+    pub counts: OpCounts,
+    /// Per-region attribution for the code analysis.
+    pub regions: Vec<RegionSummary>,
+    /// Host wall time of the instrumented run.
+    pub wall_time: Duration,
+}
+
+impl StageMeasurement {
+    /// The region summary for `name`, if that region ran.
+    pub fn region(&self, name: &str) -> Option<&RegionSummary> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Micro-ops of a region, or 0 when it never ran.
+    pub fn region_uops(&self, name: &str) -> u64 {
+        self.region(name).map_or(0, |r| r.uops)
+    }
+}
+
+/// Runs `stage` of `workload` on the simulated `cpu` and collects the
+/// measurement. Prerequisite stages must already have run (use
+/// [`Workload::prepare_for`]); they execute untraced so the measurement
+/// isolates `stage`, matching the paper's "run each stage separately"
+/// methodology.
+pub fn measure_stage<E: Engine>(
+    workload: &mut Workload<E>,
+    stage: Stage,
+    curve: Curve,
+    cpu: &CpuProfile,
+) -> StageMeasurement {
+    let (sink, handle) = MachineSim::new(cpu.clone(), stage.exec_env()).shared();
+    let session = trace::Session::begin_with_sink(Box::new(sink));
+    if stage.exec_env() != zkperf_machine::ExecEnv::Native {
+        // Node + snarkjs startup precedes every snarkjs stage.
+        emit_runtime_init();
+    }
+    emit_stage_io(workload.stage_read_bytes(stage));
+    workload.run_stage(stage);
+    emit_stage_io(workload.stage_write_bytes(stage));
+    let report = session.finish();
+    let machine = handle.borrow().report();
+    let regions = report
+        .regions
+        .iter()
+        .map(|r| RegionSummary {
+            name: r.name().to_string(),
+            uops: r.counts.total_uops(),
+            self_nanos: u64::try_from(r.self_time.as_nanos()).unwrap_or(u64::MAX),
+            calls: r.calls,
+            alloc_bytes: r.counts.alloc_bytes,
+            memcpy_bytes: r.counts.memcpy_bytes,
+        })
+        .collect();
+    StageMeasurement {
+        stage,
+        curve,
+        constraints: workload.constraints(),
+        machine,
+        counts: report.counts,
+        regions,
+        wall_time: report.wall_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_ec::Bn254;
+
+    #[test]
+    fn measuring_compile_then_proving_isolates_stages() {
+        let cpu = CpuProfile::i7_8650u();
+        let mut w = Workload::<Bn254>::exponentiate(32);
+        let compile = measure_stage(&mut w, Stage::Compile, Curve::Bn128, &cpu);
+        assert_eq!(compile.stage, Stage::Compile);
+        assert!(compile.counts.total_uops() > 0);
+        assert!(compile.region("parser").is_some());
+        // Compile is native: no runtime_init in its trace.
+        assert!(compile.region("runtime_init").is_none());
+
+        w.prepare_for(Stage::Proving);
+        let proving = measure_stage(&mut w, Stage::Proving, Curve::Bn128, &cpu);
+        assert!(proving.region("msm").is_some());
+        assert!(proving.region("fft").is_some());
+        assert!(proving.region("runtime_init").is_some());
+        assert!(
+            proving.machine.total_uops() > compile.machine.total_uops(),
+            "proving outworks compile at this size"
+        );
+    }
+
+    #[test]
+    fn verifying_measurement_contains_pairing_regions() {
+        let cpu = CpuProfile::i9_13900k();
+        let mut w = Workload::<Bn254>::exponentiate(8);
+        w.prepare_for(Stage::Verifying);
+        let m = measure_stage(&mut w, Stage::Verifying, Curve::Bn128, &cpu);
+        assert!(m.region("miller_loop").is_some());
+        assert!(m.region("final_exp").is_some());
+        assert!(m.region_uops("final_exp") > 0);
+        assert_eq!(m.machine.cpu, "i9-13900K");
+    }
+}

@@ -1,0 +1,79 @@
+//! Minimal fixed-width text-table rendering for the experiment binaries.
+
+/// Builds an aligned text table from a header row and data rows.
+///
+/// # Examples
+///
+/// ```
+/// let t = zkperf_core::render::table(
+///     &["stage", "pct"],
+///     &[vec!["setup".into(), "76.1".into()]],
+/// );
+/// assert!(t.contains("setup"));
+/// assert!(t.lines().count() >= 3);
+/// ```
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with `digits` decimal places.
+pub fn f(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = table(
+            &["a", "long_header"],
+            &[
+                vec!["xxxxxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a        "));
+        assert!(lines[2].starts_with("xxxxxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn rejects_ragged_rows() {
+        let _ = table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(25.0, 1), "25.0");
+    }
+}

@@ -1,0 +1,141 @@
+//! One-call report generation: every analysis rendered into a single
+//! markdown document, the shape of the paper's evaluation section.
+
+use std::fmt::Write as _;
+
+use zkperf_scale::SimCores;
+
+use crate::analysis;
+use crate::measure::StageMeasurement;
+
+/// Renders the full characterization of `measurements` as markdown:
+/// execution-time breakdown, top-down analysis, memory analysis (loads and
+/// stores, MPKI, bandwidth), code analysis (hot functions, opcode mix), and
+/// — when `scaling_machine` is provided — the strong-scaling curves with
+/// their Amdahl fits.
+///
+/// # Examples
+///
+/// ```no_run
+/// use zkperf_core::{measure_cell, report, Curve, Stage};
+/// use zkperf_machine::CpuProfile;
+///
+/// let ms = measure_cell(Curve::Bn128, &CpuProfile::i9_13900k(), 256, &Stage::ALL);
+/// let md = report::render_markdown(&ms, Some(&zkperf_scale::SimCores::i9_13900k()));
+/// std::fs::write("characterization.md", md)?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn render_markdown(
+    measurements: &[StageMeasurement],
+    scaling_machine: Option<&SimCores>,
+) -> String {
+    let mut out = String::new();
+    let section = |title: &str, body: String, out: &mut String| {
+        writeln!(out, "## {title}\n\n```text\n{}```\n", body).expect("string write");
+    };
+
+    writeln!(out, "# zkperf characterization report\n").expect("string write");
+    let cells = measurements.len();
+    let sizes: std::collections::BTreeSet<usize> =
+        measurements.iter().map(|m| m.constraints).collect();
+    let cpus: std::collections::BTreeSet<&str> =
+        measurements.iter().map(|m| m.machine.cpu.as_str()).collect();
+    writeln!(
+        out,
+        "{cells} stage measurements over constraint sizes {sizes:?} on CPUs {cpus:?}.\n"
+    )
+    .expect("string write");
+
+    section(
+        "Execution time (§IV-B)",
+        analysis::render_exec_time(&analysis::exec_time_breakdown(measurements)),
+        &mut out,
+    );
+    section(
+        "Top-down microarchitecture analysis (Fig. 4)",
+        analysis::render_topdown(&analysis::topdown_rows(measurements)),
+        &mut out,
+    );
+    section(
+        "Loads and stores (Fig. 5)",
+        analysis::render_load_store(&analysis::load_store_rows(measurements)),
+        &mut out,
+    );
+    section(
+        "LLC load MPKI (Table II)",
+        analysis::render_mpki(&analysis::mpki_table(measurements)),
+        &mut out,
+    );
+    section(
+        "Peak DRAM bandwidth (Table III)",
+        analysis::render_bandwidth(&analysis::bandwidth_table(measurements)),
+        &mut out,
+    );
+    section(
+        "Hot functions (Table IV)",
+        analysis::render_hot_functions(&analysis::hot_functions(measurements, 5)),
+        &mut out,
+    );
+    section(
+        "Opcode mix (Table V)",
+        analysis::render_opcode_mix(&analysis::opcode_mix(measurements)),
+        &mut out,
+    );
+    if let Some(machine) = scaling_machine {
+        let curves = analysis::strong_scaling(
+            measurements,
+            machine,
+            &analysis::STRONG_SCALING_THREADS,
+        );
+        section(
+            "Strong scaling (Fig. 6)",
+            analysis::render_scaling(&curves),
+            &mut out,
+        );
+        let fits: Vec<String> = curves
+            .iter()
+            .map(|c| {
+                let fit = zkperf_scale::fit::amdahl(&c.points);
+                format!(
+                    "{} ({}, {} constraints): serial {:.1}% / parallel {:.1}%",
+                    c.stage, c.curve, c.constraints, fit.serial_pct, fit.parallel_pct
+                )
+            })
+            .collect();
+        section("Amdahl fits (Table VI, SS)", fits.join("\n") + "\n", &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::measure_cell;
+    use crate::stage::{Curve, Stage};
+    use zkperf_machine::CpuProfile;
+
+    #[test]
+    fn report_contains_every_section() {
+        let ms = measure_cell(Curve::Bn128, &CpuProfile::i7_8650u(), 64, &Stage::ALL);
+        let md = render_markdown(&ms, Some(&SimCores::i9_13900k()));
+        for heading in [
+            "# zkperf characterization report",
+            "## Execution time",
+            "## Top-down microarchitecture analysis",
+            "## Loads and stores",
+            "## LLC load MPKI",
+            "## Peak DRAM bandwidth",
+            "## Hot functions",
+            "## Opcode mix",
+            "## Strong scaling",
+            "## Amdahl fits",
+        ] {
+            assert!(md.contains(heading), "missing {heading}");
+        }
+        assert!(md.contains("setup"));
+        assert!(md.contains("i7-8650U"));
+        // Without a scaling machine the scaling sections are omitted.
+        let md2 = render_markdown(&ms, None);
+        assert!(!md2.contains("## Strong scaling"));
+    }
+}

@@ -1,0 +1,116 @@
+//! The five protocol stages and the curves under study.
+
+use serde::{Deserialize, Serialize};
+use zkperf_machine::ExecEnv;
+
+/// One stage of the zk-SNARK workflow (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum Stage {
+    /// Circuit source → R1CS (circom).
+    Compile,
+    /// Trusted parameter generation (snarkjs).
+    Setup,
+    /// Witness generation from inputs (snarkjs).
+    Witness,
+    /// Proof generation (snarkjs).
+    Proving,
+    /// Proof verification (snarkjs).
+    Verifying,
+}
+
+impl Stage {
+    /// All stages in workflow order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Compile,
+        Stage::Setup,
+        Stage::Witness,
+        Stage::Proving,
+        Stage::Verifying,
+    ];
+
+    /// The paper's lower-case stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Compile => "compile",
+            Stage::Setup => "setup",
+            Stage::Witness => "witness",
+            Stage::Proving => "proving",
+            Stage::Verifying => "verifying",
+        }
+    }
+
+    /// The execution environment of the reference toolchain: circom is a
+    /// native compiler; snarkjs runs its heavy crypto (setup, proving)
+    /// inside JIT-compiled wasm kernels and the rest (witness
+    /// orchestration, verification) at the JS level.
+    pub fn exec_env(self) -> ExecEnv {
+        match self {
+            Stage::Compile => ExecEnv::Native,
+            Stage::Setup | Stage::Proving => ExecEnv::Wasm,
+            Stage::Witness | Stage::Verifying => ExecEnv::Interpreted,
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The elliptic curve a measurement ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum Curve {
+    /// BN254, called BN128 by circom/snarkjs and the paper.
+    Bn128,
+    /// BLS12-381.
+    Bls12_381,
+}
+
+impl Curve {
+    /// Both curves in the paper's order.
+    pub const ALL: [Curve; 2] = [Curve::Bn128, Curve::Bls12_381];
+
+    /// The paper's curve label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Curve::Bn128 => "BN",
+            Curve::Bls12_381 => "BLS",
+        }
+    }
+}
+
+impl std::fmt::Display for Curve {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_order_and_names() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["compile", "setup", "witness", "proving", "verifying"]
+        );
+    }
+
+    #[test]
+    fn exec_env_matches_toolchain_structure() {
+        assert_eq!(Stage::Compile.exec_env(), ExecEnv::Native);
+        assert_eq!(Stage::Setup.exec_env(), ExecEnv::Wasm);
+        assert_eq!(Stage::Proving.exec_env(), ExecEnv::Wasm);
+        assert_eq!(Stage::Witness.exec_env(), ExecEnv::Interpreted);
+        assert_eq!(Stage::Verifying.exec_env(), ExecEnv::Interpreted);
+    }
+
+    #[test]
+    fn curve_labels_match_paper_tables() {
+        assert_eq!(Curve::Bn128.to_string(), "BN");
+        assert_eq!(Curve::Bls12_381.to_string(), "BLS");
+    }
+}

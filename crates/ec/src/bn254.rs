@@ -1,0 +1,194 @@
+//! BN254 (alt_bn128) groups and optimal-ate pairing.
+
+use zkperf_ff::bn254::{Fq, Fq12, Fq2, Fq6, Fr, BN_X};
+use zkperf_ff::{BigUint, Field, PrimeField};
+
+use crate::curve::{Affine, CurveParams, Projective};
+use crate::pairing::{
+    final_exponentiation, hard_exponent, line_and_add, miller_loop, ExtPoint,
+};
+
+/// Marker for the BN254 G1 group (`y² = x³ + 3` over `Fq`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct G1Params;
+
+impl CurveParams for G1Params {
+    type Base = Fq;
+    type Scalar = Fr;
+    const NAME: &'static str = "bn254::G1";
+    fn coeff_b() -> Fq {
+        Fq::from_u64(3)
+    }
+    fn generator_xy() -> (Fq, Fq) {
+        (Fq::from_u64(1), Fq::from_u64(2))
+    }
+}
+
+/// BN254 G1 in affine coordinates.
+pub type G1Affine = Affine<G1Params>;
+/// BN254 G1 in Jacobian coordinates.
+pub type G1Projective = Projective<G1Params>;
+
+/// Marker for the BN254 G2 group, the sextic D-twist
+/// `y² = x³ + 3/(9 + u)` over `Fq2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct G2Params;
+
+impl CurveParams for G2Params {
+    type Base = Fq2;
+    type Scalar = Fr;
+    const NAME: &'static str = "bn254::G2";
+    fn coeff_b() -> Fq2 {
+        Fq2::from_base(Fq::from_u64(3)) * zkperf_ff::bn254::xi().inverse().expect("xi != 0")
+    }
+    fn generator_xy() -> (Fq2, Fq2) {
+        // The EIP-197 G2 generator.
+        let fq = |s: &str| Fq::from_str_radix(s, 10).expect("valid literal");
+        (
+            Fq2::new(
+                fq("10857046999023057135944570762232829481370756359578518086990519993285655852781"),
+                fq("11559732032986387107991004021392285783925812861821192530917403151452391805634"),
+            ),
+            Fq2::new(
+                fq("8495653923123431417604973247489272438418190587263600148770280649306958101930"),
+                fq("4082367875863433681332203403145435568316851327593401208105741076214120093531"),
+            ),
+        )
+    }
+}
+
+/// BN254 G2 in affine coordinates.
+pub type G2Affine = Affine<G2Params>;
+/// BN254 G2 in Jacobian coordinates.
+pub type G2Projective = Projective<G2Params>;
+
+/// Target-group values (the order-`r` subgroup of `Fq12*`).
+pub type Gt = Fq12;
+
+fn embed_fq(x: Fq) -> Fq12 {
+    Fq12::from_base(Fq6::from_base(Fq2::from_base(x)))
+}
+
+/// Maps a G2 point through the D-twist isomorphism onto `E(Fq12)`:
+/// `(x', y') ↦ (x'·w², y'·w³)` where `w⁶ = ξ`.
+pub fn untwist(q: &G2Affine) -> ExtPoint<Fq12> {
+    if q.infinity {
+        return ExtPoint::identity();
+    }
+    let w2 = Fq12::new(Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero()), Fq6::zero());
+    let w3 = Fq12::new(Fq6::zero(), Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero()));
+    ExtPoint {
+        x: Fq12::from_base(Fq6::from_base(q.x)) * w2,
+        y: Fq12::from_base(Fq6::from_base(q.y)) * w3,
+        infinity: false,
+    }
+}
+
+/// The optimal-ate Miller loop `f_{6x+2,Q}(P)` with the two Frobenius
+/// correction lines.
+pub fn miller(p: &G1Affine, q: &G2Affine) -> Fq12 {
+    if p.infinity || q.infinity {
+        return Fq12::one();
+    }
+    let (xp, yp) = (embed_fq(p.x), embed_fq(p.y));
+    let q12 = untwist(q);
+    let s = &BigUint::from_u64(BN_X).mul_u64(6) + &BigUint::from_u64(2);
+    let (mut f, mut t) = miller_loop(&q12, xp, yp, &s);
+    // Correction steps with Q1 = π(Q) and Q2 = π²(Q).
+    let q1 = q12.frobenius(1);
+    let q2 = q12.frobenius(2);
+    let (l, t1) = line_and_add(&t, &q1, xp, yp);
+    f *= l;
+    t = t1;
+    let (l, _) = line_and_add(&t, &q2.neg(), xp, yp);
+    f *= l;
+    f
+}
+
+/// The hard-part exponent `(q⁴ − q² + 1)/r` (recomputed per call; cached by
+/// callers that do many pairings).
+pub fn pairing_hard_exponent() -> BigUint {
+    hard_exponent(&Fq::modulus(), &Fr::modulus())
+}
+
+/// The full optimal-ate pairing `e(P, Q)`.
+pub fn pairing(p: &G1Affine, q: &G2Affine) -> Gt {
+    final_exponentiation(miller(p, q), &pairing_hard_exponent())
+}
+
+/// `e(P₁,Q₁)·…·e(Pₙ,Qₙ)` with a single shared final exponentiation.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn multi_pairing(ps: &[G1Affine], qs: &[G2Affine]) -> Gt {
+    assert_eq!(ps.len(), qs.len(), "mismatched pairing inputs");
+    let mut f = Fq12::one();
+    for (p, q) in ps.iter().zip(qs) {
+        f *= miller(p, q);
+    }
+    final_exponentiation(f, &pairing_hard_exponent())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_on_curve_and_in_subgroup() {
+        let g1 = G1Affine::generator();
+        assert!(g1.is_on_curve());
+        assert!(g1.is_in_subgroup());
+        let g2 = G2Affine::generator();
+        assert!(g2.is_on_curve());
+        assert!(g2.is_in_subgroup());
+    }
+
+    #[test]
+    fn untwisted_generator_is_on_e_fq12() {
+        let q = untwist(&G2Affine::generator());
+        let b = embed_fq(Fq::from_u64(3));
+        assert_eq!(q.y.square(), q.x.square() * q.x + b);
+    }
+
+    #[test]
+    fn pairing_is_non_degenerate() {
+        let e = pairing(&G1Affine::generator(), &G2Affine::generator());
+        assert!(!e.is_one());
+        assert!(!e.is_zero());
+        // e has order dividing r.
+        assert!(e.pow(&Fr::modulus()).is_one());
+    }
+
+    #[test]
+    fn pairing_of_identity_is_one() {
+        assert!(pairing(&G1Affine::identity(), &G2Affine::generator()).is_one());
+        assert!(pairing(&G1Affine::generator(), &G2Affine::identity()).is_one());
+    }
+
+    #[test]
+    fn pairing_is_bilinear() {
+        let (a, b) = (Fr::from_u64(127), Fr::from_u64(911));
+        let g1 = G1Projective::generator();
+        let g2 = G2Projective::generator();
+        let lhs = pairing(&(g1 * a).to_affine(), &(g2 * b).to_affine());
+        let rhs = pairing(&G1Affine::generator(), &G2Affine::generator())
+            .pow(&(a * b).to_biguint());
+        assert_eq!(lhs, rhs);
+        // And via moving the scalar across slots.
+        let mid = pairing(&(g1 * (a * b)).to_affine(), &G2Affine::generator());
+        assert_eq!(lhs, mid);
+    }
+
+    #[test]
+    fn multi_pairing_matches_product_of_pairings() {
+        let g1 = G1Projective::generator();
+        let g2 = G2Projective::generator();
+        let p1 = (g1 * Fr::from_u64(3)).to_affine();
+        let p2 = (g1 * Fr::from_u64(5)).to_affine();
+        let q1 = (g2 * Fr::from_u64(7)).to_affine();
+        let q2 = (g2 * Fr::from_u64(11)).to_affine();
+        let combined = multi_pairing(&[p1, p2], &[q1, q2]);
+        assert_eq!(combined, pairing(&p1, &q1) * pairing(&p2, &q2));
+    }
+}

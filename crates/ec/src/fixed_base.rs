@@ -1,0 +1,165 @@
+//! Windowed fixed-base multi-exponentiation.
+//!
+//! The Groth16 `setup` stage multiplies one generator by tens of thousands
+//! of scalars; a per-window lookup table turns each 256-bit multiplication
+//! into ~32 mixed additions. This is the same optimization snarkjs uses and
+//! is why setup is table-building + streaming adds rather than doublings.
+
+use zkperf_ff::PrimeField;
+use zkperf_trace as trace;
+
+use crate::curve::{Affine, CurveParams, Projective};
+
+/// Precomputed window tables for one base point.
+///
+/// # Examples
+///
+/// ```
+/// use zkperf_ec::bn254::{G1Affine, G1Projective};
+/// use zkperf_ec::FixedBaseTable;
+/// use zkperf_ff::{Field, bn254::Fr};
+///
+/// let table = FixedBaseTable::new(&G1Projective::generator());
+/// let s = Fr::from_u64(123456789);
+/// assert_eq!(table.mul(&s), G1Projective::generator() * s);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedBaseTable<C: CurveParams> {
+    /// `table[k][j] = j · 2^(c·k) · base` in affine form, `j ∈ [0, 2^c)`.
+    windows: Vec<Vec<Affine<C>>>,
+    window_bits: usize,
+}
+
+impl<C: CurveParams> FixedBaseTable<C> {
+    /// Default window width (bits); 8 balances table size (~8K points for a
+    /// 256-bit scalar) against additions per multiplication.
+    pub const DEFAULT_WINDOW_BITS: usize = 8;
+
+    /// Builds the table for `base` with the default window width.
+    pub fn new(base: &Projective<C>) -> Self {
+        Self::with_window_bits(base, Self::DEFAULT_WINDOW_BITS)
+    }
+
+    /// Builds the table with an explicit window width in `1..=15`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_bits` is outside `1..=15`.
+    pub fn with_window_bits(base: &Projective<C>, window_bits: usize) -> Self {
+        assert!((1..=15).contains(&window_bits), "window bits out of range");
+        let _g = trace::region_profile("fixed_base_table");
+        let scalar_bits = C::Scalar::NUM_LIMBS * 64;
+        let num_windows = scalar_bits.div_ceil(window_bits);
+        let table_len = 1usize << window_bits;
+        let mut windows = Vec::with_capacity(num_windows);
+        let mut window_base = *base;
+        for _ in 0..num_windows {
+            trace::alloc(table_len * std::mem::size_of::<Affine<C>>());
+            let mut row = Vec::with_capacity(table_len);
+            let mut acc = Projective::identity();
+            for _ in 0..table_len {
+                row.push(acc);
+                acc = acc.add(&window_base);
+            }
+            windows.push(Projective::batch_to_affine(&row));
+            // Advance to the next window: base ← 2^window_bits · base.
+            for _ in 0..window_bits {
+                window_base = window_base.double();
+            }
+        }
+        FixedBaseTable {
+            windows,
+            window_bits,
+        }
+    }
+
+    /// Computes `scalar · base` using one table lookup and mixed addition
+    /// per window.
+    pub fn mul(&self, scalar: &C::Scalar) -> Projective<C> {
+        let limbs = scalar.to_biguint().to_limbs(C::Scalar::NUM_LIMBS);
+        let mut acc = Projective::identity();
+        for (k, row) in self.windows.iter().enumerate() {
+            let digit = extract(&limbs, k * self.window_bits, self.window_bits);
+            trace::branch(0x3101, digit != 0);
+            if digit != 0 {
+                acc = acc.add_mixed(&row[digit]);
+            }
+        }
+        acc
+    }
+
+    /// Multiplies every scalar in `scalars`, returning affine results (one
+    /// batch inversion at the end).
+    pub fn mul_batch(&self, scalars: &[C::Scalar]) -> Vec<Affine<C>> {
+        let _g = trace::region_profile("fixed_base_msm");
+        let projective: Vec<Projective<C>> = scalars.iter().map(|s| self.mul(s)).collect();
+        Projective::batch_to_affine(&projective)
+    }
+}
+
+fn extract(limbs: &[u64], lo: usize, count: usize) -> usize {
+    let limb = lo / 64;
+    let off = lo % 64;
+    if limb >= limbs.len() {
+        return 0;
+    }
+    let mut v = limbs[limb] >> off;
+    if off + count > 64 && limb + 1 < limbs.len() {
+        v |= limbs[limb + 1] << (64 - off);
+    }
+    (v as usize) & ((1 << count) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bn254::{G1Params, G1Projective};
+    use zkperf_ff::bn254::Fr;
+    use zkperf_ff::Field;
+
+    #[test]
+    fn matches_double_and_add_for_various_scalars() {
+        let g = G1Projective::generator();
+        let table = FixedBaseTable::<G1Params>::new(&g);
+        let mut rng = zkperf_ff::test_rng();
+        for s in [
+            Fr::zero(),
+            Fr::one(),
+            Fr::from_u64(255),
+            Fr::from_u64(256),
+            -Fr::one(), // largest canonical scalar
+            Fr::random(&mut rng),
+        ] {
+            assert_eq!(table.mul(&s), g * s, "scalar {s}");
+        }
+    }
+
+    #[test]
+    fn odd_window_widths_work() {
+        let g = G1Projective::generator();
+        let mut rng = zkperf_ff::test_rng();
+        let s = Fr::random(&mut rng);
+        for bits in [1usize, 3, 5, 13] {
+            let table = FixedBaseTable::<G1Params>::with_window_bits(&g, bits);
+            assert_eq!(table.mul(&s), g * s, "window {bits}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual() {
+        let g = G1Projective::generator();
+        let table = FixedBaseTable::<G1Params>::new(&g);
+        let mut rng = zkperf_ff::test_rng();
+        let scalars: Vec<Fr> = (0..10).map(|_| Fr::random(&mut rng)).collect();
+        let batch = table.mul_batch(&scalars);
+        for (s, b) in scalars.iter().zip(&batch) {
+            assert_eq!(b.to_projective(), g * *s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window bits")]
+    fn rejects_zero_window() {
+        let _ = FixedBaseTable::<G1Params>::with_window_bits(&G1Projective::generator(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Elliptic-curve groups, multi-scalar multiplication and optimal-ate
+//! pairings for BN254 and BLS12-381, built from scratch on `zkperf-ff`.
+//!
+//! The crate provides:
+//!
+//! * generic short-Weierstrass [`curve::Affine`] / [`curve::Projective`]
+//!   groups in Jacobian coordinates,
+//! * Pippenger [`msm`] (the dominant kernel of Groth16 setup and proving),
+//! * Miller loops and final exponentiation for both curves, and
+//! * the [`Engine`] trait tying a curve suite together for `zkperf-groth16`.
+//!
+//! # Examples
+//!
+//! ```
+//! use zkperf_ec::bn254::{pairing, G1Affine, G2Affine};
+//! use zkperf_ff::Field;
+//!
+//! let e = pairing(&G1Affine::generator(), &G2Affine::generator());
+//! assert!(!e.is_one());
+//! ```
+
+pub mod bls12_381;
+pub mod bn254;
+pub mod curve;
+mod engine;
+mod fixed_base;
+mod msm;
+pub mod pairing;
+
+pub use curve::{Affine, CurveParams, Projective};
+pub use engine::{Bls12_381, Bn254, Engine};
+pub use fixed_base::FixedBaseTable;
+pub use msm::msm;

@@ -1,0 +1,177 @@
+//! Multi-scalar multiplication (Pippenger's bucket method).
+//!
+//! MSM dominates both the `setup` and `proving` stages of Groth16; its
+//! bucket accumulation produces the scattered memory traffic that the
+//! paper's memory analysis attributes to the proving stage, so the inner
+//! loop is left deliberately array-based (the cache simulator observes the
+//! real bucket addresses through the instrumented field operations).
+
+use zkperf_ff::PrimeField;
+use zkperf_trace as trace;
+
+use crate::curve::{Affine, CurveParams, Projective};
+
+/// Chooses the Pippenger window width (in bits) for `n` terms.
+fn window_bits(n: usize) -> usize {
+    match n {
+        0..=1 => 1,
+        2..=31 => 3,
+        32..=255 => 5,
+        256..=4095 => 8,
+        4096..=131071 => 11,
+        _ => 13,
+    }
+}
+
+/// Computes `Σ scalarsᵢ · basesᵢ`.
+///
+/// Scalars and bases beyond the shorter of the two slices are ignored.
+/// Identity bases and zero scalars are handled (skipped) correctly.
+///
+/// # Examples
+///
+/// ```
+/// use zkperf_ec::bn254::{G1Affine, G1Projective};
+/// use zkperf_ec::msm;
+/// use zkperf_ff::{Field, bn254::Fr};
+///
+/// let g = G1Affine::generator();
+/// let bases = vec![g; 3];
+/// let scalars = vec![Fr::from_u64(1), Fr::from_u64(2), Fr::from_u64(3)];
+/// let expect = G1Projective::generator() * Fr::from_u64(6);
+/// assert_eq!(msm(&bases, &scalars), expect);
+/// ```
+pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> Projective<C> {
+    let _g = trace::region_profile("msm");
+    let n = bases.len().min(scalars.len());
+    if n == 0 {
+        return Projective::identity();
+    }
+    if n < 8 {
+        // Naive double-and-add is faster at tiny sizes.
+        let mut acc = Projective::identity();
+        for i in 0..n {
+            acc += bases[i].to_projective() * scalars[i];
+        }
+        return acc;
+    }
+
+    let limbs: Vec<Vec<u64>> = scalars[..n]
+        .iter()
+        .map(|s| s.to_biguint().to_limbs(C::Scalar::NUM_LIMBS))
+        .collect();
+    let scalar_bits = C::Scalar::NUM_LIMBS * 64;
+    let c = window_bits(n);
+    let num_windows = scalar_bits.div_ceil(c);
+    let num_buckets = (1usize << c) - 1;
+
+    let mut window_sums = Vec::with_capacity(num_windows);
+    let mut buckets: Vec<Projective<C>> = vec![Projective::identity(); num_buckets];
+    for w in 0..num_windows {
+        for b in buckets.iter_mut() {
+            *b = Projective::identity();
+        }
+        let lo = w * c;
+        for i in 0..n {
+            let digit = extract_bits(&limbs[i], lo, c);
+            trace::branch(0x3001, digit != 0);
+            if digit != 0 {
+                // Scattered read-modify-write on the bucket array: the
+                // address stream the memory analysis cares about.
+                buckets[digit - 1] = buckets[digit - 1].add_mixed(&bases[i]);
+            }
+        }
+        // Running-sum reduction: Σ j·bucket[j] with #buckets additions.
+        let mut running = Projective::identity();
+        let mut sum = Projective::identity();
+        for b in buckets.iter().rev() {
+            running += *b;
+            sum += running;
+        }
+        window_sums.push(sum);
+    }
+
+    // Combine windows from the top down: acc = acc·2^c + window.
+    let mut acc = Projective::identity();
+    for sum in window_sums.into_iter().rev() {
+        for _ in 0..c {
+            acc = acc.double();
+        }
+        acc += sum;
+    }
+    acc
+}
+
+/// Extracts `count` bits starting at bit `lo` from little-endian limbs.
+fn extract_bits(limbs: &[u64], lo: usize, count: usize) -> usize {
+    debug_assert!(count < 64);
+    let limb = lo / 64;
+    let off = lo % 64;
+    if limb >= limbs.len() {
+        return 0;
+    }
+    let mut v = limbs[limb] >> off;
+    if off + count > 64 && limb + 1 < limbs.len() {
+        v |= limbs[limb + 1] << (64 - off);
+    }
+    (v as usize) & ((1 << count) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bn254::{G1Affine, G1Projective};
+    use zkperf_ff::bn254::Fr;
+    use zkperf_ff::Field;
+
+    fn naive(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+        bases
+            .iter()
+            .zip(scalars)
+            .fold(G1Projective::identity(), |acc, (b, s)| {
+                acc + b.to_projective() * *s
+            })
+    }
+
+    #[test]
+    fn extract_bits_crosses_limb_boundaries() {
+        let limbs = [0xffff_ffff_ffff_ffff, 0x1];
+        assert_eq!(extract_bits(&limbs, 0, 4), 0xf);
+        assert_eq!(extract_bits(&limbs, 60, 8), 0b0001_1111);
+        assert_eq!(extract_bits(&limbs, 64, 4), 1);
+        assert_eq!(extract_bits(&limbs, 128, 4), 0);
+    }
+
+    #[test]
+    fn msm_empty_and_tiny() {
+        assert!(msm::<crate::bn254::G1Params>(&[], &[]).is_identity());
+        let g = G1Affine::generator();
+        let s = [Fr::from_u64(5)];
+        assert_eq!(msm(&[g], &s), G1Projective::generator() * Fr::from_u64(5));
+    }
+
+    #[test]
+    fn msm_matches_naive_at_crossover_sizes() {
+        let mut rng = zkperf_ff::test_rng();
+        for n in [7usize, 8, 33, 100] {
+            let bases: Vec<G1Affine> = (0..n)
+                .map(|_| G1Projective::random(&mut rng).to_affine())
+                .collect();
+            let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+            assert_eq!(msm(&bases, &scalars), naive(&bases, &scalars), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn msm_handles_zero_scalars_and_identity_bases() {
+        let mut rng = zkperf_ff::test_rng();
+        let mut bases: Vec<G1Affine> = (0..20)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        let mut scalars: Vec<Fr> = (0..20).map(|_| Fr::random(&mut rng)).collect();
+        scalars[3] = Fr::zero();
+        scalars[11] = Fr::zero();
+        bases[5] = G1Affine::identity();
+        assert_eq!(msm(&bases, &scalars), naive(&bases, &scalars));
+    }
+}

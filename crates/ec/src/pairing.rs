@@ -1,0 +1,208 @@
+//! Curve-agnostic Miller-loop machinery.
+//!
+//! Instead of sparse line-coefficient formulas, the Miller loop here runs on
+//! the *untwisted* curve `E(F_q¹²)` in affine coordinates: G2 points are
+//! mapped through the twist isomorphism once, and every subsequent step is
+//! plain chord-and-tangent geometry over the (already well-tested) tower
+//! arithmetic. This trades constant-factor speed for implementation
+//! robustness — a deliberate choice documented in DESIGN.md, and immaterial
+//! to the workload characterization, which measures our own substrate.
+
+use zkperf_ff::{BigUint, Field, Frobenius, QuadExt, QuadExtParams};
+use zkperf_trace as trace;
+
+/// An affine point on the untwisted curve over the full extension field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtPoint<F> {
+    /// x-coordinate.
+    pub x: F,
+    /// y-coordinate.
+    pub y: F,
+    /// Marker for the point at infinity.
+    pub infinity: bool,
+}
+
+impl<F: Field + Frobenius> ExtPoint<F> {
+    /// The point at infinity.
+    pub fn identity() -> Self {
+        ExtPoint {
+            x: F::zero(),
+            y: F::zero(),
+            infinity: true,
+        }
+    }
+
+    /// Coordinate-wise Frobenius (the map π of ate pairings).
+    pub fn frobenius(&self, power: usize) -> Self {
+        ExtPoint {
+            x: self.x.frobenius(power),
+            y: self.y.frobenius(power),
+            infinity: self.infinity,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        ExtPoint {
+            x: self.x,
+            y: -self.y,
+            infinity: self.infinity,
+        }
+    }
+}
+
+/// Evaluates the line through `a` and `b` (tangent when `a == b`) at the
+/// point `(xp, yp)`, returning `(line_value, a + b)`.
+///
+/// All special cases are handled: either input at infinity contributes a
+/// constant line, and `b == −a` yields the vertical line `x − a.x`.
+pub fn line_and_add<F: Field + Frobenius>(
+    a: &ExtPoint<F>,
+    b: &ExtPoint<F>,
+    xp: F,
+    yp: F,
+) -> (F, ExtPoint<F>) {
+    if a.infinity {
+        return (F::one(), *b);
+    }
+    if b.infinity {
+        return (F::one(), *a);
+    }
+    let lambda = if a.x == b.x {
+        if a.y == b.y && !a.y.is_zero() {
+            // Tangent: λ = 3x² / 2y.
+            let x2 = a.x.square();
+            (x2.double() + x2) * a.y.double().inverse().expect("y != 0")
+        } else {
+            // Vertical line through a and −a.
+            return (xp - a.x, ExtPoint::identity());
+        }
+    } else {
+        (b.y - a.y) * (b.x - a.x).inverse().expect("distinct x")
+    };
+    let line = (yp - a.y) - lambda * (xp - a.x);
+    let x3 = lambda.square() - a.x - b.x;
+    let y3 = lambda * (a.x - x3) - a.y;
+    (
+        line,
+        ExtPoint {
+            x: x3,
+            y: y3,
+            infinity: false,
+        },
+    )
+}
+
+/// The core Miller loop `f_{s,Q}(P)` over the bits of `s` (MSB first),
+/// returning the accumulated function value and the final point `[s]Q`.
+pub fn miller_loop<F: Field + Frobenius>(
+    q: &ExtPoint<F>,
+    xp: F,
+    yp: F,
+    s: &BigUint,
+) -> (F, ExtPoint<F>) {
+    let _g = trace::region_profile("miller_loop");
+    let mut f = F::one();
+    let mut t = *q;
+    debug_assert!(s.bits() >= 2, "loop count must exceed 1");
+    for i in (0..s.bits() - 1).rev() {
+        f = f.square();
+        let (l, t2) = line_and_add(&t, &t, xp, yp);
+        f *= l;
+        t = t2;
+        trace::branch(0x4001, s.bit(i));
+        if s.bit(i) {
+            let (l, t3) = line_and_add(&t, q, xp, yp);
+            f *= l;
+            t = t3;
+        }
+    }
+    (f, t)
+}
+
+/// The final exponentiation `f^((q¹² − 1)/r)`, split into the cheap
+/// "easy part" (Frobenius and one inversion) and the "hard part", which is
+/// performed as a plain square-and-multiply with the exact exponent
+/// `(q⁴ − q² + 1)/r` computed in big-integer arithmetic.
+pub fn final_exponentiation<P>(f: QuadExt<P>, hard_exponent: &BigUint) -> QuadExt<P>
+where
+    P: QuadExtParams,
+    QuadExt<P>: Frobenius,
+{
+    let _g = trace::region_profile("final_exp");
+    // Easy part: f^(q⁶ − 1) then ^(q² + 1). Conjugation is the q⁶-power
+    // Frobenius on a quadratic-over-sextic tower.
+    let f1 = f.conjugate() * f.inverse().expect("pairing value non-zero");
+    let f2 = f1.frobenius(2) * f1;
+    // Hard part.
+    f2.pow(hard_exponent)
+}
+
+/// Computes the hard-part exponent `(q⁴ − q² + 1)/r`, asserting exactness.
+pub fn hard_exponent(q: &BigUint, r: &BigUint) -> BigUint {
+    let q2 = q * q;
+    let q4 = &q2 * &q2;
+    let num = &q4.checked_sub(&q2).expect("q4 >= q2") + &BigUint::one();
+    let (quot, rem) = num.divrem(r);
+    assert!(rem.is_zero(), "(q^4 - q^2 + 1) must be divisible by r");
+    quot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_ff::bn254::{Fq12, Fq2, Fq6};
+
+    fn pt(x: Fq12, y: Fq12) -> ExtPoint<Fq12> {
+        ExtPoint {
+            x,
+            y,
+            infinity: false,
+        }
+    }
+
+    #[test]
+    fn line_through_infinity_is_constant() {
+        let a = ExtPoint::<Fq12>::identity();
+        let b = pt(Fq12::from_u64(2), Fq12::from_u64(3));
+        let (l, sum) = line_and_add(&a, &b, Fq12::from_u64(7), Fq12::from_u64(9));
+        assert!(l.is_one());
+        assert_eq!(sum, b);
+        let (l2, sum2) = line_and_add(&b, &a, Fq12::from_u64(7), Fq12::from_u64(9));
+        assert!(l2.is_one());
+        assert_eq!(sum2, b);
+    }
+
+    #[test]
+    fn vertical_line_between_point_and_negation() {
+        let a = pt(Fq12::from_u64(2), Fq12::from_u64(3));
+        let (l, sum) = line_and_add(&a, &a.neg(), Fq12::from_u64(7), Fq12::from_u64(1));
+        assert!(sum.infinity);
+        assert_eq!(l, Fq12::from_u64(5)); // 7 − 2
+    }
+
+    #[test]
+    fn hard_exponent_is_exact_for_bn254() {
+        use zkperf_ff::PrimeField;
+        let q = zkperf_ff::bn254::Fq::modulus();
+        let r = zkperf_ff::bn254::Fr::modulus();
+        let h = hard_exponent(&q, &r);
+        // Sanity: multiplying back recovers q⁴ − q² + 1.
+        let q2 = &q * &q;
+        let expect = &(&q2 * &q2).checked_sub(&q2).unwrap() + &BigUint::one();
+        assert_eq!(&h * &r, expect);
+    }
+
+    #[test]
+    fn ext_point_frobenius_and_neg() {
+        let mut rng = zkperf_ff::test_rng();
+        let x = Fq12::random(&mut rng);
+        let y = Fq12::random(&mut rng);
+        let p = pt(x, y);
+        assert_eq!(p.neg().neg(), p);
+        let f = p.frobenius(1);
+        assert_eq!(f.x, x.frobenius(1));
+        assert_eq!(f.y, y.frobenius(1));
+        let _ = (Fq2::zero(), Fq6::zero());
+    }
+}

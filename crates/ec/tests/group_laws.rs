@@ -1,0 +1,148 @@
+//! Property-based tests of the curve groups: abelian-group laws,
+//! coordinate-system consistency, MSM linearity, and pairing bilinearity
+//! with random scalars.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use zkperf_ec::{msm, Affine, CurveParams, Projective};
+use zkperf_ff::Field;
+
+fn rng_from(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn random_point<C: CurveParams>(seed: u64) -> Projective<C> {
+    Projective::random(&mut rng_from(seed))
+}
+
+macro_rules! group_suite {
+    ($name:ident, $params:ty) => {
+        mod $name {
+            use super::*;
+            type P = Projective<$params>;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(16))]
+
+                #[test]
+                fn group_laws(s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()) {
+                    let (a, b, c) = (
+                        random_point::<$params>(s1),
+                        random_point::<$params>(s2),
+                        random_point::<$params>(s3),
+                    );
+                    prop_assert_eq!(a + b, b + a);
+                    prop_assert_eq!((a + b) + c, a + (b + c));
+                    prop_assert_eq!(a + P::identity(), a);
+                    prop_assert!((a - a).is_identity());
+                    prop_assert_eq!(a.double(), a + a);
+                }
+
+                #[test]
+                fn mixed_add_agrees_with_general_add(s1 in any::<u64>(), s2 in any::<u64>()) {
+                    let a = random_point::<$params>(s1);
+                    let b = random_point::<$params>(s2);
+                    let b_affine = b.to_affine();
+                    prop_assert_eq!(a.add_mixed(&b_affine), a + b);
+                    // Doubling through mixed add (same point).
+                    let a_affine = a.to_affine();
+                    prop_assert_eq!(a.add_mixed(&a_affine), a.double());
+                }
+
+                #[test]
+                fn affine_roundtrip_and_curve_membership(s in any::<u64>()) {
+                    let p = random_point::<$params>(s);
+                    let affine = p.to_affine();
+                    prop_assert!(affine.is_on_curve());
+                    prop_assert_eq!(affine.to_projective(), p);
+                }
+
+                #[test]
+                fn scalar_mul_distributes(x in 1u64..u64::MAX, y in 1u64..u64::MAX) {
+                    type S = <$params as CurveParams>::Scalar;
+                    let g = P::generator();
+                    let (sx, sy) = (S::from_u64(x), S::from_u64(y));
+                    prop_assert_eq!(g * sx + g * sy, g * (sx + sy));
+                }
+
+                #[test]
+                fn batch_to_affine_matches_individual(
+                    seeds in proptest::collection::vec(any::<u64>(), 1..8),
+                    with_identity in any::<bool>(),
+                ) {
+                    let mut points: Vec<P> = seeds
+                        .iter()
+                        .map(|&s| random_point::<$params>(s))
+                        .collect();
+                    if with_identity {
+                        points.insert(points.len() / 2, P::identity());
+                    }
+                    let batch = P::batch_to_affine(&points);
+                    for (p, a) in points.iter().zip(&batch) {
+                        prop_assert_eq!(p.to_affine(), *a);
+                    }
+                }
+            }
+        }
+    };
+}
+
+group_suite!(bn254_g1, zkperf_ec::bn254::G1Params);
+group_suite!(bn254_g2, zkperf_ec::bn254::G2Params);
+group_suite!(bls_g1, zkperf_ec::bls12_381::G1Params);
+group_suite!(bls_g2, zkperf_ec::bls12_381::G2Params);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn msm_is_linear_in_scalars(
+        seeds in proptest::collection::vec(any::<u64>(), 2..24),
+        factor in 2u64..100,
+    ) {
+        use zkperf_ec::bn254::G1Params;
+        use zkperf_ff::bn254::Fr;
+        let mut rng = rng_from(seeds[0]);
+        let bases: Vec<Affine<G1Params>> = seeds
+            .iter()
+            .map(|&s| random_point::<G1Params>(s).to_affine())
+            .collect();
+        let scalars: Vec<Fr> = (0..bases.len()).map(|_| Fr::random(&mut rng)).collect();
+        let f = Fr::from_u64(factor);
+        let scaled: Vec<Fr> = scalars.iter().map(|&s| s * f).collect();
+        prop_assert_eq!(msm(&bases, &scaled), msm(&bases, &scalars) * f);
+    }
+
+    #[test]
+    fn pairing_bilinear_random_scalars(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        use zkperf_ec::bn254::{pairing, G1Projective, G2Projective};
+        use zkperf_ff::bn254::Fr;
+        let (fa, fb) = (Fr::from_u64(a), Fr::from_u64(b));
+        let p = (G1Projective::generator() * fa).to_affine();
+        let q = (G2Projective::generator() * fb).to_affine();
+        let lhs = pairing(&p, &q);
+        let rhs = pairing(
+            &(G1Projective::generator() * (fa * fb)).to_affine(),
+            &G2Projective::generator().to_affine(),
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+}
+
+#[test]
+fn fixed_base_table_matches_msm_semantics() {
+    use zkperf_ec::bn254::G1Params;
+    use zkperf_ec::FixedBaseTable;
+    use zkperf_ff::bn254::Fr;
+    let g = Projective::<G1Params>::generator();
+    let table = FixedBaseTable::new(&g);
+    let mut rng = rng_from(42);
+    let scalars: Vec<Fr> = (0..16).map(|_| Fr::random(&mut rng)).collect();
+    let batch = table.mul_batch(&scalars);
+    let gens = vec![g.to_affine(); scalars.len()];
+    let total: Projective<G1Params> = batch
+        .iter()
+        .fold(Projective::identity(), |acc, p| acc.add_mixed(p));
+    assert_eq!(total, msm(&gens, &scalars));
+}

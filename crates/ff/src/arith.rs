@@ -1,0 +1,177 @@
+//! Fixed-width limb arithmetic shared by the Montgomery fields.
+//!
+//! Everything here is `const fn` so the per-field constants (`R`, `R²`,
+//! `-p⁻¹ mod 2⁶⁴`) can be derived at compile time from nothing but the
+//! modulus, which keeps hand-entered constants — and therefore transcription
+//! bugs — to a minimum.
+
+/// `a + b + carry`, returning `(sum, carry_out)`.
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// `a - b - borrow`, returning `(diff, borrow_out)` with `borrow_out ∈ {0,1}`.
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128).wrapping_sub(b as u128 + borrow as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+/// `acc + a * b + carry`, returning `(low, high)`.
+#[inline(always)]
+pub const fn mac(acc: u64, a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = acc as u128 + (a as u128) * (b as u128) + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Compares two little-endian limb arrays: `true` iff `a >= b`.
+#[inline]
+pub const fn geq<const N: usize>(a: &[u64; N], b: &[u64; N]) -> bool {
+    let mut i = N;
+    while i > 0 {
+        i -= 1;
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// `a - b` over `N` limbs; caller guarantees `a >= b`.
+#[inline]
+pub const fn sub_noborrow<const N: usize>(a: &[u64; N], b: &[u64; N]) -> [u64; N] {
+    let mut out = [0u64; N];
+    let mut borrow = 0u64;
+    let mut i = 0;
+    while i < N {
+        let (d, bo) = sbb(a[i], b[i], borrow);
+        out[i] = d;
+        borrow = bo;
+        i += 1;
+    }
+    out
+}
+
+/// `a + b` over `N` limbs, returning `(sum, carry_out)`.
+#[inline]
+pub const fn add_carry<const N: usize>(a: &[u64; N], b: &[u64; N]) -> ([u64; N], u64) {
+    let mut out = [0u64; N];
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < N {
+        let (s, c) = adc(a[i], b[i], carry);
+        out[i] = s;
+        carry = c;
+        i += 1;
+    }
+    (out, carry)
+}
+
+/// Doubles `a` modulo `modulus`. Requires `a < modulus` and the modulus top
+/// bit clear (true for all fields in this suite).
+pub const fn double_mod<const N: usize>(a: &[u64; N], modulus: &[u64; N]) -> [u64; N] {
+    let (sum, carry) = add_carry(a, a);
+    if carry == 1 || geq(&sum, modulus) {
+        sub_noborrow(&sum, modulus)
+    } else {
+        sum
+    }
+}
+
+/// `2^(64 * shifts) mod modulus`, by repeated modular doubling of 1.
+///
+/// Used to derive the Montgomery constants `R = 2^(64N) mod p` and
+/// `R² = 2^(128N) mod p` at compile time.
+pub const fn pow2_mod<const N: usize>(shifts: usize, modulus: &[u64; N]) -> [u64; N] {
+    let mut acc = [0u64; N];
+    acc[0] = 1;
+    let mut i = 0;
+    while i < shifts {
+        acc = double_mod(&acc, modulus);
+        i += 1;
+    }
+    acc
+}
+
+/// `-p⁻¹ mod 2⁶⁴` for an odd `p0` (the low limb of the modulus), via Newton
+/// iteration: five steps double the number of correct bits from 5 to 64+.
+pub const fn mont_inv64(p0: u64) -> u64 {
+    let mut inv = 1u64;
+    let mut i = 0;
+    // Invariant: inv ≡ p0^{-1} mod 2^(2^i) after i iterations of x ← x(2 − p0·x).
+    while i < 63 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(p0.wrapping_mul(inv)));
+        i += 1;
+    }
+    inv.wrapping_neg()
+}
+
+/// `true` iff every limb is zero.
+#[inline]
+pub const fn is_zero<const N: usize>(a: &[u64; N]) -> bool {
+    let mut i = 0;
+    while i < N {
+        if a[i] != 0 {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(5, 3, 1), (1, 0));
+        assert_eq!(sbb(0, 0, 1), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn mac_wide() {
+        let (lo, hi) = mac(1, u64::MAX, u64::MAX, 1);
+        // (2^64-1)^2 + 2 = 2^128 - 2^65 + 3
+        assert_eq!(lo, 3);
+        assert_eq!(hi, u64::MAX - 1);
+    }
+
+    #[test]
+    fn geq_orders_lexicographically_from_high_limb() {
+        assert!(geq(&[0, 1], &[u64::MAX, 0]));
+        assert!(!geq(&[u64::MAX, 0], &[0, 1]));
+        assert!(geq(&[7, 7], &[7, 7]));
+    }
+
+    #[test]
+    fn pow2_mod_small_modulus() {
+        // mod 13: 2^0..2^6 = 1,2,4,8,3,6,12
+        let m = [13u64];
+        assert_eq!(pow2_mod(0, &m), [1]);
+        assert_eq!(pow2_mod(4, &m), [3]);
+        assert_eq!(pow2_mod(6, &m), [12]);
+        assert_eq!(pow2_mod(64, &m), [(u128::pow(2, 64) % 13) as u64]);
+    }
+
+    #[test]
+    fn mont_inv64_is_negated_inverse() {
+        for p0 in [1u64, 3, 0xffff_ffff_ffff_ffff, 0x3c208c16d87cfd47] {
+            let inv = mont_inv64(p0);
+            assert_eq!(p0.wrapping_mul(inv.wrapping_neg()), 1, "p0 = {p0:#x}");
+        }
+    }
+}

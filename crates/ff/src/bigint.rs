@@ -1,0 +1,529 @@
+//! Arbitrary-precision unsigned integers on `u64` limbs.
+//!
+//! This is deliberately a small, dependency-free bignum: the suite needs it
+//! to parse field-element constants, print canonical values in decimal, and
+//! compute pairing exponents such as `(p⁴ − p² + 1) / r` exactly. It also
+//! plays the role of the paper's hot `bigint` function — the multiply and
+//! divide entry points run inside a `bigint` trace region so the code
+//! analysis can attribute time to them.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use zkperf_trace as trace;
+
+/// An arbitrary-precision unsigned integer (little-endian `u64` limbs).
+///
+/// The representation is always normalized: no trailing zero limbs, and zero
+/// is the empty limb vector.
+///
+/// # Examples
+///
+/// ```
+/// use zkperf_ff::BigUint;
+/// let a = BigUint::from_str_radix("123456789012345678901234567890", 10).unwrap();
+/// let b = BigUint::from_u64(2);
+/// assert_eq!((&a * &b).to_string(), "246913578024691357802469135780");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+/// Error returned when parsing a [`BigUint`] or field element from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: &'static str,
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid big integer literal: {}", self.kind)
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a single limb.
+    pub fn from_u64(v: u64) -> Self {
+        let mut n = BigUint { limbs: vec![v] };
+        n.normalize();
+        n
+    }
+
+    /// Constructs from little-endian limbs (normalizing trailing zeros).
+    pub fn from_limbs(limbs: &[u64]) -> Self {
+        let mut n = BigUint {
+            limbs: limbs.to_vec(),
+        };
+        n.normalize();
+        n
+    }
+
+    /// The little-endian limbs (no trailing zeros; empty for zero).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Little-endian limbs zero-padded or truncated to exactly `n` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `n` limbs.
+    pub fn to_limbs(&self, n: usize) -> Vec<u64> {
+        assert!(self.limbs.len() <= n, "value does not fit in {n} limbs");
+        let mut out = self.limbs.clone();
+        out.resize(n, 0);
+        out
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// The `i`-th bit (little-endian); bits beyond the width are zero.
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Number of trailing zero bits; zero for the value zero.
+    pub fn trailing_zeros(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i * 64 + l.trailing_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// `true` iff the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Parses from `radix` 10 or 16 (an optional `0x` prefix is accepted for
+    /// radix 16; underscores are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigIntError`] for an empty literal, an unsupported
+    /// radix, or an invalid digit.
+    pub fn from_str_radix(s: &str, radix: u32) -> Result<Self, ParseBigIntError> {
+        if radix != 10 && radix != 16 {
+            return Err(ParseBigIntError {
+                kind: "unsupported radix",
+            });
+        }
+        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).map_or(s, |rest| {
+            if radix == 16 {
+                rest
+            } else {
+                s
+            }
+        });
+        let mut any = false;
+        let mut acc = BigUint::zero();
+        for ch in s.chars() {
+            if ch == '_' {
+                continue;
+            }
+            let digit = ch.to_digit(radix).ok_or(ParseBigIntError {
+                kind: "invalid digit",
+            })?;
+            acc = acc.mul_u64(radix as u64);
+            acc = &acc + &BigUint::from_u64(u64::from(digit));
+            any = true;
+        }
+        if !any {
+            return Err(ParseBigIntError {
+                kind: "empty literal",
+            });
+        }
+        Ok(acc)
+    }
+
+    /// Multiplies by a single limb.
+    pub fn mul_u64(&self, rhs: u64) -> BigUint {
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            let t = (l as u128) * (rhs as u128) + carry as u128;
+            out.push(t as u64);
+            carry = (t >> 64) as u64;
+        }
+        out.push(carry);
+        BigUint::from_limbs(&out)
+    }
+
+    /// Divides by a single non-zero limb, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn divrem_u64(&self, rhs: u64) -> (BigUint, u64) {
+        assert!(rhs != 0, "division by zero");
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / rhs as u128) as u64;
+            rem = cur % rhs as u128;
+        }
+        (BigUint::from_limbs(&q), rem as u64)
+    }
+
+    /// `self - rhs` if non-negative.
+    pub fn checked_sub(&self, rhs: &BigUint) -> Option<BigUint> {
+        if self < rhs {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let r = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (d, b) = crate::arith::sbb(self.limbs[i], r, borrow);
+            out.push(d);
+            borrow = b;
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs(&out))
+    }
+
+    /// Shifts left by `n` bits.
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let (limbs, bits) = (n / 64, n % 64);
+        let mut out = vec![0u64; limbs];
+        if bits == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bits) | carry);
+                carry = l >> (64 - bits);
+            }
+            out.push(carry);
+        }
+        BigUint::from_limbs(&out)
+    }
+
+    /// Shifts right by `n` bits.
+    pub fn shr(&self, n: usize) -> BigUint {
+        let (limbs, bits) = (n / 64, n % 64);
+        if limbs >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out = self.limbs[limbs..].to_vec();
+        if bits != 0 {
+            for i in 0..out.len() {
+                let hi = out.get(i + 1).copied().unwrap_or(0);
+                out[i] = (out[i] >> bits) | (hi << (64 - bits));
+            }
+        }
+        BigUint::from_limbs(&out)
+    }
+
+    /// General division: returns `(quotient, remainder)`.
+    ///
+    /// Shift-and-subtract long division; only used off the hot path (deriving
+    /// pairing exponents, parsing, and display), so clarity wins over speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn divrem(&self, rhs: &BigUint) -> (BigUint, BigUint) {
+        assert!(!rhs.is_zero(), "division by zero");
+        let _g = trace::region_profile("bigint");
+        if self < rhs {
+            return (BigUint::zero(), self.clone());
+        }
+        let shift = self.bits() - rhs.bits();
+        let mut rem = self.clone();
+        let mut quo = BigUint::zero();
+        let mut div = rhs.shl(shift);
+        for i in (0..=shift).rev() {
+            trace::compute(2 + rem.limbs.len() as u32);
+            trace::control(1);
+            if let Some(next) = rem.checked_sub(&div) {
+                rem = next;
+                quo = &quo + &BigUint::one().shl(i);
+            }
+            div = div.shr(1);
+        }
+        (quo, rem)
+    }
+
+    /// `self mod rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn rem(&self, rhs: &BigUint) -> BigUint {
+        self.divrem(rhs).1
+    }
+}
+
+impl std::ops::Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (s, c) = crate::arith::adc(a, b, carry);
+            out.push(s);
+            carry = c;
+        }
+        out.push(carry);
+        BigUint::from_limbs(&out)
+    }
+}
+
+impl std::ops::Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        let _g = trace::region_profile("bigint");
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            trace::compute(2 * rhs.limbs.len() as u32);
+            trace::data_move(rhs.limbs.len() as u32);
+            trace::control(1);
+            let mut carry = 0u64;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let (lo, hi) = crate::arith::mac(out[i + j], a, b, carry);
+                out[i + j] = lo;
+                carry = hi;
+            }
+            out[i + rhs.limbs.len()] = carry;
+        }
+        BigUint::from_limbs(&out)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel 19 decimal digits at a time (10^19 < 2^64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divrem_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.pop().expect("non-zero value has digits").to_string();
+        for c in chunks.into_iter().rev() {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut s = String::new();
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{l:x}"));
+            } else {
+                s.push_str(&format!("{l:016x}"));
+            }
+        }
+        f.write_str(&s)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        BigUint::from_str_radix(s, 10).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let cases = [
+            "0",
+            "1",
+            "18446744073709551615",
+            "18446744073709551616",
+            "21888242871839275222246405745257275088696311157297823662689037894645226208583",
+        ];
+        for c in cases {
+            assert_eq!(big(c).to_string(), c);
+        }
+    }
+
+    #[test]
+    fn hex_parse_matches_decimal() {
+        let h = BigUint::from_str_radix("0x1_0000_0000_0000_0000", 16).unwrap();
+        assert_eq!(h, big("18446744073709551616"));
+        assert_eq!(format!("{h:x}"), "10000000000000000");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BigUint::from_str_radix("", 10).is_err());
+        assert!(BigUint::from_str_radix("12g", 10).is_err());
+        assert!(BigUint::from_str_radix("123", 7).is_err());
+    }
+
+    #[test]
+    fn add_mul_small() {
+        let a = big("99999999999999999999");
+        let b = big("1");
+        assert_eq!((&a + &b).to_string(), "100000000000000000000");
+        assert_eq!(
+            (&a * &a).to_string(),
+            "9999999999999999999800000000000000000001"
+        );
+    }
+
+    #[test]
+    fn sub_and_compare() {
+        let a = big("1000000000000000000000000");
+        let b = big("999999999999999999999999");
+        assert_eq!(a.checked_sub(&b).unwrap(), BigUint::one());
+        assert!(b.checked_sub(&a).is_none());
+        assert!(a > b);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = big("12345678901234567890");
+        assert_eq!(a.shl(64).shr(64), a);
+        assert_eq!(a.shl(3), a.mul_u64(8));
+        assert_eq!(a.shr(1), a.divrem_u64(2).0);
+        assert_eq!(BigUint::zero().shl(100), BigUint::zero());
+    }
+
+    #[test]
+    fn divrem_agrees_with_reconstruction() {
+        let a = big("340282366920938463463374607431768211455123456789");
+        let b = big("987654321987654321");
+        let (q, r) = a.divrem(&b);
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn divrem_by_bigger_returns_self() {
+        let a = big("42");
+        let b = big("100");
+        let (q, r) = a.divrem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = big("5").divrem(&BigUint::zero());
+    }
+
+    #[test]
+    fn bits_and_bit_access() {
+        let a = big("5"); // 0b101
+        assert_eq!(a.bits(), 3);
+        assert!(a.bit(0));
+        assert!(!a.bit(1));
+        assert!(a.bit(2));
+        assert!(!a.bit(200));
+        assert_eq!(BigUint::zero().bits(), 0);
+        let p = BigUint::from_str_radix(
+            "21888242871839275222246405745257275088696311157297823662689037894645226208583",
+            10,
+        )
+        .unwrap();
+        assert_eq!(p.bits(), 254);
+    }
+
+    #[test]
+    fn trailing_zeros_and_parity() {
+        assert_eq!(big("8").trailing_zeros(), 3);
+        assert_eq!(big("18446744073709551616").trailing_zeros(), 64);
+        assert!(big("8").is_even());
+        assert!(!big("7").is_even());
+        assert!(BigUint::zero().is_even());
+    }
+
+    #[test]
+    fn to_limbs_pads_and_checks() {
+        let a = big("18446744073709551617"); // 2^64 + 1
+        assert_eq!(a.to_limbs(3), vec![1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn to_limbs_rejects_truncation() {
+        let a = big("18446744073709551617");
+        let _ = a.to_limbs(1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Generic cubic extension `Base[v]/(v³ − β)`.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::bigint::BigUint;
+use crate::traits::{Field, Frobenius};
+
+/// Parameters of a cubic extension: the base field and the cubic non-residue
+/// `β` such that `v³ − β` is irreducible.
+pub trait CubicExtParams:
+    Copy + Clone + fmt::Debug + PartialEq + Eq + std::hash::Hash + Send + Sync + 'static
+{
+    /// The field being extended.
+    type Base: Field + Frobenius;
+    /// Name used in `Debug` output.
+    const NAME: &'static str;
+    /// The non-residue `β` (written `ξ` in pairing literature).
+    fn non_residue() -> Self::Base;
+}
+
+/// An element `c0 + c1·v + c2·v²` of the cubic extension defined by `P`.
+///
+/// Used for `Fp6` over `Fp2` in the pairing towers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CubicExt<P: CubicExtParams> {
+    /// Constant coefficient.
+    pub c0: P::Base,
+    /// Coefficient of `v`.
+    pub c1: P::Base,
+    /// Coefficient of `v²`.
+    pub c2: P::Base,
+}
+
+impl<P: CubicExtParams> CubicExt<P> {
+    /// Builds an element from its three coefficients.
+    pub fn new(c0: P::Base, c1: P::Base, c2: P::Base) -> Self {
+        CubicExt { c0, c1, c2 }
+    }
+
+    /// Embeds a base-field element.
+    pub fn from_base(c0: P::Base) -> Self {
+        CubicExt {
+            c0,
+            c1: P::Base::zero(),
+            c2: P::Base::zero(),
+        }
+    }
+
+    /// Multiplies by a base-field element coefficient-wise.
+    pub fn mul_by_base(&self, s: P::Base) -> Self {
+        Self::new(self.c0 * s, self.c1 * s, self.c2 * s)
+    }
+
+    /// Multiplies by `v` (the generator), i.e. `(c0,c1,c2) ↦ (β·c2, c0, c1)`.
+    pub fn mul_by_v(&self) -> Self {
+        Self::new(P::non_residue() * self.c2, self.c0, self.c1)
+    }
+
+    fn frob_exponent(power: usize, divisor: u64) -> BigUint {
+        let p = P::Base::characteristic();
+        let mut pk = BigUint::one();
+        for _ in 0..power {
+            pk = &pk * &p;
+        }
+        let pm1 = pk.checked_sub(&BigUint::one()).expect("p^k >= 1");
+        let (q, r) = pm1.divrem_u64(divisor);
+        assert_eq!(r, 0, "p^{power} - 1 not divisible by {divisor}");
+        q
+    }
+}
+
+impl<P: CubicExtParams> Field for CubicExt<P> {
+    fn zero() -> Self {
+        Self::from_base(P::Base::zero())
+    }
+
+    fn one() -> Self {
+        Self::from_base(P::Base::one())
+    }
+
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero() && self.c2.is_zero()
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        // Standard formula via the adjugate (see e.g. "Multiplication and
+        // Squaring on Pairing-Friendly Fields", Devegili et al.).
+        let beta = P::non_residue();
+        let t0 = self.c0.square() - beta * self.c1 * self.c2;
+        let t1 = beta * self.c2.square() - self.c0 * self.c1;
+        let t2 = self.c1.square() - self.c0 * self.c2;
+        let norm = self.c0 * t0 + beta * (self.c2 * t1 + self.c1 * t2);
+        let inv = norm.inverse()?;
+        Some(Self::new(t0 * inv, t1 * inv, t2 * inv))
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Self::from_base(P::Base::from_u64(v))
+    }
+
+    fn characteristic() -> BigUint {
+        P::Base::characteristic()
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::new(
+            P::Base::random(rng),
+            P::Base::random(rng),
+            P::Base::random(rng),
+        )
+    }
+}
+
+impl<P: CubicExtParams> Frobenius for CubicExt<P> {
+    fn frobenius(&self, power: usize) -> Self {
+        if power == 0 {
+            return *self;
+        }
+        // v^(p^k) = β^((p^k−1)/3) · v
+        let c1_coeff = P::non_residue().pow(&Self::frob_exponent(power, 3));
+        let c2_coeff = c1_coeff.square();
+        Self::new(
+            self.c0.frobenius(power),
+            self.c1.frobenius(power) * c1_coeff,
+            self.c2.frobenius(power) * c2_coeff,
+        )
+    }
+}
+
+impl<P: CubicExtParams> std::ops::Add for CubicExt<P> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.c0 + rhs.c0, self.c1 + rhs.c1, self.c2 + rhs.c2)
+    }
+}
+
+impl<P: CubicExtParams> std::ops::Sub for CubicExt<P> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.c0 - rhs.c0, self.c1 - rhs.c1, self.c2 - rhs.c2)
+    }
+}
+
+impl<P: CubicExtParams> std::ops::Mul for CubicExt<P> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        // Toom-style interpolation (6 base multiplications).
+        let v0 = self.c0 * rhs.c0;
+        let v1 = self.c1 * rhs.c1;
+        let v2 = self.c2 * rhs.c2;
+        let beta = P::non_residue();
+        let c0 = v0 + beta * ((self.c1 + self.c2) * (rhs.c1 + rhs.c2) - v1 - v2);
+        let c1 = (self.c0 + self.c1) * (rhs.c0 + rhs.c1) - v0 - v1 + beta * v2;
+        let c2 = (self.c0 + self.c2) * (rhs.c0 + rhs.c2) - v0 - v2 + v1;
+        Self::new(c0, c1, c2)
+    }
+}
+
+impl<P: CubicExtParams> std::ops::Neg for CubicExt<P> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.c0, -self.c1, -self.c2)
+    }
+}
+
+impl<P: CubicExtParams> std::ops::AddAssign for CubicExt<P> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<P: CubicExtParams> std::ops::SubAssign for CubicExt<P> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<P: CubicExtParams> std::ops::MulAssign for CubicExt<P> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<P: CubicExtParams> std::iter::Sum for CubicExt<P> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), |a, b| a + b)
+    }
+}
+
+impl<P: CubicExtParams> std::iter::Product for CubicExt<P> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::one(), |a, b| a * b)
+    }
+}
+
+impl<P: CubicExtParams> Default for CubicExt<P> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<P: CubicExtParams> fmt::Debug for CubicExt<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({:?} + {:?}·v + {:?}·v²)",
+            P::NAME,
+            self.c0,
+            self.c1,
+            self.c2
+        )
+    }
+}
+
+impl<P: CubicExtParams> fmt::Display for CubicExt<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} + {}*v + {}*v^2)", self.c0, self.c1, self.c2)
+    }
+}

@@ -1,0 +1,486 @@
+//! Generic Montgomery-form prime field over `N` 64-bit limbs.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use rand::Rng;
+use zkperf_trace::{self as trace, OpCost};
+
+use crate::arith::{adc, geq, is_zero, mac, mont_inv64, pow2_mod, sbb, sub_noborrow};
+use crate::bigint::BigUint;
+use crate::traits::{Field, PrimeField};
+
+/// Branch-site ids used for the conditional-reduction branches, so the
+/// branch-prediction model sees distinct static sites per operation kind.
+mod sites {
+    pub const MUL_REDUCE: u64 = 0x1001;
+    pub const ADD_REDUCE: u64 = 0x1002;
+    pub const SUB_BORROW: u64 = 0x1003;
+}
+
+/// Compile-time parameters of a prime field: just the modulus and a small
+/// candidate generator; every other constant is derived.
+///
+/// Implementors are zero-sized marker types (see the `bn254` / `bls12_381`
+/// modules for the four fields of the suite).
+pub trait FpParams<const N: usize>:
+    Copy + Clone + fmt::Debug + PartialEq + Eq + std::hash::Hash + Send + Sync + 'static
+{
+    /// The modulus `p`, little-endian limbs. Must be odd, with the top bit
+    /// of the top limb clear.
+    const MODULUS: [u64; N];
+    /// A small candidate multiplicative generator used to derive 2-adic
+    /// roots of unity (verified at runtime, with fallback search).
+    const GENERATOR: u64;
+    /// Human-readable field name for `Debug` output.
+    const NAME: &'static str;
+}
+
+/// An element of the prime field defined by `P`, stored in Montgomery form.
+///
+/// # Examples
+///
+/// ```
+/// use zkperf_ff::{Field, PrimeField, bn254::Fr};
+/// let a = Fr::from_u64(3);
+/// let b = a.inverse().unwrap();
+/// assert!((a * b).is_one());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fp<P, const N: usize> {
+    limbs: [u64; N],
+    _params: PhantomData<P>,
+}
+
+impl<P: FpParams<N>, const N: usize> Fp<P, N> {
+    /// `-p⁻¹ mod 2⁶⁴`, derived from the modulus.
+    pub const INV: u64 = mont_inv64(P::MODULUS[0]);
+    /// The Montgomery radix `R = 2^(64N) mod p`.
+    pub const R: [u64; N] = pow2_mod(64 * N, &P::MODULUS);
+    /// `R² mod p`, used to convert into Montgomery form.
+    pub const R2: [u64; N] = pow2_mod(128 * N, &P::MODULUS);
+
+    const fn from_raw(limbs: [u64; N]) -> Self {
+        Fp {
+            limbs,
+            _params: PhantomData,
+        }
+    }
+
+    /// CIOS Montgomery multiplication; returns `a·b·R⁻¹ mod p`.
+    fn mont_mul(a: &[u64; N], b: &[u64; N]) -> [u64; N] {
+        debug_assert!(N + 2 <= 8, "fields up to 384 bits supported");
+        let mut t = [0u64; 8];
+        for i in 0..N {
+            let mut carry = 0u64;
+            for j in 0..N {
+                let (lo, hi) = mac(t[j], a[j], b[i], carry);
+                t[j] = lo;
+                carry = hi;
+            }
+            let (lo, hi) = adc(t[N], carry, 0);
+            t[N] = lo;
+            t[N + 1] = hi;
+
+            let m = t[0].wrapping_mul(Self::INV);
+            let (_, mut carry) = mac(t[0], m, P::MODULUS[0], 0);
+            for j in 1..N {
+                let (lo, hi) = mac(t[j], m, P::MODULUS[j], carry);
+                t[j - 1] = lo;
+                carry = hi;
+            }
+            let (lo, hi) = adc(t[N], carry, 0);
+            t[N - 1] = lo;
+            t[N] = t[N + 1] + hi;
+        }
+        let mut out = [0u64; N];
+        out.copy_from_slice(&t[..N]);
+        let needs_sub = t[N] != 0 || geq(&out, &P::MODULUS);
+        if needs_sub {
+            // t[N] can only be 0 or 1 because p < 2^(64N-1).
+            let mut borrow = 0u64;
+            for (o, &m) in out.iter_mut().zip(P::MODULUS.iter()) {
+                let (d, b) = sbb(*o, m, borrow);
+                *o = d;
+                borrow = b;
+            }
+        }
+        out
+    }
+
+    #[inline]
+    fn trace_binop(a: &Self, b: &Self, out: &Self, cost: OpCost, site: u64, taken: bool) {
+        if trace::is_active() {
+            let bytes = (N * 8) as u32;
+            trace::load(a as *const Self as usize, bytes);
+            trace::load(b as *const Self as usize, bytes);
+            trace::compute(cost.compute);
+            trace::control(cost.control);
+            trace::data_move(cost.data);
+            trace::store(out as *const Self as usize, bytes);
+            trace::branch(site, taken);
+        }
+    }
+
+    /// Raw Montgomery limbs (for serialization and tests).
+    pub fn to_montgomery_limbs(&self) -> [u64; N] {
+        self.limbs
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> Field for Fp<P, N> {
+    fn zero() -> Self {
+        Self::from_raw([0u64; N])
+    }
+
+    fn one() -> Self {
+        Self::from_raw(Self::R)
+    }
+
+    fn is_zero(&self) -> bool {
+        is_zero(&self.limbs)
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
+        let _g = trace::region_profile("field_inverse");
+        // Fermat: a^(p-2).
+        let exp = Self::modulus()
+            .checked_sub(&BigUint::from_u64(2))
+            .expect("modulus >= 2");
+        Some(self.pow(&exp))
+    }
+
+    fn from_u64(v: u64) -> Self {
+        let mut limbs = [0u64; N];
+        limbs[0] = v;
+        // v may exceed p only when N == 1; normalize via Montgomery round trip.
+        Self::from_raw(Self::mont_mul(&limbs, &Self::R2))
+    }
+
+    fn characteristic() -> BigUint {
+        BigUint::from_limbs(&P::MODULUS)
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Sample 2N limbs and reduce: statistical distance < 2^-64N.
+        let limbs: Vec<u64> = (0..2 * N).map(|_| rng.gen()).collect();
+        Self::from_biguint(&BigUint::from_limbs(&limbs))
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> PrimeField for Fp<P, N> {
+    const NUM_LIMBS: usize = N;
+
+    fn modulus() -> BigUint {
+        BigUint::from_limbs(&P::MODULUS)
+    }
+
+    fn to_biguint(&self) -> BigUint {
+        let mut one = [0u64; N];
+        one[0] = 1;
+        BigUint::from_limbs(&Self::mont_mul(&self.limbs, &one))
+    }
+
+    fn from_biguint(v: &BigUint) -> Self {
+        let reduced = v.rem(&Self::modulus());
+        let mut limbs = [0u64; N];
+        limbs.copy_from_slice(&reduced.to_limbs(N));
+        Self::from_raw(Self::mont_mul(&limbs, &Self::R2))
+    }
+
+    fn two_adic_root_of_unity() -> Self {
+        let s = Self::two_adicity();
+        let p_minus_1 = Self::modulus()
+            .checked_sub(&BigUint::one())
+            .expect("modulus >= 2");
+        let t = p_minus_1.shr(s as usize);
+        let mut candidate = P::GENERATOR;
+        loop {
+            let root = Self::from_u64(candidate).pow(&t);
+            // root has order dividing 2^s; it has *exact* order 2^s iff
+            // root^(2^(s-1)) = -1 (≠ 1).
+            let mut probe = root;
+            for _ in 0..s.saturating_sub(1) {
+                probe = probe.square();
+            }
+            if !probe.is_one() && !probe.is_zero() {
+                return root;
+            }
+            candidate += 1;
+        }
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> crate::traits::Frobenius for Fp<P, N> {
+    /// The Frobenius endomorphism is the identity on the prime field.
+    fn frobenius(&self, _power: usize) -> Self {
+        *self
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> std::ops::Add for Fp<P, N> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        let (sum, carry) = crate::arith::add_carry(&self.limbs, &rhs.limbs);
+        let reduce = carry == 1 || geq(&sum, &P::MODULUS);
+        let out = if reduce {
+            Self::from_raw(sub_noborrow(&sum, &P::MODULUS))
+        } else {
+            Self::from_raw(sum)
+        };
+        Self::trace_binop(
+            &self,
+            &rhs,
+            &out,
+            OpCost::mod_add(N as u32),
+            sites::ADD_REDUCE,
+            reduce,
+        );
+        out
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> std::ops::Sub for Fp<P, N> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        let borrow_needed = !geq(&self.limbs, &rhs.limbs);
+        let out = if borrow_needed {
+            let (lifted, _) = crate::arith::add_carry(&self.limbs, &P::MODULUS);
+            Self::from_raw(sub_noborrow(&lifted, &rhs.limbs))
+        } else {
+            Self::from_raw(sub_noborrow(&self.limbs, &rhs.limbs))
+        };
+        Self::trace_binop(
+            &self,
+            &rhs,
+            &out,
+            OpCost::mod_add(N as u32),
+            sites::SUB_BORROW,
+            borrow_needed,
+        );
+        out
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> std::ops::Mul for Fp<P, N> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        let out = Self::from_raw(Self::mont_mul(&self.limbs, &rhs.limbs));
+        Self::trace_binop(
+            &self,
+            &rhs,
+            &out,
+            OpCost::mont_mul(N as u32),
+            sites::MUL_REDUCE,
+            // The final reduction branch is data-dependent but biased;
+            // expose low result bits as its proxy (~25% taken).
+            out.limbs[0] & 3 == 0,
+        );
+        out
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> std::ops::Neg for Fp<P, N> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        if self.is_zero() {
+            self
+        } else {
+            Self::from_raw(sub_noborrow(&P::MODULUS, &self.limbs))
+        }
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> std::ops::AddAssign for Fp<P, N> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> std::ops::SubAssign for Fp<P, N> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> std::ops::MulAssign for Fp<P, N> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> std::iter::Sum for Fp<P, N> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), |a, b| a + b)
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> std::iter::Product for Fp<P, N> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::one(), |a, b| a * b)
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> Default for Fp<P, N> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> PartialOrd for Fp<P, N> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> Ord for Fp<P, N> {
+    /// Orders by canonical (non-Montgomery) integer value.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.to_biguint().cmp(&other.to_biguint())
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> fmt::Debug for Fp<P, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(0x{:x})", P::NAME, self.to_biguint())
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> fmt::Display for Fp<P, N> {
+    /// Canonical (non-Montgomery) value in decimal.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_biguint())
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> From<u64> for Fp<P, N> {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny one-limb field (p = 2^61 − 1, a Mersenne prime) exercising the
+    /// generic machinery at a size where results can be checked by hand.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    struct M61;
+    impl FpParams<1> for M61 {
+        const MODULUS: [u64; 1] = [(1u64 << 61) - 1];
+        const GENERATOR: u64 = 3;
+        const NAME: &'static str = "M61";
+    }
+    type F = Fp<M61, 1>;
+
+    const P: u128 = (1u128 << 61) - 1;
+
+    #[test]
+    fn constants_are_derived_correctly() {
+        assert_eq!(F::INV, mont_inv64(M61::MODULUS[0]));
+        assert_eq!(F::R[0] as u128, (1u128 << 64) % P);
+        assert_eq!(F::R2[0] as u128, ((1u128 << 64) % P).pow(2) % P);
+    }
+
+    #[test]
+    fn add_sub_mul_match_u128_reference() {
+        let vals = [0u64, 1, 2, 12345, (1 << 61) - 2, 998877665544332211 % ((1 << 61) - 1)];
+        for &a in &vals {
+            for &b in &vals {
+                let (fa, fb) = (F::from_u64(a), F::from_u64(b));
+                assert_eq!(
+                    (fa + fb).to_biguint(),
+                    BigUint::from_u64(((a as u128 + b as u128) % P) as u64),
+                    "{a} + {b}"
+                );
+                assert_eq!(
+                    (fa * fb).to_biguint(),
+                    BigUint::from_u64(((a as u128 * b as u128) % P) as u64),
+                    "{a} * {b}"
+                );
+                let expect_sub = ((a as u128 + P) - b as u128) % P;
+                assert_eq!(
+                    (fa - fb).to_biguint(),
+                    BigUint::from_u64(expect_sub as u64),
+                    "{a} - {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neg_and_double() {
+        let a = F::from_u64(7);
+        assert!((a + (-a)).is_zero());
+        assert_eq!(a.double(), a + a);
+        assert_eq!((-F::zero()), F::zero());
+    }
+
+    #[test]
+    fn inverse_and_pow() {
+        for v in [1u64, 2, 3, 997, (1 << 61) - 2] {
+            let a = F::from_u64(v);
+            let inv = a.inverse().unwrap();
+            assert!((a * inv).is_one(), "inverse of {v}");
+        }
+        assert!(F::zero().inverse().is_none());
+        let a = F::from_u64(5);
+        assert_eq!(a.pow(&BigUint::from_u64(3)), a * a * a);
+        assert!(a.pow(&BigUint::zero()).is_one());
+    }
+
+    #[test]
+    fn two_adic_root_has_exact_order() {
+        // p − 1 = 2 · (2^60 − 1): two-adicity 1, root must be −1.
+        assert_eq!(F::two_adicity(), 1);
+        let root = F::two_adic_root_of_unity();
+        assert_eq!(root, -F::one());
+        assert!(root.square().is_one());
+    }
+
+    #[test]
+    fn biguint_roundtrip_and_reduction() {
+        let big = BigUint::from_str_radix("123456789012345678901234567890123456789", 10).unwrap();
+        let f = F::from_biguint(&big);
+        assert_eq!(f.to_biguint(), big.rem(&F::modulus()));
+        assert_eq!(F::from_biguint(&f.to_biguint()), f);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let f = F::from_u64(42);
+        assert_eq!(f.to_string(), "42");
+        assert_eq!(format!("{f:?}"), "M61(0x2a)");
+    }
+
+    #[test]
+    fn ordering_is_by_canonical_value() {
+        assert!(F::from_u64(3) < F::from_u64(5));
+        assert!(F::from_u64(5) > F::from_u64(3));
+        // -1 = p − 1 is the largest element.
+        assert!(-F::one() > F::from_u64(1_000_000));
+    }
+
+    #[test]
+    fn sum_and_product_iterators() {
+        let xs: Vec<F> = (1..=5).map(F::from_u64).collect();
+        assert_eq!(xs.iter().copied().sum::<F>(), F::from_u64(15));
+        assert_eq!(xs.iter().copied().product::<F>(), F::from_u64(120));
+    }
+
+    #[test]
+    fn tracing_counts_field_ops() {
+        let session = zkperf_trace::Session::begin();
+        let a = F::from_u64(3);
+        let b = F::from_u64(4);
+        let _ = a * b;
+        let report = session.finish();
+        assert!(report.counts.compute_uops > 0);
+        assert_eq!(report.counts.loads >= 2, true);
+        assert!(report.counts.stores >= 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Generic quadratic extension `Base[x]/(x² − β)`.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::bigint::BigUint;
+use crate::traits::{Field, Frobenius};
+
+/// Parameters of a quadratic extension: the base field and the non-residue
+/// `β` such that `x² − β` is irreducible.
+pub trait QuadExtParams:
+    Copy + Clone + fmt::Debug + PartialEq + Eq + std::hash::Hash + Send + Sync + 'static
+{
+    /// The field being extended.
+    type Base: Field + Frobenius;
+    /// Name used in `Debug` output.
+    const NAME: &'static str;
+    /// The non-residue `β`.
+    fn non_residue() -> Self::Base;
+}
+
+/// An element `c0 + c1·x` of the quadratic extension defined by `P`.
+///
+/// Used for `Fp2` (over `Fp`) and `Fp12` (over `Fp6`) in the pairing towers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuadExt<P: QuadExtParams> {
+    /// Constant coefficient.
+    pub c0: P::Base,
+    /// Coefficient of `x`.
+    pub c1: P::Base,
+}
+
+impl<P: QuadExtParams> QuadExt<P> {
+    /// Builds an element from its two coefficients.
+    pub fn new(c0: P::Base, c1: P::Base) -> Self {
+        QuadExt { c0, c1 }
+    }
+
+    /// Embeds a base-field element.
+    pub fn from_base(c0: P::Base) -> Self {
+        QuadExt {
+            c0,
+            c1: P::Base::zero(),
+        }
+    }
+
+    /// The conjugate `c0 − c1·x` (equals the `p^(deg/2)`-power Frobenius).
+    pub fn conjugate(&self) -> Self {
+        QuadExt {
+            c0: self.c0,
+            c1: -self.c1,
+        }
+    }
+
+    /// Multiplies by a base-field element coefficient-wise.
+    pub fn mul_by_base(&self, s: P::Base) -> Self {
+        QuadExt {
+            c0: self.c0 * s,
+            c1: self.c1 * s,
+        }
+    }
+
+    /// The norm `c0² − β·c1²`, an element of the base field.
+    pub fn norm(&self) -> P::Base {
+        self.c0.square() - P::non_residue() * self.c1.square()
+    }
+
+    /// `(p^power − 1) / divisor` where `p` is the characteristic; panics if
+    /// the division is not exact (it always is for the towers we build).
+    pub(crate) fn frob_exponent(power: usize, divisor: u64) -> BigUint {
+        let p = P::Base::characteristic();
+        let mut pk = BigUint::one();
+        for _ in 0..power {
+            pk = &pk * &p;
+        }
+        let pm1 = pk.checked_sub(&BigUint::one()).expect("p^k >= 1");
+        let (q, r) = pm1.divrem_u64(divisor);
+        assert_eq!(r, 0, "p^{power} - 1 not divisible by {divisor}");
+        q
+    }
+}
+
+impl<P: QuadExtParams> Field for QuadExt<P> {
+    fn zero() -> Self {
+        Self::new(P::Base::zero(), P::Base::zero())
+    }
+
+    fn one() -> Self {
+        Self::new(P::Base::one(), P::Base::zero())
+    }
+
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+
+    fn square(&self) -> Self {
+        // Complex-style squaring: 2 base multiplications.
+        let v = self.c0 * self.c1;
+        let beta = P::non_residue();
+        let c0 = (self.c0 + self.c1) * (self.c0 + beta * self.c1) - v - beta * v;
+        let c1 = v.double();
+        Self::new(c0, c1)
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        let norm = self.norm();
+        let inv = norm.inverse()?;
+        Some(Self::new(self.c0 * inv, -(self.c1 * inv)))
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Self::from_base(P::Base::from_u64(v))
+    }
+
+    fn characteristic() -> BigUint {
+        P::Base::characteristic()
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::new(P::Base::random(rng), P::Base::random(rng))
+    }
+}
+
+impl<P: QuadExtParams> Frobenius for QuadExt<P> {
+    fn frobenius(&self, power: usize) -> Self {
+        if power == 0 {
+            return *self;
+        }
+        // (c0 + c1 x)^(p^k) = c0^(p^k) + c1^(p^k) · β^((p^k−1)/2) · x
+        let coeff = P::non_residue().pow(&Self::frob_exponent(power, 2));
+        Self::new(
+            self.c0.frobenius(power),
+            self.c1.frobenius(power) * coeff,
+        )
+    }
+}
+
+impl<P: QuadExtParams> std::ops::Add for QuadExt<P> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.c0 + rhs.c0, self.c1 + rhs.c1)
+    }
+}
+
+impl<P: QuadExtParams> std::ops::Sub for QuadExt<P> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.c0 - rhs.c0, self.c1 - rhs.c1)
+    }
+}
+
+impl<P: QuadExtParams> std::ops::Mul for QuadExt<P> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        // Karatsuba: 3 base multiplications.
+        let v0 = self.c0 * rhs.c0;
+        let v1 = self.c1 * rhs.c1;
+        let c0 = v0 + P::non_residue() * v1;
+        let c1 = (self.c0 + self.c1) * (rhs.c0 + rhs.c1) - v0 - v1;
+        Self::new(c0, c1)
+    }
+}
+
+impl<P: QuadExtParams> std::ops::Neg for QuadExt<P> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.c0, -self.c1)
+    }
+}
+
+impl<P: QuadExtParams> std::ops::AddAssign for QuadExt<P> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<P: QuadExtParams> std::ops::SubAssign for QuadExt<P> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<P: QuadExtParams> std::ops::MulAssign for QuadExt<P> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<P: QuadExtParams> std::iter::Sum for QuadExt<P> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), |a, b| a + b)
+    }
+}
+
+impl<P: QuadExtParams> std::iter::Product for QuadExt<P> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::one(), |a, b| a * b)
+    }
+}
+
+impl<P: QuadExtParams> Default for QuadExt<P> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<P: QuadExtParams> fmt::Debug for QuadExt<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({:?} + {:?}·x)", P::NAME, self.c0, self.c1)
+    }
+}
+
+impl<P: QuadExtParams> fmt::Display for QuadExt<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} + {}*x)", self.c0, self.c1)
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests of the field stack: both scalar fields, both base
+//! fields, the full Fp12 towers, and Montgomery-vs-reference agreement.
+
+use proptest::prelude::*;
+
+use zkperf_ff::{bls12_381, bn254, BigUint, Field, Frobenius, PrimeField};
+
+fn arb_biguint(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..=max_limbs)
+        .prop_map(|limbs| BigUint::from_limbs(&limbs))
+}
+
+macro_rules! field_suite {
+    ($name:ident, $field:ty, $limbs:expr) => {
+        mod $name {
+            use super::*;
+
+            fn arb() -> impl Strategy<Value = $field> {
+                proptest::collection::vec(any::<u64>(), $limbs)
+                    .prop_map(|l| <$field>::from_biguint(&BigUint::from_limbs(&l)))
+            }
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(48))]
+
+                #[test]
+                fn axioms(a in arb(), b in arb(), c in arb()) {
+                    prop_assert_eq!(a + b, b + a);
+                    prop_assert_eq!(a * b, b * a);
+                    prop_assert_eq!((a + b) * c, a * c + b * c);
+                    prop_assert_eq!(a + (-a), <$field>::zero());
+                    prop_assert_eq!(a.square(), a * a);
+                    prop_assert_eq!(a.double(), a + a);
+                }
+
+                #[test]
+                fn montgomery_matches_reference(a in arb(), b in arb()) {
+                    let m = <$field>::modulus();
+                    prop_assert_eq!(
+                        (a * b).to_biguint(),
+                        (&a.to_biguint() * &b.to_biguint()).rem(&m)
+                    );
+                    prop_assert_eq!(
+                        (a + b).to_biguint(),
+                        (&a.to_biguint() + &b.to_biguint()).rem(&m)
+                    );
+                }
+
+                #[test]
+                fn canonical_roundtrip(a in arb()) {
+                    prop_assert_eq!(<$field>::from_biguint(&a.to_biguint()), a);
+                    prop_assert!(a.to_biguint() < <$field>::modulus());
+                }
+
+                #[test]
+                fn fermat_inverse(a in arb()) {
+                    if !a.is_zero() {
+                        let inv = a.inverse().unwrap();
+                        prop_assert!((a * inv).is_one());
+                    }
+                }
+            }
+        }
+    };
+}
+
+field_suite!(bn254_fr, bn254::Fr, 4);
+field_suite!(bn254_fq, bn254::Fq, 4);
+field_suite!(bls_fr, bls12_381::Fr, 4);
+field_suite!(bls_fq, bls12_381::Fq, 6);
+
+fn arb_fq12_bn() -> impl Strategy<Value = bn254::Fq12> {
+    any::<u64>().prop_map(|seed| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        bn254::Fq12::random(&mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fq12_tower_axioms(a in arb_fq12_bn(), b in arb_fq12_bn()) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a.square(), a * a);
+        if !a.is_zero() {
+            prop_assert!((a * a.inverse().unwrap()).is_one());
+        }
+    }
+
+    #[test]
+    fn fq12_frobenius_is_additive_and_multiplicative(a in arb_fq12_bn(), b in arb_fq12_bn()) {
+        let fa = a.frobenius(1);
+        let fb = b.frobenius(1);
+        prop_assert_eq!((a + b).frobenius(1), fa + fb);
+        prop_assert_eq!((a * b).frobenius(1), fa * fb);
+    }
+
+    #[test]
+    fn fq12_conjugation_norm_lands_in_fq6(a in arb_fq12_bn()) {
+        // a · conj(a) has no w-component.
+        let n = a * a.conjugate();
+        prop_assert!(n.c1.is_zero());
+    }
+
+    #[test]
+    fn biguint_shifted_mul_div(a in arb_biguint(4), k in 0usize..130) {
+        let shifted = a.shl(k);
+        prop_assert_eq!(shifted.shr(k), a.clone());
+        if !a.is_zero() {
+            prop_assert_eq!(shifted.bits(), a.bits() + k);
+        }
+    }
+}
+
+#[test]
+fn cross_curve_moduli_are_distinct() {
+    assert_ne!(
+        bn254::Fr::modulus().to_string(),
+        bls12_381::Fr::modulus().to_string()
+    );
+    assert!(bls12_381::Fq::modulus() > bn254::Fq::modulus());
+}
+
+mod sqrt_properties {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn sqrt_of_squares_roundtrips_bn_fr(limbs in proptest::collection::vec(any::<u64>(), 4)) {
+            // Fr has p ≡ 1 (mod 4): the general Tonelli-Shanks path.
+            let a = bn254::Fr::from_biguint(&BigUint::from_limbs(&limbs));
+            let sq = a.square();
+            let root = sq.sqrt().expect("squares have roots");
+            prop_assert!(root == a || root == -a);
+        }
+
+        #[test]
+        fn sqrt_of_squares_roundtrips_bls_fq(limbs in proptest::collection::vec(any::<u64>(), 6)) {
+            // Fq has p ≡ 3 (mod 4): the short exponent path inside TS.
+            let a = bls12_381::Fq::from_biguint(&BigUint::from_limbs(&limbs));
+            let sq = a.square();
+            let root = sq.sqrt().expect("squares have roots");
+            prop_assert!(root == a || root == -a);
+        }
+
+        #[test]
+        fn non_residues_have_no_root(limbs in proptest::collection::vec(any::<u64>(), 4)) {
+            let a = bn254::Fq::from_biguint(&BigUint::from_limbs(&limbs));
+            // Exactly one of a, a·g is a QR for non-zero a and non-residue g;
+            // just assert sqrt() is consistent with squaring.
+            match a.sqrt() {
+                Some(r) => prop_assert_eq!(r.square(), a),
+                None => prop_assert!(!a.is_zero()),
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_edge_cases() {
+        use zkperf_ff::Field;
+        assert_eq!(bn254::Fq::zero().sqrt(), Some(bn254::Fq::zero()));
+        assert_eq!(bn254::Fq::one().sqrt().map(|r| r.square()), Some(bn254::Fq::one()));
+        // −1 is a non-residue when p ≡ 3 (mod 4).
+        assert!((-bn254::Fq::one()).sqrt().is_none());
+        // ...but a residue in BN254's Fr (p ≡ 1 mod 4, two-adicity 28).
+        assert!((-bn254::Fr::one()).sqrt().is_some());
+    }
+}

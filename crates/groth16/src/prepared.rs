@@ -1,0 +1,111 @@
+//! Precomputed verification material.
+//!
+//! The Groth16 equation's `e(α, β)` term is statement-independent; caching
+//! it turns every verification from four Miller loops into three — the
+//! standard production optimization (arkworks' `PreparedVerifyingKey`).
+
+use zkperf_ec::{msm, Engine};
+use zkperf_ff::Field;
+use zkperf_trace as trace;
+
+use crate::key::{Proof, VerifyingKey};
+use crate::verify::VerifyError;
+
+/// A verification key with the pairing constant precomputed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedVerifyingKey<E: Engine> {
+    vk: VerifyingKey<E>,
+    /// `e(α, β)`, the statement-independent pairing term.
+    alpha_beta: E::Gt,
+}
+
+impl<E: Engine> PreparedVerifyingKey<E> {
+    /// Prepares a verification key (one pairing, done once).
+    pub fn prepare(vk: &VerifyingKey<E>) -> Self {
+        let alpha_beta = E::pairing(&vk.alpha_g1, &vk.beta_g2);
+        PreparedVerifyingKey {
+            vk: vk.clone(),
+            alpha_beta,
+        }
+    }
+
+    /// The wrapped plain key.
+    pub fn vk(&self) -> &VerifyingKey<E> {
+        &self.vk
+    }
+
+    /// Verifies `proof` with three Miller loops instead of four.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::verify`].
+    pub fn verify(
+        &self,
+        proof: &Proof<E>,
+        public_witness: &[E::Fr],
+    ) -> Result<bool, VerifyError> {
+        let _g = trace::region_profile("verify");
+        if public_witness.len() != self.vk.ic.len() {
+            return Err(VerifyError::PublicWitnessLength {
+                expected: self.vk.ic.len(),
+                got: public_witness.len(),
+            });
+        }
+        if public_witness.first().map(Field::is_one) != Some(true) {
+            return Err(VerifyError::MissingOneWire);
+        }
+        if !(proof.a.is_on_curve() && proof.b.is_on_curve() && proof.c.is_on_curve()) {
+            return Ok(false);
+        }
+        let vk_x = msm(&self.vk.ic, public_witness).to_affine();
+        // e(A,B) · e(−vk_x, γ) · e(−C, δ) == e(α, β)
+        let lhs = E::multi_pairing(
+            &[proof.a, vk_x.neg(), proof.c.neg()],
+            &[proof.b, self.vk.gamma_g2, self.vk.delta_g2],
+        );
+        Ok(lhs == self.alpha_beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prove, setup, verify};
+    use zkperf_circuit::library::exponentiate;
+    use zkperf_ec::Bn254;
+    use zkperf_ff::bn254::Fr;
+
+    #[test]
+    fn prepared_verify_agrees_with_plain_verify() {
+        let circuit = exponentiate::<Fr>(8);
+        let mut rng = zkperf_ff::test_rng();
+        let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+        let pvk = PreparedVerifyingKey::prepare(&pk.vk);
+        for x in [2u64, 3, 5] {
+            let w = circuit.generate_witness(&[Fr::from_u64(x)], &[]).unwrap();
+            let proof = prove::<Bn254, _>(&pk, circuit.r1cs(), &w, &mut rng).unwrap();
+            assert_eq!(
+                pvk.verify(&proof, w.public()).unwrap(),
+                verify::<Bn254>(&pk.vk, &proof, w.public()).unwrap()
+            );
+            assert!(pvk.verify(&proof, w.public()).unwrap());
+            let mut wrong = w.public().to_vec();
+            wrong[1] += Fr::one();
+            assert!(!pvk.verify(&proof, &wrong).unwrap());
+        }
+    }
+
+    #[test]
+    fn prepared_key_reports_shape_errors() {
+        let circuit = exponentiate::<Fr>(4);
+        let mut rng = zkperf_ff::test_rng();
+        let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+        let pvk = PreparedVerifyingKey::prepare(&pk.vk);
+        let w = circuit.generate_witness(&[Fr::from_u64(2)], &[]).unwrap();
+        let proof = prove::<Bn254, _>(&pk, circuit.r1cs(), &w, &mut rng).unwrap();
+        assert!(matches!(
+            pvk.verify(&proof, &w.public()[..1]),
+            Err(VerifyError::PublicWitnessLength { .. })
+        ));
+    }
+}

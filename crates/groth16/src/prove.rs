@@ -1,0 +1,121 @@
+//! The `proving` stage.
+
+use rand::Rng;
+
+use zkperf_circuit::{R1cs, Witness};
+use zkperf_ec::{msm, Engine, Projective};
+use zkperf_ff::Field;
+use zkperf_poly::Radix2Domain;
+use zkperf_trace as trace;
+
+use crate::key::{Proof, ProvingKey};
+use crate::qap;
+
+/// Errors from [`prove`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProveError {
+    /// The witness length does not match the proving key's wire count.
+    WitnessLengthMismatch {
+        /// Wires in the proving key's queries.
+        expected: usize,
+        /// Wires in the supplied witness.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ProveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProveError::WitnessLengthMismatch { expected, got } => {
+                write!(f, "witness has {got} wires but the proving key expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProveError {}
+
+/// Produces a Groth16 proof for `witness` under `pk`.
+///
+/// Structure: three variable-base MSMs over the witness (A, B in both
+/// groups), the quotient-polynomial computation via coset NTTs, one MSM over
+/// the H query, and the L-query MSM — the mix of scattered (MSM buckets)
+/// and strided (NTT) memory traffic that gives the proving stage the
+/// highest memory bandwidth in the paper's Table III.
+///
+/// # Errors
+///
+/// Returns [`ProveError::WitnessLengthMismatch`] when `witness` was
+/// generated for a different circuit.
+pub fn prove<E: Engine, R: Rng + ?Sized>(
+    pk: &ProvingKey<E>,
+    r1cs: &R1cs<E::Fr>,
+    witness: &Witness<E::Fr>,
+    rng: &mut R,
+) -> Result<Proof<E>, ProveError> {
+    let _g = trace::region_profile("prove");
+    let w = witness.full();
+    if w.len() != pk.a_query.len() {
+        return Err(ProveError::WitnessLengthMismatch {
+            expected: pk.a_query.len(),
+            got: w.len(),
+        });
+    }
+    let domain = Radix2Domain::<E::Fr>::new(pk.domain_size)
+        .expect("domain fit was checked at setup");
+
+    // Quotient polynomial h(x) = (a·b − c)/z.
+    let (a_ev, b_ev, c_ev) = qap::evaluate_constraints(r1cs, &domain, w);
+    let h = qap::compute_h_coefficients(&domain, a_ev, b_ev, c_ev);
+
+    let (r, s) = (E::Fr::random(rng), E::Fr::random(rng));
+
+    // A = α + Σ wᵢ·uᵢ(τ) + r·δ
+    let g_a = pk.vk.alpha_g1.to_projective()
+        + msm(&pk.a_query, w)
+        + pk.delta_g1.to_projective() * r;
+    // B = β + Σ wᵢ·vᵢ(τ) + s·δ (in G2, and mirrored in G1 for C).
+    let g_b = pk.vk.beta_g2.to_projective()
+        + msm(&pk.b_g2_query, w)
+        + pk.vk.delta_g2.to_projective() * s;
+    let g_b1 = pk.beta_g1.to_projective()
+        + msm(&pk.b_g1_query, w)
+        + pk.delta_g1.to_projective() * s;
+
+    // C = Σ_{priv} wᵢ·Lᵢ + Σ hᵢ·Hᵢ + s·A + r·B₁ − r·s·δ
+    let priv_witness = &w[pk.num_public_wires..];
+    let l_part = msm(&pk.l_query, priv_witness);
+    let h_part = msm(&pk.h_query, &h);
+    let g_c = l_part + h_part + g_a * s + g_b1 * r + (pk.delta_g1.to_projective() * (r * s)).neg();
+
+    let out = [g_a, g_c];
+    let affine = Projective::batch_to_affine(&out);
+    trace::alloc(std::mem::size_of::<Proof<E>>());
+    Ok(Proof {
+        a: affine[0],
+        b: g_b.to_affine(),
+        c: affine[1],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::setup;
+    use zkperf_circuit::library::exponentiate;
+    use zkperf_ec::Bn254;
+    use zkperf_ff::bn254::Fr;
+    use zkperf_ff::Field;
+
+    #[test]
+    fn witness_length_mismatch_is_reported() {
+        let c10 = exponentiate::<Fr>(10);
+        let c20 = exponentiate::<Fr>(20);
+        let mut rng = zkperf_ff::test_rng();
+        let pk = setup::<Bn254, _>(c10.r1cs(), &mut rng).unwrap();
+        let w20 = c20.generate_witness(&[Fr::from_u64(2)], &[]).unwrap();
+        let err = prove::<Bn254, _>(&pk, c20.r1cs(), &w20, &mut rng).unwrap_err();
+        assert!(matches!(err, ProveError::WitnessLengthMismatch { .. }));
+        assert!(err.to_string().contains("wires"));
+    }
+}

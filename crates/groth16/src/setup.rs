@@ -1,0 +1,152 @@
+//! The `setup` stage: trusted parameter generation.
+
+use rand::Rng;
+
+use zkperf_circuit::R1cs;
+use zkperf_ec::{Engine, FixedBaseTable, Projective};
+use zkperf_ff::Field;
+use zkperf_poly::Radix2Domain;
+use zkperf_trace as trace;
+
+use crate::key::{ProvingKey, VerifyingKey};
+use crate::qap;
+
+/// Errors from [`setup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetupError {
+    /// The constraint count exceeds the scalar field's 2-adic domain.
+    CircuitTooLarge {
+        /// Constraints requested.
+        constraints: usize,
+    },
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetupError::CircuitTooLarge { constraints } => {
+                write!(f, "circuit with {constraints} constraints exceeds the FFT domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+/// Runs the Groth16 trusted setup over `r1cs`, producing the proving and
+/// verification keys.
+///
+/// The toxic waste `(τ, α, β, γ, δ)` is sampled from `rng` and dropped on
+/// return. Dominated by fixed-base multi-exponentiation — this is the
+/// paper's most time-consuming stage (76.1% of total execution time).
+///
+/// # Errors
+///
+/// Returns [`SetupError::CircuitTooLarge`] if the constraint count exceeds
+/// the field's 2-adic FFT domain.
+pub fn setup<E: Engine, R: Rng + ?Sized>(
+    r1cs: &R1cs<E::Fr>,
+    rng: &mut R,
+) -> Result<ProvingKey<E>, SetupError> {
+    let _g = trace::region_profile("setup");
+    let domain =
+        Radix2Domain::<E::Fr>::new(r1cs.num_constraints().max(2)).ok_or(
+            SetupError::CircuitTooLarge {
+                constraints: r1cs.num_constraints(),
+            },
+        )?;
+
+    // Toxic waste; τ outside the domain, divisors non-zero.
+    let tau = loop {
+        let t = E::Fr::random(rng);
+        if !domain.eval_vanishing(t).is_zero() {
+            break t;
+        }
+    };
+    let nonzero = |rng: &mut R| loop {
+        let v = E::Fr::random(rng);
+        if !v.is_zero() {
+            break v;
+        }
+    };
+    let (alpha, beta, gamma, delta) = (nonzero(rng), nonzero(rng), nonzero(rng), nonzero(rng));
+    let gamma_inv = gamma.inverse().expect("gamma non-zero");
+    let delta_inv = delta.inverse().expect("delta non-zero");
+
+    // QAP evaluations at τ for every wire.
+    let (u, v, w) = qap::evaluate_matrices_at(r1cs, &domain, tau);
+    let num_public = r1cs.num_public_wires();
+
+    // Scalar batches for the group queries.
+    let ic_scalars: Vec<E::Fr> = (0..num_public)
+        .map(|i| (beta * u[i] + alpha * v[i] + w[i]) * gamma_inv)
+        .collect();
+    let l_scalars: Vec<E::Fr> = (num_public..r1cs.num_wires())
+        .map(|i| (beta * u[i] + alpha * v[i] + w[i]) * delta_inv)
+        .collect();
+    let z_tau = domain.eval_vanishing(tau);
+    let mut h_scalars = Vec::with_capacity(domain.size());
+    let mut tau_pow = E::Fr::one();
+    for _ in 0..domain.size() {
+        h_scalars.push(tau_pow * z_tau * delta_inv);
+        tau_pow *= tau;
+    }
+
+    // Fixed-base tables for both generators.
+    let g1 = Projective::<E::G1>::generator();
+    let g2 = Projective::<E::G2>::generator();
+    let t1 = FixedBaseTable::new(&g1);
+    let t2 = FixedBaseTable::new(&g2);
+
+    let a_query = t1.mul_batch(&u);
+    let b_g1_query = t1.mul_batch(&v);
+    let b_g2_query = t2.mul_batch(&v);
+    let ic = t1.mul_batch(&ic_scalars);
+    let l_query = t1.mul_batch(&l_scalars);
+    let h_query = t1.mul_batch(&h_scalars);
+
+    let vk = VerifyingKey {
+        alpha_g1: t1.mul(&alpha).to_affine(),
+        beta_g2: t2.mul(&beta).to_affine(),
+        gamma_g2: t2.mul(&gamma).to_affine(),
+        delta_g2: t2.mul(&delta).to_affine(),
+        ic,
+    };
+    Ok(ProvingKey {
+        vk,
+        beta_g1: t1.mul(&beta).to_affine(),
+        delta_g1: t1.mul(&delta).to_affine(),
+        a_query,
+        b_g1_query,
+        b_g2_query,
+        l_query,
+        h_query,
+        domain_size: domain.size(),
+        num_public_wires: num_public,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_circuit::library::exponentiate;
+    use zkperf_ec::Bn254;
+
+    #[test]
+    fn setup_produces_consistent_shapes() {
+        let circuit = exponentiate::<zkperf_ff::bn254::Fr>(10);
+        let mut rng = zkperf_ff::test_rng();
+        let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+        let n = circuit.r1cs().num_wires();
+        assert_eq!(pk.a_query.len(), n);
+        assert_eq!(pk.b_g1_query.len(), n);
+        assert_eq!(pk.b_g2_query.len(), n);
+        assert_eq!(pk.vk.ic.len(), circuit.r1cs().num_public_wires());
+        assert_eq!(
+            pk.l_query.len(),
+            n - circuit.r1cs().num_public_wires()
+        );
+        assert_eq!(pk.h_query.len(), pk.domain_size);
+        assert_eq!(pk.domain_size, 16); // 10 constraints → 16-point domain
+    }
+}

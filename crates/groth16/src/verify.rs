@@ -1,0 +1,117 @@
+//! The `verifying` stage.
+
+use zkperf_ec::{msm, Engine};
+use zkperf_ff::Field;
+use zkperf_trace as trace;
+
+use crate::key::{Proof, VerifyingKey};
+
+/// Errors from [`verify`] that are input-shape problems rather than an
+/// invalid proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Wrong number of public witness values for this key.
+    PublicWitnessLength {
+        /// Values expected by the key's IC query.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// The public witness must start with the constant 1.
+    MissingOneWire,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::PublicWitnessLength { expected, got } => {
+                write!(f, "public witness has {got} values, key expects {expected}")
+            }
+            VerifyError::MissingOneWire => {
+                write!(f, "public witness does not start with the constant 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks `proof` against `vk` and the public witness
+/// (`[1, outputs…, public inputs…]`).
+///
+/// Evaluates the Groth16 equation
+/// `e(A, B) = e(α, β)·e(Σ xᵢ·ICᵢ, γ)·e(C, δ)` as a single product of four
+/// Miller loops with one final exponentiation — three pairings' worth of
+/// work independent of the circuit size, which is why the paper measures a
+/// constant-time `verifying` stage.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] for malformed inputs; returns `Ok(false)` for a
+/// well-formed but invalid proof.
+pub fn verify<E: Engine>(
+    vk: &VerifyingKey<E>,
+    proof: &Proof<E>,
+    public_witness: &[E::Fr],
+) -> Result<bool, VerifyError> {
+    let _g = trace::region_profile("verify");
+    if public_witness.len() != vk.ic.len() {
+        return Err(VerifyError::PublicWitnessLength {
+            expected: vk.ic.len(),
+            got: public_witness.len(),
+        });
+    }
+    if public_witness.first().map(Field::is_one) != Some(true) {
+        return Err(VerifyError::MissingOneWire);
+    }
+    // Cheap well-formedness checks on the proof points.
+    if !(proof.a.is_on_curve() && proof.b.is_on_curve() && proof.c.is_on_curve()) {
+        return Ok(false);
+    }
+
+    let vk_x = msm(&vk.ic, public_witness).to_affine();
+
+    // e(A,B) · e(−vk_x, γ) · e(−C, δ) · e(−α, β) == 1
+    let lhs = E::multi_pairing(
+        &[proof.a, vk_x.neg(), proof.c.neg(), vk.alpha_g1.neg()],
+        &[proof.b, vk.gamma_g2, vk.delta_g2, vk.beta_g2],
+    );
+    trace::branch(0x6001, lhs.is_one());
+    Ok(lhs.is_one())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prove::prove, setup::setup};
+    use zkperf_circuit::library::exponentiate;
+    use zkperf_ec::{Affine, Bn254};
+    use zkperf_ff::bn254::{Fq, Fr};
+
+    #[test]
+    fn shape_errors_are_distinguished_from_invalid_proofs() {
+        let circuit = exponentiate::<Fr>(4);
+        let mut rng = zkperf_ff::test_rng();
+        let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+        let w = circuit.generate_witness(&[Fr::from_u64(2)], &[]).unwrap();
+        let proof = prove::<Bn254, _>(&pk, circuit.r1cs(), &w, &mut rng).unwrap();
+
+        assert_eq!(
+            verify::<Bn254>(&pk.vk, &proof, &[Fr::from_u64(2)]),
+            Err(VerifyError::PublicWitnessLength {
+                expected: 3,
+                got: 1
+            })
+        );
+        let mut no_one = w.public().to_vec();
+        no_one[0] = Fr::from_u64(2);
+        assert_eq!(
+            verify::<Bn254>(&pk.vk, &proof, &no_one),
+            Err(VerifyError::MissingOneWire)
+        );
+        // Off-curve proof point → clean false.
+        let mut bad = proof.clone();
+        bad.a = Affine::new_unchecked(Fq::from_u64(1), Fq::from_u64(1));
+        assert_eq!(verify::<Bn254>(&pk.vk, &bad, w.public()), Ok(false));
+    }
+}

@@ -1,0 +1,273 @@
+//! The sectioned binary container all zkperf file formats share.
+//!
+//! Layout (all integers little-endian, like the iden3 formats this
+//! mirrors): a 4-byte magic, a `u32` version, a `u32` section count, then
+//! per section a `u32` id, a `u64` byte length, and the payload.
+
+use std::io::{self, Read, Write};
+
+/// Errors produced while reading a zkperf container.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic bytes did not match the expected file kind.
+    BadMagic {
+        /// Magic found in the file.
+        found: [u8; 4],
+        /// Magic the reader expected.
+        expected: [u8; 4],
+    },
+    /// Unsupported container version.
+    BadVersion(u32),
+    /// A required section is missing.
+    MissingSection(u32),
+    /// A section payload was malformed.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "i/o error: {e}"),
+            FormatError::BadMagic { found, expected } => write!(
+                f,
+                "bad magic {found:?}, expected {expected:?} (wrong file kind?)"
+            ),
+            FormatError::BadVersion(v) => write!(f, "unsupported container version {v}"),
+            FormatError::MissingSection(id) => write!(f, "missing required section {id}"),
+            FormatError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<io::Error> for FormatError {
+    fn from(e: io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+/// Container format version written by this crate.
+pub const VERSION: u32 = 1;
+
+/// An in-memory sectioned container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Container {
+    magic: [u8; 4],
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl Container {
+    /// Starts an empty container with the given magic.
+    pub fn new(magic: [u8; 4]) -> Self {
+        Container {
+            magic,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section.
+    pub fn push_section(&mut self, id: u32, payload: Vec<u8>) {
+        self.sections.push((id, payload));
+    }
+
+    /// The payload of the first section with `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::MissingSection`] when absent.
+    pub fn section(&self, id: u32) -> Result<&[u8], FormatError> {
+        self.sections
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, p)| p.as_slice())
+            .ok_or(FormatError::MissingSection(id))
+    }
+
+    /// Serializes the container.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), FormatError> {
+        w.write_all(&self.magic)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.sections.len() as u32).to_le_bytes())?;
+        for (id, payload) in &self.sections {
+            w.write_all(&id.to_le_bytes())?;
+            w.write_all(&(payload.len() as u64).to_le_bytes())?;
+            w.write_all(payload)?;
+        }
+        Ok(())
+    }
+
+    /// Parses a container, checking the magic.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError`] on magic/version mismatch or truncated input.
+    pub fn read_from(r: &mut impl Read, expected_magic: [u8; 4]) -> Result<Self, FormatError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if magic != expected_magic {
+            return Err(FormatError::BadMagic {
+                found: magic,
+                expected: expected_magic,
+            });
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(FormatError::BadVersion(version));
+        }
+        let count = read_u32(r)? as usize;
+        if count > 1024 {
+            return Err(FormatError::Corrupt("unreasonable section count"));
+        }
+        let mut sections = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = read_u32(r)?;
+            let len = read_u64(r)? as usize;
+            if len > (1 << 32) {
+                return Err(FormatError::Corrupt("unreasonable section length"));
+            }
+            let mut payload = vec![0u8; len];
+            r.read_exact(&mut payload)?;
+            sections.push((id, payload));
+        }
+        Ok(Container { magic, sections })
+    }
+}
+
+pub(crate) fn read_u32(r: &mut impl Read) -> Result<u32, FormatError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+pub(crate) fn read_u64(r: &mut impl Read) -> Result<u64, FormatError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// A growable little-endian payload writer (section bodies are built with
+/// it; it also appears in the [`crate::FieldCodec`] interface).
+#[derive(Debug, Default)]
+pub struct Payload(pub Vec<u8>);
+
+impl Payload {
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.0.extend_from_slice(b);
+    }
+}
+
+/// A cursor over a payload with bounds-checked primitive reads.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::Corrupt`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, FormatError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::Corrupt`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, FormatError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::Corrupt`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+        if self.pos + n > self.data.len() {
+            return Err(FormatError::Corrupt("truncated section"));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    /// Whether every byte has been consumed.
+    pub fn finished(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn container_roundtrip() {
+        let mut c = Container::new(*b"test");
+        c.push_section(1, vec![1, 2, 3]);
+        c.push_section(7, vec![]);
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let back = Container::read_from(&mut buf.as_slice(), *b"test").unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.section(1).unwrap(), &[1, 2, 3]);
+        assert!(back.section(7).unwrap().is_empty());
+        assert!(matches!(
+            back.section(9),
+            Err(FormatError::MissingSection(9))
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut c = Container::new(*b"aaaa");
+        c.push_section(1, vec![5]);
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let err = Container::read_from(&mut buf.as_slice(), *b"bbbb").unwrap_err();
+        assert!(matches!(err, FormatError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let mut c = Container::new(*b"test");
+        c.push_section(1, vec![0u8; 100]);
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(Container::read_from(&mut buf.as_slice(), *b"test").is_err());
+    }
+
+    #[test]
+    fn cursor_bounds_checks() {
+        let data = [1u8, 0, 0, 0, 9];
+        let mut c = Cursor::new(&data);
+        assert_eq!(c.u32().unwrap(), 1);
+        assert!(!c.finished());
+        assert!(c.u32().is_err(), "only one byte left");
+    }
+}

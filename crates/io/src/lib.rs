@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Sectioned binary file formats for the zkperf toolchain — the equivalents
+//! of snarkjs/circom's `.r1cs`, `.wtns`, `.zkey` and proof files.
+//!
+//! Every reader validates its input: magics and versions are checked,
+//! section payloads are bounds-checked, field elements must be canonical,
+//! and every curve point is checked for curve membership, so corrupt or
+//! adversarial files surface as [`FormatError`]s rather than bad crypto.
+//!
+//! # Examples
+//!
+//! ```
+//! use zkperf_circuit::library::exponentiate;
+//! use zkperf_ff::bn254::Fr;
+//! use zkperf_io::{read_r1cs, write_r1cs};
+//!
+//! let circuit = exponentiate::<Fr>(4);
+//! let mut bytes = Vec::new();
+//! write_r1cs(&mut bytes, circuit.r1cs())?;
+//! let back = read_r1cs::<Fr>(&mut bytes.as_slice())?;
+//! assert_eq!(&back, circuit.r1cs());
+//! # Ok::<(), zkperf_io::FormatError>(())
+//! ```
+
+mod codec;
+mod files;
+mod format;
+
+pub use codec::{decode_point_compressed, encode_point_compressed, FieldCodec};
+pub use files::{
+    read_proof, read_r1cs, read_vkey, read_witness, read_zkey, write_proof, write_r1cs,
+    write_vkey, write_witness, write_zkey,
+};
+pub use format::{Container, Cursor, FormatError, Payload, VERSION};

@@ -1,0 +1,64 @@
+//! Property-based tests of the container format and file readers:
+//! roundtrips under arbitrary payloads, and no panics on arbitrary bytes.
+
+use proptest::prelude::*;
+
+use zkperf_ff::bn254::Fr;
+use zkperf_io::{read_proof, read_r1cs, read_vkey, read_witness, read_zkey, Container};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn container_roundtrips_arbitrary_sections(
+        sections in proptest::collection::vec(
+            (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..200)),
+            0..8,
+        )
+    ) {
+        let mut c = Container::new(*b"prop");
+        for (id, payload) in &sections {
+            c.push_section(*id, payload.clone());
+        }
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let back = Container::read_from(&mut buf.as_slice(), *b"prop").unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn readers_never_panic_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        // Every reader must fail gracefully (or, vanishingly unlikely,
+        // parse) — never panic or loop.
+        let _ = read_r1cs::<Fr>(&mut bytes.as_slice());
+        let _ = read_witness::<Fr>(&mut bytes.as_slice());
+        let _ = read_zkey::<zkperf_ec::Bn254>(&mut bytes.as_slice());
+        let _ = read_vkey::<zkperf_ec::Bn254>(&mut bytes.as_slice());
+        let _ = read_proof::<zkperf_ec::Bn254>(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn readers_never_panic_on_truncated_valid_files(cut in 1usize..200) {
+        let circuit = zkperf_circuit::library::exponentiate::<Fr>(4);
+        let mut buf = Vec::new();
+        zkperf_io::write_r1cs(&mut buf, circuit.r1cs()).unwrap();
+        let cut = cut.min(buf.len().saturating_sub(1));
+        buf.truncate(buf.len() - cut);
+        prop_assert!(read_r1cs::<Fr>(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn witness_files_roundtrip_random_values(
+        limbs in proptest::collection::vec(any::<u64>(), 1..12)
+    ) {
+        use zkperf_ff::{BigUint, PrimeField};
+        let values: Vec<Fr> = limbs
+            .chunks(2)
+            .map(|c| Fr::from_biguint(&BigUint::from_limbs(c)))
+            .collect();
+        let mut buf = Vec::new();
+        zkperf_io::write_witness(&mut buf, &values).unwrap();
+        let back = read_witness::<Fr>(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, values);
+    }
+}

@@ -1,0 +1,111 @@
+//! A gshare branch predictor with 2-bit saturating counters.
+
+/// Branch predictor state.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    table: Vec<u8>,
+    history: u64,
+    history_mask: u64,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with `history_bits` bits of global history (the
+    /// pattern table has `2^history_bits` two-bit counters).
+    pub fn new(history_bits: u32) -> Self {
+        assert!((1..=24).contains(&history_bits), "history bits out of range");
+        BranchPredictor {
+            table: vec![1; 1 << history_bits], // weakly not-taken
+            history: 0,
+            history_mask: (1u64 << history_bits) - 1,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    /// Records the outcome of a branch at static site `site`; returns
+    /// whether the predictor got it right.
+    pub fn record(&mut self, site: u64, taken: bool) -> bool {
+        let idx = ((site ^ self.history) & self.history_mask) as usize;
+        let counter = &mut self.table[idx];
+        let predicted_taken = *counter >= 2;
+        let correct = predicted_taken == taken;
+        self.predictions += 1;
+        if !correct {
+            self.mispredictions += 1;
+        }
+        if taken {
+            *counter = (*counter + 1).min(3);
+        } else {
+            *counter = counter.saturating_sub(1);
+        }
+        self.history = ((self.history << 1) | u64::from(taken)) & self.history_mask;
+        correct
+    }
+
+    /// Branches observed.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Branches mispredicted.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Misprediction rate in `[0, 1]` (0 when nothing was observed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_constant_branch() {
+        let mut p = BranchPredictor::new(10);
+        for _ in 0..1000 {
+            p.record(42, true);
+        }
+        // After warmup the always-taken branch is predicted correctly.
+        assert!(p.miss_rate() < 0.02, "rate {}", p.miss_rate());
+    }
+
+    #[test]
+    fn learns_an_alternating_pattern() {
+        let mut p = BranchPredictor::new(10);
+        for i in 0..2000u32 {
+            p.record(7, i % 2 == 0);
+        }
+        // gshare captures period-2 patterns through history.
+        assert!(p.miss_rate() < 0.05, "rate {}", p.miss_rate());
+    }
+
+    #[test]
+    fn random_branches_mispredict_heavily() {
+        let mut p = BranchPredictor::new(12);
+        let mut state = 0x12345678u64;
+        for _ in 0..20000 {
+            // xorshift pseudo-randomness.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            p.record(9, state & 1 == 1);
+        }
+        let rate = p.miss_rate();
+        assert!(rate > 0.3, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "history bits")]
+    fn rejects_degenerate_history() {
+        let _ = BranchPredictor::new(0);
+    }
+}

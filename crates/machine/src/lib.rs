@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! A trace-driven CPU microarchitecture simulator — the zkperf substitute
+//! for Intel VTune, Linux perf, and DynamoRIO.
+//!
+//! The instrumented ZKP crates emit their real execution events (micro-ops,
+//! memory addresses, branch outcomes) through [`zkperf_trace`]; this crate
+//! consumes them with [`MachineSim`], which models one of the paper's three
+//! CPUs ([`CpuProfile`]) — set-associative L1I/L1D/L2/LLC caches, a gshare
+//! branch predictor, an instruction-fetch model sensitive to the execution
+//! environment ([`ExecEnv`]), a DRAM bandwidth window, and a first-order
+//! top-down cycle account — and produces a [`MachineReport`] with the
+//! paper's metrics (Fig. 4 top-down split, Table II MPKI, Table III
+//! bandwidth, Fig. 5 loads/stores).
+
+mod branch;
+mod cache;
+mod profile;
+mod report;
+mod sim;
+
+pub use branch::BranchPredictor;
+pub use cache::{Cache, HitLevel};
+pub use profile::{CacheGeometry, CoreConfig, CpuProfile, DramConfig, ExecEnv};
+pub use report::{MachineReport, TopdownBreakdown};
+pub use sim::{MachineSim, SharedSim};

@@ -1,0 +1,250 @@
+//! Parametric CPU descriptions for the three machines in the paper's
+//! Table I, extended with the microarchitectural parameters the simulator
+//! needs (documented per field; values from public spec sheets).
+
+use serde::Serialize;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets).
+    pub fn sets(&self) -> usize {
+        let sets = self.size_bytes / (self.ways * self.line_bytes);
+        assert!(sets > 0, "invalid cache geometry");
+        // Non-power-of-two set counts (e.g. the i9's 36 MiB LLC) are
+        // indexed by modulo, as sliced LLCs effectively do.
+        sets
+    }
+}
+
+/// DRAM subsystem parameters (paper Table I: type, channels, peak BW).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DramConfig {
+    /// Number of populated channels.
+    pub channels: usize,
+    /// Peak bandwidth in GB/s.
+    pub peak_gbps: f64,
+    /// Round-trip miss-to-DRAM latency in core cycles.
+    pub latency_cycles: u64,
+}
+
+/// Core counts and SMT, for the scalability model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CoreConfig {
+    /// Performance cores.
+    pub p_cores: usize,
+    /// Efficiency cores (0 on the i7/i5).
+    pub e_cores: usize,
+    /// Total hardware threads with SMT enabled.
+    pub smt_threads: usize,
+}
+
+/// A complete simulated CPU.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CpuProfile {
+    /// Display name matching the paper ("i7-8650U", ...).
+    pub name: &'static str,
+    /// Micro-op issue/retire width per cycle.
+    pub issue_width: u64,
+    /// Core frequency in GHz (used only to convert cycles to seconds for
+    /// bandwidth figures).
+    pub freq_ghz: f64,
+    /// L1 instruction cache.
+    pub l1i: CacheGeometry,
+    /// L1 data cache.
+    pub l1d: CacheGeometry,
+    /// Unified per-core L2.
+    pub l2: CacheGeometry,
+    /// Shared last-level cache (paper Table I).
+    pub llc: CacheGeometry,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// LLC hit latency in cycles.
+    pub llc_latency: u64,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+    /// Cores and threads.
+    pub cores: CoreConfig,
+    /// Pipeline flush penalty per branch mispredict, in cycles.
+    pub flush_penalty: u64,
+    /// Memory-level parallelism: how many outstanding misses overlap.
+    pub mlp: f64,
+    /// gshare history bits for the branch predictor.
+    pub branch_history_bits: u32,
+    /// Front-end bubble cycles per retired µop at `ExecEnv::Wasm`
+    /// (scaled by [`ExecEnv::frontend_multiplier`]): captures decode/uop-cache
+    /// strength. The i7's legacy decoder makes it the most front-end
+    /// limited; the i9's wide front end hides most dispatch overhead.
+    pub frontend_tax: f64,
+}
+
+const fn geometry(size_bytes: usize, ways: usize) -> CacheGeometry {
+    CacheGeometry {
+        size_bytes,
+        ways,
+        line_bytes: 64,
+    }
+}
+
+impl CpuProfile {
+    /// Intel i7-8650U (Kaby Lake-R): 4 P-cores, LPDDR3 ×2ch 34.1 GB/s,
+    /// 8 MiB LLC, 4-wide.
+    pub fn i7_8650u() -> CpuProfile {
+        CpuProfile {
+            name: "i7-8650U",
+            issue_width: 4,
+            freq_ghz: 4.2,
+            l1i: geometry(32 << 10, 8),
+            l1d: geometry(32 << 10, 8),
+            l2: geometry(256 << 10, 4),
+            llc: geometry(8 << 20, 16),
+            l2_latency: 12,
+            llc_latency: 42,
+            dram: DramConfig {
+                channels: 2,
+                peak_gbps: 34.1,
+                latency_cycles: 280,
+            },
+            cores: CoreConfig {
+                p_cores: 4,
+                e_cores: 0,
+                smt_threads: 8,
+            },
+            flush_penalty: 16,
+            mlp: 4.0,
+            branch_history_bits: 12,
+            frontend_tax: 0.32,
+        }
+    }
+
+    /// Intel i5-11400 (Rocket Lake): 6 P-cores, DDR4 ×1ch 17.0 GB/s,
+    /// 12 MiB LLC, 5-wide.
+    pub fn i5_11400() -> CpuProfile {
+        CpuProfile {
+            name: "i5-11400",
+            issue_width: 5,
+            freq_ghz: 4.4,
+            l1i: geometry(32 << 10, 8),
+            l1d: geometry(48 << 10, 12),
+            l2: geometry(512 << 10, 8),
+            llc: geometry(12 << 20, 12),
+            l2_latency: 13,
+            llc_latency: 48,
+            dram: DramConfig {
+                channels: 1,
+                peak_gbps: 17.0,
+                latency_cycles: 310,
+            },
+            cores: CoreConfig {
+                p_cores: 6,
+                e_cores: 0,
+                smt_threads: 12,
+            },
+            flush_penalty: 17,
+            mlp: 5.0,
+            branch_history_bits: 13,
+            frontend_tax: 0.16,
+        }
+    }
+
+    /// Intel i9-13900K (Raptor Lake): 8P + 16E cores, DDR5 ×4ch 89.6 GB/s,
+    /// 36 MiB LLC, 6-wide.
+    pub fn i9_13900k() -> CpuProfile {
+        CpuProfile {
+            name: "i9-13900K",
+            issue_width: 6,
+            freq_ghz: 5.8,
+            l1i: geometry(32 << 10, 8),
+            l1d: geometry(48 << 10, 12),
+            l2: geometry(2 << 20, 16),
+            llc: geometry(36 << 20, 12),
+            l2_latency: 15,
+            llc_latency: 56,
+            dram: DramConfig {
+                channels: 4,
+                peak_gbps: 89.6,
+                latency_cycles: 330,
+            },
+            cores: CoreConfig {
+                p_cores: 8,
+                e_cores: 16,
+                smt_threads: 32,
+            },
+            flush_penalty: 18,
+            mlp: 8.0,
+            branch_history_bits: 14,
+            frontend_tax: 0.05,
+        }
+    }
+
+    /// The three CPUs of the paper's experimental setup, in Table I order.
+    pub fn paper_cpus() -> Vec<CpuProfile> {
+        vec![Self::i7_8650u(), Self::i5_11400(), Self::i9_13900k()]
+    }
+}
+
+/// How a protocol stage executes. The tier scales the CPU's front-end tax
+/// and sets the instruction-side code footprint, which is what pushes the
+/// paper's witness/verifying stages into the front-end-bound category
+/// while the wasm-kernel stages (setup/proving) stay core/memory bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ExecEnv {
+    /// Ahead-of-time compiled native code (circom).
+    Native,
+    /// JIT-compiled wasm hot loops (snarkjs setup/proving run inside
+    /// wasmcurves kernels): moderate dispatch overhead.
+    Wasm,
+    /// JS-level interpretation (snarkjs witness/verify orchestration):
+    /// heavy dispatch and inline-cache traffic.
+    Interpreted,
+}
+
+impl ExecEnv {
+    /// Multiplier applied to the CPU's per-µop front-end tax.
+    pub fn frontend_multiplier(self) -> f64 {
+        match self {
+            ExecEnv::Native => 0.1,
+            ExecEnv::Wasm => 1.0,
+            ExecEnv::Interpreted => 6.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_values_are_reflected() {
+        let cpus = CpuProfile::paper_cpus();
+        assert_eq!(cpus.len(), 3);
+        assert_eq!(cpus[0].llc.size_bytes, 8 << 20);
+        assert_eq!(cpus[1].llc.size_bytes, 12 << 20);
+        assert_eq!(cpus[2].llc.size_bytes, 36 << 20);
+        assert_eq!(cpus[0].dram.peak_gbps, 34.1);
+        assert_eq!(cpus[1].dram.peak_gbps, 17.0);
+        assert_eq!(cpus[2].dram.peak_gbps, 89.6);
+        assert_eq!(cpus[2].cores.e_cores, 16);
+        assert_eq!(cpus[2].cores.smt_threads, 32);
+    }
+
+    #[test]
+    fn cache_geometry_sets() {
+        let g = geometry(32 << 10, 8);
+        assert_eq!(g.sets(), 64);
+        assert_eq!(CpuProfile::i9_13900k().llc.sets(), 49152);
+    }
+}

@@ -1,0 +1,197 @@
+//! The simulator's output: raw counters plus the paper's derived metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Top-down pipeline-slot breakdown (percentages summing to ~100).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopdownBreakdown {
+    /// Slots lost to instruction supply (fetch/decode/dispatch).
+    pub frontend_bound: f64,
+    /// Slots lost to mispredicted work being flushed.
+    pub bad_speculation: f64,
+    /// Slots lost waiting on execution resources and memory.
+    pub backend_bound: f64,
+    /// Slots that retired useful micro-ops.
+    pub retiring: f64,
+}
+
+impl TopdownBreakdown {
+    /// The dominant category's name, as the paper's Fig. 4 discussion uses.
+    pub fn dominant(&self) -> &'static str {
+        let pairs = [
+            ("frontend", self.frontend_bound),
+            ("bad_speculation", self.bad_speculation),
+            ("backend", self.backend_bound),
+            ("retiring", self.retiring),
+        ];
+        pairs
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty")
+            .0
+    }
+}
+
+/// Everything one simulated run measured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineReport {
+    /// CPU the run was simulated on.
+    pub cpu: String,
+    /// Retired compute micro-ops.
+    pub compute_uops: u64,
+    /// Retired control micro-ops.
+    pub control_uops: u64,
+    /// Retired data micro-ops.
+    pub data_uops: u64,
+    /// Load operations issued.
+    pub loads: u64,
+    /// Store operations issued.
+    pub stores: u64,
+    /// L1D line misses.
+    pub l1d_misses: u64,
+    /// L2 line misses (data side).
+    pub l2_misses: u64,
+    /// LLC line misses (data side, loads + stores).
+    pub llc_misses: u64,
+    /// LLC line misses caused by loads only (the MPKI numerator).
+    pub llc_load_misses: u64,
+    /// L1I line misses.
+    pub l1i_misses: u64,
+    /// Conditional branches observed.
+    pub branches: u64,
+    /// Branches mispredicted by the gshare model.
+    pub mispredicts: u64,
+    /// Bytes transferred to/from DRAM.
+    pub dram_bytes: u64,
+    /// Minor page faults (first touch of a page).
+    pub page_faults: u64,
+    /// Cycles retiring micro-ops.
+    pub cycles_retiring: f64,
+    /// Cycles of front-end stall.
+    pub cycles_frontend: f64,
+    /// Cycles lost to flushes.
+    pub cycles_bad_spec: f64,
+    /// Cycles of back-end (memory/resource) stall.
+    pub cycles_backend: f64,
+    /// Peak DRAM bandwidth over any accounting window, GB/s.
+    pub peak_dram_gbps: f64,
+    /// Core frequency used for time conversion, GHz.
+    pub freq_ghz: f64,
+}
+
+impl MachineReport {
+    /// Total retired micro-ops (the MPKI denominator).
+    pub fn total_uops(&self) -> u64 {
+        self.compute_uops + self.control_uops + self.data_uops
+    }
+
+    /// Total modeled cycles.
+    pub fn total_cycles(&self) -> f64 {
+        self.cycles_retiring + self.cycles_frontend + self.cycles_bad_spec + self.cycles_backend
+    }
+
+    /// Modeled wall-clock seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total_cycles() / (self.freq_ghz * 1e9)
+    }
+
+    /// LLC load misses per kilo-instruction (paper Table II).
+    pub fn llc_load_mpki(&self) -> f64 {
+        let total = self.total_uops();
+        if total == 0 {
+            return 0.0;
+        }
+        1000.0 * self.llc_load_misses as f64 / total as f64
+    }
+
+    /// Average DRAM bandwidth over the whole run, GB/s.
+    pub fn avg_dram_gbps(&self) -> f64 {
+        let secs = self.seconds();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.dram_bytes as f64 / secs / 1e9
+    }
+
+    /// The top-down percentage split (paper Fig. 4).
+    pub fn topdown(&self) -> TopdownBreakdown {
+        let total = self.total_cycles();
+        if total == 0.0 {
+            return TopdownBreakdown {
+                frontend_bound: 0.0,
+                bad_speculation: 0.0,
+                backend_bound: 0.0,
+                retiring: 100.0,
+            };
+        }
+        TopdownBreakdown {
+            frontend_bound: 100.0 * self.cycles_frontend / total,
+            bad_speculation: 100.0 * self.cycles_bad_spec / total,
+            backend_bound: 100.0 * self.cycles_backend / total,
+            retiring: 100.0 * self.cycles_retiring / total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MachineReport {
+        MachineReport {
+            cpu: "test".into(),
+            compute_uops: 600,
+            control_uops: 200,
+            data_uops: 200,
+            loads: 100,
+            stores: 50,
+            l1d_misses: 20,
+            l2_misses: 10,
+            llc_misses: 5,
+            llc_load_misses: 4,
+            l1i_misses: 1,
+            branches: 100,
+            mispredicts: 10,
+            dram_bytes: 320,
+            page_faults: 2,
+            cycles_retiring: 250.0,
+            cycles_frontend: 100.0,
+            cycles_bad_spec: 150.0,
+            cycles_backend: 500.0,
+            peak_dram_gbps: 12.5,
+            freq_ghz: 4.0,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = sample();
+        assert_eq!(r.total_uops(), 1000);
+        assert_eq!(r.total_cycles(), 1000.0);
+        assert_eq!(r.llc_load_mpki(), 4.0);
+        assert!((r.seconds() - 1000.0 / 4e9).abs() < 1e-12);
+        let td = r.topdown();
+        assert_eq!(td.retiring, 25.0);
+        assert_eq!(td.frontend_bound, 10.0);
+        assert_eq!(td.bad_speculation, 15.0);
+        assert_eq!(td.backend_bound, 50.0);
+        assert_eq!(td.dominant(), "backend");
+        let sum = td.retiring + td.frontend_bound + td.bad_speculation + td.backend_bound;
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_well_defined() {
+        let mut r = sample();
+        r.compute_uops = 0;
+        r.control_uops = 0;
+        r.data_uops = 0;
+        assert_eq!(r.llc_load_mpki(), 0.0);
+        r.cycles_retiring = 0.0;
+        r.cycles_frontend = 0.0;
+        r.cycles_bad_spec = 0.0;
+        r.cycles_backend = 0.0;
+        assert_eq!(r.topdown().retiring, 100.0);
+        assert_eq!(r.avg_dram_gbps(), 0.0);
+    }
+}

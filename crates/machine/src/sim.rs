@@ -1,0 +1,539 @@
+//! The trace-driven microarchitecture simulator.
+//!
+//! Implements [`EventSink`]: installed into a `zkperf_trace::Session`, it
+//! observes the real event stream of an instrumented ZKP run and models a
+//! target CPU — cache hierarchy, gshare branch prediction, instruction
+//! fetch, and a first-order cycle account split into the four top-down
+//! categories. This is the suite's substitute for VTune/perf/DynamoRIO
+//! (see DESIGN.md §2).
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use zkperf_trace::{EventSink, FunctionId, OpClass};
+
+use crate::branch::BranchPredictor;
+use crate::cache::Cache;
+use crate::profile::{CpuProfile, ExecEnv};
+use crate::report::MachineReport;
+
+/// Synthetic code-space base so instruction fetches never alias data.
+const CODE_SPACE_BASE: usize = 1 << 46;
+/// Synthetic heap-metadata region touched by allocator events.
+const HEAP_META_BASE: usize = (1 << 46) + (1 << 40);
+/// Per-region code footprint for natively compiled stages.
+const NATIVE_FOOTPRINT: usize = 16 << 10;
+/// Code footprint of the interpreter/runtime for interpreted stages: the
+/// dispatch loop, inline caches and JIT stubs sweep a much larger I-side
+/// working set, which is the mechanism behind snarkjs' front-end boundness.
+const INTERPRETED_FOOTPRINT: usize = 768 << 10;
+/// Extra hard-to-predict indirect dispatch branch every N retired µops when
+/// interpreted.
+const DISPATCH_BRANCH_EVERY: u64 = 24;
+/// Bandwidth accounting window, in cycles.
+const WINDOW_CYCLES: f64 = 500_000.0;
+/// Kernel cycles charged per minor page fault (first touch of a page).
+const PAGE_FAULT_CYCLES: f64 = 1200.0;
+/// Page size for the first-touch model.
+const PAGE_BYTES: usize = 4096;
+/// Effective memory-level parallelism when the hardware prefetcher locks
+/// onto a sequential miss stream (zkey/witness streaming phases).
+const STREAM_MLP: f64 = 24.0;
+/// Sequential miss streams tracked simultaneously (real L2 prefetchers
+/// track 16-32; memcpy needs at least 2 for its src/dst pair).
+const PREFETCH_STREAMS: usize = 4;
+/// Back-end dependency-stall cycles per retired compute µop: the long
+/// multiply chains of big-integer kernels keep ports busy well below the
+/// issue width.
+const CORE_STALL_PER_COMPUTE_UOP: f64 = 0.5;
+
+/// The simulator state (one protocol-stage run on one CPU).
+#[derive(Debug)]
+pub struct MachineSim {
+    profile: CpuProfile,
+    env: ExecEnv,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    llc: Cache,
+    bp: BranchPredictor,
+
+    compute_uops: u64,
+    control_uops: u64,
+    data_uops: u64,
+    loads: u64,
+    stores: u64,
+    llc_load_misses: u64,
+    llc_data_misses: u64,
+    l2_data_misses: u64,
+    l1d_misses: u64,
+    branches: u64,
+    mispredicts: u64,
+    dram_bytes: u64,
+
+    cycles_retiring: f64,
+    cycles_frontend: f64,
+    cycles_bad_spec: f64,
+    cycles_backend: f64,
+
+    region_stack: Vec<FunctionId>,
+    code_cursor: usize,
+    dispatch_counter: u64,
+    dispatch_lfsr: u64,
+
+    window_start_cycles: f64,
+    window_dram_bytes: u64,
+    peak_window_bytes_per_cycle: f64,
+    alloc_cursor: usize,
+    touched_pages: HashSet<usize>,
+    page_faults: u64,
+    miss_streams: [usize; PREFETCH_STREAMS],
+    next_stream_slot: usize,
+    /// Minimum cycles one 64-byte line can take at the DRAM pin bandwidth.
+    dram_line_floor_cycles: f64,
+}
+
+impl MachineSim {
+    /// Builds a cold simulator for `profile` running code in `env`.
+    pub fn new(profile: CpuProfile, env: ExecEnv) -> Self {
+        let floor_cycles = 64.0 * profile.freq_ghz / profile.dram.peak_gbps;
+        MachineSim {
+            l1i: Cache::new(profile.l1i),
+            l1d: Cache::new(profile.l1d),
+            l2: Cache::new(profile.l2),
+            llc: Cache::new(profile.llc),
+            bp: BranchPredictor::new(profile.branch_history_bits),
+            profile,
+            env,
+            compute_uops: 0,
+            control_uops: 0,
+            data_uops: 0,
+            loads: 0,
+            stores: 0,
+            llc_load_misses: 0,
+            llc_data_misses: 0,
+            l2_data_misses: 0,
+            l1d_misses: 0,
+            branches: 0,
+            mispredicts: 0,
+            dram_bytes: 0,
+            cycles_retiring: 0.0,
+            cycles_frontend: 0.0,
+            cycles_bad_spec: 0.0,
+            cycles_backend: 0.0,
+            region_stack: Vec::new(),
+            code_cursor: 0,
+            dispatch_counter: 0,
+            dispatch_lfsr: 0xace1_2468_9bdf_1357,
+            window_start_cycles: 0.0,
+            window_dram_bytes: 0,
+            peak_window_bytes_per_cycle: 0.0,
+            alloc_cursor: 0,
+            touched_pages: HashSet::new(),
+            page_faults: 0,
+            miss_streams: [usize::MAX - 1; PREFETCH_STREAMS],
+            next_stream_slot: 0,
+            dram_line_floor_cycles: floor_cycles,
+        }
+    }
+
+    /// Wraps the simulator for use as a tracing sink while keeping a handle
+    /// to read it back after the session:
+    ///
+    /// ```
+    /// use zkperf_machine::{CpuProfile, ExecEnv, MachineSim};
+    /// use zkperf_trace as trace;
+    ///
+    /// let (sink, handle) = MachineSim::new(CpuProfile::i7_8650u(), ExecEnv::Native).shared();
+    /// let session = trace::Session::begin_with_sink(Box::new(sink));
+    /// trace::compute(100);
+    /// drop(session.finish());
+    /// let report = handle.borrow().report();
+    /// assert_eq!(report.compute_uops, 100);
+    /// ```
+    pub fn shared(self) -> (SharedSim, Rc<RefCell<MachineSim>>) {
+        let rc = Rc::new(RefCell::new(self));
+        (SharedSim(Rc::clone(&rc)), rc)
+    }
+
+    fn total_cycles(&self) -> f64 {
+        self.cycles_retiring + self.cycles_frontend + self.cycles_bad_spec + self.cycles_backend
+    }
+
+    fn add_dram_line(&mut self) {
+        self.dram_bytes += 64;
+        self.window_dram_bytes += 64;
+    }
+
+    fn roll_window(&mut self) {
+        let now = self.total_cycles();
+        if now - self.window_start_cycles >= WINDOW_CYCLES {
+            let rate = self.window_dram_bytes as f64 / (now - self.window_start_cycles);
+            if rate > self.peak_window_bytes_per_cycle {
+                self.peak_window_bytes_per_cycle = rate;
+            }
+            self.window_start_cycles = now;
+            self.window_dram_bytes = 0;
+        }
+    }
+
+    /// Walks a data access through the hierarchy, charging back-end stall
+    /// cycles and DRAM traffic.
+    fn data_access(&mut self, addr: usize, bytes: u32, is_load: bool) {
+        if is_load {
+            self.loads += 1;
+        } else {
+            self.stores += 1;
+        }
+        // Minor page fault on the first touch of each page (the paper's
+        // Table IV lists the page-fault exception handler as a hot
+        // function; it fires on demand-zero pages of freshly allocated
+        // witness vectors and key sections).
+        if self.touched_pages.insert(addr / PAGE_BYTES) {
+            self.page_faults += 1;
+            self.cycles_backend += PAGE_FAULT_CYCLES;
+        }
+        let l1_misses = self.l1d.access_range(addr, bytes as usize);
+        if l1_misses == 0 {
+            return;
+        }
+        self.l1d_misses += l1_misses;
+        let mut stall = 0.0;
+        for line in 0..l1_misses {
+            let line_addr = (addr & !63) + (line as usize) * 64;
+            if self.l2.access(line_addr) == crate::cache::HitLevel::Hit {
+                stall += self.profile.l2_latency as f64;
+            } else {
+                self.l2_data_misses += 1;
+                if self.llc.access(line_addr) == crate::cache::HitLevel::Hit {
+                    stall += self.profile.llc_latency as f64;
+                } else {
+                    self.llc_data_misses += 1;
+                    if is_load {
+                        self.llc_load_misses += 1;
+                    }
+                    // Sequential miss streams engage the prefetcher: the
+                    // effective MLP rises and the cost floor becomes the
+                    // DRAM pin bandwidth; pointer-chasing misses pay the
+                    // full latency divided by the core's ordinary MLP.
+                    // Several concurrent streams are tracked so that e.g. a
+                    // copy's source and destination both prefetch.
+                    let this_line = line_addr / 64;
+                    let mut streamed = false;
+                    for s in self.miss_streams.iter_mut() {
+                        if this_line == s.wrapping_add(1) {
+                            *s = this_line;
+                            streamed = true;
+                            break;
+                        }
+                    }
+                    if !streamed {
+                        self.miss_streams[self.next_stream_slot] = this_line;
+                        self.next_stream_slot =
+                            (self.next_stream_slot + 1) % PREFETCH_STREAMS;
+                    }
+                    let mlp = if streamed { STREAM_MLP } else { self.profile.mlp };
+                    stall += (self.profile.dram.latency_cycles as f64 / mlp)
+                        .max(self.dram_line_floor_cycles)
+                        * self.profile.mlp; // re-scaled below with the others
+                    self.add_dram_line();
+                }
+            }
+        }
+        self.cycles_backend += stall / self.profile.mlp;
+        self.roll_window();
+    }
+
+    fn ifetch(&mut self, fetch_bytes: usize) {
+        let (base, footprint) = match (self.region_stack.last(), self.env) {
+            (Some(id), ExecEnv::Native) => (
+                CODE_SPACE_BASE + id.index() * NATIVE_FOOTPRINT * 4,
+                NATIVE_FOOTPRINT,
+            ),
+            (None, ExecEnv::Native) => (CODE_SPACE_BASE, NATIVE_FOOTPRINT),
+            // JIT-compiled wasm kernels are tight loops that live in the
+            // L1I/uop cache; only the JS-level stages sweep the full
+            // runtime footprint.
+            (_, ExecEnv::Wasm) => (CODE_SPACE_BASE, 12 << 10),
+            // All interpreted regions share the runtime's large footprint.
+            (_, ExecEnv::Interpreted) => (CODE_SPACE_BASE, INTERPRETED_FOOTPRINT),
+        };
+        self.code_cursor = (self.code_cursor + fetch_bytes) % footprint;
+        let addr = base + self.code_cursor;
+        if self.l1i.access(addr) == crate::cache::HitLevel::Miss {
+            // I-side misses stall the front end for an L2 round trip.
+            self.cycles_frontend += self.profile.l2_latency as f64;
+        }
+    }
+
+    /// Extracts the finished report.
+    pub fn report(&self) -> MachineReport {
+        MachineReport {
+            cpu: self.profile.name.to_string(),
+            compute_uops: self.compute_uops,
+            control_uops: self.control_uops,
+            data_uops: self.data_uops,
+            loads: self.loads,
+            stores: self.stores,
+            l1d_misses: self.l1d_misses,
+            l2_misses: self.l2_data_misses,
+            llc_misses: self.llc_data_misses,
+            llc_load_misses: self.llc_load_misses,
+            l1i_misses: self.l1i.misses(),
+            branches: self.branches,
+            mispredicts: self.mispredicts,
+            dram_bytes: self.dram_bytes,
+            cycles_retiring: self.cycles_retiring,
+            cycles_frontend: self.cycles_frontend,
+            cycles_bad_spec: self.cycles_bad_spec,
+            cycles_backend: self.cycles_backend,
+            page_faults: self.page_faults,
+            peak_dram_gbps: {
+                // bytes/cycle → GB/s at the core frequency; include the
+                // still-open window in case it is the densest one.
+                let now = self.total_cycles();
+                let open = if now > self.window_start_cycles {
+                    self.window_dram_bytes as f64 / (now - self.window_start_cycles)
+                } else {
+                    0.0
+                };
+                self.peak_window_bytes_per_cycle.max(open) * self.profile.freq_ghz
+            },
+            freq_ghz: self.profile.freq_ghz,
+        }
+    }
+}
+
+impl EventSink for MachineSim {
+    fn retire(&mut self, class: OpClass, uops: u32) {
+        match class {
+            OpClass::Compute => self.compute_uops += u64::from(uops),
+            OpClass::Control => self.control_uops += u64::from(uops),
+            OpClass::Data => self.data_uops += u64::from(uops),
+        }
+        let u = f64::from(uops);
+        self.cycles_retiring += u / self.profile.issue_width as f64;
+        if class == OpClass::Compute {
+            self.cycles_backend += u * CORE_STALL_PER_COMPUTE_UOP;
+        }
+        self.ifetch(uops as usize * 4);
+        self.cycles_frontend +=
+            u * self.profile.frontend_tax * self.env.frontend_multiplier();
+        if self.env != ExecEnv::Native {
+            // Periodic dispatch branch; mostly regular (the runtime loops
+            // over the same bytecode), occasionally surprising.
+            self.dispatch_counter += u64::from(uops);
+            while self.dispatch_counter >= DISPATCH_BRANCH_EVERY {
+                self.dispatch_counter -= DISPATCH_BRANCH_EVERY;
+                self.dispatch_lfsr = self.dispatch_lfsr.wrapping_add(0x9e37_79b9);
+                self.branch(0x7777, self.dispatch_lfsr % 11 != 0);
+            }
+        }
+    }
+
+    fn load(&mut self, addr: usize, bytes: u32) {
+        self.data_access(addr, bytes, true);
+    }
+
+    fn store(&mut self, addr: usize, bytes: u32) {
+        self.data_access(addr, bytes, false);
+    }
+
+    fn branch(&mut self, site: u64, taken: bool) {
+        self.branches += 1;
+        if !self.bp.record(site, taken) {
+            self.mispredicts += 1;
+            self.cycles_bad_spec += self.profile.flush_penalty as f64;
+        }
+    }
+
+    fn alloc(&mut self, bytes: usize) {
+        // Allocator metadata touches: free-list probe + header write.
+        let meta = HEAP_META_BASE + (self.alloc_cursor % (1 << 16));
+        self.alloc_cursor += 128 + (bytes & 0xfff);
+        self.data_access(meta, 16, true);
+        self.data_access(meta, 16, false);
+    }
+
+    fn memcpy(&mut self, dst: usize, src: usize, bytes: usize) {
+        // Stream both buffers through the hierarchy line by line.
+        let lines = bytes.div_ceil(64).max(1);
+        for i in 0..lines {
+            self.data_access(src + i * 64, 8, true);
+            self.data_access(dst + i * 64, 8, false);
+        }
+    }
+
+    fn enter_region(&mut self, id: FunctionId) {
+        self.region_stack.push(id);
+        // A call transfers control: costs a front-end redirect.
+        self.cycles_frontend += 1.0;
+    }
+
+    fn exit_region(&mut self) {
+        self.region_stack.pop();
+    }
+}
+
+/// A cloneable [`EventSink`] handle onto a shared [`MachineSim`], so the
+/// simulator can be recovered after `Session::finish`.
+#[derive(Debug)]
+pub struct SharedSim(Rc<RefCell<MachineSim>>);
+
+impl EventSink for SharedSim {
+    fn retire(&mut self, class: OpClass, uops: u32) {
+        self.0.borrow_mut().retire(class, uops);
+    }
+    fn load(&mut self, addr: usize, bytes: u32) {
+        self.0.borrow_mut().load(addr, bytes);
+    }
+    fn store(&mut self, addr: usize, bytes: u32) {
+        self.0.borrow_mut().store(addr, bytes);
+    }
+    fn branch(&mut self, site: u64, taken: bool) {
+        self.0.borrow_mut().branch(site, taken);
+    }
+    fn alloc(&mut self, bytes: usize) {
+        self.0.borrow_mut().alloc(bytes);
+    }
+    fn memcpy(&mut self, dst: usize, src: usize, bytes: usize) {
+        self.0.borrow_mut().memcpy(dst, src, bytes);
+    }
+    fn enter_region(&mut self, id: FunctionId) {
+        self.0.borrow_mut().enter_region(id);
+    }
+    fn exit_region(&mut self) {
+        self.0.borrow_mut().exit_region();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(env: ExecEnv) -> MachineSim {
+        MachineSim::new(CpuProfile::i7_8650u(), env)
+    }
+
+    #[test]
+    fn retire_accumulates_and_costs_cycles() {
+        let mut s = sim(ExecEnv::Native);
+        s.retire(OpClass::Compute, 40);
+        s.retire(OpClass::Data, 8);
+        let r = s.report();
+        assert_eq!(r.compute_uops, 40);
+        assert_eq!(r.data_uops, 8);
+        assert!((r.cycles_retiring - 12.0).abs() < 1e-9, "48 uops / width 4");
+    }
+
+    #[test]
+    fn repeated_loads_hit_after_warmup() {
+        let mut s = sim(ExecEnv::Native);
+        s.load(0x1000, 32);
+        let cold = s.report();
+        assert_eq!(cold.l1d_misses, 1);
+        assert_eq!(cold.llc_misses, 1);
+        assert_eq!(cold.dram_bytes, 64);
+        s.load(0x1000, 32);
+        let warm = s.report();
+        assert_eq!(warm.l1d_misses, 1, "second access hits L1");
+    }
+
+    #[test]
+    fn streaming_a_large_buffer_misses_llc() {
+        let mut s = sim(ExecEnv::Native);
+        // Stream 32 MiB (4× the i7's LLC) twice: second pass still misses.
+        let total = 32 << 20;
+        for pass in 0..2 {
+            for addr in (0..total).step_by(64) {
+                s.load(addr, 8);
+            }
+            let misses = s.report().llc_misses;
+            let accesses = ((pass + 1) * total / 64) as u64;
+            assert!(
+                misses > accesses * 9 / 10,
+                "pass {pass}: {misses} misses of {accesses}"
+            );
+        }
+        let r = s.report();
+        assert_eq!(r.llc_load_misses, r.llc_misses, "all misses were loads");
+        assert!(r.dram_bytes as usize > 32 << 20, "most lines came from DRAM");
+    }
+
+    #[test]
+    fn interpreted_env_is_more_frontend_bound() {
+        let run = |env| {
+            let mut s = sim(env);
+            for i in 0..200_000u64 {
+                s.retire(OpClass::Compute, 4);
+                s.branch(1, i % 7 == 0);
+            }
+            s.report().topdown().frontend_bound
+        };
+        let native = run(ExecEnv::Native);
+        let interp = run(ExecEnv::Interpreted);
+        assert!(
+            interp > native + 10.0,
+            "interpreted {interp:.1}% vs native {native:.1}%"
+        );
+    }
+
+    #[test]
+    fn mispredicts_charge_bad_speculation() {
+        let mut s = sim(ExecEnv::Native);
+        let mut state = 0x9e3779b9u64;
+        for _ in 0..50_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            s.branch(3, state & 1 == 1);
+        }
+        let r = s.report();
+        assert!(r.mispredicts > 10_000);
+        assert!(r.cycles_bad_spec > 0.0);
+    }
+
+    #[test]
+    fn memcpy_streams_both_buffers() {
+        let mut s = sim(ExecEnv::Native);
+        s.memcpy(0x10_0000, 0x20_0000, 4096);
+        let r = s.report();
+        assert_eq!(r.loads, 64);
+        assert_eq!(r.stores, 64);
+        assert_eq!(r.dram_bytes, 128 * 64);
+    }
+
+    #[test]
+    fn shared_handle_recovers_state_after_session() {
+        use zkperf_trace as trace;
+        let (sink, handle) = sim(ExecEnv::Native).shared();
+        let session = trace::Session::begin_with_sink(Box::new(sink));
+        trace::compute(10);
+        trace::load(0x4000, 8);
+        drop(session.finish());
+        let r = handle.borrow().report();
+        assert_eq!(r.compute_uops, 10);
+        assert_eq!(r.loads, 1);
+    }
+
+    #[test]
+    fn bigger_llc_misses_less_on_medium_working_set() {
+        // 16 MiB working set: thrashes the i7's 8 MiB LLC, fits the i9's 36 MiB.
+        let run = |profile: CpuProfile| {
+            let mut s = MachineSim::new(profile, ExecEnv::Native);
+            for _ in 0..3 {
+                for addr in (0..16 << 20).step_by(64) {
+                    s.load(addr, 8);
+                }
+            }
+            s.report().llc_misses
+        };
+        let small = run(CpuProfile::i7_8650u());
+        let big = run(CpuProfile::i9_13900k());
+        assert!(
+            big * 2 < small,
+            "i9 ({big}) should miss far less than i7 ({small})"
+        );
+    }
+}

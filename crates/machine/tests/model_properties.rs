@@ -1,0 +1,99 @@
+//! Property-based tests of the microarchitecture models: cache inclusion
+//! of behaviour under permutation, predictor bounds, and top-down
+//! consistency under random event streams.
+
+use proptest::prelude::*;
+
+use zkperf_machine::{BranchPredictor, Cache, CacheGeometry, CpuProfile, ExecEnv, MachineSim};
+use zkperf_trace::{EventSink, OpClass};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cache_hits_plus_misses_equals_accesses(
+        addrs in proptest::collection::vec(0usize..1 << 20, 1..500)
+    ) {
+        let mut c = Cache::new(CacheGeometry { size_bytes: 8 << 10, ways: 4, line_bytes: 64 });
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+    }
+
+    #[test]
+    fn repeating_a_small_working_set_converges_to_hits(
+        lines in proptest::collection::vec(0usize..32, 1..32)
+    ) {
+        // 32 distinct lines fit easily in a 16 KiB cache: after a warm pass
+        // every access hits.
+        let mut c = Cache::new(CacheGeometry { size_bytes: 16 << 10, ways: 8, line_bytes: 64 });
+        for &l in &lines {
+            c.access(l * 64);
+        }
+        let warm_misses = c.misses();
+        for _ in 0..3 {
+            for &l in &lines {
+                c.access(l * 64);
+            }
+        }
+        prop_assert_eq!(c.misses(), warm_misses, "no new misses after warmup");
+    }
+
+    #[test]
+    fn predictor_miss_rate_is_bounded(
+        outcomes in proptest::collection::vec(any::<bool>(), 10..2000)
+    ) {
+        let mut p = BranchPredictor::new(10);
+        for &t in &outcomes {
+            p.record(17, t);
+        }
+        prop_assert_eq!(p.predictions(), outcomes.len() as u64);
+        prop_assert!(p.mispredictions() <= p.predictions());
+        prop_assert!((0.0..=1.0).contains(&p.miss_rate()));
+    }
+
+    #[test]
+    fn topdown_fractions_always_sum_to_100(
+        events in proptest::collection::vec(
+            prop_oneof![
+                (0u32..100).prop_map(|u| (0u8, u as usize)),   // retire compute
+                (0usize..1 << 24).prop_map(|a| (1u8, a)),       // load
+                (0usize..1 << 24).prop_map(|a| (2u8, a)),       // store
+                any::<bool>().prop_map(|t| (3u8, t as usize)),  // branch
+            ],
+            1..400,
+        ),
+        interpreted in any::<bool>(),
+    ) {
+        let env = if interpreted { ExecEnv::Interpreted } else { ExecEnv::Native };
+        let mut sim = MachineSim::new(CpuProfile::i5_11400(), env);
+        for (kind, val) in events {
+            match kind {
+                0 => sim.retire(OpClass::Compute, val as u32),
+                1 => sim.load(val, 8),
+                2 => sim.store(val, 8),
+                _ => sim.branch(9, val == 1),
+            }
+        }
+        let r = sim.report();
+        let td = r.topdown();
+        let sum = td.frontend_bound + td.bad_speculation + td.backend_bound + td.retiring;
+        prop_assert!((sum - 100.0).abs() < 1e-6, "sum {sum}");
+        prop_assert!(td.frontend_bound >= 0.0 && td.backend_bound >= 0.0);
+        prop_assert!(r.llc_load_mpki() >= 0.0);
+    }
+
+    #[test]
+    fn dram_bytes_are_line_multiples(addrs in proptest::collection::vec(0usize..1 << 28, 1..300)) {
+        let mut sim = MachineSim::new(CpuProfile::i7_8650u(), ExecEnv::Native);
+        for &a in &addrs {
+            sim.load(a, 32);
+        }
+        let r = sim.report();
+        prop_assert_eq!(r.dram_bytes % 64, 0);
+        prop_assert!(r.llc_load_misses <= r.llc_misses);
+        prop_assert!(r.llc_misses <= r.l2_misses);
+        prop_assert!(r.l2_misses <= r.l1d_misses);
+    }
+}

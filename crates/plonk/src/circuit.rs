@@ -1,0 +1,265 @@
+//! PLONK arithmetization: selector vectors and the copy-constraint
+//! permutation, derived from a compiled `zkperf-circuit` circuit.
+
+use zkperf_ff::PrimeField;
+use zkperf_poly::Radix2Domain;
+use zkperf_trace as trace;
+
+use zkperf_circuit::{LinearCombination, R1cs};
+
+/// Why a circuit could not be arithmetized for PLONK.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArithmetizeError {
+    /// A constraint side had more than one wire term; this PLONK front end
+    /// supports the single-wire-per-slot gate form the benchmark circuits
+    /// use (each R1CS row `cₐ·wₐ × c_b·w_b = c_c·w_c`).
+    UnsupportedConstraint {
+        /// Index of the offending R1CS row.
+        row: usize,
+    },
+    /// The padded gate count exceeds the field's FFT domain.
+    TooManyGates {
+        /// Gates requested.
+        gates: usize,
+    },
+}
+
+impl std::fmt::Display for ArithmetizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArithmetizeError::UnsupportedConstraint { row } => {
+                write!(f, "constraint {row} is not in single-wire gate form")
+            }
+            ArithmetizeError::TooManyGates { gates } => {
+                write!(f, "{gates} gates exceed the FFT domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArithmetizeError {}
+
+/// One wire reference per gate slot.
+pub(crate) type WireId = usize;
+
+/// A PLONK circuit: selector columns, per-gate wire assignments, and the
+/// copy-constraint permutation, all sized to a power-of-two domain.
+///
+/// Gate equation (per row `i`):
+/// `q_L·a + q_R·b + q_O·c + q_M·a·b + q_C + PI(i) = 0`.
+#[derive(Debug, Clone)]
+pub struct PlonkCircuit<F: PrimeField> {
+    /// Domain size (padded number of gates).
+    pub n: usize,
+    /// Left-input selector.
+    pub q_l: Vec<F>,
+    /// Right-input selector.
+    pub q_r: Vec<F>,
+    /// Output selector.
+    pub q_o: Vec<F>,
+    /// Multiplication selector.
+    pub q_m: Vec<F>,
+    /// Constant selector.
+    pub q_c: Vec<F>,
+    /// Wire id feeding each gate's a/b/c slot.
+    pub wires: [Vec<WireId>; 3],
+    /// σ as encoded field values per column (k_col·ω^row of the linked slot).
+    pub sigma: [Vec<F>; 3],
+    /// Rows carrying public inputs (gate `q_L = 1` pinning wire = input).
+    pub public_rows: Vec<usize>,
+    /// Total wires in the underlying witness vector.
+    pub num_wires: usize,
+    /// The coset labels (k₀ = 1, k₁, k₂) used by the permutation encoding.
+    pub coset_ks: [F; 3],
+}
+
+fn single_term<F: PrimeField>(
+    lc: &LinearCombination<F>,
+    row: usize,
+) -> Result<(WireId, F), ArithmetizeError> {
+    match lc.terms() {
+        [] => Ok((0, F::zero())), // the constant-one wire with coefficient 0
+        [(v, c)] => Ok((v.index(), *c)),
+        _ => Err(ArithmetizeError::UnsupportedConstraint { row }),
+    }
+}
+
+impl<F: PrimeField> PlonkCircuit<F> {
+    /// Arithmetizes an R1CS whose rows are in single-wire form
+    /// (`cₐwₐ · c_b w_b = c_c w_c`): each row becomes one multiplication
+    /// gate, and each public wire gets one input-pinning gate.
+    ///
+    /// # Errors
+    ///
+    /// [`ArithmetizeError::UnsupportedConstraint`] for multi-term rows,
+    /// [`ArithmetizeError::TooManyGates`] past the FFT limit.
+    pub fn from_r1cs(r1cs: &R1cs<F>) -> Result<Self, ArithmetizeError> {
+        let _g = trace::region_profile("plonk_arithmetize");
+        let num_public = r1cs.num_public_wires();
+        let raw_gates = r1cs.num_constraints() + num_public;
+        let n = raw_gates.next_power_of_two().max(4);
+        if Radix2Domain::<F>::new(4 * n).is_none() {
+            return Err(ArithmetizeError::TooManyGates { gates: raw_gates });
+        }
+
+        let zero = vec![F::zero(); n];
+        let mut q_l = zero.clone();
+        let q_r = zero.clone();
+        let mut q_o = zero.clone();
+        let mut q_m = zero.clone();
+        let q_c = zero.clone();
+        let mut wires = [vec![0usize; n], vec![0usize; n], vec![0usize; n]];
+        let mut public_rows = Vec::with_capacity(num_public);
+
+        // Public-input rows first: q_L·a + PI = 0 pins wire a to the input.
+        for (row, wire) in (0..num_public).enumerate() {
+            q_l[row] = F::one();
+            wires[0][row] = wire;
+            // Unused slots alias the a-wire so the copy constraint is
+            // trivially satisfied.
+            wires[1][row] = wire;
+            wires[2][row] = wire;
+            public_rows.push(row);
+        }
+
+        // One multiplication gate per R1CS row:
+        // (cₐwₐ)(c_b w_b) = c_c w_c  ⇒  q_M = cₐc_b, q_O = −c_c.
+        for (i, cst) in r1cs.constraints().iter().enumerate() {
+            let row = num_public + i;
+            let (wa, ca) = single_term(&cst.a, i)?;
+            let (wb, cb) = single_term(&cst.b, i)?;
+            let (wc, cc) = single_term(&cst.c, i)?;
+            q_m[row] = ca * cb;
+            q_o[row] = -cc;
+            wires[0][row] = wa;
+            wires[1][row] = wb;
+            wires[2][row] = wc;
+            trace::control(2);
+        }
+        // Padding rows: all-zero selectors, wires alias wire 0 (the
+        // constant-one wire, present in every witness).
+
+        // Copy-constraint permutation: cycle the positions of each wire.
+        let domain = Radix2Domain::<F>::new(n).expect("checked above");
+        let ks = Self::coset_labels(&domain);
+        let encode = |col: usize, row: usize| ks[col] * domain.element(row);
+        let mut positions: Vec<Vec<(usize, usize)>> = vec![Vec::new(); r1cs.num_wires()];
+        for col in 0..3 {
+            for row in 0..n {
+                positions[wires[col][row]].push((col, row));
+            }
+        }
+        let mut sigma = [zero.clone(), zero.clone(), zero];
+        for cycle in &positions {
+            for (i, &(col, row)) in cycle.iter().enumerate() {
+                let (ncol, nrow) = cycle[(i + 1) % cycle.len()];
+                sigma[col][row] = encode(ncol, nrow);
+            }
+        }
+
+        Ok(PlonkCircuit {
+            n,
+            q_l,
+            q_r,
+            q_o,
+            q_m,
+            q_c,
+            wires,
+            sigma,
+            public_rows,
+            num_wires: r1cs.num_wires(),
+            coset_ks: ks,
+        })
+    }
+
+    /// Picks coset labels `1, k₁, k₂` such that `H`, `k₁H`, `k₂H` are
+    /// pairwise disjoint (kᵢⁿ ≠ 1 and (k₁/k₂)ⁿ ≠ 1).
+    fn coset_labels(domain: &Radix2Domain<F>) -> [F; 3] {
+        let n = domain.size() as u64;
+        let in_h = |v: F| v.pow(&zkperf_ff::BigUint::from_u64(n)).is_one();
+        let mut candidates = (2u64..).map(F::from_u64);
+        let k1 = candidates
+            .by_ref()
+            .find(|&k| !in_h(k))
+            .expect("non-coset element exists");
+        let k2 = candidates
+            .find(|&k| {
+                !in_h(k) && !in_h(k * k1.inverse().expect("k1 != 0"))
+            })
+            .expect("second coset exists");
+        [F::one(), k1, k2]
+    }
+
+    /// Gate-slot values `(a, b, c)` columns drawn from a full R1CS witness.
+    pub fn wire_columns(&self, witness: &[F]) -> [Vec<F>; 3] {
+        let col = |c: usize| -> Vec<F> {
+            self.wires[c].iter().map(|&w| witness[w]).collect()
+        };
+        [col(0), col(1), col(2)]
+    }
+
+    /// Public-input values (from the witness prefix) in row order.
+    pub fn public_values(&self, witness: &[F]) -> Vec<F> {
+        self.public_rows.iter().map(|&r| witness[r]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_ff::Field;
+    use zkperf_circuit::library::exponentiate;
+    use zkperf_ff::bn254::Fr;
+
+    #[test]
+    fn exponentiate_arithmetizes() {
+        let circuit = exponentiate::<Fr>(6);
+        let plonk = PlonkCircuit::from_r1cs(circuit.r1cs()).unwrap();
+        // 6 constraints + 3 public wires (1, y, x) = 9 gates → n = 16.
+        assert_eq!(plonk.n, 16);
+        assert_eq!(plonk.public_rows.len(), 3);
+        // Gate equation holds row-by-row on a real witness.
+        let w = circuit.generate_witness(&[Fr::from_u64(2)], &[]).unwrap();
+        let cols = plonk.wire_columns(w.full());
+        let pi = plonk.public_values(w.full());
+        for row in 0..plonk.n {
+            let (a, b, c) = (cols[0][row], cols[1][row], cols[2][row]);
+            let mut acc = plonk.q_l[row] * a
+                + plonk.q_r[row] * b
+                + plonk.q_o[row] * c
+                + plonk.q_m[row] * a * b
+                + plonk.q_c[row];
+            if let Some(idx) = plonk.public_rows.iter().position(|&r| r == row) {
+                acc -= pi[idx];
+            }
+            assert!(acc.is_zero(), "gate {row} violated");
+        }
+    }
+
+    #[test]
+    fn sigma_is_a_permutation_of_encoded_positions() {
+        let circuit = exponentiate::<Fr>(4);
+        let plonk = PlonkCircuit::from_r1cs(circuit.r1cs()).unwrap();
+        let domain = Radix2Domain::<Fr>::new(plonk.n).unwrap();
+        let mut all: Vec<Fr> = Vec::new();
+        let mut images: Vec<Fr> = Vec::new();
+        for col in 0..3 {
+            for row in 0..plonk.n {
+                all.push(plonk.coset_ks[col] * domain.element(row));
+                images.push(plonk.sigma[col][row]);
+            }
+        }
+        all.sort();
+        images.sort();
+        assert_eq!(all, images, "σ permutes the 3n encoded slots");
+    }
+
+    #[test]
+    fn multi_term_constraints_are_rejected() {
+        // x + y = z uses a multi-term LC: (x + y)·1 = z.
+        let src = "circuit s { public input x; private input y; output z = x + y; }";
+        let circuit = zkperf_circuit::lang::compile::<Fr>(src).unwrap();
+        let err = PlonkCircuit::from_r1cs(circuit.r1cs()).unwrap_err();
+        assert!(matches!(err, ArithmetizeError::UnsupportedConstraint { .. }));
+    }
+}

@@ -1,0 +1,219 @@
+//! KZG polynomial commitments over a pairing engine.
+
+use rand::Rng;
+
+use zkperf_ec::{msm, Affine, Engine, FixedBaseTable, Projective};
+use zkperf_ff::Field;
+use zkperf_poly::DensePolynomial;
+use zkperf_trace as trace;
+
+/// A structured reference string `([τⁱ]₁ for i ≤ degree, [1]₂, [τ]₂)`.
+#[derive(Debug, Clone)]
+pub struct Srs<E: Engine> {
+    /// G1 powers of τ.
+    pub g1_powers: Vec<Affine<E::G1>>,
+    /// `[1]₂`.
+    pub g2: Affine<E::G2>,
+    /// `[τ]₂`.
+    pub g2_tau: Affine<E::G2>,
+}
+
+/// A commitment to a polynomial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Commitment<E: Engine>(pub Affine<E::G1>);
+
+/// An opening witness `[q(τ)]₁` for `q = (p − p(z))/(x − z)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpeningProof<E: Engine>(pub Affine<E::G1>);
+
+impl<E: Engine> Srs<E> {
+    /// Samples a fresh SRS supporting polynomials up to `max_degree`.
+    ///
+    /// τ is drawn from `rng` and dropped (trusted setup).
+    pub fn generate<R: Rng + ?Sized>(max_degree: usize, rng: &mut R) -> Self {
+        let _g = trace::region_profile("kzg_srs");
+        let tau = loop {
+            let t = E::Fr::random(rng);
+            if !t.is_zero() {
+                break t;
+            }
+        };
+        let mut scalars = Vec::with_capacity(max_degree + 1);
+        let mut acc = E::Fr::one();
+        for _ in 0..=max_degree {
+            scalars.push(acc);
+            acc *= tau;
+        }
+        let table = FixedBaseTable::new(&Projective::<E::G1>::generator());
+        let g1_powers = table.mul_batch(&scalars);
+        let g2gen = Projective::<E::G2>::generator();
+        Srs {
+            g1_powers,
+            g2: g2gen.to_affine(),
+            g2_tau: (g2gen * tau).to_affine(),
+        }
+    }
+
+    /// Highest committable degree.
+    pub fn max_degree(&self) -> usize {
+        self.g1_powers.len() - 1
+    }
+
+    /// Commits to `p` as `[p(τ)]₁`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.degree()` exceeds the SRS.
+    pub fn commit(&self, p: &DensePolynomial<E::Fr>) -> Commitment<E> {
+        let _g = trace::region_profile("kzg_commit");
+        assert!(
+            p.is_zero() || p.degree() <= self.max_degree(),
+            "polynomial degree {} exceeds SRS degree {}",
+            p.degree(),
+            self.max_degree()
+        );
+        Commitment(msm(&self.g1_powers[..p.coeffs().len().max(1)], p.coeffs()).to_affine())
+    }
+
+    /// Opens `p` at `z`: returns `(p(z), [q(τ)]₁)`.
+    pub fn open(&self, p: &DensePolynomial<E::Fr>, z: E::Fr) -> (E::Fr, OpeningProof<E>) {
+        let _g = trace::region_profile("kzg_open");
+        let y = p.evaluate(z);
+        // q = (p − y) / (x − z), exact by construction.
+        let shifted = p - &DensePolynomial::new(vec![y]);
+        let divisor = DensePolynomial::new(vec![-z, E::Fr::one()]);
+        let (q, rem) = shifted.divide(&divisor);
+        debug_assert!(rem.is_zero(), "division must be exact at an evaluation");
+        (y, OpeningProof(self.commit(&q).0))
+    }
+
+    /// Verifies that `commitment` opens to `value` at `z`:
+    /// `e(C − y·G₁, G₂) = e(W, [τ]₂ − z·G₂)`.
+    pub fn verify_opening(
+        &self,
+        commitment: &Commitment<E>,
+        z: E::Fr,
+        value: E::Fr,
+        proof: &OpeningProof<E>,
+    ) -> bool {
+        let g1 = Projective::<E::G1>::generator();
+        let c_minus_y = commitment.0.to_projective() + (g1 * value).neg();
+        let tau_minus_z =
+            self.g2_tau.to_projective() + (Projective::<E::G2>::generator() * z).neg();
+        // e(C − yG, G₂) · e(−W, [τ−z]₂) == 1
+        let lhs = E::multi_pairing(
+            &[c_minus_y.to_affine(), proof.0.neg()],
+            &[self.g2, tau_minus_z.to_affine()],
+        );
+        lhs.is_one()
+    }
+
+    /// Verifies a ν-batched opening of several `(commitment, value)` pairs
+    /// at the same point `z` with one pairing check.
+    pub fn verify_batched_opening(
+        &self,
+        items: &[(Commitment<E>, E::Fr)],
+        z: E::Fr,
+        nu: E::Fr,
+        proof: &OpeningProof<E>,
+    ) -> bool {
+        let mut combined = Projective::<E::G1>::identity();
+        let mut combined_value = E::Fr::zero();
+        let mut power = E::Fr::one();
+        for (c, y) in items {
+            combined += c.0.to_projective() * power;
+            combined_value += *y * power;
+            power *= nu;
+        }
+        self.verify_opening(&Commitment(combined.to_affine()), z, combined_value, proof)
+    }
+
+    /// Produces the ν-batched opening witness matching
+    /// [`verify_batched_opening`](Self::verify_batched_opening).
+    pub fn open_batched(
+        &self,
+        polys: &[&DensePolynomial<E::Fr>],
+        z: E::Fr,
+        nu: E::Fr,
+    ) -> (Vec<E::Fr>, OpeningProof<E>) {
+        let values: Vec<E::Fr> = polys.iter().map(|p| p.evaluate(z)).collect();
+        let mut combined = DensePolynomial::zero();
+        let mut power = E::Fr::one();
+        for p in polys {
+            let scaled =
+                DensePolynomial::new(p.coeffs().iter().map(|&c| c * power).collect());
+            combined = &combined + &scaled;
+            power *= nu;
+        }
+        let (_, proof) = self.open(&combined, z);
+        (values, proof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_ec::Bn254;
+    use zkperf_ff::bn254::Fr;
+
+    fn srs(deg: usize) -> Srs<Bn254> {
+        let mut rng = zkperf_ff::test_rng();
+        Srs::generate(deg, &mut rng)
+    }
+
+    fn poly(cs: &[u64]) -> DensePolynomial<Fr> {
+        DensePolynomial::new(cs.iter().map(|&c| Fr::from_u64(c)).collect())
+    }
+
+    #[test]
+    fn open_verify_roundtrip() {
+        let srs = srs(8);
+        let p = poly(&[5, 0, 3, 1]); // 5 + 3x² + x³
+        let c = srs.commit(&p);
+        let z = Fr::from_u64(7);
+        let (y, w) = srs.open(&p, z);
+        assert_eq!(y, p.evaluate(z));
+        assert!(srs.verify_opening(&c, z, y, &w));
+        // A wrong value fails.
+        assert!(!srs.verify_opening(&c, z, y + Fr::one(), &w));
+        // A wrong point fails.
+        assert!(!srs.verify_opening(&c, z + Fr::one(), y, &w));
+    }
+
+    #[test]
+    fn commitment_is_binding_across_polynomials() {
+        let srs = srs(8);
+        let c1 = srs.commit(&poly(&[1, 2, 3]));
+        let c2 = srs.commit(&poly(&[1, 2, 4]));
+        assert_ne!(c1, c2);
+        // Zero polynomial commits to the identity.
+        assert!(srs.commit(&DensePolynomial::zero()).0.infinity);
+    }
+
+    #[test]
+    fn batched_opening_verifies_and_rejects_corruption() {
+        let srs = srs(8);
+        let polys = [poly(&[1, 1]), poly(&[9, 0, 2]), poly(&[4])];
+        let refs: Vec<&DensePolynomial<Fr>> = polys.iter().collect();
+        let commits: Vec<Commitment<Bn254>> =
+            polys.iter().map(|p| srs.commit(p)).collect();
+        let z = Fr::from_u64(11);
+        let nu = Fr::from_u64(33);
+        let (values, proof) = srs.open_batched(&refs, z, nu);
+        let items: Vec<(Commitment<Bn254>, Fr)> =
+            commits.iter().copied().zip(values.iter().copied()).collect();
+        assert!(srs.verify_batched_opening(&items, z, nu, &proof));
+        let mut bad = items.clone();
+        bad[1].1 += Fr::one();
+        assert!(!srs.verify_batched_opening(&bad, z, nu, &proof));
+        // Different nu breaks the binding between proof and batch.
+        assert!(!srs.verify_batched_opening(&items, z, nu + Fr::one(), &proof));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds SRS")]
+    fn oversized_polynomial_is_rejected() {
+        let srs = srs(2);
+        let _ = srs.commit(&poly(&[1, 2, 3, 4]));
+    }
+}

@@ -1,0 +1,513 @@
+//! The PLONK protocol: setup, prove, verify.
+//!
+//! This is the "unlinearized" KZG-PLONK variant: the prover opens every
+//! committed polynomial (wires, permutation accumulator, selectors, σ
+//! columns, quotient) at the evaluation challenge and the verifier checks
+//! the quotient identity numerically, rather than through the linearization
+//! polynomial of the original paper. Proofs carry a few more field elements
+//! but the algebra is identical, and the prover cost profile — the thing
+//! this suite measures — matches vanilla PLONK: one more wire commitment
+//! and several more FFT passes than Groth16, which is exactly why the paper
+//! reports PlonK proving at about twice the Groth16 time. Blinding factors
+//! are omitted (this suite characterizes performance, not deployments);
+//! soundness is unaffected.
+
+use rand::Rng;
+
+use zkperf_circuit::R1cs;
+use zkperf_ec::Engine;
+use zkperf_ff::{BigUint, Field, PrimeField};
+use zkperf_poly::{DensePolynomial, Radix2Domain};
+use zkperf_trace as trace;
+
+use crate::circuit::{ArithmetizeError, PlonkCircuit};
+use crate::kzg::{Commitment, OpeningProof, Srs};
+use crate::transcript::Transcript;
+
+/// Polynomials opened at ζ, in transcript order.
+const OPENED_AT_ZETA: usize = 13;
+
+/// The prover's key material.
+#[derive(Debug, Clone)]
+pub struct PlonkProverKey<E: Engine> {
+    circuit: PlonkCircuit<E::Fr>,
+    srs: Srs<E>,
+    vk: PlonkVerifyingKey<E>,
+}
+
+/// The verifier's key material.
+#[derive(Debug, Clone)]
+pub struct PlonkVerifyingKey<E: Engine> {
+    /// Domain size.
+    pub n: usize,
+    /// Commitments to `q_L, q_R, q_O, q_M, q_C`.
+    pub q_commits: [Commitment<E>; 5],
+    /// Commitments to `S_σ1, S_σ2, S_σ3`.
+    pub sigma_commits: [Commitment<E>; 3],
+    /// Coset labels of the permutation encoding.
+    pub coset_ks: [E::Fr; 3],
+    /// Rows carrying public inputs.
+    pub public_rows: Vec<usize>,
+    /// `[1]₂` and `[τ]₂` plus the G1 powers needed for verification.
+    pub srs: Srs<E>,
+}
+
+/// A PLONK proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlonkProof<E: Engine> {
+    /// Commitments `[a], [b], [c]` to the wire polynomials.
+    pub wire_commits: [Commitment<E>; 3],
+    /// Commitment `[z]` to the permutation accumulator.
+    pub z_commit: Commitment<E>,
+    /// Commitment `[t]` to the quotient polynomial.
+    pub t_commit: Commitment<E>,
+    /// Evaluations at ζ, in protocol order:
+    /// `a, b, c, z, s₁, s₂, s₃, q_L, q_R, q_O, q_M, q_C, t`.
+    pub evals_zeta: [E::Fr; OPENED_AT_ZETA],
+    /// `z(ζω)`.
+    pub z_omega_eval: E::Fr,
+    /// Batched opening witness at ζ.
+    pub w_zeta: OpeningProof<E>,
+    /// Opening witness for `z` at ζω.
+    pub w_zeta_omega: OpeningProof<E>,
+}
+
+/// Errors from [`plonk_setup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlonkError {
+    /// Arithmetization failed.
+    Arithmetize(ArithmetizeError),
+    /// Witness length does not match the circuit.
+    WitnessLength {
+        /// Wires expected.
+        expected: usize,
+        /// Wires supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PlonkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlonkError::Arithmetize(e) => write!(f, "arithmetization failed: {e}"),
+            PlonkError::WitnessLength { expected, got } => {
+                write!(f, "witness has {got} wires, circuit expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlonkError {}
+
+impl From<ArithmetizeError> for PlonkError {
+    fn from(e: ArithmetizeError) -> Self {
+        PlonkError::Arithmetize(e)
+    }
+}
+
+fn interpolate<F: PrimeField>(domain: &Radix2Domain<F>, evals: &[F]) -> DensePolynomial<F> {
+    DensePolynomial::interpolate(domain, evals)
+}
+
+/// Montgomery batch inversion (one field inversion for the whole slice).
+fn batch_inverse<F: PrimeField>(values: &[F]) -> Vec<F> {
+    let mut prefix = Vec::with_capacity(values.len());
+    let mut acc = F::one();
+    for &v in values {
+        prefix.push(acc);
+        acc *= v;
+    }
+    let mut inv = acc.inverse().expect("no zero among divisors");
+    let mut out = vec![F::zero(); values.len()];
+    for i in (0..values.len()).rev() {
+        out[i] = prefix[i] * inv;
+        inv *= values[i];
+    }
+    out
+}
+
+/// Runs the PLONK setup over `r1cs`: arithmetizes, samples an SRS of size
+/// `4n`, and commits the preprocessed polynomials.
+///
+/// # Errors
+///
+/// Returns [`PlonkError::Arithmetize`] for circuits outside the supported
+/// gate form or too large for the field's FFT domain.
+pub fn plonk_setup<E: Engine, R: Rng + ?Sized>(
+    r1cs: &R1cs<E::Fr>,
+    rng: &mut R,
+) -> Result<PlonkProverKey<E>, PlonkError> {
+    let _g = trace::region_profile("plonk_setup");
+    let circuit = PlonkCircuit::from_r1cs(r1cs)?;
+    let n = circuit.n;
+    let srs = Srs::<E>::generate(4 * n + 8, rng);
+    let domain = Radix2Domain::<E::Fr>::new(n).expect("checked by arithmetization");
+
+    let commit_evals = |evals: &[E::Fr]| srs.commit(&interpolate(&domain, evals));
+    let q_commits = [
+        commit_evals(&circuit.q_l),
+        commit_evals(&circuit.q_r),
+        commit_evals(&circuit.q_o),
+        commit_evals(&circuit.q_m),
+        commit_evals(&circuit.q_c),
+    ];
+    let sigma_commits = [
+        commit_evals(&circuit.sigma[0]),
+        commit_evals(&circuit.sigma[1]),
+        commit_evals(&circuit.sigma[2]),
+    ];
+    let vk = PlonkVerifyingKey {
+        n,
+        q_commits,
+        sigma_commits,
+        coset_ks: circuit.coset_ks,
+        public_rows: circuit.public_rows.clone(),
+        srs: srs.clone(),
+    };
+    Ok(PlonkProverKey { circuit, srs, vk })
+}
+
+impl<E: Engine> PlonkProverKey<E> {
+    /// The embedded verification key.
+    pub fn vk(&self) -> &PlonkVerifyingKey<E> {
+        &self.vk
+    }
+}
+
+fn absorb_vk<E: Engine>(t: &mut Transcript<E::Fr>, vk: &PlonkVerifyingKey<E>)
+where
+    <E::G1 as zkperf_ec::CurveParams>::Base: PrimeField,
+{
+    t.absorb(E::Fr::from_u64(vk.n as u64));
+    for c in vk.q_commits.iter().chain(vk.sigma_commits.iter()) {
+        t.absorb_point(&c.0);
+    }
+}
+
+/// Produces a PLONK proof for the full R1CS `witness`.
+///
+/// # Errors
+///
+/// Returns [`PlonkError::WitnessLength`] when the witness was generated
+/// for a different circuit.
+pub fn plonk_prove<E: Engine>(
+    pk: &PlonkProverKey<E>,
+    witness: &[E::Fr],
+) -> Result<PlonkProof<E>, PlonkError>
+where
+    <E::G1 as zkperf_ec::CurveParams>::Base: PrimeField,
+{
+    let _g = trace::region_profile("plonk_prove");
+    let circuit = &pk.circuit;
+    if witness.len() != circuit.num_wires {
+        return Err(PlonkError::WitnessLength {
+            expected: circuit.num_wires,
+            got: witness.len(),
+        });
+    }
+    let n = circuit.n;
+    let domain = Radix2Domain::<E::Fr>::new(n).expect("valid by construction");
+    let omega = domain.group_gen();
+    let [k0, k1, k2] = circuit.coset_ks;
+
+    let cols = circuit.wire_columns(witness);
+    let pi_values = circuit.public_values(witness);
+    let mut pi_evals = vec![E::Fr::zero(); n];
+    for (&row, &v) in circuit.public_rows.iter().zip(&pi_values) {
+        pi_evals[row] = -v;
+    }
+
+    // Round 1: wire polynomials.
+    let a_poly = interpolate(&domain, &cols[0]);
+    let b_poly = interpolate(&domain, &cols[1]);
+    let c_poly = interpolate(&domain, &cols[2]);
+    let wire_commits = [
+        pk.srs.commit(&a_poly),
+        pk.srs.commit(&b_poly),
+        pk.srs.commit(&c_poly),
+    ];
+
+    let mut transcript = Transcript::<E::Fr>::new(0x504c_4f4e); // "PLON"
+    absorb_vk::<E>(&mut transcript, &pk.vk);
+    for v in &pi_values {
+        transcript.absorb(*v);
+    }
+    for c in &wire_commits {
+        transcript.absorb_point(&c.0);
+    }
+    let beta = transcript.challenge();
+    let gamma = transcript.challenge();
+
+    // Round 2: permutation accumulator z.
+    let mut z_evals = Vec::with_capacity(n);
+    let mut acc = E::Fr::one();
+    let mut denominators = Vec::with_capacity(n);
+    let mut numerators = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = domain.element(i);
+        let num = (cols[0][i] + beta * k0 * x + gamma)
+            * (cols[1][i] + beta * k1 * x + gamma)
+            * (cols[2][i] + beta * k2 * x + gamma);
+        let den = (cols[0][i] + beta * circuit.sigma[0][i] + gamma)
+            * (cols[1][i] + beta * circuit.sigma[1][i] + gamma)
+            * (cols[2][i] + beta * circuit.sigma[2][i] + gamma);
+        numerators.push(num);
+        denominators.push(den);
+    }
+    let inv_dens = batch_inverse(&denominators);
+    for i in 0..n {
+        z_evals.push(acc);
+        acc *= numerators[i] * inv_dens[i];
+    }
+    debug_assert!(acc.is_one(), "permutation grand product closes");
+    let z_poly = interpolate(&domain, &z_evals);
+    let z_commit = pk.srs.commit(&z_poly);
+    transcript.absorb_point(&z_commit.0);
+    let alpha = transcript.challenge();
+
+    // Round 3: quotient t = (gate + α·perm₁ + α²·perm₂) / Z_H on a 4n coset.
+    let domain4 = Radix2Domain::<E::Fr>::new(4 * n).expect("checked at setup");
+    let coset_eval = |p: &DensePolynomial<E::Fr>| -> Vec<E::Fr> {
+        let mut buf = p.coeffs().to_vec();
+        buf.resize(domain4.size(), E::Fr::zero());
+        domain4.coset_fft_in_place(&mut buf);
+        buf
+    };
+    let shift_omega = |p: &DensePolynomial<E::Fr>| -> DensePolynomial<E::Fr> {
+        let mut pow = E::Fr::one();
+        DensePolynomial::new(
+            p.coeffs()
+                .iter()
+                .map(|&c| {
+                    let v = c * pow;
+                    pow *= omega;
+                    v
+                })
+                .collect(),
+        )
+    };
+
+    let selector_polys: Vec<DensePolynomial<E::Fr>> = [
+        &circuit.q_l,
+        &circuit.q_r,
+        &circuit.q_o,
+        &circuit.q_m,
+        &circuit.q_c,
+    ]
+    .iter()
+    .map(|e| interpolate(&domain, e))
+    .collect();
+    let sigma_polys: Vec<DensePolynomial<E::Fr>> = circuit
+        .sigma
+        .iter()
+        .map(|e| interpolate(&domain, e))
+        .collect();
+    let pi_poly = interpolate(&domain, &pi_evals);
+    let mut l1_evals = vec![E::Fr::zero(); n];
+    l1_evals[0] = E::Fr::one();
+    let l1_poly = interpolate(&domain, &l1_evals);
+
+    let (a4, b4, c4) = (coset_eval(&a_poly), coset_eval(&b_poly), coset_eval(&c_poly));
+    let z4 = coset_eval(&z_poly);
+    let zw4 = coset_eval(&shift_omega(&z_poly));
+    let q4: Vec<Vec<E::Fr>> = selector_polys.iter().map(coset_eval).collect();
+    let s4: Vec<Vec<E::Fr>> = sigma_polys.iter().map(coset_eval).collect();
+    let pi4 = coset_eval(&pi_poly);
+    let l14 = coset_eval(&l1_poly);
+
+    // Z_H and the identity polynomial on the coset.
+    let m = domain4.size();
+    let g = domain4.coset_shift();
+    let gn = g.pow(&BigUint::from_u64(n as u64));
+    let w4n = domain4.group_gen().pow(&BigUint::from_u64(n as u64));
+    let mut zh_vals = Vec::with_capacity(m);
+    let mut xs = Vec::with_capacity(m);
+    let mut wn_pow = E::Fr::one();
+    let mut x = g;
+    for _ in 0..m {
+        zh_vals.push(gn * wn_pow - E::Fr::one());
+        xs.push(x);
+        wn_pow *= w4n;
+        x *= domain4.group_gen();
+    }
+    let zh_inv = batch_inverse(&zh_vals);
+
+    let mut t_evals = Vec::with_capacity(m);
+    let alpha2 = alpha.square();
+    for j in 0..m {
+        let gate = q4[0][j] * a4[j]
+            + q4[1][j] * b4[j]
+            + q4[2][j] * c4[j]
+            + q4[3][j] * a4[j] * b4[j]
+            + q4[4][j]
+            + pi4[j];
+        let perm1 = z4[j]
+            * (a4[j] + beta * k0 * xs[j] + gamma)
+            * (b4[j] + beta * k1 * xs[j] + gamma)
+            * (c4[j] + beta * k2 * xs[j] + gamma)
+            - zw4[j]
+                * (a4[j] + beta * s4[0][j] + gamma)
+                * (b4[j] + beta * s4[1][j] + gamma)
+                * (c4[j] + beta * s4[2][j] + gamma);
+        let perm2 = (z4[j] - E::Fr::one()) * l14[j];
+        t_evals.push((gate + alpha * perm1 + alpha2 * perm2) * zh_inv[j]);
+    }
+    let mut t_coeffs = t_evals;
+    domain4.coset_ifft_in_place(&mut t_coeffs);
+    let t_poly = DensePolynomial::new(t_coeffs);
+    let t_commit = pk.srs.commit(&t_poly);
+    transcript.absorb_point(&t_commit.0);
+    let zeta = transcript.challenge();
+
+    // Round 4: evaluations.
+    let opened: Vec<&DensePolynomial<E::Fr>> = vec![
+        &a_poly,
+        &b_poly,
+        &c_poly,
+        &z_poly,
+        &sigma_polys[0],
+        &sigma_polys[1],
+        &sigma_polys[2],
+        &selector_polys[0],
+        &selector_polys[1],
+        &selector_polys[2],
+        &selector_polys[3],
+        &selector_polys[4],
+        &t_poly,
+    ];
+    let mut evals_zeta = [E::Fr::zero(); OPENED_AT_ZETA];
+    for (slot, p) in evals_zeta.iter_mut().zip(&opened) {
+        *slot = p.evaluate(zeta);
+    }
+    let z_omega_eval = z_poly.evaluate(zeta * omega);
+    for v in evals_zeta.iter().chain(std::iter::once(&z_omega_eval)) {
+        transcript.absorb(*v);
+    }
+    let nu = transcript.challenge();
+
+    // Round 5: opening witnesses.
+    let (_, w_zeta) = pk.srs.open_batched(&opened, zeta, nu);
+    let (_, w_zeta_omega) = pk.srs.open(&z_poly, zeta * omega);
+
+    Ok(PlonkProof {
+        wire_commits,
+        z_commit,
+        t_commit,
+        evals_zeta,
+        z_omega_eval,
+        w_zeta,
+        w_zeta_omega,
+    })
+}
+
+/// Verifies a PLONK proof against the public-input values (the circuit's
+/// public witness prefix `[1, outputs…, public inputs…]`).
+pub fn plonk_verify<E: Engine>(
+    vk: &PlonkVerifyingKey<E>,
+    proof: &PlonkProof<E>,
+    public_values: &[E::Fr],
+) -> bool
+where
+    <E::G1 as zkperf_ec::CurveParams>::Base: PrimeField,
+{
+    let _g = trace::region_profile("plonk_verify");
+    if public_values.len() != vk.public_rows.len() {
+        return false;
+    }
+    let n = vk.n;
+    let domain = Radix2Domain::<E::Fr>::new(n).expect("vk domain is valid");
+    let omega = domain.group_gen();
+    let [k0, k1, k2] = vk.coset_ks;
+
+    // Replay the transcript.
+    let mut transcript = Transcript::<E::Fr>::new(0x504c_4f4e);
+    absorb_vk::<E>(&mut transcript, vk);
+    for v in public_values {
+        transcript.absorb(*v);
+    }
+    for c in &proof.wire_commits {
+        transcript.absorb_point(&c.0);
+    }
+    let beta = transcript.challenge();
+    let gamma = transcript.challenge();
+    transcript.absorb_point(&proof.z_commit.0);
+    let alpha = transcript.challenge();
+    transcript.absorb_point(&proof.t_commit.0);
+    let zeta = transcript.challenge();
+    for v in proof
+        .evals_zeta
+        .iter()
+        .chain(std::iter::once(&proof.z_omega_eval))
+    {
+        transcript.absorb(*v);
+    }
+    let nu = transcript.challenge();
+
+    let [a, b, c, z, s1, s2, s3, ql, qr, qo, qm, qc, t] = proof.evals_zeta;
+
+    // Z_H(ζ), L₁(ζ) and PI(ζ).
+    let zeta_n = zeta.pow(&BigUint::from_u64(n as u64));
+    let zh = zeta_n - E::Fr::one();
+    if zh.is_zero() {
+        return false; // ζ landed in the domain (negligible probability)
+    }
+    let n_inv = E::Fr::from_u64(n as u64).inverse().expect("n < p");
+    let lagrange_at = |row: usize| -> E::Fr {
+        let w_i = domain.element(row);
+        w_i * n_inv * zh * (zeta - w_i).inverse().expect("zeta not in domain")
+    };
+    let l1 = lagrange_at(0);
+    let mut pi = E::Fr::zero();
+    for (&row, &v) in vk.public_rows.iter().zip(public_values) {
+        pi += -v * lagrange_at(row);
+    }
+
+    // The quotient identity at ζ.
+    let gate = ql * a + qr * b + qo * c + qm * a * b + qc + pi;
+    let perm1 = z
+        * (a + beta * k0 * zeta + gamma)
+        * (b + beta * k1 * zeta + gamma)
+        * (c + beta * k2 * zeta + gamma)
+        - proof.z_omega_eval
+            * (a + beta * s1 + gamma)
+            * (b + beta * s2 + gamma)
+            * (c + beta * s3 + gamma);
+    let perm2 = (z - E::Fr::one()) * l1;
+    if gate + alpha * perm1 + alpha.square() * perm2 != t * zh {
+        return false;
+    }
+
+    // KZG checks: the 13 openings at ζ (batched) and z at ζω.
+    let commitments = [
+        proof.wire_commits[0],
+        proof.wire_commits[1],
+        proof.wire_commits[2],
+        proof.z_commit,
+        vk.sigma_commits[0],
+        vk.sigma_commits[1],
+        vk.sigma_commits[2],
+        vk.q_commits[0],
+        vk.q_commits[1],
+        vk.q_commits[2],
+        vk.q_commits[3],
+        vk.q_commits[4],
+        proof.t_commit,
+    ];
+    let items: Vec<(Commitment<E>, E::Fr)> = commitments
+        .iter()
+        .copied()
+        .zip(proof.evals_zeta.iter().copied())
+        .collect();
+    if !vk
+        .srs
+        .verify_batched_opening(&items, zeta, nu, &proof.w_zeta)
+    {
+        return false;
+    }
+    vk.srs.verify_opening(
+        &proof.z_commit,
+        zeta * omega,
+        proof.z_omega_eval,
+        &proof.w_zeta_omega,
+    )
+}

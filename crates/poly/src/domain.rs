@@ -1,0 +1,349 @@
+//! Radix-2 multiplicative evaluation domains and the in-place NTT.
+
+use zkperf_ff::{BigUint, PrimeField};
+use zkperf_trace as trace;
+
+/// A multiplicative subgroup of size `2^log_size` with its NTT machinery.
+///
+/// Groth16 uses one domain per circuit: polynomials are interpolated over
+/// the domain, and the quotient `h = (a·b − c)/z` is computed on a coset so
+/// the vanishing polynomial `z` is invertible at every evaluation point.
+///
+/// # Examples
+///
+/// ```
+/// use zkperf_poly::Radix2Domain;
+/// use zkperf_ff::{Field, bn254::Fr};
+///
+/// let domain = Radix2Domain::<Fr>::new(4).unwrap();
+/// let mut values: Vec<Fr> = (0..4).map(Fr::from_u64).collect();
+/// let coeffs = values.clone();
+/// domain.fft_in_place(&mut values);
+/// domain.ifft_in_place(&mut values);
+/// assert_eq!(values, coeffs);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Radix2Domain<F: PrimeField> {
+    size: usize,
+    log_size: u32,
+    omega: F,
+    omega_inv: F,
+    size_inv: F,
+    coset_shift: F,
+    coset_shift_inv: F,
+}
+
+impl<F: PrimeField> Radix2Domain<F> {
+    /// Builds the smallest domain of size `≥ min_size`.
+    ///
+    /// Returns `None` when the required size exceeds the field's two-adic
+    /// subgroup (`2^28` for BN254, `2^32` for BLS12-381).
+    pub fn new(min_size: usize) -> Option<Self> {
+        let size = min_size.max(1).next_power_of_two();
+        let log_size = size.trailing_zeros();
+        let omega = F::root_of_unity_pow2(log_size)?;
+        let omega_inv = omega.inverse().expect("root of unity is non-zero");
+        let size_inv = F::from_u64(size as u64)
+            .inverse()
+            .expect("domain size < p");
+        // Pick a small coset shift outside the subgroup, i.e. one at which
+        // the vanishing polynomial x^size − 1 does not vanish.
+        let mut shift_candidate = 5u64;
+        let coset_shift = loop {
+            let g = F::from_u64(shift_candidate);
+            if g.pow(&BigUint::from_u64(size as u64)) != F::one() || size == 1 {
+                break g;
+            }
+            shift_candidate += 2;
+        };
+        let coset_shift_inv = coset_shift.inverse().expect("shift non-zero");
+        Some(Radix2Domain {
+            size,
+            log_size,
+            omega,
+            omega_inv,
+            size_inv,
+            coset_shift,
+            coset_shift_inv,
+        })
+    }
+
+    /// Number of evaluation points.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// `log₂` of the size.
+    pub fn log_size(&self) -> u32 {
+        self.log_size
+    }
+
+    /// The domain generator ω of order `size`.
+    pub fn group_gen(&self) -> F {
+        self.omega
+    }
+
+    /// The coset shift `g` used by [`coset_fft_in_place`](Self::coset_fft_in_place).
+    pub fn coset_shift(&self) -> F {
+        self.coset_shift
+    }
+
+    /// The `i`-th domain element `ω^i`.
+    pub fn element(&self, i: usize) -> F {
+        self.omega.pow(&BigUint::from_u64((i % self.size) as u64))
+    }
+
+    /// Evaluates the vanishing polynomial `z(x) = x^size − 1` at `x`.
+    pub fn eval_vanishing(&self, x: F) -> F {
+        x.pow(&BigUint::from_u64(self.size as u64)) - F::one()
+    }
+
+    /// In-place NTT: coefficients → evaluations over the domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != size`.
+    pub fn fft_in_place(&self, values: &mut [F]) {
+        let _g = trace::region_profile("fft");
+        self.transform(values, self.omega);
+    }
+
+    /// In-place inverse NTT: evaluations → coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != size`.
+    pub fn ifft_in_place(&self, values: &mut [F]) {
+        let _g = trace::region_profile("fft");
+        self.transform(values, self.omega_inv);
+        for v in values.iter_mut() {
+            *v *= self.size_inv;
+        }
+    }
+
+    /// NTT over the coset `g·H`: scales by powers of `g`, then transforms.
+    pub fn coset_fft_in_place(&self, values: &mut [F]) {
+        Self::distribute_powers(values, self.coset_shift);
+        self.fft_in_place(values);
+    }
+
+    /// Inverse NTT over the coset `g·H`.
+    pub fn coset_ifft_in_place(&self, values: &mut [F]) {
+        self.ifft_in_place(values);
+        Self::distribute_powers(values, self.coset_shift_inv);
+    }
+
+    fn distribute_powers(values: &mut [F], g: F) {
+        let mut pow = F::one();
+        for v in values.iter_mut() {
+            *v *= pow;
+            pow *= g;
+        }
+    }
+
+    /// Iterative decimation-in-time NTT (bit-reversal permutation followed
+    /// by log n butterfly passes).
+    fn transform(&self, values: &mut [F], omega: F) {
+        assert_eq!(
+            values.len(),
+            self.size,
+            "buffer length must equal the domain size"
+        );
+        let n = self.size;
+        if n == 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        let shift = usize::BITS - self.log_size;
+        for i in 0..n {
+            let j = i.reverse_bits() >> shift;
+            if i < j {
+                values.swap(i, j);
+                trace::data_move(2);
+            }
+        }
+        // Butterfly passes.
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            // w_len = ω^(n/len)
+            let w_len = {
+                let mut w = omega;
+                let mut k = n / len;
+                while k > 1 {
+                    w = w.square();
+                    k /= 2;
+                }
+                w
+            };
+            let mut start = 0;
+            while start < n {
+                let mut w = F::one();
+                for k in 0..half {
+                    let t = values[start + k + half] * w;
+                    let u = values[start + k];
+                    values[start + k] = u + t;
+                    values[start + k + half] = u - t;
+                    w *= w_len;
+                    trace::control(1);
+                }
+                start += len;
+            }
+            len *= 2;
+        }
+    }
+
+    /// Evaluates all Lagrange basis polynomials of the domain at `x`,
+    /// returning `Lᵢ(x)` for `i = 0..size`.
+    ///
+    /// Used by the Groth16 setup to evaluate the QAP matrices at τ.
+    pub fn lagrange_coefficients_at(&self, x: F) -> Vec<F> {
+        // L_i(x) = (z(x) / size) · ω^i / (x − ω^i); if x is in the domain the
+        // vector is an indicator.
+        let z = self.eval_vanishing(x);
+        let mut out = Vec::with_capacity(self.size);
+        if z.is_zero() {
+            let mut elem = F::one();
+            for _ in 0..self.size {
+                out.push(if elem == x { F::one() } else { F::zero() });
+                elem *= self.omega;
+            }
+            return out;
+        }
+        let zn = z * self.size_inv;
+        let mut elem = F::one();
+        for _ in 0..self.size {
+            let denom = (x - elem).inverse().expect("x not in domain");
+            out.push(zn * elem * denom);
+            elem *= self.omega;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_ff::bn254::Fr;
+    use zkperf_ff::Field;
+
+    fn naive_evals(coeffs: &[Fr], domain: &Radix2Domain<Fr>) -> Vec<Fr> {
+        (0..domain.size())
+            .map(|i| {
+                let x = domain.element(i);
+                let mut acc = Fr::zero();
+                let mut xp = Fr::one();
+                for &c in coeffs {
+                    acc += c * xp;
+                    xp *= x;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sizes_round_up_to_powers_of_two() {
+        assert_eq!(Radix2Domain::<Fr>::new(1).unwrap().size(), 1);
+        assert_eq!(Radix2Domain::<Fr>::new(3).unwrap().size(), 4);
+        assert_eq!(Radix2Domain::<Fr>::new(1025).unwrap().size(), 2048);
+        // BN254 Fr supports at most 2^28.
+        assert!(Radix2Domain::<Fr>::new(1 << 28).is_some());
+        assert!(Radix2Domain::<Fr>::new((1 << 28) + 1).is_none());
+    }
+
+    #[test]
+    fn omega_has_exact_order() {
+        let d = Radix2Domain::<Fr>::new(8).unwrap();
+        let w = d.group_gen();
+        assert!(w.pow(&BigUint::from_u64(8)).is_one());
+        assert!(!w.pow(&BigUint::from_u64(4)).is_one());
+    }
+
+    #[test]
+    fn fft_matches_naive_evaluation() {
+        let mut rng = zkperf_ff::test_rng();
+        let d = Radix2Domain::<Fr>::new(16).unwrap();
+        let coeffs: Vec<Fr> = (0..16).map(|_| Fr::random(&mut rng)).collect();
+        let mut values = coeffs.clone();
+        d.fft_in_place(&mut values);
+        assert_eq!(values, naive_evals(&coeffs, &d));
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip_all_sizes() {
+        let mut rng = zkperf_ff::test_rng();
+        for log in 0..8 {
+            let d = Radix2Domain::<Fr>::new(1 << log).unwrap();
+            let coeffs: Vec<Fr> = (0..d.size()).map(|_| Fr::random(&mut rng)).collect();
+            let mut buf = coeffs.clone();
+            d.fft_in_place(&mut buf);
+            d.ifft_in_place(&mut buf);
+            assert_eq!(buf, coeffs, "size 2^{log}");
+        }
+    }
+
+    #[test]
+    fn coset_roundtrip_and_distinctness() {
+        let mut rng = zkperf_ff::test_rng();
+        let d = Radix2Domain::<Fr>::new(32).unwrap();
+        let coeffs: Vec<Fr> = (0..32).map(|_| Fr::random(&mut rng)).collect();
+        let mut buf = coeffs.clone();
+        d.coset_fft_in_place(&mut buf);
+        let mut plain = coeffs.clone();
+        d.fft_in_place(&mut plain);
+        assert_ne!(buf, plain, "coset evaluations differ from subgroup ones");
+        d.coset_ifft_in_place(&mut buf);
+        assert_eq!(buf, coeffs);
+    }
+
+    #[test]
+    fn vanishing_polynomial_vanishes_on_domain_only() {
+        let d = Radix2Domain::<Fr>::new(8).unwrap();
+        for i in 0..8 {
+            assert!(d.eval_vanishing(d.element(i)).is_zero());
+        }
+        assert!(!d.eval_vanishing(d.coset_shift()).is_zero());
+    }
+
+    #[test]
+    fn lagrange_coefficients_interpolate() {
+        let mut rng = zkperf_ff::test_rng();
+        let d = Radix2Domain::<Fr>::new(8).unwrap();
+        let evals: Vec<Fr> = (0..8).map(|_| Fr::random(&mut rng)).collect();
+        let x = Fr::random(&mut rng);
+        let lag = d.lagrange_coefficients_at(x);
+        let via_lagrange: Fr = lag.iter().zip(&evals).map(|(l, e)| *l * *e).sum();
+        // Reference: interpolate coefficients with IFFT then evaluate.
+        let mut coeffs = evals.clone();
+        d.ifft_in_place(&mut coeffs);
+        let mut acc = Fr::zero();
+        let mut xp = Fr::one();
+        for c in &coeffs {
+            acc += *c * xp;
+            xp *= x;
+        }
+        assert_eq!(via_lagrange, acc);
+    }
+
+    #[test]
+    fn lagrange_at_domain_point_is_indicator() {
+        let d = Radix2Domain::<Fr>::new(4).unwrap();
+        let lag = d.lagrange_coefficients_at(d.element(2));
+        for (i, l) in lag.iter().enumerate() {
+            if i == 2 {
+                assert!(l.is_one());
+            } else {
+                assert!(l.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn fft_rejects_wrong_length() {
+        let d = Radix2Domain::<Fr>::new(8).unwrap();
+        let mut buf = vec![Fr::zero(); 4];
+        d.fft_in_place(&mut buf);
+    }
+}

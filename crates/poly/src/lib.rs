@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Polynomial arithmetic for the zkperf suite: radix-2 NTT evaluation
+//! domains and dense univariate polynomials over the scalar fields.
+//!
+//! Groth16 uses these to move between coefficient and evaluation form when
+//! computing the quotient polynomial `h(x) = (a(x)·b(x) − c(x))/z(x)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use zkperf_poly::{DensePolynomial, Radix2Domain};
+//! use zkperf_ff::{Field, bn254::Fr};
+//!
+//! let domain = Radix2Domain::<Fr>::new(8).unwrap();
+//! let evals: Vec<Fr> = (0..8).map(Fr::from_u64).collect();
+//! let p = DensePolynomial::interpolate(&domain, &evals);
+//! assert_eq!(p.evaluate(domain.element(3)), Fr::from_u64(3));
+//! ```
+
+mod dense;
+mod domain;
+
+pub use dense::DensePolynomial;
+pub use domain::Radix2Domain;

@@ -1,0 +1,202 @@
+//! The simulated multicore: thread-speed model and LPT scheduling.
+//!
+//! This container exposes a single hardware thread, so the paper's
+//! multi-threaded scaling runs cannot be reproduced natively; instead the
+//! scheduler below executes a stage's measured [`TaskGraph`] on `n` virtual
+//! threads with per-thread throughput derived from the target CPU's core
+//! topology (P-cores, E-cores, SMT siblings), plus spawn and barrier
+//! overheads. DESIGN.md §2 documents the substitution.
+
+use serde::Serialize;
+
+use crate::graph::{Segment, TaskGraph};
+
+/// A virtual multicore machine.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SimCores {
+    /// Physical performance cores (relative throughput 1.0 each).
+    pub p_cores: usize,
+    /// Efficiency cores.
+    pub e_cores: usize,
+    /// Total schedulable hardware threads (with SMT).
+    pub smt_threads: usize,
+    /// Relative throughput of an E-core (Raptor Lake E ≈ 0.55 of P).
+    pub e_core_throughput: f64,
+    /// *Additional* throughput contributed by the second SMT sibling on an
+    /// already-busy core (typically ~0.3).
+    pub smt_throughput: f64,
+    /// Work units charged per thread participating in a parallel section
+    /// (spawn/wake cost).
+    pub spawn_overhead: f64,
+    /// Work units charged per parallel section for the closing barrier,
+    /// multiplied by the number of participating threads.
+    pub barrier_overhead: f64,
+}
+
+impl SimCores {
+    /// A machine matching one of the paper CPUs' core configurations.
+    pub fn new(p_cores: usize, e_cores: usize, smt_threads: usize) -> Self {
+        SimCores {
+            p_cores,
+            e_cores,
+            smt_threads,
+            e_core_throughput: 0.55,
+            smt_throughput: 0.30,
+            spawn_overhead: 1500.0,
+            barrier_overhead: 400.0,
+        }
+    }
+
+    /// The i9-13900K topology used for the paper's Figures 6-7.
+    pub fn i9_13900k() -> Self {
+        SimCores::new(8, 16, 32)
+    }
+
+    /// Relative throughputs of the first `n` scheduled threads, fastest
+    /// first: P-cores, then E-cores, then SMT siblings.
+    pub fn thread_speeds(&self, n: usize) -> Vec<f64> {
+        let n = n.max(1).min(self.smt_threads.max(1));
+        let mut speeds = Vec::with_capacity(n);
+        for i in 0..n {
+            let s = if i < self.p_cores {
+                1.0
+            } else if i < self.p_cores + self.e_cores {
+                self.e_core_throughput
+            } else {
+                self.smt_throughput
+            };
+            speeds.push(s);
+        }
+        speeds
+    }
+
+    /// Executes `graph` on `threads` virtual threads and returns the
+    /// simulated completion time in work units.
+    ///
+    /// Serial segments run on the fastest thread; parallel loops are
+    /// scheduled longest-processing-time-first onto the thread pool,
+    /// charging spawn and barrier overheads, and complete at the makespan.
+    pub fn simulate(&self, graph: &TaskGraph, threads: usize) -> f64 {
+        let speeds = self.thread_speeds(threads);
+        let mut time = 0.0;
+        for segment in graph.segments() {
+            match segment {
+                Segment::Serial(w) => time += w,
+                Segment::ParallelFor { tasks } => {
+                    if tasks.is_empty() {
+                        continue;
+                    }
+                    let used = speeds.len().min(tasks.len());
+                    // LPT: sort descending, assign each task to the worker
+                    // that would finish it earliest.
+                    let mut sorted: Vec<f64> = tasks.clone();
+                    sorted.sort_by(|a, b| b.total_cmp(a));
+                    let mut finish = vec![0.0f64; used];
+                    for t in sorted {
+                        let (best, _) = finish
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &f)| (i, f + t / speeds[i]))
+                            .min_by(|a, b| a.1.total_cmp(&b.1))
+                            .expect("at least one worker");
+                        finish[best] += t / speeds[best];
+                    }
+                    let makespan = finish.iter().copied().fold(0.0f64, f64::max);
+                    time += makespan
+                        + self.spawn_overhead * used as f64
+                        + self.barrier_overhead * used as f64;
+                }
+            }
+        }
+        time
+    }
+
+    /// Strong-scaling speedup curve: `(n, t₁/tₙ)` for each thread count.
+    pub fn strong_scaling(&self, graph: &TaskGraph, thread_counts: &[usize]) -> Vec<(usize, f64)> {
+        let t1 = self.simulate(graph, 1);
+        thread_counts
+            .iter()
+            .map(|&n| (n, t1 / self.simulate(graph, n)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat() -> SimCores {
+        // Homogeneous 8-thread machine with no overheads, for exact checks.
+        SimCores {
+            p_cores: 8,
+            e_cores: 0,
+            smt_threads: 8,
+            e_core_throughput: 1.0,
+            smt_throughput: 1.0,
+            spawn_overhead: 0.0,
+            barrier_overhead: 0.0,
+        }
+    }
+
+    #[test]
+    fn serial_work_ignores_thread_count() {
+        let g = TaskGraph::new().serial(1000.0);
+        let m = flat();
+        assert_eq!(m.simulate(&g, 1), 1000.0);
+        assert_eq!(m.simulate(&g, 8), 1000.0);
+    }
+
+    #[test]
+    fn embarrassingly_parallel_scales_linearly() {
+        let g = TaskGraph::new().parallel_uniform(800, 10.0);
+        let m = flat();
+        let t1 = m.simulate(&g, 1);
+        let t8 = m.simulate(&g, 8);
+        assert_eq!(t1, 8000.0);
+        assert_eq!(t8, 1000.0);
+    }
+
+    #[test]
+    fn amdahl_limit_shows_in_mixed_graph() {
+        // 50% serial work: speedup can never reach 2× no matter the threads.
+        let g = TaskGraph::new().serial(4000.0).parallel_uniform(400, 10.0);
+        let m = flat();
+        let curve = m.strong_scaling(&g, &[1, 2, 4, 8]);
+        assert!(curve[3].1 < 2.0);
+        assert!(curve[1].1 > curve[0].1);
+        assert!((curve[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_handles_skewed_tasks() {
+        // One huge task dominates the makespan.
+        let g = TaskGraph::new().parallel(vec![1000.0, 1.0, 1.0, 1.0]);
+        let m = flat();
+        assert_eq!(m.simulate(&g, 4), 1000.0);
+    }
+
+    #[test]
+    fn smt_and_ecores_give_diminishing_returns() {
+        let m = SimCores::i9_13900k();
+        let speeds = m.thread_speeds(32);
+        assert_eq!(speeds.len(), 32);
+        assert_eq!(speeds[0], 1.0);
+        assert_eq!(speeds[7], 1.0);
+        assert_eq!(speeds[8], 0.55);
+        assert_eq!(speeds[23], 0.55);
+        assert_eq!(speeds[24], 0.30);
+        // Requesting more threads than the machine has clamps.
+        assert_eq!(m.thread_speeds(64).len(), 32);
+    }
+
+    #[test]
+    fn overheads_can_make_small_tasks_slower_with_more_threads() {
+        // Tiny parallel section: spawn costs dominate (the paper observes
+        // this for compile at 2^10 with 24 threads).
+        let m = SimCores::i9_13900k();
+        let g = TaskGraph::new().parallel_uniform(32, 100.0);
+        let t2 = m.simulate(&g, 2);
+        let t24 = m.simulate(&g, 24);
+        assert!(t24 > t2, "thread overhead dominates tiny workloads");
+    }
+}

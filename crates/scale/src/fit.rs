@@ -1,0 +1,134 @@
+//! Least-squares fits of scaling curves to Amdahl's and Gustafson's laws
+//! (paper Table VI: serial/parallel percentages per stage).
+
+use serde::Serialize;
+
+/// A fitted serial/parallel split, as percentages summing to 100.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ParallelismFit {
+    /// Serial share of the work, percent.
+    pub serial_pct: f64,
+    /// Parallel share of the work, percent.
+    pub parallel_pct: f64,
+}
+
+fn linear_regression(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points to fit");
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "degenerate regression inputs");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    (slope, intercept)
+}
+
+fn normalize(serial: f64, parallel: f64) -> ParallelismFit {
+    let s = serial.max(0.0);
+    let p = parallel.max(0.0);
+    let total = s + p;
+    if total <= 0.0 {
+        return ParallelismFit {
+            serial_pct: 100.0,
+            parallel_pct: 0.0,
+        };
+    }
+    ParallelismFit {
+        serial_pct: 100.0 * s / total,
+        parallel_pct: 100.0 * p / total,
+    }
+}
+
+/// Fits strong-scaling measurements `(n, speedup)` to Amdahl's law
+/// `1/speedup = s + p/n` by regressing the reciprocal speedup against `1/n`.
+///
+/// # Panics
+///
+/// Panics on fewer than two points or a degenerate point set.
+pub fn amdahl(points: &[(usize, f64)]) -> ParallelismFit {
+    let xs: Vec<f64> = points.iter().map(|&(n, _)| 1.0 / n as f64).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, sp)| 1.0 / sp).collect();
+    let (p, s) = linear_regression(&xs, &ys);
+    normalize(s, p)
+}
+
+/// Fits weak-scaling measurements `(n, speedup)` to Gustafson's law
+/// `speedup = s + p·n` by direct linear regression.
+///
+/// # Panics
+///
+/// Panics on fewer than two points or a degenerate point set.
+pub fn gustafson(points: &[(usize, f64)]) -> ParallelismFit {
+    let xs: Vec<f64> = points.iter().map(|&(n, _)| n as f64).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, sp)| sp).collect();
+    let (p, s) = linear_regression(&xs, &ys);
+    normalize(s, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amdahl_speedup(s: f64, n: usize) -> f64 {
+        1.0 / (s + (1.0 - s) / n as f64)
+    }
+
+    #[test]
+    fn amdahl_recovers_known_serial_fraction() {
+        for s in [0.1, 0.3, 0.7] {
+            let points: Vec<(usize, f64)> =
+                [1, 2, 4, 8, 16, 32].iter().map(|&n| (n, amdahl_speedup(s, n))).collect();
+            let fit = amdahl(&points);
+            assert!(
+                (fit.serial_pct - s * 100.0).abs() < 1.0,
+                "s = {s}: fitted {}",
+                fit.serial_pct
+            );
+            assert!((fit.serial_pct + fit.parallel_pct - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gustafson_recovers_known_split() {
+        // Speedup_WS(n) = s + p·n with s = 0.25, p = 0.75.
+        let points: Vec<(usize, f64)> = [1usize, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&n| (n, 0.25 + 0.75 * n as f64))
+            .collect();
+        let fit = gustafson(&points);
+        assert!((fit.serial_pct - 25.0).abs() < 1e-6);
+        assert!((fit.parallel_pct - 75.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_fit_stays_close() {
+        let points: Vec<(usize, f64)> = [1usize, 2, 4, 8, 16, 32]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let noise = 1.0 + if i % 2 == 0 { 0.02 } else { -0.02 };
+                (n, amdahl_speedup(0.3, n) * noise)
+            })
+            .collect();
+        let fit = amdahl(&points);
+        assert!((fit.serial_pct - 30.0).abs() < 5.0, "{}", fit.serial_pct);
+    }
+
+    #[test]
+    fn perfectly_serial_curve() {
+        let points: Vec<(usize, f64)> =
+            [1usize, 2, 4, 8].iter().map(|&n| (n, 1.0)).collect();
+        let fit = amdahl(&points);
+        assert!(fit.serial_pct > 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_panics() {
+        let _ = amdahl(&[(1, 1.0)]);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Scalability analysis machinery: measured task graphs, a simulated
+//! multicore scheduler, and Amdahl/Gustafson least-squares fits.
+//!
+//! Reproduces the paper's strong-scaling (Fig. 6), weak-scaling (Fig. 7)
+//! and parallelism-quantification (Table VI) experiments on a
+//! single-hardware-thread host by simulating virtual thread pools with the
+//! target CPUs' core topologies (see DESIGN.md §2 for the substitution
+//! rationale).
+//!
+//! # Examples
+//!
+//! ```
+//! use zkperf_scale::{fit, SimCores, TaskGraph};
+//!
+//! let stage = TaskGraph::new().serial(10_000.0).parallel_uniform(1024, 100.0);
+//! let machine = SimCores::i9_13900k();
+//! let curve = machine.strong_scaling(&stage, &[1, 2, 4, 8, 16, 32]);
+//! let split = fit::amdahl(&curve);
+//! assert!(split.parallel_pct > 50.0);
+//! ```
+
+mod cores;
+pub mod fit;
+mod graph;
+
+pub use cores::SimCores;
+pub use fit::ParallelismFit;
+pub use graph::{Segment, TaskGraph};

@@ -1,0 +1,70 @@
+//! Property-based tests of the simulated-multicore scheduler.
+
+use proptest::prelude::*;
+use zkperf_scale::{fit, SimCores, TaskGraph};
+
+fn no_overhead_flat(threads: usize) -> SimCores {
+    SimCores {
+        p_cores: threads,
+        e_cores: 0,
+        smt_threads: threads,
+        e_core_throughput: 1.0,
+        smt_throughput: 1.0,
+        spawn_overhead: 0.0,
+        barrier_overhead: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn more_threads_never_hurt_without_overheads(
+        tasks in proptest::collection::vec(1.0f64..1000.0, 1..64),
+        serial in 0.0f64..5000.0,
+    ) {
+        let g = TaskGraph::new().serial(serial).parallel(tasks);
+        let m = no_overhead_flat(64);
+        let mut last = f64::INFINITY;
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let t = m.simulate(&g, n);
+            prop_assert!(t <= last + 1e-9, "t({n}) = {t} > {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn makespan_bounds_hold(
+        tasks in proptest::collection::vec(1.0f64..1000.0, 1..64),
+        threads in 1usize..16,
+    ) {
+        // total/threads ≤ makespan ≤ total, and ≥ the largest task.
+        let g = TaskGraph::new().parallel(tasks.clone());
+        let m = no_overhead_flat(16);
+        let t = m.simulate(&g, threads);
+        let total: f64 = tasks.iter().sum();
+        let largest = tasks.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(t <= total + 1e-9);
+        prop_assert!(t + 1e-9 >= total / threads as f64);
+        prop_assert!(t + 1e-9 >= largest);
+    }
+
+    #[test]
+    fn amdahl_fit_of_simulated_curve_recovers_structure(
+        serial_share in 0.05f64..0.95,
+    ) {
+        // Build a graph with a known serial share, simulate, fit, compare.
+        let total = 1_000_000.0;
+        let g = TaskGraph::new()
+            .serial(total * serial_share)
+            .parallel_uniform(1024, total * (1.0 - serial_share) / 1024.0);
+        let m = no_overhead_flat(64);
+        let curve = m.strong_scaling(&g, &[1, 2, 4, 8, 16, 32]);
+        let fitted = fit::amdahl(&curve);
+        prop_assert!(
+            (fitted.serial_pct / 100.0 - serial_share).abs() < 0.08,
+            "expected {serial_share}, fitted {}",
+            fitted.serial_pct / 100.0
+        );
+    }
+}

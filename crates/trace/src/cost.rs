@@ -1,0 +1,100 @@
+//! Micro-op cost templates for the arithmetic primitives of the suite.
+//!
+//! The instrumented crates do not emit one event per machine instruction —
+//! that would make measurement runs intractable. Instead each high-level
+//! primitive (a Montgomery multiplication, an NTT butterfly, a point
+//! doubling, ...) retires a documented *template* of micro-ops. The
+//! templates below were sized from the operation's actual limb-level
+//! structure: e.g. a CIOS Montgomery multiplication over `n` 64-bit limbs
+//! performs roughly `2n² + n` wide multiplies plus the same order of adds
+//! and carries, reads `2n` operand limbs and writes `n` result limbs.
+
+/// A micro-op template: how many compute, control, and data micro-ops one
+/// occurrence of a primitive retires, and how many operand limbs it moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCost {
+    /// Retired compute micro-ops per occurrence.
+    pub compute: u32,
+    /// Retired control micro-ops per occurrence (loop tests, branches).
+    pub control: u32,
+    /// Retired data-movement micro-ops per occurrence, *excluding* the one
+    /// data micro-op implied by each explicit load/store event.
+    pub data: u32,
+}
+
+impl OpCost {
+    /// Cost of a CIOS Montgomery multiplication over `n` 64-bit limbs.
+    ///
+    /// Inner structure: for each of the `n` outer iterations, `n` wide
+    /// multiply-accumulates for the operand row, one reduction quotient,
+    /// and `n` more multiply-accumulates for the modulus row, followed by a
+    /// final conditional subtraction.
+    pub const fn mont_mul(n: u32) -> OpCost {
+        OpCost {
+            compute: 2 * n * n + 2 * n,
+            control: 2 * n + 1,
+            data: n * n + 2 * n,
+        }
+    }
+
+    /// Cost of a modular addition/subtraction over `n` limbs: limb adds with
+    /// carries plus a conditional reduction.
+    pub const fn mod_add(n: u32) -> OpCost {
+        OpCost {
+            compute: 2 * n + 1,
+            control: 3,
+            data: n + 2,
+        }
+    }
+
+    /// Cost of one schoolbook big-integer multiply-accumulate row of `n`
+    /// limbs (used by the `bigint` helper module).
+    pub const fn bigint_row(n: u32) -> OpCost {
+        OpCost {
+            compute: 2 * n,
+            control: n,
+            data: n,
+        }
+    }
+
+    /// Cost of a generic bookkeeping step (index arithmetic, small copies).
+    pub const fn bookkeeping() -> OpCost {
+        OpCost {
+            compute: 2,
+            control: 1,
+            data: 2,
+        }
+    }
+
+    /// Scale every component by `k` occurrences, saturating.
+    pub const fn times(self, k: u32) -> OpCost {
+        OpCost {
+            compute: self.compute.saturating_mul(k),
+            control: self.control.saturating_mul(k),
+            data: self.data.saturating_mul(k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mont_mul_grows_quadratically() {
+        let four = OpCost::mont_mul(4);
+        let six = OpCost::mont_mul(6);
+        assert_eq!(four.compute, 2 * 16 + 8);
+        assert_eq!(six.compute, 2 * 36 + 12);
+        assert!(six.compute > four.compute);
+        assert!(six.data > four.data, "data moves grow with limb count");
+    }
+
+    #[test]
+    fn times_scales_all_components() {
+        let c = OpCost::mod_add(4).times(3);
+        assert_eq!(c.compute, 27);
+        assert_eq!(c.control, 9);
+        assert_eq!(c.data, 18);
+    }
+}

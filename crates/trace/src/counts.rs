@@ -1,0 +1,149 @@
+//! Aggregate micro-op counters collected during a tracing session.
+
+use serde::{Deserialize, Serialize};
+
+use crate::OpClass;
+
+/// Totals of everything retired while a [`crate::Session`] was active.
+///
+/// One `OpCounts` is kept for the whole session and one per function region,
+/// so the code analysis can both classify a protocol stage (compute /
+/// control-flow / data-flow intensive, Table V of the paper) and attribute
+/// CPU time to hot functions (Table IV).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Retired compute micro-ops (`add`, `mul`, `adc`, ...).
+    pub compute_uops: u64,
+    /// Retired control-flow micro-ops (branches, calls, loop tests).
+    pub control_uops: u64,
+    /// Retired data-movement micro-ops (`mov`, register shuffles, plus one
+    /// per load/store issued).
+    pub data_uops: u64,
+    /// Number of load operations issued to the memory subsystem.
+    pub loads: u64,
+    /// Number of store operations issued to the memory subsystem.
+    pub stores: u64,
+    /// Total bytes read by loads.
+    pub load_bytes: u64,
+    /// Total bytes written by stores.
+    pub store_bytes: u64,
+    /// Conditional branches executed (subset of `control_uops`).
+    pub branches: u64,
+    /// Heap allocations reported via [`crate::alloc`].
+    pub allocs: u64,
+    /// Total bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// Bulk-copy operations reported via [`crate::memcpy`].
+    pub memcpys: u64,
+    /// Total bytes moved by those copies.
+    pub memcpy_bytes: u64,
+}
+
+impl OpCounts {
+    /// A zeroed counter set. Identical to [`Default::default`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total retired micro-ops across all three classes.
+    ///
+    /// This is the "kilo instructions" denominator used for MPKI.
+    pub fn total_uops(&self) -> u64 {
+        self.compute_uops + self.control_uops + self.data_uops
+    }
+
+    /// Retired micro-ops of one class.
+    pub fn uops(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::Compute => self.compute_uops,
+            OpClass::Control => self.control_uops,
+            OpClass::Data => self.data_uops,
+        }
+    }
+
+    /// Percentage (0-100) of retired micro-ops in `class`.
+    ///
+    /// Returns 0.0 when nothing has been retired.
+    pub fn class_percent(&self, class: OpClass) -> f64 {
+        let total = self.total_uops();
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.uops(class) as f64 / total as f64
+    }
+
+    /// Element-wise accumulation of another counter set into this one.
+    pub fn absorb(&mut self, other: &OpCounts) {
+        self.compute_uops += other.compute_uops;
+        self.control_uops += other.control_uops;
+        self.data_uops += other.data_uops;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.load_bytes += other.load_bytes;
+        self.store_bytes += other.store_bytes;
+        self.branches += other.branches;
+        self.allocs += other.allocs;
+        self.alloc_bytes += other.alloc_bytes;
+        self.memcpys += other.memcpys;
+        self.memcpy_bytes += other.memcpy_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_percent() {
+        let c = OpCounts {
+            compute_uops: 50,
+            control_uops: 25,
+            data_uops: 25,
+            ..OpCounts::default()
+        };
+        assert_eq!(c.total_uops(), 100);
+        assert_eq!(c.class_percent(OpClass::Compute), 50.0);
+        assert_eq!(c.class_percent(OpClass::Control), 25.0);
+        assert_eq!(c.class_percent(OpClass::Data), 25.0);
+    }
+
+    #[test]
+    fn percent_of_empty_counts_is_zero() {
+        let c = OpCounts::new();
+        for class in OpClass::ALL {
+            assert_eq!(c.class_percent(class), 0.0);
+        }
+    }
+
+    #[test]
+    fn absorb_accumulates_every_field() {
+        let mut a = OpCounts {
+            compute_uops: 1,
+            control_uops: 2,
+            data_uops: 3,
+            loads: 4,
+            stores: 5,
+            load_bytes: 6,
+            store_bytes: 7,
+            branches: 8,
+            allocs: 9,
+            alloc_bytes: 10,
+            memcpys: 11,
+            memcpy_bytes: 12,
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.compute_uops, 2);
+        assert_eq!(a.control_uops, 4);
+        assert_eq!(a.data_uops, 6);
+        assert_eq!(a.loads, 8);
+        assert_eq!(a.stores, 10);
+        assert_eq!(a.load_bytes, 12);
+        assert_eq!(a.store_bytes, 14);
+        assert_eq!(a.branches, 16);
+        assert_eq!(a.allocs, 18);
+        assert_eq!(a.alloc_bytes, 20);
+        assert_eq!(a.memcpys, 22);
+        assert_eq!(a.memcpy_bytes, 24);
+    }
+}

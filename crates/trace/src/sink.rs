@@ -1,0 +1,70 @@
+//! The observer interface between the tracer and a microarchitecture model.
+
+use crate::{FunctionId, OpClass};
+
+/// Receives the raw event stream of a tracing session.
+///
+/// `zkperf-machine` implements this to drive its cache hierarchy, branch
+/// predictor and top-down slot accounting from a real execution. All methods
+/// have empty default bodies so simple sinks only override what they need.
+///
+/// Addresses passed to [`load`](EventSink::load) / [`store`](EventSink::store)
+/// are genuine data addresses of the running process, which gives the cache
+/// simulation realistic spatial locality for free.
+pub trait EventSink {
+    /// `uops` micro-ops of `class` retired.
+    fn retire(&mut self, class: OpClass, uops: u32) {
+        let _ = (class, uops);
+    }
+    /// A load of `bytes` bytes at virtual address `addr`.
+    fn load(&mut self, addr: usize, bytes: u32) {
+        let _ = (addr, bytes);
+    }
+    /// A store of `bytes` bytes at virtual address `addr`.
+    fn store(&mut self, addr: usize, bytes: u32) {
+        let _ = (addr, bytes);
+    }
+    /// A conditional branch at static site `site` resolved as `taken`.
+    fn branch(&mut self, site: u64, taken: bool) {
+        let _ = (site, taken);
+    }
+    /// A heap allocation of `bytes` bytes.
+    fn alloc(&mut self, bytes: usize) {
+        let _ = bytes;
+    }
+    /// A bulk copy of `bytes` bytes from `src` to `dst`.
+    fn memcpy(&mut self, dst: usize, src: usize, bytes: usize) {
+        let _ = (dst, src, bytes);
+    }
+    /// Control entered the region `id` (innermost attribution changes).
+    fn enter_region(&mut self, id: FunctionId) {
+        let _ = id;
+    }
+    /// Control left the innermost region.
+    fn exit_region(&mut self) {}
+}
+
+/// A sink that discards every event; useful to measure tracer overhead and
+/// as a placeholder in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink;
+        sink.retire(OpClass::Compute, 10);
+        sink.load(0x1000, 8);
+        sink.store(0x2000, 8);
+        sink.branch(1, true);
+        sink.alloc(64);
+        sink.memcpy(0x3000, 0x4000, 128);
+        sink.enter_region(crate::function_id("null_sink_test"));
+        sink.exit_region();
+    }
+}

@@ -1,0 +1,58 @@
+//! Merkle-membership proof: convince a verifier that a secret leaf belongs
+//! to a committed set without revealing which one — the credential-style
+//! application motivating ZKP adoption in the paper's introduction.
+//!
+//! Run with `cargo run --release --example merkle_membership`.
+
+use zkperf::circuit::library::{hash2, merkle_membership, merkle_path_inputs};
+use zkperf::ec::Bls12_381;
+use zkperf::ff::{bls12_381::Fr, Field};
+use zkperf::groth16::{prove, setup, verify};
+
+const DEPTH: usize = 8;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build a toy set of 2^DEPTH members and commit to it as a Merkle tree.
+    let leaves: Vec<Fr> = (0..1u64 << DEPTH).map(|i| Fr::from_u64(1000 + i)).collect();
+    let mut levels = vec![leaves.clone()];
+    while levels.last().unwrap().len() > 1 {
+        let prev = levels.last().unwrap();
+        let next: Vec<Fr> = prev.chunks(2).map(|p| hash2(p[0], p[1])).collect();
+        levels.push(next);
+    }
+    let root = levels.last().unwrap()[0];
+    println!("committed to {} members, root = {root}", leaves.len());
+
+    // The prover knows member #137 and its authentication path.
+    let mut index = 137usize;
+    let mut path = Vec::new();
+    for level in &levels[..DEPTH] {
+        let sibling = level[index ^ 1];
+        path.push((sibling, index % 2 == 1));
+        index /= 2;
+    }
+    let (private_inputs, recomputed) = merkle_path_inputs(leaves[137], &path);
+    assert_eq!(recomputed, root, "path authenticates against the root");
+
+    // Prove membership on BLS12-381 without revealing leaf or path.
+    let circuit = merkle_membership::<Fr>(DEPTH);
+    println!(
+        "membership circuit: {} constraints",
+        circuit.r1cs().num_constraints()
+    );
+    let mut rng = zkperf::ff::test_rng();
+    let pk = setup::<Bls12_381, _>(circuit.r1cs(), &mut rng)?;
+    let witness = circuit.generate_witness(&[], &private_inputs)?;
+    assert_eq!(witness.public()[1], root);
+    let proof = prove::<Bls12_381, _>(&pk, circuit.r1cs(), &witness, &mut rng)?;
+
+    // The verifier checks the proof against the public root only.
+    let ok = verify::<Bls12_381>(&pk.vk, &proof, &[Fr::one(), root])?;
+    println!("membership proof: {}", if ok { "ACCEPT" } else { "REJECT" });
+    assert!(ok);
+
+    // Against a different root the same proof fails.
+    assert!(!verify::<Bls12_381>(&pk.vk, &proof, &[Fr::one(), root + Fr::one()])?);
+    println!("proof against a different root: REJECT, as it should be");
+    Ok(())
+}

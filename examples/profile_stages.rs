@@ -1,0 +1,45 @@
+//! Runs the paper's full characterization pipeline on one workload and
+//! prints every analysis: the end-to-end demonstration of the zkperf
+//! framework itself.
+//!
+//! Run with `cargo run --release --example profile_stages`.
+
+use zkperf::core::{analysis, measure_cell, Curve, Stage};
+use zkperf::machine::CpuProfile;
+use zkperf::scale::SimCores;
+
+fn main() {
+    let constraints = 1 << 10;
+    println!("characterizing the exponentiation workload ({constraints} constraints, BN128)\n");
+
+    let mut all = Vec::new();
+    for cpu in CpuProfile::paper_cpus() {
+        println!("simulating on {} ...", cpu.name);
+        all.extend(measure_cell(Curve::Bn128, &cpu, constraints, &Stage::ALL));
+    }
+
+    println!("\n--- execution time (§IV-B) ---");
+    println!("{}", analysis::render_exec_time(&analysis::exec_time_breakdown(&all)));
+
+    println!("--- top-down microarchitecture analysis (Fig. 4) ---");
+    println!("{}", analysis::render_topdown(&analysis::topdown_rows(&all)));
+
+    println!("--- memory analysis (Fig. 5 / Tables II-III) ---");
+    println!("{}", analysis::render_load_store(&analysis::load_store_rows(&all)));
+    println!("{}", analysis::render_mpki(&analysis::mpki_table(&all)));
+    println!("{}", analysis::render_bandwidth(&analysis::bandwidth_table(&all)));
+
+    println!("--- code analysis (Tables IV-V) ---");
+    println!("{}", analysis::render_hot_functions(&analysis::hot_functions(&all, 5)));
+    println!("{}", analysis::render_opcode_mix(&analysis::opcode_mix(&all)));
+
+    println!("--- scalability analysis (Fig. 6 / Table VI, simulated i9) ---");
+    let i9: Vec<_> = all
+        .iter()
+        .filter(|m| m.machine.cpu == "i9-13900K")
+        .cloned()
+        .collect();
+    let machine = SimCores::i9_13900k();
+    let ss = analysis::strong_scaling(&i9, &machine, &analysis::STRONG_SCALING_THREADS);
+    println!("{}", analysis::render_scaling(&ss));
+}

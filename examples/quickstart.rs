@@ -1,0 +1,45 @@
+//! Quickstart: prove and verify `y = x³` with Groth16 on BN254.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use zkperf::circuit::lang;
+use zkperf::ec::Bn254;
+use zkperf::ff::{bn254::Fr, Field};
+use zkperf::groth16::{prove, setup, verify};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Compile: the paper's Fig. 2 circuit, written in the suite's
+    //    circom-flavoured language.
+    let source = "circuit cube { public input x; output y = x * x * x; }";
+    let circuit = lang::compile::<Fr>(source)?;
+    println!(
+        "compiled `{}`: {} constraints, {} wires",
+        circuit.name(),
+        circuit.r1cs().num_constraints(),
+        circuit.r1cs().num_wires()
+    );
+
+    // 2. Setup: trusted parameter generation.
+    let mut rng = zkperf::ff::test_rng();
+    let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng)?;
+    println!("setup done: {} IC elements in the verification key", pk.vk.ic.len());
+
+    // 3. Witness: x = 3 (public) ⇒ y = 27.
+    let witness = circuit.generate_witness(&[Fr::from_u64(3)], &[])?;
+    println!("witness: y = {}", witness.public()[1]);
+
+    // 4. Prove.
+    let proof = prove::<Bn254, _>(&pk, circuit.r1cs(), &witness, &mut rng)?;
+    println!("proof generated ({} bytes uncompressed)", proof.size_bytes());
+
+    // 5. Verify.
+    let ok = verify::<Bn254>(&pk.vk, &proof, witness.public())?;
+    println!("verification: {}", if ok { "ACCEPT" } else { "REJECT" });
+    assert!(ok);
+
+    // A wrong public statement is rejected.
+    let wrong = [Fr::one(), Fr::from_u64(28), Fr::from_u64(3)];
+    assert!(!verify::<Bn254>(&pk.vk, &proof, &wrong)?);
+    println!("forged statement (y = 28): REJECT, as it should be");
+    Ok(())
+}

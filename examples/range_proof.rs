@@ -1,0 +1,35 @@
+//! Range proof: show a secret value fits in 16 bits (e.g. "my age is a
+//! sane number") without revealing it.
+//!
+//! Run with `cargo run --release --example range_proof`.
+
+use zkperf::circuit::library::range_check;
+use zkperf::ec::Bn254;
+use zkperf::ff::{bn254::Fr, Field};
+use zkperf::groth16::{prove, setup, verify};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const BITS: usize = 16;
+    let circuit = range_check::<Fr>(BITS);
+    println!(
+        "range circuit ({} bits): {} constraints",
+        BITS,
+        circuit.r1cs().num_constraints()
+    );
+    let mut rng = zkperf::ff::test_rng();
+    let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng)?;
+
+    // The secret value stays private; its square is the public statement.
+    let secret = Fr::from_u64(31337);
+    let witness = circuit.generate_witness(&[], &[secret])?;
+    let proof = prove::<Bn254, _>(&pk, circuit.r1cs(), &witness, &mut rng)?;
+    let ok = verify::<Bn254>(&pk.vk, &proof, witness.public())?;
+    println!("range proof for a secret value: {}", if ok { "ACCEPT" } else { "REJECT" });
+    assert!(ok);
+
+    // A value outside the range cannot even produce a witness.
+    let too_big = Fr::from_u64(1 << BITS);
+    assert!(circuit.generate_witness(&[], &[too_big]).is_err());
+    println!("witness for an out-of-range value: refused, as it should be");
+    Ok(())
+}

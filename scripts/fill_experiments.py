@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Splice the rendered results/*.txt tables into EXPERIMENTS.md at the
+<!-- MEASURED:name --> markers (idempotent)."""
+import re, sys, pathlib
+
+root = pathlib.Path(__file__).parent.parent
+mapping = {
+    "exec_time": "exec_time.txt",
+    "fig4": "fig4_topdown.txt",
+    "fig5": "fig5_loads_stores.txt",
+    "table2": "table2_mpki.txt",
+    "table3": "table3_bandwidth.txt",
+    "table4": "table4_functions.txt",
+    "fig6": "fig6_strong_scaling.txt",
+    "fig7": "fig7_weak_scaling.txt",
+    "table5": "table5_opcode_mix.txt",
+    "table6": "table6_parallelism.txt",
+    "plonk": "plonk_vs_groth16.txt",
+}
+text = (root / "EXPERIMENTS.md").read_text()
+for key, fname in mapping.items():
+    path = root / "results" / fname
+    if not path.exists():
+        print(f"missing {fname}, skipping", file=sys.stderr)
+        continue
+    body = path.read_text().rstrip()
+    # Truncate very long outputs for the document; full data stays in results/.
+    lines = body.splitlines()
+    if len(lines) > 40:
+        body = "\n".join(lines[:40]) + f"\n... ({len(lines)-40} more rows in results/{fname})"
+    block = f"<!-- MEASURED:{key} -->\n```text\n{body}\n```\n<!-- /MEASURED:{key} -->"
+    pattern = re.compile(
+        rf"<!-- MEASURED:{key} -->(?:.*?<!-- /MEASURED:{key} -->)?",
+        re.S,
+    )
+    text, n = pattern.subn(block, text)
+    assert n == 1, key
+(root / "EXPERIMENTS.md").write_text(text)
+print("EXPERIMENTS.md updated")

@@ -1,0 +1,133 @@
+//! Integration: the characterization framework reproduces the paper's
+//! qualitative findings on a small sweep.
+
+use zkperf::core::{analysis, measure_cell, Curve, Stage};
+use zkperf::machine::CpuProfile;
+use zkperf::scale::SimCores;
+
+fn sweep(curve: Curve, cpu: &CpuProfile, sizes: &[usize]) -> Vec<zkperf::core::StageMeasurement> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        out.extend(measure_cell(curve, cpu, n, &Stage::ALL));
+    }
+    out
+}
+
+#[test]
+fn setup_dominates_execution_time() {
+    let ms = sweep(Curve::Bn128, &CpuProfile::i9_13900k(), &[256, 512]);
+    let rows = analysis::exec_time_breakdown(&ms);
+    let pct = |s: Stage| rows.iter().find(|r| r.stage == s).unwrap().percent;
+    assert!(
+        pct(Stage::Setup) > pct(Stage::Proving),
+        "setup {} <= proving {}",
+        pct(Stage::Setup),
+        pct(Stage::Proving)
+    );
+    for s in [Stage::Compile, Stage::Witness] {
+        assert!(pct(Stage::Setup) > pct(s));
+    }
+}
+
+#[test]
+fn verifying_work_is_constant_in_circuit_size() {
+    let cpu = CpuProfile::i7_8650u();
+    let ms = sweep(Curve::Bn128, &cpu, &[128, 1024]);
+    let verify: Vec<u64> = ms
+        .iter()
+        .filter(|m| m.stage == Stage::Verifying)
+        .map(|m| m.counts.total_uops())
+        .collect();
+    let ratio = verify[1] as f64 / verify[0] as f64;
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "verifying grew by {ratio}× over an 8× size increase"
+    );
+    // While setup grows with the circuit (its fixed-base tables are a
+    // large constant term at these small sizes, so growth is sublinear
+    // here; it turns linear past ~2^13).
+    let setup: Vec<u64> = ms
+        .iter()
+        .filter(|m| m.stage == Stage::Setup)
+        .map(|m| m.counts.total_uops())
+        .collect();
+    let setup_growth = setup[1] as f64 / setup[0] as f64;
+    assert!(setup_growth > 1.15, "setup growth {setup_growth}");
+    assert!(setup_growth > ratio, "setup must outgrow verifying");
+}
+
+#[test]
+fn setup_has_lowest_mpki_among_heavy_stages() {
+    // Paper Table II: setup has the lowest MPKI (0.03-0.08) because its
+    // fixed-base tables stream; witness/proving are the cache-hostile ones.
+    let ms = sweep(Curve::Bn128, &CpuProfile::i5_11400(), &[512]);
+    let mpki = |s: Stage| {
+        ms.iter()
+            .find(|m| m.stage == s)
+            .unwrap()
+            .machine
+            .llc_load_mpki()
+    };
+    assert!(mpki(Stage::Setup) <= mpki(Stage::Witness) + 0.5);
+}
+
+#[test]
+fn interpreted_stages_are_more_frontend_bound_than_compile() {
+    let ms = sweep(Curve::Bn128, &CpuProfile::i7_8650u(), &[512]);
+    let fe = |s: Stage| {
+        ms.iter()
+            .find(|m| m.stage == s)
+            .unwrap()
+            .machine
+            .topdown()
+            .frontend_bound
+    };
+    // Witness/verifying run in the interpreted runtime: more front-end
+    // pressure than the natively compiled compile stage.
+    assert!(fe(Stage::Witness) > fe(Stage::Compile));
+    assert!(fe(Stage::Verifying) > fe(Stage::Compile));
+}
+
+#[test]
+fn proving_is_most_parallel_and_scales_furthest() {
+    let cpu = CpuProfile::i9_13900k();
+    let ms = sweep(Curve::Bn128, &cpu, &[1024]);
+    let machine = SimCores::i9_13900k();
+    let curves = analysis::strong_scaling(&ms, &machine, &[1, 2, 4, 8, 16, 32]);
+    let speedup_at_32 = |s: Stage| {
+        curves
+            .iter()
+            .find(|c| c.stage == s)
+            .unwrap()
+            .points
+            .last()
+            .unwrap()
+            .1
+    };
+    assert!(speedup_at_32(Stage::Proving) > speedup_at_32(Stage::Compile));
+    assert!(speedup_at_32(Stage::Proving) > speedup_at_32(Stage::Verifying));
+    // Parallelism fits are valid percentages.
+    for c in &curves {
+        let fit = zkperf::scale::fit::amdahl(&c.points);
+        assert!((0.0..=100.0).contains(&fit.serial_pct));
+        assert!((fit.serial_pct + fit.parallel_pct - 100.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn both_curves_have_similar_stage_character() {
+    // Paper: "BN128 and BLS12-381 have similar results across stages".
+    let cpu = CpuProfile::i7_8650u();
+    let bn = sweep(Curve::Bn128, &cpu, &[256]);
+    let bls = sweep(Curve::Bls12_381, &cpu, &[256]);
+    for (a, b) in bn.iter().zip(&bls) {
+        assert_eq!(a.stage, b.stage);
+        let mix_a = a.counts.class_percent(zkperf::trace::OpClass::Compute);
+        let mix_b = b.counts.class_percent(zkperf::trace::OpClass::Compute);
+        assert!(
+            (mix_a - mix_b).abs() < 20.0,
+            "{}: BN {mix_a:.1}% vs BLS {mix_b:.1}%",
+            a.stage
+        );
+    }
+}

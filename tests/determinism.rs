@@ -1,0 +1,50 @@
+//! Integration: measurements are reproducible and tracer counts are
+//! CPU-independent (only the machine model differs between CPUs).
+
+use zkperf::core::{measure_cell, Curve, Stage};
+use zkperf::machine::CpuProfile;
+
+#[test]
+fn repeated_measurement_is_deterministic() {
+    let cpu = CpuProfile::i7_8650u();
+    let a = measure_cell(Curve::Bn128, &cpu, 64, &[Stage::Setup, Stage::Proving]);
+    let b = measure_cell(Curve::Bn128, &cpu, 64, &[Stage::Setup, Stage::Proving]);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.counts.total_uops(), y.counts.total_uops(), "{}", x.stage);
+        assert_eq!(x.counts.branches, y.counts.branches);
+        assert_eq!(x.machine.mispredicts, y.machine.mispredicts);
+    }
+}
+
+#[test]
+fn tracer_counts_do_not_depend_on_simulated_cpu() {
+    let a = measure_cell(
+        Curve::Bn128,
+        &CpuProfile::i7_8650u(),
+        64,
+        &[Stage::Witness],
+    );
+    let b = measure_cell(
+        Curve::Bn128,
+        &CpuProfile::i9_13900k(),
+        64,
+        &[Stage::Witness],
+    );
+    assert_eq!(a[0].counts.total_uops(), b[0].counts.total_uops());
+    assert_eq!(a[0].counts.loads, b[0].counts.loads);
+    // ...while the machine-model results (cache behaviour) may differ.
+    assert_eq!(a[0].machine.cpu, "i7-8650U");
+    assert_eq!(b[0].machine.cpu, "i9-13900K");
+}
+
+#[test]
+fn stage_measurements_carry_their_stage_regions() {
+    let cpu = CpuProfile::i5_11400();
+    let ms = measure_cell(Curve::Bls12_381, &cpu, 32, &Stage::ALL);
+    let find = |s: Stage| ms.iter().find(|m| m.stage == s).unwrap();
+    assert!(find(Stage::Compile).region("parser").is_some());
+    assert!(find(Stage::Setup).region("fixed_base_msm").is_some());
+    assert!(find(Stage::Witness).region("witness_solver").is_some());
+    assert!(find(Stage::Proving).region("msm").is_some());
+    assert!(find(Stage::Verifying).region("miller_loop").is_some());
+}

@@ -1,0 +1,111 @@
+//! Integration: the five protocol stages across crates, on both curves.
+
+use zkperf::circuit::{lang, library};
+use zkperf::ec::{Bls12_381, Bn254, Engine};
+use zkperf::ff::Field;
+use zkperf::groth16::{prove, setup, verify, Proof};
+
+fn pipeline<E: Engine>(constraints: usize) {
+    let circuit = library::exponentiate::<E::Fr>(constraints);
+    let mut rng = zkperf::ff::test_rng();
+    let pk = setup::<E, _>(circuit.r1cs(), &mut rng).unwrap();
+    let witness = circuit
+        .generate_witness(&[E::Fr::from_u64(7)], &[])
+        .unwrap();
+    let proof = prove::<E, _>(&pk, circuit.r1cs(), &witness, &mut rng).unwrap();
+    assert!(verify::<E>(&pk.vk, &proof, witness.public()).unwrap());
+}
+
+#[test]
+fn exponentiation_pipeline_bn254() {
+    pipeline::<Bn254>(100);
+}
+
+#[test]
+fn exponentiation_pipeline_bls12_381() {
+    pipeline::<Bls12_381>(100);
+}
+
+#[test]
+fn proofs_do_not_transfer_between_circuits() {
+    // A proof for one circuit must not verify under another circuit's key,
+    // even with compatible public-witness shapes.
+    let mut rng = zkperf::ff::test_rng();
+    type Fr = zkperf::ff::bn254::Fr;
+    let c1 = library::exponentiate::<Fr>(4); // y = x^4
+    let c2 = library::exponentiate::<Fr>(5); // y = x^5
+    let pk1 = setup::<Bn254, _>(c1.r1cs(), &mut rng).unwrap();
+    let pk2 = setup::<Bn254, _>(c2.r1cs(), &mut rng).unwrap();
+    let w1 = c1.generate_witness(&[Fr::from_u64(2)], &[]).unwrap();
+    let proof1 = prove::<Bn254, _>(&pk1, c1.r1cs(), &w1, &mut rng).unwrap();
+    assert!(verify::<Bn254>(&pk1.vk, &proof1, w1.public()).unwrap());
+    // Same-shaped statement [1, 16, 2] against circuit 2's key: reject.
+    assert!(!verify::<Bn254>(&pk2.vk, &proof1, w1.public()).unwrap());
+}
+
+#[test]
+fn fresh_setups_are_incompatible() {
+    // Two independent ceremonies for the same circuit produce keys that do
+    // not accept each other's proofs.
+    use rand::SeedableRng;
+    type Fr = zkperf::ff::bn254::Fr;
+    let circuit = library::exponentiate::<Fr>(8);
+    let mut rng_a = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng_b = rand::rngs::StdRng::seed_from_u64(2);
+    let pk_a = setup::<Bn254, _>(circuit.r1cs(), &mut rng_a).unwrap();
+    let pk_b = setup::<Bn254, _>(circuit.r1cs(), &mut rng_b).unwrap();
+    let w = circuit.generate_witness(&[Fr::from_u64(3)], &[]).unwrap();
+    let proof = prove::<Bn254, _>(&pk_a, circuit.r1cs(), &w, &mut rng_a).unwrap();
+    assert!(verify::<Bn254>(&pk_a.vk, &proof, w.public()).unwrap());
+    assert!(!verify::<Bn254>(&pk_b.vk, &proof, w.public()).unwrap());
+}
+
+#[test]
+fn language_and_builder_agree() {
+    // The same circuit written in the language and built via the DSL
+    // produces identical constraint counts and witnesses.
+    type Fr = zkperf::ff::bn254::Fr;
+    let from_lang = lang::compile::<Fr>(
+        "circuit sq { public input x; output y = x * x; }",
+    )
+    .unwrap();
+    let mut b = zkperf::circuit::CircuitBuilder::<Fr>::new("sq");
+    let x = b.public_input("x");
+    let x2 = b.mul(&x.into(), &x.into());
+    b.output("y", x2);
+    let from_builder = b.finish();
+    assert_eq!(
+        from_lang.r1cs().num_constraints(),
+        from_builder.r1cs().num_constraints()
+    );
+    let wl = from_lang.generate_witness(&[Fr::from_u64(9)], &[]).unwrap();
+    let wb = from_builder.generate_witness(&[Fr::from_u64(9)], &[]).unwrap();
+    assert_eq!(wl.public(), wb.public());
+}
+
+#[test]
+fn every_library_circuit_proves_and_verifies() {
+    type Fr = zkperf::ff::bn254::Fr;
+    let mut rng = zkperf::ff::test_rng();
+    let f = Fr::from_u64;
+
+    let cases: Vec<(zkperf::circuit::Circuit<Fr>, Vec<Fr>, Vec<Fr>)> = vec![
+        (library::exponentiate(6), vec![f(2)], vec![]),
+        (library::multiplier_chain(3), vec![], vec![f(3), f(5), f(7)]),
+        (library::range_check(10), vec![], vec![f(1000)]),
+        (library::merkle_membership(2), vec![], {
+            let (inputs, _) = library::merkle_path_inputs(f(5), &[(f(6), false), (f(7), true)]);
+            inputs
+        }),
+    ];
+    for (circuit, public, private) in cases {
+        let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+        let w = circuit.generate_witness(&public, &private).unwrap();
+        let proof: Proof<Bn254> = prove(&pk, circuit.r1cs(), &w, &mut rng).unwrap();
+        assert!(
+            verify::<Bn254>(&pk.vk, &proof, w.public()).unwrap(),
+            "{} failed",
+            circuit.name()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Integration: the PLONK scheme against the same circuits and witnesses
+//! as Groth16, plus cross-scheme consistency.
+
+use zkperf::circuit::library::{exponentiate, multiplier_chain};
+use zkperf::ec::{Bls12_381, Bn254};
+use zkperf::ff::Field;
+use zkperf::groth16;
+use zkperf::plonk::{plonk_prove, plonk_setup, plonk_verify};
+
+#[test]
+fn both_schemes_accept_the_same_statement() {
+    type Fr = zkperf::ff::bn254::Fr;
+    let circuit = exponentiate::<Fr>(12);
+    let mut rng = zkperf::ff::test_rng();
+    let witness = circuit.generate_witness(&[Fr::from_u64(3)], &[]).unwrap();
+
+    let g_pk = groth16::setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+    let g_proof =
+        groth16::prove::<Bn254, _>(&g_pk, circuit.r1cs(), &witness, &mut rng).unwrap();
+    assert!(groth16::verify::<Bn254>(&g_pk.vk, &g_proof, witness.public()).unwrap());
+
+    let p_pk = plonk_setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+    let p_proof = plonk_prove(&p_pk, witness.full()).unwrap();
+    assert!(plonk_verify(p_pk.vk(), &p_proof, witness.public()));
+
+    // And both reject the same wrong statement.
+    let mut wrong = witness.public().to_vec();
+    wrong[1] += Fr::one();
+    assert!(!groth16::verify::<Bn254>(&g_pk.vk, &g_proof, &wrong).unwrap());
+    assert!(!plonk_verify(p_pk.vk(), &p_proof, &wrong));
+}
+
+#[test]
+fn plonk_works_on_bls12_381() {
+    type Fr = zkperf::ff::bls12_381::Fr;
+    let circuit = multiplier_chain::<Fr>(4);
+    let mut rng = zkperf::ff::test_rng();
+    let f = Fr::from_u64;
+    let witness = circuit
+        .generate_witness(&[], &[f(2), f(3), f(5), f(7)])
+        .unwrap();
+    let pk = plonk_setup::<Bls12_381, _>(circuit.r1cs(), &mut rng).unwrap();
+    let proof = plonk_prove(&pk, witness.full()).unwrap();
+    assert!(plonk_verify(pk.vk(), &proof, &[f(1), f(210)]));
+    assert!(!plonk_verify(pk.vk(), &proof, &[f(1), f(211)]));
+}
+
+#[test]
+fn plonk_proofs_do_not_transfer_between_statements() {
+    type Fr = zkperf::ff::bn254::Fr;
+    let circuit = exponentiate::<Fr>(4);
+    let mut rng = zkperf::ff::test_rng();
+    let pk = plonk_setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+    let w2 = circuit.generate_witness(&[Fr::from_u64(2)], &[]).unwrap();
+    let w3 = circuit.generate_witness(&[Fr::from_u64(3)], &[]).unwrap();
+    let proof2 = plonk_prove(&pk, w2.full()).unwrap();
+    assert!(plonk_verify(pk.vk(), &proof2, w2.public()));
+    assert!(!plonk_verify(pk.vk(), &proof2, w3.public()));
+}

@@ -1,0 +1,199 @@
+//! Cross-crate property-based tests (proptest) on the suite's core
+//! invariants.
+
+use proptest::prelude::*;
+
+use zkperf::circuit::{lang, CircuitBuilder, LinearCombination};
+use zkperf::ff::{bn254, BigUint, Field, PrimeField};
+use zkperf::poly::{DensePolynomial, Radix2Domain};
+
+type Fr = bn254::Fr;
+
+fn arb_fr() -> impl Strategy<Value = Fr> {
+    proptest::collection::vec(any::<u64>(), 4)
+        .prop_map(|limbs| Fr::from_biguint(&BigUint::from_limbs(&limbs)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------ fields --
+
+    #[test]
+    fn field_ring_axioms(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, Fr::zero());
+        prop_assert_eq!(a * Fr::one(), a);
+    }
+
+    #[test]
+    fn field_matches_biguint_reference(a in arb_fr(), b in arb_fr()) {
+        let m = Fr::modulus();
+        let sum = (&a.to_biguint() + &b.to_biguint()).rem(&m);
+        prop_assert_eq!((a + b).to_biguint(), sum);
+        let prod = (&a.to_biguint() * &b.to_biguint()).rem(&m);
+        prop_assert_eq!((a * b).to_biguint(), prod);
+    }
+
+    #[test]
+    fn inverse_is_two_sided(a in arb_fr()) {
+        if let Some(inv) = a.inverse() {
+            prop_assert!((a * inv).is_one());
+            prop_assert!((inv * a).is_one());
+            prop_assert_eq!(inv.inverse().unwrap(), a);
+        } else {
+            prop_assert!(a.is_zero());
+        }
+    }
+
+    #[test]
+    fn pow_is_homomorphic(a in arb_fr(), e1 in 0u64..1000, e2 in 0u64..1000) {
+        let p1 = a.pow(&BigUint::from_u64(e1));
+        let p2 = a.pow(&BigUint::from_u64(e2));
+        let psum = a.pow(&BigUint::from_u64(e1 + e2));
+        prop_assert_eq!(p1 * p2, psum);
+    }
+
+    // ----------------------------------------------------------- bigints --
+
+    #[test]
+    fn bigint_divrem_reconstructs(
+        a in proptest::collection::vec(any::<u64>(), 1..6),
+        b in proptest::collection::vec(any::<u64>(), 1..4),
+    ) {
+        let a = BigUint::from_limbs(&a);
+        let b = BigUint::from_limbs(&b);
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn bigint_string_roundtrip(limbs in proptest::collection::vec(any::<u64>(), 0..5)) {
+        let a = BigUint::from_limbs(&limbs);
+        let dec = BigUint::from_str_radix(&a.to_string(), 10).unwrap();
+        prop_assert_eq!(&dec, &a);
+        let hex = BigUint::from_str_radix(&format!("{a:x}"), 16).unwrap();
+        prop_assert_eq!(&hex, &a);
+    }
+
+    // --------------------------------------------------------------- fft --
+
+    #[test]
+    fn fft_roundtrip(log in 0u32..9, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let domain = Radix2Domain::<Fr>::new(1 << log).unwrap();
+        let coeffs: Vec<Fr> = (0..domain.size())
+            .map(|_| Fr::from_u64(rng.gen()))
+            .collect();
+        let mut buf = coeffs.clone();
+        domain.fft_in_place(&mut buf);
+        domain.ifft_in_place(&mut buf);
+        prop_assert_eq!(buf, coeffs);
+    }
+
+    #[test]
+    fn fft_is_linear(log in 2u32..7, s in 1u64..1000) {
+        let domain = Radix2Domain::<Fr>::new(1 << log).unwrap();
+        let n = domain.size();
+        let a: Vec<Fr> = (0..n).map(|i| Fr::from_u64(i as u64 + 1)).collect();
+        let s = Fr::from_u64(s);
+        let mut scaled: Vec<Fr> = a.iter().map(|&x| x * s).collect();
+        let mut plain = a.clone();
+        domain.fft_in_place(&mut plain);
+        domain.fft_in_place(&mut scaled);
+        for (p, q) in plain.iter().zip(&scaled) {
+            prop_assert_eq!(*p * s, *q);
+        }
+    }
+
+    #[test]
+    fn polynomial_mul_degree_and_eval(
+        a in proptest::collection::vec(1u64..100, 1..8),
+        b in proptest::collection::vec(1u64..100, 1..8),
+        x in 1u64..50,
+    ) {
+        let pa = DensePolynomial::new(a.iter().map(|&c| Fr::from_u64(c)).collect());
+        let pb = DensePolynomial::new(b.iter().map(|&c| Fr::from_u64(c)).collect());
+        let prod = pa.mul(&pb);
+        let x = Fr::from_u64(x);
+        prop_assert_eq!(prod.evaluate(x), pa.evaluate(x) * pb.evaluate(x));
+        prop_assert_eq!(prod.degree(), pa.degree() + pb.degree());
+    }
+
+    // ------------------------------------------------------------ circuit --
+
+    #[test]
+    fn witness_always_satisfies_r1cs(
+        muls in 1usize..20,
+        x in 1u64..1_000_000,
+    ) {
+        let mut b = CircuitBuilder::<Fr>::new("prop");
+        let input = b.public_input("x");
+        let mut acc: LinearCombination<Fr> = input.into();
+        for _ in 0..muls {
+            let base: LinearCombination<Fr> = input.into();
+            acc = b.mul(&acc, &base);
+        }
+        b.output("y", acc);
+        let circuit = b.finish();
+        let w = circuit.generate_witness(&[Fr::from_u64(x)], &[]).unwrap();
+        prop_assert_eq!(circuit.r1cs().check_satisfied(w.full()), Ok(()));
+        // The output really is x^(muls+1).
+        let expect = Fr::from_u64(x).pow(&BigUint::from_u64(muls as u64 + 1));
+        prop_assert_eq!(w.public()[1], expect);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in "\\PC*") {
+        // Errors are fine; panics are not.
+        let _ = lang::parse(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_tokeny_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("circuit".to_string()),
+                Just("repeat".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(";".to_string()),
+                Just("=".to_string()),
+                Just("*".to_string()),
+                Just("x".to_string()),
+                Just("3".to_string()),
+                Just("let".to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = lang::compile::<Fr>(&src);
+    }
+
+    #[test]
+    fn decompose_bits_matches_value(v in 0u64..(1 << 16)) {
+        let mut b = CircuitBuilder::<Fr>::new("bits");
+        let x = b.public_input("x");
+        let bits = b.decompose_bits(&x.into(), 16);
+        prop_assert_eq!(bits.len(), 16);
+        let circuit = b.finish();
+        let w = circuit.generate_witness(&[Fr::from_u64(v)], &[]).unwrap();
+        // Recompose from the aux region.
+        let aux = &w.full()[2..18];
+        let mut recomposed = 0u64;
+        for (i, bit) in aux.iter().enumerate() {
+            if bit.is_one() {
+                recomposed |= 1 << i;
+            }
+        }
+        prop_assert_eq!(recomposed, v);
+    }
+}
