@@ -54,7 +54,7 @@ fn bench_stage(c: &mut Criterion) {
         &CONSTRAINTS,
         |b, &n| {
             let mut w = Workload::<Bn254>::exponentiate(n);
-            w.prepare_for(Stage::Proving);
+            w.prepare_for(Stage::Proving).expect("prerequisites run");
             let circuit = exponentiate::<Fr>(n);
             let mut rng = zkperf_ff::test_rng();
             let pk = zkperf_groth16::setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();

@@ -7,7 +7,8 @@ fn main() {
             &cpu,
             1 << 12,
             &zkperf_core::Stage::ALL,
-        );
+        )
+        .expect("probe cell measures");
         for m in &ms {
             let td = m.machine.topdown();
             println!(

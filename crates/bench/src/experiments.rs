@@ -122,7 +122,7 @@ pub fn table6_parallelism() {
                 continue;
             };
             let avg = |f: &dyn Fn(&zkperf_scale::ParallelismFit) -> f64| {
-                fits.iter().map(|x| f(x)).sum::<f64>() / fits.len() as f64
+                fits.iter().map(f).sum::<f64>() / fits.len() as f64
             };
             let strong = zkperf_scale::ParallelismFit {
                 serial_pct: avg(&|x| x.serial_pct),

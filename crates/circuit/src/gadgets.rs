@@ -227,6 +227,7 @@ mod tests {
         let mut b = builder();
         let x = b.public_input("x");
         let xl: Lc<Fr> = x.into();
-        let _ = b.mux(&[xl.clone()], &[xl]);
+        let xr: Lc<Fr> = x.into();
+        let _ = b.mux(&[xl], &[xr]);
     }
 }

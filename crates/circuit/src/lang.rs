@@ -619,7 +619,7 @@ impl<F: PrimeField> Lowerer<F> {
             trace::compute(160);
             trace::control(120);
             trace::data_move(280);
-            trace::load(self.env.len() as usize * 64 + 0x10_0000, 32);
+            trace::load(self.env.len() * 64 + 0x10_0000, 32);
             match s {
                 Stmt::PublicInput(name) => {
                     let v = self.builder.public_input(name.clone());

@@ -154,11 +154,13 @@ pub fn load_store_rows(ms: &[StageMeasurement]) -> Vec<LoadStoreRow> {
                 stage,
                 constraints,
                 loads_mean: mean(&loads),
-                loads_min: *loads.iter().min().expect("non-empty"),
-                loads_max: *loads.iter().max().expect("non-empty"),
+                // Groups are built by pushing at least one measurement, so
+                // min/max exist; copied() + unwrap_or keeps this panic-free.
+                loads_min: loads.iter().min().copied().unwrap_or(0),
+                loads_max: loads.iter().max().copied().unwrap_or(0),
                 stores_mean: mean(&stores),
-                stores_min: *stores.iter().min().expect("non-empty"),
-                stores_max: *stores.iter().max().expect("non-empty"),
+                stores_min: stores.iter().min().copied().unwrap_or(0),
+                stores_max: stores.iter().max().copied().unwrap_or(0),
             }
         })
         .collect()
@@ -394,8 +396,7 @@ impl OpcodeMixRow {
         pairs
             .iter()
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("non-empty")
-            .0
+            .map_or(OpClass::Compute, |p| p.0)
     }
 }
 
@@ -585,7 +586,7 @@ mod tests {
             curves: vec![Curve::Bn128],
             stages: Stage::ALL.to_vec(),
         };
-        run_sweep(&config, |_, _| {})
+        run_sweep(&config, |_, _| {}).unwrap()
     }
 
     #[test]
@@ -663,8 +664,8 @@ mod tests {
     fn scalability_pipeline_produces_fits() {
         let cpu = CpuProfile::i9_13900k();
         let machine = SimCores::i9_13900k();
-        let m64 = measure_cell(Curve::Bn128, &cpu, 64, &[Stage::Proving]);
-        let m128 = measure_cell(Curve::Bn128, &cpu, 128, &[Stage::Proving]);
+        let m64 = measure_cell(Curve::Bn128, &cpu, 64, &[Stage::Proving]).unwrap();
+        let m128 = measure_cell(Curve::Bn128, &cpu, 128, &[Stage::Proving]).unwrap();
         let ss = strong_scaling(&m64, &machine, &[1, 2, 4, 8, 16, 32]);
         assert_eq!(ss.len(), 1);
         assert!(ss[0].points.last().unwrap().1 >= ss[0].points[0].1);

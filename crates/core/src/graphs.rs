@@ -104,6 +104,7 @@ mod tests {
             256,
             &Stage::ALL,
         )
+        .unwrap()
     }
 
     #[test]

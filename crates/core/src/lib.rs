@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! The zkperf characterization framework — the paper's primary
 //! contribution, reimplemented as a library.
@@ -27,9 +28,10 @@
 //! use zkperf_core::{analysis, measure_cell, Curve, Stage};
 //! use zkperf_machine::CpuProfile;
 //!
-//! let ms = measure_cell(Curve::Bn128, &CpuProfile::i7_8650u(), 64, &Stage::ALL);
+//! let ms = measure_cell(Curve::Bn128, &CpuProfile::i7_8650u(), 64, &Stage::ALL)?;
 //! let rows = analysis::topdown_rows(&ms);
 //! assert_eq!(rows.len(), 5);
+//! # Ok::<(), zkperf_core::StageError>(())
 //! ```
 
 pub mod analysis;
@@ -45,4 +47,4 @@ pub use graphs::stage_task_graph;
 pub use matrix::{measure_cell, run_sweep, SweepConfig};
 pub use measure::{measure_stage, RegionSummary, StageMeasurement};
 pub use stage::{Curve, Stage};
-pub use workload::{emit_runtime_init, Workload};
+pub use workload::{emit_runtime_init, StageError, Workload};

@@ -7,7 +7,7 @@ use zkperf_machine::CpuProfile;
 
 use crate::measure::{measure_stage, StageMeasurement};
 use crate::stage::{Curve, Stage};
-use crate::workload::Workload;
+use crate::workload::{StageError, Workload};
 
 /// Which cells of the paper's measurement matrix to run.
 #[derive(Debug, Clone, Serialize)]
@@ -76,27 +76,33 @@ fn measure_pipeline<E: Engine>(
     cpu: &CpuProfile,
     constraints: usize,
     stages: &[Stage],
-) -> Vec<StageMeasurement> {
+) -> Result<Vec<StageMeasurement>, StageError> {
     let mut workload = Workload::<E>::exponentiate(constraints);
     let mut out = Vec::new();
     for stage in Stage::ALL {
         if stages.contains(&stage) {
-            out.push(measure_stage(&mut workload, stage, curve, cpu));
+            out.push(measure_stage(&mut workload, stage, curve, cpu)?);
         } else {
             // Still run it (untraced) so later stages have prerequisites.
-            workload.run_stage(stage);
+            workload.run_stage(stage)?;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Measures the requested stages for one (curve, CPU, size) pipeline.
+///
+/// # Errors
+///
+/// Propagates the first [`StageError`] from the pipeline; the already
+/// measured stages of the failed cell are discarded so a sweep never
+/// records a half-measured cell.
 pub fn measure_cell(
     curve: Curve,
     cpu: &CpuProfile,
     constraints: usize,
     stages: &[Stage],
-) -> Vec<StageMeasurement> {
+) -> Result<Vec<StageMeasurement>, StageError> {
     match curve {
         Curve::Bn128 => measure_pipeline::<Bn254>(curve, cpu, constraints, stages),
         Curve::Bls12_381 => measure_pipeline::<Bls12_381>(curve, cpu, constraints, stages),
@@ -105,23 +111,31 @@ pub fn measure_cell(
 
 /// Runs the whole configured sweep, invoking `progress` after each cell
 /// with (cells done, cells total).
+///
+/// Fail-fast: the first failing cell aborts the sweep. Retry, quarantine
+/// and partial-result recovery live in `zkperf-bench`'s resilient runner,
+/// which drives [`measure_cell`] cell by cell.
+///
+/// # Errors
+///
+/// Returns the failing cell's [`StageError`].
 pub fn run_sweep(
     config: &SweepConfig,
     mut progress: impl FnMut(usize, usize),
-) -> Vec<StageMeasurement> {
+) -> Result<Vec<StageMeasurement>, StageError> {
     let total = config.log_sizes.len() * config.cpus.len() * config.curves.len();
     let mut done = 0;
     let mut out = Vec::new();
     for &curve in &config.curves {
         for cpu in &config.cpus {
             for &log in &config.log_sizes {
-                out.extend(measure_cell(curve, cpu, 1 << log, &config.stages));
+                out.extend(measure_cell(curve, cpu, 1 << log, &config.stages)?);
                 done += 1;
                 progress(done, total);
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -155,7 +169,8 @@ mod tests {
         let ms = run_sweep(&config, |done, total| {
             calls += 1;
             assert!(done <= total);
-        });
+        })
+        .unwrap();
         assert_eq!(calls, 1);
         assert_eq!(ms.len(), 2);
         assert_eq!(ms[0].stage, Stage::Compile);

@@ -8,7 +8,7 @@ use zkperf_machine::{CpuProfile, MachineReport, MachineSim};
 use zkperf_trace::{self as trace, OpCounts};
 
 use crate::stage::{Curve, Stage};
-use crate::workload::{emit_runtime_init, emit_stage_io, Workload};
+use crate::workload::{emit_runtime_init, emit_stage_io, StageError, Workload};
 
 /// Per-function attribution extracted from the trace session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -63,12 +63,18 @@ impl StageMeasurement {
 /// [`Workload::prepare_for`]); they execute untraced so the measurement
 /// isolates `stage`, matching the paper's "run each stage separately"
 /// methodology.
+///
+/// # Errors
+///
+/// Propagates the [`StageError`] when the stage itself fails; the trace
+/// session is torn down cleanly first, so a failed cell never poisons the
+/// next measurement.
 pub fn measure_stage<E: Engine>(
     workload: &mut Workload<E>,
     stage: Stage,
     curve: Curve,
     cpu: &CpuProfile,
-) -> StageMeasurement {
+) -> Result<StageMeasurement, StageError> {
     let (sink, handle) = MachineSim::new(cpu.clone(), stage.exec_env()).shared();
     let session = trace::Session::begin_with_sink(Box::new(sink));
     if stage.exec_env() != zkperf_machine::ExecEnv::Native {
@@ -76,7 +82,10 @@ pub fn measure_stage<E: Engine>(
         emit_runtime_init();
     }
     emit_stage_io(workload.stage_read_bytes(stage));
-    workload.run_stage(stage);
+    if let Err(e) = workload.run_stage(stage) {
+        let _ = session.finish();
+        return Err(e);
+    }
     emit_stage_io(workload.stage_write_bytes(stage));
     let report = session.finish();
     let machine = handle.borrow().report();
@@ -92,7 +101,7 @@ pub fn measure_stage<E: Engine>(
             memcpy_bytes: r.counts.memcpy_bytes,
         })
         .collect();
-    StageMeasurement {
+    Ok(StageMeasurement {
         stage,
         curve,
         constraints: workload.constraints(),
@@ -100,7 +109,7 @@ pub fn measure_stage<E: Engine>(
         counts: report.counts,
         regions,
         wall_time: report.wall_time,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -112,15 +121,15 @@ mod tests {
     fn measuring_compile_then_proving_isolates_stages() {
         let cpu = CpuProfile::i7_8650u();
         let mut w = Workload::<Bn254>::exponentiate(32);
-        let compile = measure_stage(&mut w, Stage::Compile, Curve::Bn128, &cpu);
+        let compile = measure_stage(&mut w, Stage::Compile, Curve::Bn128, &cpu).unwrap();
         assert_eq!(compile.stage, Stage::Compile);
         assert!(compile.counts.total_uops() > 0);
         assert!(compile.region("parser").is_some());
         // Compile is native: no runtime_init in its trace.
         assert!(compile.region("runtime_init").is_none());
 
-        w.prepare_for(Stage::Proving);
-        let proving = measure_stage(&mut w, Stage::Proving, Curve::Bn128, &cpu);
+        w.prepare_for(Stage::Proving).unwrap();
+        let proving = measure_stage(&mut w, Stage::Proving, Curve::Bn128, &cpu).unwrap();
         assert!(proving.region("msm").is_some());
         assert!(proving.region("fft").is_some());
         assert!(proving.region("runtime_init").is_some());
@@ -134,11 +143,23 @@ mod tests {
     fn verifying_measurement_contains_pairing_regions() {
         let cpu = CpuProfile::i9_13900k();
         let mut w = Workload::<Bn254>::exponentiate(8);
-        w.prepare_for(Stage::Verifying);
-        let m = measure_stage(&mut w, Stage::Verifying, Curve::Bn128, &cpu);
+        w.prepare_for(Stage::Verifying).unwrap();
+        let m = measure_stage(&mut w, Stage::Verifying, Curve::Bn128, &cpu).unwrap();
         assert!(m.region("miller_loop").is_some());
         assert!(m.region("final_exp").is_some());
         assert!(m.region_uops("final_exp") > 0);
         assert_eq!(m.machine.cpu, "i9-13900K");
+    }
+
+    #[test]
+    fn failed_stage_tears_down_the_session_cleanly() {
+        let cpu = CpuProfile::i7_8650u();
+        let mut w = Workload::<Bn254>::exponentiate(8);
+        // Setup without compile: a typed error, not a panic...
+        let err = measure_stage(&mut w, Stage::Setup, Curve::Bn128, &cpu).unwrap_err();
+        assert!(matches!(err, StageError::MissingPrerequisite { .. }));
+        // ...and the tracer is reusable immediately afterwards.
+        let ok = measure_stage(&mut w, Stage::Compile, Curve::Bn128, &cpu).unwrap();
+        assert!(ok.counts.total_uops() > 0);
     }
 }

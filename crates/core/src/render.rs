@@ -73,7 +73,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(3.75159, 2), "3.75");
         assert_eq!(f(25.0, 1), "25.0");
     }
 }

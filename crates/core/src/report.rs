@@ -20,10 +20,10 @@ use crate::measure::StageMeasurement;
 /// use zkperf_core::{measure_cell, report, Curve, Stage};
 /// use zkperf_machine::CpuProfile;
 ///
-/// let ms = measure_cell(Curve::Bn128, &CpuProfile::i9_13900k(), 256, &Stage::ALL);
+/// let ms = measure_cell(Curve::Bn128, &CpuProfile::i9_13900k(), 256, &Stage::ALL)?;
 /// let md = report::render_markdown(&ms, Some(&zkperf_scale::SimCores::i9_13900k()));
 /// std::fs::write("characterization.md", md)?;
-/// # Ok::<(), std::io::Error>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn render_markdown(
     measurements: &[StageMeasurement],
@@ -31,20 +31,20 @@ pub fn render_markdown(
 ) -> String {
     let mut out = String::new();
     let section = |title: &str, body: String, out: &mut String| {
-        writeln!(out, "## {title}\n\n```text\n{}```\n", body).expect("string write");
+        // Writing to a String is infallible; ignore the Ok(()) result.
+        let _ = writeln!(out, "## {title}\n\n```text\n{}```\n", body);
     };
 
-    writeln!(out, "# zkperf characterization report\n").expect("string write");
+    let _ = writeln!(out, "# zkperf characterization report\n");
     let cells = measurements.len();
     let sizes: std::collections::BTreeSet<usize> =
         measurements.iter().map(|m| m.constraints).collect();
     let cpus: std::collections::BTreeSet<&str> =
         measurements.iter().map(|m| m.machine.cpu.as_str()).collect();
-    writeln!(
+    let _ = writeln!(
         out,
         "{cells} stage measurements over constraint sizes {sizes:?} on CPUs {cpus:?}.\n"
-    )
-    .expect("string write");
+    );
 
     section(
         "Execution time (§IV-B)",
@@ -116,7 +116,7 @@ mod tests {
 
     #[test]
     fn report_contains_every_section() {
-        let ms = measure_cell(Curve::Bn128, &CpuProfile::i7_8650u(), 64, &Stage::ALL);
+        let ms = measure_cell(Curve::Bn128, &CpuProfile::i7_8650u(), 64, &Stage::ALL).unwrap();
         let md = render_markdown(&ms, Some(&SimCores::i9_13900k()));
         for heading in [
             "# zkperf characterization report",

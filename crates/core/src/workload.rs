@@ -3,13 +3,108 @@
 
 use rand::SeedableRng;
 
-use zkperf_circuit::{lang, library, Circuit, Witness};
+use zkperf_circuit::{lang, library, Circuit, Witness, WitnessError};
 use zkperf_ec::Engine;
 use zkperf_ff::Field;
-use zkperf_groth16::{contribute, prove, setup, verify, Proof, ProvingKey};
+use zkperf_groth16::{
+    contribute, prove, setup, verify, Proof, ProveError, ProvingKey, SetupError, VerifyError,
+};
+use zkperf_resilience::{chaos_mode, ChaosMode};
 use zkperf_trace as trace;
 
 use crate::stage::Stage;
+
+/// Errors from [`Workload::run_stage`].
+///
+/// Stage ordering violations and artifact-shape problems are reported as
+/// values instead of panics, so a sweep can record a failed cell and keep
+/// going. The `Injected` variant only occurs when `ZKPERF_CHAOS` is armed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageError {
+    /// `stage` was run before its prerequisite `needs`.
+    MissingPrerequisite {
+        /// The stage that was requested.
+        stage: Stage,
+        /// The earlier stage whose artifact is missing.
+        needs: Stage,
+    },
+    /// The circuit source failed to compile.
+    Compile(lang::CompileError),
+    /// The compiled constraint count differs from the declared sweep value.
+    ConstraintCountMismatch {
+        /// Constraints the workload was declared with.
+        declared: usize,
+        /// Constraints the compiler actually produced.
+        compiled: usize,
+    },
+    /// Trusted setup rejected the circuit.
+    Setup(SetupError),
+    /// The inputs do not satisfy the circuit.
+    Witness(WitnessError),
+    /// The proving key and witness are inconsistent.
+    Prove(ProveError),
+    /// The verification inputs are malformed.
+    Verify(VerifyError),
+    /// A chaos-mode fault was injected at this stage boundary.
+    Injected {
+        /// The stage whose boundary tripped.
+        stage: Stage,
+    },
+}
+
+impl std::fmt::Display for StageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageError::MissingPrerequisite { stage, needs } => {
+                write!(f, "{} before {}", needs.name(), stage.name())
+            }
+            StageError::Compile(e) => write!(f, "compile: {e}"),
+            StageError::ConstraintCountMismatch { declared, compiled } => write!(
+                f,
+                "compiled to {compiled} constraints but the sweep declared {declared}"
+            ),
+            StageError::Setup(e) => write!(f, "setup: {e}"),
+            StageError::Witness(e) => write!(f, "witness: {e}"),
+            StageError::Prove(e) => write!(f, "proving: {e}"),
+            StageError::Verify(e) => write!(f, "verifying: {e}"),
+            StageError::Injected { stage } => {
+                write!(f, "chaos fault injected at the {} boundary", stage.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StageError {}
+
+impl From<lang::CompileError> for StageError {
+    fn from(e: lang::CompileError) -> Self {
+        StageError::Compile(e)
+    }
+}
+
+impl From<SetupError> for StageError {
+    fn from(e: SetupError) -> Self {
+        StageError::Setup(e)
+    }
+}
+
+impl From<WitnessError> for StageError {
+    fn from(e: WitnessError) -> Self {
+        StageError::Witness(e)
+    }
+}
+
+impl From<ProveError> for StageError {
+    fn from(e: ProveError) -> Self {
+        StageError::Prove(e)
+    }
+}
+
+impl From<VerifyError> for StageError {
+    fn from(e: VerifyError) -> Self {
+        StageError::Verify(e)
+    }
+}
 
 /// A deterministic RNG per workload so measurement runs are reproducible.
 fn workload_rng(seed_tweak: u64) -> rand::rngs::StdRng {
@@ -30,9 +125,10 @@ fn workload_rng(seed_tweak: u64) -> rand::rngs::StdRng {
 ///
 /// let mut w = Workload::<Bn254>::exponentiate(16);
 /// for stage in Stage::ALL {
-///     w.run_stage(stage);
+///     w.run_stage(stage)?;
 /// }
 /// assert_eq!(w.verified(), Some(true));
+/// # Ok::<(), zkperf_core::StageError>(())
 /// ```
 #[derive(Debug)]
 pub struct Workload<E: Engine> {
@@ -84,9 +180,10 @@ impl<E: Engine> Workload<E> {
     /// // one multiplication gate plus the output-binding row = 2 constraints
     /// let mut w = Workload::<Bn254>::from_source(src, 2, vec![Fr::from_u64(4)], vec![]);
     /// for stage in Stage::ALL {
-    ///     w.run_stage(stage);
+    ///     w.run_stage(stage)?;
     /// }
     /// assert_eq!(w.verified(), Some(true));
+    /// # Ok::<(), zkperf_core::StageError>(())
     /// ```
     pub fn from_source(
         source: impl Into<String>,
@@ -140,39 +237,49 @@ impl<E: Engine> Workload<E> {
 
     /// Runs every stage strictly before `stage` (untraced), so `stage` can
     /// then be executed in isolation under measurement.
-    pub fn prepare_for(&mut self, stage: Stage) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`StageError`] from a prerequisite stage.
+    pub fn prepare_for(&mut self, stage: Stage) -> Result<(), StageError> {
         for s in Stage::ALL {
             if s >= stage {
                 break;
             }
-            self.run_stage(s);
+            self.run_stage(s)?;
         }
+        Ok(())
     }
 
     /// Executes one stage, consuming cached prerequisites and caching the
     /// stage's own artifact. Re-running a stage recomputes it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a prerequisite stage has not run, or if the workload is
-    /// internally inconsistent (all are bugs, not user errors).
-    pub fn run_stage(&mut self, stage: Stage) {
+    /// Returns [`StageError::MissingPrerequisite`] when an earlier stage
+    /// has not run, wraps the underlying pipeline error when a stage's
+    /// inputs are inconsistent, and returns [`StageError::Injected`] when
+    /// the `ZKPERF_CHAOS` knob forces a fault at this boundary.
+    pub fn run_stage(&mut self, stage: Stage) -> Result<(), StageError> {
+        if let Some(err) = self.chaos_injection(stage, chaos_mode()) {
+            return Err(err);
+        }
+        let missing = |needs: Stage| StageError::MissingPrerequisite { stage, needs };
         match stage {
             Stage::Compile => {
-                let circuit =
-                    lang::compile::<E::Fr>(&self.source).expect("workload source compiles");
-                assert_eq!(
-                    circuit.r1cs().num_constraints(),
-                    self.constraints,
-                    "constraint count differs from the declared sweep value"
-                );
+                let circuit = lang::compile::<E::Fr>(&self.source)?;
+                if circuit.r1cs().num_constraints() != self.constraints {
+                    return Err(StageError::ConstraintCountMismatch {
+                        declared: self.constraints,
+                        compiled: circuit.r1cs().num_constraints(),
+                    });
+                }
                 self.circuit = Some(circuit);
             }
             Stage::Setup => {
-                let circuit = self.circuit.as_ref().expect("compile before setup");
+                let circuit = self.circuit.as_ref().ok_or(missing(Stage::Compile))?;
                 let mut rng = workload_rng(1);
-                let mut pk =
-                    setup::<E, _>(circuit.r1cs(), &mut rng).expect("circuit fits the domain");
+                let mut pk = setup::<E, _>(circuit.r1cs(), &mut rng)?;
                 // snarkjs zkeys need at least one phase-2 contribution
                 // before they are usable; the paper's setup measurement
                 // includes it.
@@ -180,30 +287,37 @@ impl<E: Engine> Workload<E> {
                 self.pk = Some(pk);
             }
             Stage::Witness => {
-                let circuit = self.circuit.as_ref().expect("compile before witness");
-                let witness = circuit
-                    .generate_witness(&self.public_inputs, &self.private_inputs)
-                    .expect("inputs satisfy the circuit");
+                let circuit = self.circuit.as_ref().ok_or(missing(Stage::Compile))?;
+                let witness =
+                    circuit.generate_witness(&self.public_inputs, &self.private_inputs)?;
                 self.witness = Some(witness);
             }
             Stage::Proving => {
-                let circuit = self.circuit.as_ref().expect("compile before proving");
-                let pk = self.pk.as_ref().expect("setup before proving");
-                let witness = self.witness.as_ref().expect("witness before proving");
+                let circuit = self.circuit.as_ref().ok_or(missing(Stage::Compile))?;
+                let pk = self.pk.as_ref().ok_or(missing(Stage::Setup))?;
+                let witness = self.witness.as_ref().ok_or(missing(Stage::Witness))?;
                 let mut rng = workload_rng(2);
-                let proof = prove::<E, _>(pk, circuit.r1cs(), witness, &mut rng)
-                    .expect("witness matches the proving key");
+                let proof = prove::<E, _>(pk, circuit.r1cs(), witness, &mut rng)?;
                 self.proof = Some(proof);
             }
             Stage::Verifying => {
-                let pk = self.pk.as_ref().expect("setup before verifying");
-                let witness = self.witness.as_ref().expect("witness before verifying");
-                let proof = self.proof.as_ref().expect("proving before verifying");
-                let ok = verify::<E>(&pk.vk, proof, witness.public())
-                    .expect("well-formed inputs");
+                let pk = self.pk.as_ref().ok_or(missing(Stage::Setup))?;
+                let witness = self.witness.as_ref().ok_or(missing(Stage::Witness))?;
+                let proof = self.proof.as_ref().ok_or(missing(Stage::Proving))?;
+                let ok = verify::<E>(&pk.vk, proof, witness.public())?;
                 self.verified = Some(ok);
             }
         }
+        Ok(())
+    }
+
+    /// The fault (if any) a chaos plan injects at this stage boundary.
+    /// Sparse by design — roughly one in four boundaries trip — so any
+    /// seed faults somewhere while leaving most pipelines runnable.
+    fn chaos_injection(&self, stage: Stage, mode: ChaosMode) -> Option<StageError> {
+        let label = format!("stage:{}:{}", stage.name(), self.constraints);
+        let mut plan = mode.plan_for(&label)?;
+        plan.chance(1, 4).then_some(StageError::Injected { stage })
     }
 }
 
@@ -228,7 +342,10 @@ fn staged_sizes<E: Engine>(w: &Workload<E>, stage: Stage) -> (usize, usize) {
             * fr
             + pk.b_g2_query.len() * 4 * fr
     });
-    let wtns = w.witness.as_ref().map_or(0, |wit| wit.full().len() * fr);
+    let wtns = w
+        .witness
+        .as_ref()
+        .map_or(0, |wit| std::mem::size_of_val(wit.full()));
     match stage {
         Stage::Compile => (w.source.len(), ccs),
         Stage::Setup => (ccs + ptau, pk),
@@ -301,17 +418,57 @@ mod tests {
     fn pipeline_runs_in_order_and_verifies() {
         let mut w = Workload::<Bn254>::exponentiate(8);
         assert!(w.verified().is_none());
-        w.prepare_for(Stage::Verifying);
-        w.run_stage(Stage::Verifying);
+        w.prepare_for(Stage::Verifying).unwrap();
+        w.run_stage(Stage::Verifying).unwrap();
         assert_eq!(w.verified(), Some(true));
         assert_eq!(w.circuit().unwrap().r1cs().num_constraints(), 8);
     }
 
     #[test]
-    #[should_panic(expected = "compile before setup")]
-    fn skipping_prerequisites_panics() {
+    fn skipping_prerequisites_is_a_typed_error() {
         let mut w = Workload::<Bn254>::exponentiate(8);
-        w.run_stage(Stage::Setup);
+        let err = w.run_stage(Stage::Setup).unwrap_err();
+        assert_eq!(
+            err,
+            StageError::MissingPrerequisite {
+                stage: Stage::Setup,
+                needs: Stage::Compile,
+            }
+        );
+        assert_eq!(err.to_string(), "compile before setup");
+    }
+
+    #[test]
+    fn bad_inputs_surface_as_witness_errors() {
+        let mut w = Workload::<Bn254>::from_source(
+            "circuit sq { public input x; output y = x * x; }",
+            2,
+            vec![], // missing the public input
+            vec![],
+        );
+        w.run_stage(Stage::Compile).unwrap();
+        let err = w.run_stage(Stage::Witness).unwrap_err();
+        assert!(matches!(err, StageError::Witness(_)));
+    }
+
+    #[test]
+    fn chaos_mode_injects_deterministic_stage_faults() {
+        // Many (stage, size) boundaries under one seed: at 1-in-4 odds
+        // some must trip, and the same seed must trip the same ones.
+        let sweep = |mode: ChaosMode| -> Vec<Option<StageError>> {
+            (1..=10)
+                .flat_map(|n| {
+                    let w = Workload::<Bn254>::exponentiate(n);
+                    Stage::ALL.map(|s| w.chaos_injection(s, mode))
+                })
+                .collect()
+        };
+        let armed = sweep(ChaosMode::Seeded(1234));
+        assert_eq!(armed, sweep(ChaosMode::Seeded(1234)), "replayable");
+        assert!(armed.iter().any(Option::is_some), "some boundary trips");
+        assert!(armed.iter().any(Option::is_none), "not every boundary");
+        assert_ne!(armed, sweep(ChaosMode::Seeded(77)), "seed matters");
+        assert!(sweep(ChaosMode::Off).iter().all(Option::is_none));
     }
 
     #[test]
@@ -326,7 +483,7 @@ mod tests {
             vec![zkperf_ff::bn254::Fr::from_u64(3)],
         );
         for stage in Stage::ALL {
-            w.run_stage(stage);
+            w.run_stage(stage).unwrap();
         }
         assert_eq!(w.verified(), Some(true));
     }

@@ -349,6 +349,8 @@ impl<C: CurveParams> std::ops::AddAssign for Projective<C> {
 
 impl<C: CurveParams> std::ops::Sub for Projective<C> {
     type Output = Self;
+    // Group subtraction genuinely is add-the-negation.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: Self) -> Self {
         self + rhs.neg()
     }

@@ -71,10 +71,10 @@ impl<P: FpParams<N>, const N: usize> Fp<P, N> {
     fn mont_mul(a: &[u64; N], b: &[u64; N]) -> [u64; N] {
         debug_assert!(N + 2 <= 8, "fields up to 384 bits supported");
         let mut t = [0u64; 8];
-        for i in 0..N {
+        for &b_i in b.iter().take(N) {
             let mut carry = 0u64;
             for j in 0..N {
-                let (lo, hi) = mac(t[j], a[j], b[i], carry);
+                let (lo, hi) = mac(t[j], a[j], b_i, carry);
                 t[j] = lo;
                 carry = hi;
             }
@@ -388,7 +388,7 @@ mod tests {
 
     #[test]
     fn add_sub_mul_match_u128_reference() {
-        let vals = [0u64, 1, 2, 12345, (1 << 61) - 2, 998877665544332211 % ((1 << 61) - 1)];
+        let vals = [0u64, 1, 2, 12345, (1 << 61) - 2, 998877665544332211];
         for &a in &vals {
             for &b in &vals {
                 let (fa, fb) = (F::from_u64(a), F::from_u64(b));
@@ -480,7 +480,7 @@ mod tests {
         let _ = a * b;
         let report = session.finish();
         assert!(report.counts.compute_uops > 0);
-        assert_eq!(report.counts.loads >= 2, true);
+        assert!(report.counts.loads >= 2);
         assert!(report.counts.stores >= 1);
     }
 }

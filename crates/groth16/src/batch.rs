@@ -81,7 +81,9 @@ mod tests {
     use zkperf_ec::Bn254;
     use zkperf_ff::bn254::Fr;
 
-    fn batch(count: usize) -> (VerifyingKey<Bn254>, Vec<(Proof<Bn254>, Vec<Fr>)>) {
+    type Items = Vec<(Proof<Bn254>, Vec<Fr>)>;
+
+    fn batch(count: usize) -> (VerifyingKey<Bn254>, Items) {
         let circuit = exponentiate::<Fr>(6);
         let mut rng = zkperf_ff::test_rng();
         let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
@@ -117,6 +119,30 @@ mod tests {
         let (vk, mut items) = batch(3);
         items[0].0.c = items[0].0.a;
         assert!(!verify_batch(&vk, &items, &mut rng).unwrap());
+    }
+
+    #[test]
+    fn tampered_proofs_are_rejected() {
+        // Cross-splice components between two individually valid proofs:
+        // every element stays on-curve, so only the pairing check can
+        // catch the tamper — and it must, for each component in turn.
+        let mut rng = zkperf_ff::test_rng();
+        let (vk, items) = batch(2);
+        type Splice = fn(&mut Proof<Bn254>, &Proof<Bn254>);
+        let splices: [Splice; 3] = [
+            |p, donor| p.a = donor.a,
+            |p, donor| p.b = donor.b,
+            |p, donor| p.c = donor.c,
+        ];
+        for splice in splices {
+            let mut tampered = items.clone();
+            let donor = tampered[1].0.clone();
+            splice(&mut tampered[0].0, &donor);
+            assert!(
+                !verify_batch(&vk, &tampered, &mut rng).unwrap(),
+                "batch accepted a proof with a spliced component"
+            );
+        }
     }
 
     #[test]

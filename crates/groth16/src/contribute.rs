@@ -21,14 +21,14 @@ use crate::key::ProvingKey;
 /// against the updated verification key.
 pub fn contribute<E: Engine, R: Rng + ?Sized>(pk: &mut ProvingKey<E>, rng: &mut R) {
     let _g = trace::region_profile("contribute");
-    let d = loop {
+    let (d, d_inv) = loop {
         let v = E::Fr::random(rng);
-        if !v.is_zero() {
-            break v;
+        if let Some(inv) = v.inverse() {
+            break (v, inv);
         }
     };
     let d_big = d.to_biguint();
-    let d_inv = d.inverse().expect("non-zero").to_biguint();
+    let d_inv = d_inv.to_biguint();
 
     pk.delta_g1 = pk.delta_g1.to_projective().mul_windowed(&d_big).to_affine();
     pk.vk.delta_g2 = pk

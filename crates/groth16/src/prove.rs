@@ -21,6 +21,22 @@ pub enum ProveError {
         /// Wires in the supplied witness.
         got: usize,
     },
+    /// The proving key's domain size is unusable for this field (a
+    /// corrupt or tampered zkey header).
+    InvalidDomain {
+        /// Domain size recorded in the key.
+        size: usize,
+    },
+    /// The proving key's domain cannot hold the circuit's constraints.
+    DomainTooSmall {
+        /// Domain size recorded in the key.
+        domain: usize,
+        /// Constraints in the circuit being proven.
+        constraints: usize,
+    },
+    /// The proving key's internal shape is inconsistent (e.g. more
+    /// public wires than query points) — a corrupt or tampered zkey.
+    MalformedKey(&'static str),
 }
 
 impl std::fmt::Display for ProveError {
@@ -29,6 +45,14 @@ impl std::fmt::Display for ProveError {
             ProveError::WitnessLengthMismatch { expected, got } => {
                 write!(f, "witness has {got} wires but the proving key expects {expected}")
             }
+            ProveError::InvalidDomain { size } => {
+                write!(f, "proving key domain size {size} is not usable for this field")
+            }
+            ProveError::DomainTooSmall { domain, constraints } => write!(
+                f,
+                "proving key domain holds {domain} evaluations but the circuit has {constraints} constraints"
+            ),
+            ProveError::MalformedKey(what) => write!(f, "malformed proving key: {what}"),
         }
     }
 }
@@ -46,7 +70,10 @@ impl std::error::Error for ProveError {}
 /// # Errors
 ///
 /// Returns [`ProveError::WitnessLengthMismatch`] when `witness` was
-/// generated for a different circuit.
+/// generated for a different circuit, and [`ProveError::InvalidDomain`] /
+/// [`ProveError::DomainTooSmall`] / [`ProveError::MalformedKey`] when the
+/// proving key's header fields are inconsistent with the circuit — the
+/// shapes a corrupted or tampered `.zkey` produces.
 pub fn prove<E: Engine, R: Rng + ?Sized>(
     pk: &ProvingKey<E>,
     r1cs: &R1cs<E::Fr>,
@@ -61,8 +88,24 @@ pub fn prove<E: Engine, R: Rng + ?Sized>(
             got: w.len(),
         });
     }
-    let domain = Radix2Domain::<E::Fr>::new(pk.domain_size)
-        .expect("domain fit was checked at setup");
+    if r1cs.num_wires() != w.len() {
+        return Err(ProveError::WitnessLengthMismatch {
+            expected: r1cs.num_wires(),
+            got: w.len(),
+        });
+    }
+    if pk.num_public_wires > w.len() {
+        return Err(ProveError::MalformedKey("public wires exceed witness length"));
+    }
+    let domain = Radix2Domain::<E::Fr>::new(pk.domain_size).ok_or(ProveError::InvalidDomain {
+        size: pk.domain_size,
+    })?;
+    if domain.size() < r1cs.num_constraints() {
+        return Err(ProveError::DomainTooSmall {
+            domain: domain.size(),
+            constraints: r1cs.num_constraints(),
+        });
+    }
 
     // Quotient polynomial h(x) = (a·b − c)/z.
     let (a_ev, b_ev, c_ev) = qap::evaluate_constraints(r1cs, &domain, w);

@@ -69,9 +69,17 @@ pub fn setup<E: Engine, R: Rng + ?Sized>(
             break v;
         }
     };
-    let (alpha, beta, gamma, delta) = (nonzero(rng), nonzero(rng), nonzero(rng), nonzero(rng));
-    let gamma_inv = gamma.inverse().expect("gamma non-zero");
-    let delta_inv = delta.inverse().expect("delta non-zero");
+    // Sample γ and δ together with their inverses, so invertibility is
+    // established by construction instead of asserted after the fact.
+    let invertible = |rng: &mut R| loop {
+        let v = E::Fr::random(rng);
+        if let Some(inv) = v.inverse() {
+            break (v, inv);
+        }
+    };
+    let (alpha, beta) = (nonzero(rng), nonzero(rng));
+    let (gamma, gamma_inv) = invertible(rng);
+    let (delta, delta_inv) = invertible(rng);
 
     // QAP evaluations at τ for every wire.
     let (u, v, w) = qap::evaluate_matrices_at(r1cs, &domain, tau);

@@ -165,8 +165,12 @@ where
     C::Base: FieldCodec,
 {
     let n = cur.u64()? as usize;
-    if n > (1 << 28) {
-        return Err(FormatError::Corrupt("unreasonable point count"));
+    // Every encoded point occupies at least its one-byte flag, so a
+    // count beyond the bytes remaining is corruption — and rejecting it
+    // here keeps `with_capacity` from allocating gigabytes on a
+    // tampered length prefix.
+    if n > cur.remaining() {
+        return Err(FormatError::Corrupt("point count exceeds section size"));
     }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {

@@ -36,7 +36,10 @@ fn encode_lc<F: PrimeField>(lc: &LinearCombination<F>, out: &mut Payload) {
 
 fn decode_lc<F: PrimeField>(cur: &mut Cursor<'_>) -> Result<LinearCombination<F>, FormatError> {
     let n = cur.u32()? as usize;
-    if n > (1 << 24) {
+    // A term is at least a u32 wire index plus one coefficient limb, so
+    // any count past remaining/12 cannot be satisfied by the bytes left;
+    // the absolute cap additionally bounds well-formed-looking inputs.
+    if n > (1 << 24) || n > cur.remaining() / 12 {
         return Err(FormatError::Corrupt("unreasonable term count"));
     }
     let mut lc = LinearCombination::zero();
@@ -96,6 +99,12 @@ pub fn read_r1cs<F: PrimeField>(r: &mut impl Read) -> Result<R1cs<F>, FormatErro
         return Err(FormatError::Corrupt("wire layout exceeds wire count"));
     }
     let mut body = Cursor::new(container.section(SEC_CONSTRAINTS)?);
+    // Three u32 length prefixes per constraint is the smallest possible
+    // encoding; a count beyond that is a corrupt header, rejected before
+    // the capacity reservation below can balloon.
+    if num_constraints > body.remaining() / 12 {
+        return Err(FormatError::Corrupt("constraint count exceeds section size"));
+    }
     let mut constraints = Vec::with_capacity(num_constraints);
     for _ in 0..num_constraints {
         let a = decode_lc(&mut body)?;
@@ -147,7 +156,9 @@ pub fn read_witness<F: PrimeField>(r: &mut impl Read) -> Result<Vec<F>, FormatEr
     let container = Container::read_from(r, MAGIC_WTNS)?;
     let mut body = Cursor::new(container.section(SEC_VALUES)?);
     let n = body.u64()? as usize;
-    if n > (1 << 30) {
+    // Each witness value is at least one 8-byte limb; reject counts the
+    // section cannot hold before reserving capacity for them.
+    if n > (1 << 30) || n > body.remaining() / 8 {
         return Err(FormatError::Corrupt("unreasonable witness length"));
     }
     let mut out = Vec::with_capacity(n);
@@ -273,6 +284,14 @@ where
     let mut h = Cursor::new(container.section(SEC_HEADER)?);
     let domain_size = h.u64()? as usize;
     let num_public_wires = h.u64()? as usize;
+    // The prover trusts these header fields for domain construction and
+    // witness slicing; a tampered value must die here as a format error.
+    if domain_size == 0 || !domain_size.is_power_of_two() || domain_size > (1 << 30) {
+        return Err(FormatError::Corrupt("invalid zkey domain size"));
+    }
+    if num_public_wires > (1 << 30) {
+        return Err(FormatError::Corrupt("invalid zkey public wire count"));
+    }
     let mut c1 = Cursor::new(container.section(SEC_G1)?);
     let beta_g1 = decode_point(&mut c1)?;
     let delta_g1 = decode_point(&mut c1)?;
@@ -286,6 +305,9 @@ where
         container.section(SEC_G1 + 100)?,
         container.section(SEC_G2 + 100)?,
     )?;
+    if num_public_wires > a_query.len() {
+        return Err(FormatError::Corrupt("public wires exceed a_query length"));
+    }
     Ok(ProvingKey {
         vk,
         beta_g1,

@@ -2,8 +2,16 @@
 //!
 //! Layout (all integers little-endian, like the iden3 formats this
 //! mirrors): a 4-byte magic, a `u32` version, a `u32` section count, then
-//! per section a `u32` id, a `u64` byte length, and the payload.
+//! per section a `u32` id, a `u64` byte length, a `u32` CRC32 of the
+//! payload (format v2+), and the payload itself.
+//!
+//! Version 1 files (no per-section checksum) remain readable; writers
+//! always emit version 2. A checksum mismatch surfaces as
+//! [`FormatError::ChecksumMismatch`] before any payload is decoded, so
+//! bit-level tampering is caught at the container layer rather than deep
+//! inside a field or curve decoder.
 
+use crate::checksum::crc32;
 use std::io::{self, Read, Write};
 
 /// Errors produced while reading a zkperf container.
@@ -22,6 +30,15 @@ pub enum FormatError {
     BadVersion(u32),
     /// A required section is missing.
     MissingSection(u32),
+    /// A section's stored CRC32 does not match its payload.
+    ChecksumMismatch {
+        /// Section id whose payload failed verification.
+        section: u32,
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the payload actually read.
+        computed: u32,
+    },
     /// A section payload was malformed.
     Corrupt(&'static str),
 }
@@ -36,6 +53,14 @@ impl std::fmt::Display for FormatError {
             ),
             FormatError::BadVersion(v) => write!(f, "unsupported container version {v}"),
             FormatError::MissingSection(id) => write!(f, "missing required section {id}"),
+            FormatError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "section {section} checksum mismatch: stored {stored:#010x}, computed {computed:#010x} (file is corrupt or tampered)"
+            ),
             FormatError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
         }
     }
@@ -49,8 +74,20 @@ impl From<io::Error> for FormatError {
     }
 }
 
-/// Container format version written by this crate.
-pub const VERSION: u32 = 1;
+/// Container format version written by this crate (v2 adds per-section
+/// CRC32 checksums).
+pub const VERSION: u32 = 2;
+
+/// Oldest container version this crate still reads.
+pub const MIN_VERSION: u32 = 1;
+
+/// Upper bound on sections per container; anything larger is treated as
+/// corruption rather than an allocation request.
+const MAX_SECTIONS: usize = 1024;
+
+/// Upper bound on a single section payload (4 GiB mirrors the widest
+/// artifact the paper sweep can produce, with margin).
+const MAX_SECTION_LEN: u64 = 1 << 32;
 
 /// An in-memory sectioned container.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,16 +135,19 @@ impl Container {
         for (id, payload) in &self.sections {
             w.write_all(&id.to_le_bytes())?;
             w.write_all(&(payload.len() as u64).to_le_bytes())?;
+            w.write_all(&crc32(payload).to_le_bytes())?;
             w.write_all(payload)?;
         }
         Ok(())
     }
 
-    /// Parses a container, checking the magic.
+    /// Parses a container, checking the magic and (for v2 files) every
+    /// section checksum.
     ///
     /// # Errors
     ///
-    /// [`FormatError`] on magic/version mismatch or truncated input.
+    /// [`FormatError`] on magic/version mismatch, truncated input, or a
+    /// checksum failure.
     pub fn read_from(r: &mut impl Read, expected_magic: [u8; 4]) -> Result<Self, FormatError> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
@@ -118,26 +158,52 @@ impl Container {
             });
         }
         let version = read_u32(r)?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(FormatError::BadVersion(version));
         }
         let count = read_u32(r)? as usize;
-        if count > 1024 {
+        if count > MAX_SECTIONS {
             return Err(FormatError::Corrupt("unreasonable section count"));
         }
         let mut sections = Vec::with_capacity(count);
         for _ in 0..count {
             let id = read_u32(r)?;
-            let len = read_u64(r)? as usize;
-            if len > (1 << 32) {
+            let len = read_u64(r)?;
+            if len > MAX_SECTION_LEN {
                 return Err(FormatError::Corrupt("unreasonable section length"));
             }
-            let mut payload = vec![0u8; len];
-            r.read_exact(&mut payload)?;
+            let stored_crc = if version >= 2 { Some(read_u32(r)?) } else { None };
+            let payload = read_payload(r, len as usize)?;
+            if let Some(stored) = stored_crc {
+                let computed = crc32(&payload);
+                if stored != computed {
+                    return Err(FormatError::ChecksumMismatch {
+                        section: id,
+                        stored,
+                        computed,
+                    });
+                }
+            }
             sections.push((id, payload));
         }
         Ok(Container { magic, sections })
     }
+}
+
+/// Reads exactly `len` bytes in bounded chunks, so a corrupt length
+/// field on a short file fails fast instead of pre-allocating gigabytes.
+fn read_payload(r: &mut impl Read, len: usize) -> Result<Vec<u8>, FormatError> {
+    const CHUNK: usize = 64 * 1024;
+    let mut payload = Vec::with_capacity(len.min(CHUNK));
+    let mut buf = [0u8; CHUNK];
+    let mut remaining = len;
+    while remaining > 0 {
+        let n = remaining.min(CHUNK);
+        r.read_exact(&mut buf[..n])?;
+        payload.extend_from_slice(&buf[..n]);
+        remaining -= n;
+    }
+    Ok(payload)
 }
 
 pub(crate) fn read_u32(r: &mut impl Read) -> Result<u32, FormatError> {
@@ -190,8 +256,11 @@ impl<'a> Cursor<'a> {
     ///
     /// [`FormatError::Corrupt`] when fewer than 4 bytes remain.
     pub fn u32(&mut self) -> Result<u32, FormatError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| FormatError::Corrupt("truncated section"))?;
+        Ok(u32::from_le_bytes(b))
     }
     /// Reads a little-endian `u64`.
     ///
@@ -199,8 +268,11 @@ impl<'a> Cursor<'a> {
     ///
     /// [`FormatError::Corrupt`] when fewer than 8 bytes remain.
     pub fn u64(&mut self) -> Result<u64, FormatError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| FormatError::Corrupt("truncated section"))?;
+        Ok(u64::from_le_bytes(b))
     }
     /// Takes the next `n` bytes.
     ///
@@ -208,12 +280,21 @@ impl<'a> Cursor<'a> {
     ///
     /// [`FormatError::Corrupt`] when fewer than `n` bytes remain.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
-        if self.pos + n > self.data.len() {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(FormatError::Corrupt("length overflow"))?;
+        if end > self.data.len() {
             return Err(FormatError::Corrupt("truncated section"));
         }
-        let out = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
         Ok(out)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
     }
     /// Whether every byte has been consumed.
     pub fn finished(&self) -> bool {
@@ -259,6 +340,69 @@ mod tests {
         let mut buf = Vec::new();
         c.write_to(&mut buf).unwrap();
         buf.truncate(buf.len() - 10);
+        assert!(Container::read_from(&mut buf.as_slice(), *b"test").is_err());
+    }
+
+    #[test]
+    fn v1_files_without_checksums_still_read() {
+        // Hand-assemble the version-1 layout: no per-section CRC.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"test");
+        buf.extend_from_slice(&1u32.to_le_bytes()); // version 1
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one section
+        buf.extend_from_slice(&7u32.to_le_bytes()); // id
+        buf.extend_from_slice(&3u64.to_le_bytes()); // len
+        buf.extend_from_slice(&[9, 8, 7]);
+        let c = Container::read_from(&mut buf.as_slice(), *b"test").unwrap();
+        assert_eq!(c.section(7).unwrap(), &[9, 8, 7]);
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"test");
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            Container::read_from(&mut buf.as_slice(), *b"test"),
+            Err(FormatError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn payload_tampering_trips_the_checksum() {
+        let mut c = Container::new(*b"test");
+        c.push_section(3, (0u8..=255).collect());
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        // Flip one bit in the payload (the last byte of the file).
+        let last = buf.len() - 1;
+        buf[last] ^= 0x10;
+        match Container::read_from(&mut buf.as_slice(), *b"test") {
+            Err(FormatError::ChecksumMismatch { section: 3, .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_section_length_fails_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"test");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes()); // id
+        buf.extend_from_slice(&(u64::MAX / 2).to_le_bytes()); // absurd len
+        buf.extend_from_slice(&0u32.to_le_bytes()); // crc
+        assert!(Container::read_from(&mut buf.as_slice(), *b"test").is_err());
+        // A merely-large (but in-cap) length against a short file must
+        // error at the first missing chunk, not preallocate the claim.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"test");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&((1u64 << 32) - 1).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
         assert!(Container::read_from(&mut buf.as_slice(), *b"test").is_err());
     }
 

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! Sectioned binary file formats for the zkperf toolchain — the equivalents
 //! of snarkjs/circom's `.r1cs`, `.wtns`, `.zkey` and proof files.
@@ -23,13 +24,15 @@
 //! # Ok::<(), zkperf_io::FormatError>(())
 //! ```
 
+pub mod checksum;
 mod codec;
 mod files;
 mod format;
 
+pub use checksum::crc32;
 pub use codec::{decode_point_compressed, encode_point_compressed, FieldCodec};
 pub use files::{
     read_proof, read_r1cs, read_vkey, read_witness, read_zkey, write_proof, write_r1cs,
     write_vkey, write_witness, write_zkey,
 };
-pub use format::{Container, Cursor, FormatError, Payload, VERSION};
+pub use format::{Container, Cursor, FormatError, Payload, MIN_VERSION, VERSION};

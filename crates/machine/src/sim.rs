@@ -327,7 +327,7 @@ impl EventSink for MachineSim {
             while self.dispatch_counter >= DISPATCH_BRANCH_EVERY {
                 self.dispatch_counter -= DISPATCH_BRANCH_EVERY;
                 self.dispatch_lfsr = self.dispatch_lfsr.wrapping_add(0x9e37_79b9);
-                self.branch(0x7777, self.dispatch_lfsr % 11 != 0);
+                self.branch(0x7777, !self.dispatch_lfsr.is_multiple_of(11));
             }
         }
     }

@@ -222,6 +222,9 @@ mod tests {
         let w = circuit.generate_witness(&[Fr::from_u64(2)], &[]).unwrap();
         let cols = plonk.wire_columns(w.full());
         let pi = plonk.public_values(w.full());
+        // `row` indexes three wire columns and five selector columns at
+        // once; a zipped iterator would only obscure that.
+        #[allow(clippy::needless_range_loop)]
         for row in 0..plonk.n {
             let (a, b, c) = (cols[0][row], cols[1][row], cols[2][row]);
             let mut acc = plonk.q_l[row] * a

@@ -243,6 +243,9 @@ where
     let mut acc = E::Fr::one();
     let mut denominators = Vec::with_capacity(n);
     let mut numerators = Vec::with_capacity(n);
+    // `i` indexes three witness columns, three sigma columns and the
+    // domain at once; a zipped iterator would only obscure that.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         let x = domain.element(i);
         let num = (cols[0][i] + beta * k0 * x + gamma)

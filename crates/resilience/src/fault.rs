@@ -1,0 +1,265 @@
+//! Deterministic fault planning and injection.
+//!
+//! A [`FaultPlan`] is a seeded stream of fault choices: every decision it
+//! makes is a pure function of the seed, so a failing chaos run can be
+//! replayed exactly by re-running with the printed seed.
+
+use std::io::{self, Read, Write};
+
+/// One concrete fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip bit `bit` (0..8) of the byte at `offset`.
+    BitFlip { offset: usize, bit: u8 },
+    /// Drop every byte past `keep`.
+    Truncate { keep: usize },
+    /// Reader reports end-of-file after `after` bytes.
+    ShortRead { after: usize },
+    /// Reader returns an I/O error after `after` bytes.
+    FailRead { after: usize },
+    /// Writer accepts only `after` bytes, then writes zero-length.
+    ShortWrite { after: usize },
+    /// Writer returns an I/O error after `after` bytes.
+    FailWrite { after: usize },
+    /// A pipeline stage boundary reports a forced error.
+    StageError,
+}
+
+impl FaultKind {
+    /// Applies an artifact-shape fault (`BitFlip`/`Truncate`) to a byte
+    /// buffer. I/O and stage faults do not modify buffers and are
+    /// ignored here.
+    pub fn apply(&self, bytes: &mut Vec<u8>) {
+        match *self {
+            FaultKind::BitFlip { offset, bit } => {
+                if let Some(b) = bytes.get_mut(offset) {
+                    *b ^= 1 << (bit & 7);
+                }
+            }
+            FaultKind::Truncate { keep } => bytes.truncate(keep),
+            _ => {}
+        }
+    }
+}
+
+/// Seeded source of fault decisions (splitmix64 stream).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The seed this plan was built from, for replay messages.
+    pub seed: u64,
+    state: u64,
+}
+
+impl FaultPlan {
+    /// Builds a plan whose entire decision stream is determined by
+    /// `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        FaultPlan { seed, state: seed }
+    }
+
+    /// Derives an independent plan for a named target, so corrupting
+    /// "proof" and "vkey" artifacts under one seed uses uncorrelated
+    /// streams.
+    pub fn derive(&self, label: &str) -> FaultPlan {
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in label.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        FaultPlan::from_seed(h)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Draws a value in `0..bound` (`None` when `bound` is zero).
+    pub fn pick(&mut self, bound: usize) -> Option<usize> {
+        if bound == 0 {
+            None
+        } else {
+            Some((self.next() % bound as u64) as usize)
+        }
+    }
+
+    /// Chooses a single-bit flip somewhere inside a `len`-byte artifact.
+    pub fn bit_flip(&mut self, len: usize) -> Option<FaultKind> {
+        let offset = self.pick(len)?;
+        let bit = (self.next() % 8) as u8;
+        Some(FaultKind::BitFlip { offset, bit })
+    }
+
+    /// Chooses a truncation point strictly inside a `len`-byte artifact.
+    pub fn truncation(&mut self, len: usize) -> Option<FaultKind> {
+        Some(FaultKind::Truncate {
+            keep: self.pick(len)?,
+        })
+    }
+
+    /// Chooses an I/O fault with a budget somewhere inside `len` bytes.
+    pub fn io_fault(&mut self, len: usize) -> Option<FaultKind> {
+        let after = self.pick(len.max(1))?;
+        Some(match self.next() % 4 {
+            0 => FaultKind::ShortRead { after },
+            1 => FaultKind::FailRead { after },
+            2 => FaultKind::ShortWrite { after },
+            _ => FaultKind::FailWrite { after },
+        })
+    }
+
+    /// Returns true with probability `num / den` (used for sparse
+    /// stage-boundary injection).
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        den != 0 && self.next() % den < num
+    }
+}
+
+/// `Read` layer that stops early or errors after a byte budget.
+pub struct FaultyReader<R> {
+    inner: R,
+    remaining: usize,
+    fail: bool,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner` with the behavior of `fault`; non-read faults make
+    /// a transparent wrapper.
+    pub fn new(inner: R, fault: FaultKind) -> Self {
+        let (remaining, fail) = match fault {
+            FaultKind::ShortRead { after } => (after, false),
+            FaultKind::FailRead { after } => (after, true),
+            _ => (usize::MAX, false),
+        };
+        FaultyReader {
+            inner,
+            remaining,
+            fail,
+        }
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return if self.fail {
+                Err(io::Error::other("injected read fault"))
+            } else {
+                Ok(0)
+            };
+        }
+        let cap = buf.len().min(self.remaining);
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.remaining -= n;
+        Ok(n)
+    }
+}
+
+/// `Write` layer that stops early or errors after a byte budget.
+pub struct FaultyWriter<W> {
+    inner: W,
+    remaining: usize,
+    fail: bool,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner` with the behavior of `fault`; non-write faults make
+    /// a transparent wrapper.
+    pub fn new(inner: W, fault: FaultKind) -> Self {
+        let (remaining, fail) = match fault {
+            FaultKind::ShortWrite { after } => (after, false),
+            FaultKind::FailWrite { after } => (after, true),
+            _ => (usize::MAX, false),
+        };
+        FaultyWriter {
+            inner,
+            remaining,
+            fail,
+        }
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return if self.fail {
+                Err(io::Error::other("injected write fault"))
+            } else {
+                // `write_all` turns a zero-length write into
+                // `ErrorKind::WriteZero`, which is exactly the failure
+                // we want callers to surface.
+                Ok(0)
+            };
+        }
+        let cap = buf.len().min(self.remaining);
+        let n = self.inner.write(&buf[..cap])?;
+        self.remaining -= n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_derived_streams_differ() {
+        let mut a = FaultPlan::from_seed(7);
+        let mut b = FaultPlan::from_seed(7);
+        for _ in 0..32 {
+            assert_eq!(a.bit_flip(100), b.bit_flip(100));
+        }
+        let mut da = FaultPlan::from_seed(7).derive("proof");
+        let mut db = FaultPlan::from_seed(7).derive("vkey");
+        let fa: Vec<_> = (0..8).map(|_| da.bit_flip(1000)).collect();
+        let fb: Vec<_> = (0..8).map(|_| db.bit_flip(1000)).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn bit_flip_roundtrips_and_truncate_shrinks() {
+        let mut bytes = vec![0u8; 16];
+        let fault = FaultKind::BitFlip { offset: 5, bit: 3 };
+        fault.apply(&mut bytes);
+        assert_eq!(bytes[5], 1 << 3);
+        fault.apply(&mut bytes);
+        assert!(bytes.iter().all(|&b| b == 0));
+        FaultKind::Truncate { keep: 4 }.apply(&mut bytes);
+        assert_eq!(bytes.len(), 4);
+        // Out-of-range flips are no-ops, not panics.
+        FaultKind::BitFlip { offset: 99, bit: 0 }.apply(&mut bytes);
+    }
+
+    #[test]
+    fn faulty_reader_stops_or_errors() {
+        let data = vec![0xabu8; 64];
+        let mut short = FaultyReader::new(data.as_slice(), FaultKind::ShortRead { after: 10 });
+        let mut out = Vec::new();
+        short.read_to_end(&mut out).unwrap();
+        assert_eq!(out.len(), 10);
+
+        let mut failing = FaultyReader::new(data.as_slice(), FaultKind::FailRead { after: 10 });
+        let mut out = Vec::new();
+        assert!(failing.read_to_end(&mut out).is_err());
+    }
+
+    #[test]
+    fn faulty_writer_stops_or_errors() {
+        let mut sink = Vec::new();
+        let mut short = FaultyWriter::new(&mut sink, FaultKind::ShortWrite { after: 10 });
+        let err = short.write_all(&[1u8; 64]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert_eq!(sink.len(), 10);
+
+        let mut sink = Vec::new();
+        let mut failing = FaultyWriter::new(&mut sink, FaultKind::FailWrite { after: 3 });
+        assert!(failing.write_all(&[1u8; 64]).is_err());
+        assert_eq!(sink.len(), 3);
+    }
+}

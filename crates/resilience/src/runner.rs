@@ -1,0 +1,347 @@
+//! Resilient execution of fallible work items: bounded retry with
+//! exponential backoff, optional per-attempt timeouts (attempts run on a
+//! helper thread), and quarantine of items that keep failing.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Retry/backoff/timeout configuration for one class of work.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Sleep before attempt `n` is `base_backoff * 2^(n-1)`, capped at
+    /// [`RetryPolicy::max_backoff`].
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Wall-clock budget per attempt; `None` waits indefinitely.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that tries exactly once with no timeout.
+    pub fn once() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            timeout: None,
+        }
+    }
+
+    fn backoff_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << (attempt - 2).min(16);
+        (self.base_backoff * factor).min(self.max_backoff)
+    }
+}
+
+/// Terminal result of running one work item under a policy.
+#[derive(Debug)]
+pub enum RunOutcome<T> {
+    /// The item succeeded (possibly after retries).
+    Ok {
+        /// The successful value.
+        value: T,
+        /// Attempts consumed, including the successful one.
+        attempts: u32,
+    },
+    /// Every attempt returned an error; the last message is kept.
+    Failed {
+        /// Attempts consumed.
+        attempts: u32,
+        /// Display of the final error.
+        error: String,
+    },
+    /// Every attempt either timed out or died; at least one timed out.
+    TimedOut {
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// An attempt panicked; the panic was contained.
+    Panicked {
+        /// Attempts consumed.
+        attempts: u32,
+        /// Best-effort panic payload.
+        message: String,
+    },
+    /// The item was already quarantined and was not run.
+    Quarantined,
+}
+
+impl<T> RunOutcome<T> {
+    /// True when the item produced a value.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunOutcome::Ok { .. })
+    }
+
+    /// Extracts the value, if any.
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            RunOutcome::Ok { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+/// Tracks persistently failing items so a sweep stops burning time on
+/// them. An item enters quarantine once its recorded failures reach the
+/// threshold.
+#[derive(Debug, Clone)]
+pub struct Quarantine {
+    threshold: u32,
+    failures: HashMap<String, u32>,
+}
+
+impl Quarantine {
+    /// Quarantines an item after `threshold` recorded failures
+    /// (minimum 1).
+    pub fn new(threshold: u32) -> Self {
+        Quarantine {
+            threshold: threshold.max(1),
+            failures: HashMap::new(),
+        }
+    }
+
+    /// Whether `label` is currently quarantined.
+    pub fn contains(&self, label: &str) -> bool {
+        self.failures
+            .get(label)
+            .is_some_and(|&n| n >= self.threshold)
+    }
+
+    /// Records a terminal failure for `label`; returns true if this
+    /// pushed it into quarantine.
+    pub fn record_failure(&mut self, label: &str) -> bool {
+        let n = self.failures.entry(label.to_string()).or_insert(0);
+        *n += 1;
+        *n >= self.threshold
+    }
+
+    /// Clears any record for `label` (after a success).
+    pub fn record_success(&mut self, label: &str) {
+        self.failures.remove(label);
+    }
+
+    /// Labels currently in quarantine, sorted for stable reporting.
+    pub fn quarantined(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .failures
+            .iter()
+            .filter(|(_, &n)| n >= self.threshold)
+            .map(|(k, _)| k.clone())
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// Runs `work` under `policy`, containing panics and honoring
+/// `quarantine`.
+///
+/// Each attempt executes on a helper thread so a per-attempt timeout can
+/// be enforced; a timed-out attempt's thread is detached and its late
+/// result discarded. Outcomes update the quarantine record for `label`.
+pub fn run_with_retry<T, E, F>(
+    policy: &RetryPolicy,
+    label: &str,
+    quarantine: &mut Quarantine,
+    work: F,
+) -> RunOutcome<T>
+where
+    T: Send + 'static,
+    E: std::fmt::Display + Send + 'static,
+    F: Fn() -> Result<T, E> + Send + Sync + 'static,
+{
+    if quarantine.contains(label) {
+        return RunOutcome::Quarantined;
+    }
+    let work = Arc::new(work);
+    let max_attempts = policy.max_attempts.max(1);
+    let mut saw_timeout = false;
+    let mut last_error = String::new();
+    let mut last_panic: Option<String> = None;
+
+    for attempt in 1..=max_attempts {
+        thread::sleep(policy.backoff_before(attempt));
+        match run_attempt(policy.timeout, Arc::clone(&work)) {
+            AttemptResult::Ok(value) => {
+                quarantine.record_success(label);
+                return RunOutcome::Ok { value, attempts: attempt };
+            }
+            AttemptResult::Err(message) => {
+                last_error = message;
+                last_panic = None;
+            }
+            AttemptResult::Panicked(message) => last_panic = Some(message),
+            AttemptResult::TimedOut => {
+                saw_timeout = true;
+                last_panic = None;
+            }
+        }
+    }
+
+    quarantine.record_failure(label);
+    if let Some(message) = last_panic {
+        RunOutcome::Panicked {
+            attempts: max_attempts,
+            message,
+        }
+    } else if saw_timeout && last_error.is_empty() {
+        RunOutcome::TimedOut {
+            attempts: max_attempts,
+        }
+    } else {
+        RunOutcome::Failed {
+            attempts: max_attempts,
+            error: last_error,
+        }
+    }
+}
+
+enum AttemptResult<T> {
+    Ok(T),
+    Err(String),
+    Panicked(String),
+    TimedOut,
+}
+
+fn run_attempt<T, E, F>(timeout: Option<Duration>, work: Arc<F>) -> AttemptResult<T>
+where
+    T: Send + 'static,
+    E: std::fmt::Display + Send + 'static,
+    F: Fn() -> Result<T, E> + Send + Sync + 'static,
+{
+    let run = move || match panic::catch_unwind(AssertUnwindSafe(|| work())) {
+        Ok(Ok(value)) => AttemptResult::Ok(value),
+        Ok(Err(e)) => AttemptResult::Err(e.to_string()),
+        Err(payload) => AttemptResult::Panicked(panic_message(payload.as_ref())),
+    };
+    match timeout {
+        None => run(),
+        Some(budget) => {
+            let (tx, rx) = mpsc::channel();
+            thread::spawn(move || {
+                // The receiver may be gone after a timeout; that is fine.
+                let _ = tx.send(run());
+            });
+            match rx.recv_timeout(budget) {
+                Ok(result) => result,
+                Err(_) => AttemptResult::TimedOut,
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn fast_policy(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: attempts,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            timeout: None,
+        }
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let mut q = Quarantine::new(2);
+        let outcome = run_with_retry(&fast_policy(5), "cell", &mut q, move || {
+            if c.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err("flaky")
+            } else {
+                Ok(42u32)
+            }
+        });
+        match outcome {
+            RunOutcome::Ok { value, attempts } => {
+                assert_eq!(value, 42);
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(!q.contains("cell"));
+    }
+
+    #[test]
+    fn persistent_failure_lands_in_quarantine() {
+        let mut q = Quarantine::new(2);
+        for round in 0..2 {
+            let outcome: RunOutcome<u32> =
+                run_with_retry(&fast_policy(2), "bad", &mut q, || Err("always"));
+            match outcome {
+                RunOutcome::Failed { attempts, error } => {
+                    assert_eq!(attempts, 2);
+                    assert_eq!(error, "always");
+                }
+                other => panic!("round {round}: unexpected outcome {other:?}"),
+            }
+        }
+        assert!(q.contains("bad"));
+        assert_eq!(q.quarantined(), vec!["bad".to_string()]);
+        let outcome: RunOutcome<u32> =
+            run_with_retry(&fast_policy(2), "bad", &mut q, || Err("always"));
+        assert!(matches!(outcome, RunOutcome::Quarantined));
+    }
+
+    #[test]
+    fn panics_are_contained() {
+        let mut q = Quarantine::new(1);
+        let outcome: RunOutcome<u32> =
+            run_with_retry(&fast_policy(2), "boom", &mut q, || -> Result<u32, String> {
+                panic!("kaboom {}", 7)
+            });
+        match outcome {
+            RunOutcome::Panicked { message, .. } => assert!(message.contains("kaboom")),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(q.contains("boom"));
+    }
+
+    #[test]
+    fn slow_attempts_time_out() {
+        let mut policy = fast_policy(1);
+        policy.timeout = Some(Duration::from_millis(20));
+        let mut q = Quarantine::new(1);
+        let outcome: RunOutcome<u32> =
+            run_with_retry(&policy, "slow", &mut q, || -> Result<u32, String> {
+                thread::sleep(Duration::from_secs(5));
+                Ok(1)
+            });
+        assert!(matches!(outcome, RunOutcome::TimedOut { attempts: 1 }));
+    }
+}

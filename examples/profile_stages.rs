@@ -15,7 +15,9 @@ fn main() {
     let mut all = Vec::new();
     for cpu in CpuProfile::paper_cpus() {
         println!("simulating on {} ...", cpu.name);
-        all.extend(measure_cell(Curve::Bn128, &cpu, constraints, &Stage::ALL));
+        let cell = measure_cell(Curve::Bn128, &cpu, constraints, &Stage::ALL)
+            .expect("example cell measures");
+        all.extend(cell);
     }
 
     println!("\n--- execution time (§IV-B) ---");

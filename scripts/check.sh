@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before it lands.
+#
+#   1. release build of the whole workspace
+#   2. the full test suite (unit + integration + property tests)
+#   3. clippy with -D warnings
+#
+# Library crates (zkperf-io, zkperf-groth16, zkperf-core,
+# zkperf-resilience) additionally deny clippy::unwrap_used and
+# clippy::expect_used outside #[cfg(test)] via attributes at the top of
+# their lib.rs, so step 3 also enforces the panic-free-hot-path policy;
+# tests and binaries may still unwrap.
+#
+# The build environment is fully offline (deps are vendored under
+# vendor/), hence --offline everywhere.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -D warnings"
+    cargo clippy -q --offline --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping lint step" >&2
+fi
+
+echo "==> all checks passed"

@@ -8,7 +8,7 @@ use zkperf::scale::SimCores;
 fn sweep(curve: Curve, cpu: &CpuProfile, sizes: &[usize]) -> Vec<zkperf::core::StageMeasurement> {
     let mut out = Vec::new();
     for &n in sizes {
-        out.extend(measure_cell(curve, cpu, n, &Stage::ALL));
+        out.extend(measure_cell(curve, cpu, n, &Stage::ALL).unwrap());
     }
     out
 }

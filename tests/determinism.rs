@@ -7,8 +7,8 @@ use zkperf::machine::CpuProfile;
 #[test]
 fn repeated_measurement_is_deterministic() {
     let cpu = CpuProfile::i7_8650u();
-    let a = measure_cell(Curve::Bn128, &cpu, 64, &[Stage::Setup, Stage::Proving]);
-    let b = measure_cell(Curve::Bn128, &cpu, 64, &[Stage::Setup, Stage::Proving]);
+    let a = measure_cell(Curve::Bn128, &cpu, 64, &[Stage::Setup, Stage::Proving]).unwrap();
+    let b = measure_cell(Curve::Bn128, &cpu, 64, &[Stage::Setup, Stage::Proving]).unwrap();
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.counts.total_uops(), y.counts.total_uops(), "{}", x.stage);
         assert_eq!(x.counts.branches, y.counts.branches);
@@ -23,13 +23,15 @@ fn tracer_counts_do_not_depend_on_simulated_cpu() {
         &CpuProfile::i7_8650u(),
         64,
         &[Stage::Witness],
-    );
+    )
+    .unwrap();
     let b = measure_cell(
         Curve::Bn128,
         &CpuProfile::i9_13900k(),
         64,
         &[Stage::Witness],
-    );
+    )
+    .unwrap();
     assert_eq!(a[0].counts.total_uops(), b[0].counts.total_uops());
     assert_eq!(a[0].counts.loads, b[0].counts.loads);
     // ...while the machine-model results (cache behaviour) may differ.
@@ -40,7 +42,7 @@ fn tracer_counts_do_not_depend_on_simulated_cpu() {
 #[test]
 fn stage_measurements_carry_their_stage_regions() {
     let cpu = CpuProfile::i5_11400();
-    let ms = measure_cell(Curve::Bls12_381, &cpu, 32, &Stage::ALL);
+    let ms = measure_cell(Curve::Bls12_381, &cpu, 32, &Stage::ALL).unwrap();
     let find = |s: Stage| ms.iter().find(|m| m.stage == s).unwrap();
     assert!(find(Stage::Compile).region("parser").is_some());
     assert!(find(Stage::Setup).region("fixed_base_msm").is_some());

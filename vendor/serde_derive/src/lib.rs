@@ -1,0 +1,406 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! for the serde stub in `vendor/serde`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! registry is unreachable in this build environment). Supports exactly
+//! the shapes this workspace derives on: non-generic structs with named
+//! fields, enums with unit/tuple/named variants, and no `#[serde(...)]`
+//! attributes. Anything else produces a `compile_error!` so unsupported
+//! shapes fail loudly instead of silently misencoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Struct { fields: Vec<String> },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .unwrap_or_else(|_| TokenStream::new())
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match (&shape, mode) {
+        (Shape::Struct { fields }, Mode::Serialize) => struct_serialize(&name, fields),
+        (Shape::Struct { fields }, Mode::Deserialize) => struct_deserialize(&name, fields),
+        (Shape::Enum { variants }, Mode::Serialize) => enum_serialize(&name, variants),
+        (Shape::Enum { variants }, Mode::Deserialize) => enum_deserialize(&name, variants),
+    };
+    match body.parse() {
+        Ok(ts) => ts,
+        Err(_) => compile_error("serde stub derive generated unparsable code"),
+    }
+}
+
+/// Skips any `#[...]` attribute groups at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` at the cursor.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skips a type (or any token run) until a top-level comma, tracking
+/// `<`/`>` nesting so `Vec<(A, B)>`-style types survive.
+fn skip_until_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth: i64 = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stub derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stub derive: expected a type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde stub derive: `{name}` must have a braced body (tuple \
+                 structs and unit structs are not supported)"
+            ))
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct {
+            fields: parse_named_fields(body)?,
+        },
+        "enum" => Shape::Enum {
+            variants: parse_variants(body)?,
+        },
+        other => return Err(format!("serde stub derive: unsupported item `{other}`")),
+    };
+    Ok((name, shape))
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_visibility(&tokens, i);
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("serde stub derive: expected a field name".into()),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde stub derive: expected `:` after `{field}`")),
+        }
+        i = skip_until_comma(&tokens, i);
+        i += 1; // past the comma (or the end)
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("serde stub derive: expected a variant name".into()),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                return Err("serde stub derive: explicit discriminants unsupported".into());
+            }
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_until_comma(&tokens, i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+// ------------------------------------------------------------- codegen --
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(__entries, {f:?})?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let __entries = __v.as_object()\
+                     .ok_or_else(|| ::serde::Error::expected(\"object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vname} => ::serde::Value::String(\
+                         ::std::string::String::from({vname:?})),"
+                ),
+                VariantKind::Tuple(1) => format!(
+                    "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from({vname:?}), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                ),
+                VariantKind::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let items: String = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Value::Array(::std::vec![{items}]))]),",
+                        binds.join(", ")
+                    )
+                }
+                VariantKind::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f})),"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Value::Object(::std::vec![{entries}]))]),"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let elems: String = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => match __inner {{\n\
+                             ::serde::Value::Array(__items) if __items.len() == {n} =>\n\
+                                 ::std::result::Result::Ok({name}::{vname}({elems})),\n\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::Error::expected(\"{n}-element array\")),\n\
+                         }},"
+                    ))
+                }
+                VariantKind::Named(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(__ve, {f:?})?,"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => {{\n\
+                             let __ve = __inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::expected(\"object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                         }},"
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                     return match __s {{\n\
+                         {unit_arms}\n\
+                         _ => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown {name} variant `{{__s}}`\"))),\n\
+                     }};\n\
+                 }}\n\
+                 if let ::std::option::Option::Some(__entries) = __v.as_object() {{\n\
+                     if __entries.len() == 1 {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         return match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown {name} variant `{{__tag}}`\"))),\n\
+                         }};\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::Error::expected(\"{name} variant\"))\n\
+             }}\n\
+         }}"
+    )
+}
