@@ -1,0 +1,336 @@
+//! Wall-clock benchmark-regression harness.
+//!
+//! Unlike the instrumented experiment binaries (which count micro-ops under
+//! the machine simulator), this harness measures *real* wall-clock time of
+//! the uninstrumented release-mode kernels and protocol stages, emits a
+//! machine-readable report, and optionally compares it against a committed
+//! baseline with a configurable regression threshold.
+//!
+//! Modes:
+//!
+//! * full (default): kernel micro-benches plus the combined setup+prove
+//!   path on the exponentiation workloads at 2^10..2^14 constraints.
+//! * `--smoke`: kernel micro-benches only, at reduced sizes — fast enough
+//!   for the tier-1 gate in `scripts/check.sh`.
+//!
+//! Exit codes: 0 ok, 1 usage/IO error, 2 regression past the threshold.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use zkperf_circuit::library::exponentiate;
+use zkperf_ec::{msm, Bn254, FixedBaseTable, Projective};
+use zkperf_ff::{bls12_381, bn254, Field};
+use zkperf_groth16::{prove, setup};
+use zkperf_poly::Radix2Domain;
+
+/// One timed kernel micro-benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KernelResult {
+    name: String,
+    /// Best-of-N wall time for one run of the kernel body, nanoseconds.
+    nanos: u64,
+}
+
+/// One timed setup+prove cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StageResult {
+    curve: String,
+    log2_constraints: u32,
+    setup_ns: u64,
+    prove_ns: u64,
+    /// Combined setup + prove wall time: the headline number the perf
+    /// trajectory is judged by.
+    total_ns: u64,
+}
+
+/// The report written to `BENCH_results.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchReport {
+    schema: u32,
+    mode: String,
+    kernels: Vec<KernelResult>,
+    stages: Vec<StageResult>,
+}
+
+/// Minimum over `reps` runs of `f`, in nanoseconds per run.
+fn best_of<F: FnMut()>(reps: u32, mut f: F) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        best = best.min(ns);
+    }
+    best
+}
+
+fn kernel_benches(smoke: bool) -> Vec<KernelResult> {
+    let mut rng = zkperf_ff::test_rng();
+    let mut out = Vec::new();
+    let reps = if smoke { 5 } else { 7 };
+
+    // Field kernels: 4096 dependent ops amortize the clock reads.
+    let a = bn254::Fr::random(&mut rng);
+    let b = bn254::Fr::random(&mut rng);
+    out.push(KernelResult {
+        name: "bn254_fr_mul_x4096".into(),
+        nanos: best_of(reps, || {
+            let mut acc = a;
+            for _ in 0..4096 {
+                acc *= b;
+            }
+            std::hint::black_box(acc);
+        }),
+    });
+    out.push(KernelResult {
+        name: "bn254_fr_square_x4096".into(),
+        nanos: best_of(reps, || {
+            let mut acc = a;
+            for _ in 0..4096 {
+                acc = acc.square();
+            }
+            std::hint::black_box(acc);
+        }),
+    });
+    out.push(KernelResult {
+        name: "bn254_fr_inverse_x16".into(),
+        nanos: best_of(reps, || {
+            let mut acc = a;
+            for _ in 0..16 {
+                acc = acc.inverse().unwrap_or(b);
+            }
+            std::hint::black_box(acc);
+        }),
+    });
+    let x = bls12_381::Fq::random(&mut rng);
+    let y = bls12_381::Fq::random(&mut rng);
+    out.push(KernelResult {
+        name: "bls12_381_fq_square_x4096".into(),
+        nanos: best_of(reps, || {
+            let mut acc = x;
+            for _ in 0..4096 {
+                acc = acc.square();
+            }
+            std::hint::black_box(acc);
+        }),
+    });
+    std::hint::black_box(y);
+
+    // MSM kernels.
+    let msm_logs: &[u32] = if smoke { &[10] } else { &[10, 12] };
+    let table = FixedBaseTable::new(&Projective::<zkperf_ec::bn254::G1Params>::generator());
+    for &log in msm_logs {
+        let n = 1usize << log;
+        let scalars: Vec<bn254::Fr> = (0..n).map(|_| bn254::Fr::random(&mut rng)).collect();
+        let bases = table.mul_batch(&scalars);
+        out.push(KernelResult {
+            name: format!("bn254_msm_g1_2e{log}"),
+            nanos: best_of(if smoke { 3 } else { 5 }, || {
+                std::hint::black_box(msm(&bases, &scalars));
+            }),
+        });
+    }
+    if !smoke {
+        let n = 1usize << 12;
+        let scalars: Vec<bn254::Fr> = (0..n).map(|_| bn254::Fr::random(&mut rng)).collect();
+        out.push(KernelResult {
+            name: "bn254_fixed_base_g1_2e12".into(),
+            nanos: best_of(3, || {
+                std::hint::black_box(table.mul_batch(&scalars));
+            }),
+        });
+        let tbl381 =
+            FixedBaseTable::new(&Projective::<zkperf_ec::bls12_381::G1Params>::generator());
+        let scalars381: Vec<bls12_381::Fr> = (0..1usize << 10)
+            .map(|_| bls12_381::Fr::random(&mut rng))
+            .collect();
+        let bases381 = tbl381.mul_batch(&scalars381);
+        out.push(KernelResult {
+            name: "bls12_381_msm_g1_2e10".into(),
+            nanos: best_of(3, || {
+                std::hint::black_box(msm(&bases381, &scalars381));
+            }),
+        });
+    }
+
+    // NTT kernels.
+    let ntt_logs: &[u32] = if smoke { &[12] } else { &[12, 14] };
+    for &log in ntt_logs {
+        let domain = Radix2Domain::<bn254::Fr>::new(1 << log).expect("domain fits");
+        let values: Vec<bn254::Fr> = (0..domain.size())
+            .map(|_| bn254::Fr::random(&mut rng))
+            .collect();
+        let mut buf = values.clone();
+        out.push(KernelResult {
+            name: format!("bn254_ntt_2e{log}"),
+            nanos: best_of(reps, || {
+                buf.copy_from_slice(&values);
+                domain.fft_in_place(&mut buf);
+                std::hint::black_box(&buf);
+            }),
+        });
+    }
+    out
+}
+
+fn stage_benches() -> Vec<StageResult> {
+    let mut out = Vec::new();
+    for log in [10u32, 12, 14] {
+        let n = 1usize << log;
+        let circuit = exponentiate::<bn254::Fr>(n);
+        let mut rng = zkperf_ff::test_rng();
+        let start = Instant::now();
+        let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).expect("setup succeeds");
+        let setup_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let witness = circuit
+            .generate_witness(&[bn254::Fr::from_u64(3)], &[])
+            .expect("witness generation succeeds");
+        let start = Instant::now();
+        let proof =
+            prove::<Bn254, _>(&pk, circuit.r1cs(), &witness, &mut rng).expect("prove succeeds");
+        let prove_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        std::hint::black_box(proof);
+        out.push(StageResult {
+            curve: "bn254".into(),
+            log2_constraints: log,
+            setup_ns,
+            prove_ns,
+            total_ns: setup_ns + prove_ns,
+        });
+        eprintln!(
+            "  stage bn254 2^{log}: setup {:.3}s prove {:.3}s",
+            setup_ns as f64 / 1e9,
+            prove_ns as f64 / 1e9,
+        );
+    }
+    out
+}
+
+/// Compares `new` against `old`, printing one line per common entry.
+/// Returns the names of entries slower than `1 + threshold` times the old
+/// measurement.
+fn compare(old: &BenchReport, new: &BenchReport, threshold: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    let mut check = |name: &str, old_ns: u64, new_ns: u64| {
+        let ratio = new_ns as f64 / old_ns.max(1) as f64;
+        let speedup = old_ns as f64 / new_ns.max(1) as f64;
+        println!("  {name}: {old_ns} -> {new_ns} ns ({speedup:.2}x vs baseline)");
+        if ratio > 1.0 + threshold {
+            regressions.push(name.to_string());
+        }
+    };
+    for k in &new.kernels {
+        if let Some(prev) = old.kernels.iter().find(|p| p.name == k.name) {
+            check(&k.name, prev.nanos, k.nanos);
+        }
+    }
+    for s in &new.stages {
+        if let Some(prev) = old
+            .stages
+            .iter()
+            .find(|p| p.curve == s.curve && p.log2_constraints == s.log2_constraints)
+        {
+            check(
+                &format!("{}_setup_prove_2e{}", s.curve, s.log2_constraints),
+                prev.total_ns,
+                s.total_ns,
+            );
+        }
+    }
+    regressions
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_regression [--smoke] [--out FILE] [--baseline FILE] [--threshold FRACTION]"
+    );
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut threshold = 0.25f64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" | "--baseline" | "--threshold" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                match args[i].as_str() {
+                    "--out" => out_path = Some(value.clone()),
+                    "--baseline" => baseline_path = Some(value.clone()),
+                    _ => match value.parse::<f64>() {
+                        Ok(t) if t > 0.0 => threshold = t,
+                        _ => return usage(),
+                    },
+                }
+                i += 1;
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    eprintln!("bench_regression: running {mode} suite");
+    let report = BenchReport {
+        schema: 1,
+        mode: mode.into(),
+        kernels: kernel_benches(smoke),
+        stages: if smoke { Vec::new() } else { stage_benches() },
+    };
+    for k in &report.kernels {
+        eprintln!("  kernel {}: {} ns", k.name, k.nanos);
+    }
+
+    if let Some(path) = &out_path {
+        let bytes = match serde_json::to_vec_pretty(&report) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_regression: serialize failed: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        if let Err(e) = std::fs::write(path, bytes) {
+            eprintln!("bench_regression: writing {path} failed: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("bench_regression: wrote {path}");
+    }
+
+    if let Some(path) = &baseline_path {
+        let Ok(bytes) = std::fs::read(path) else {
+            eprintln!("bench_regression: no baseline at {path}; skipping comparison");
+            return ExitCode::SUCCESS;
+        };
+        let old: BenchReport = match serde_json::from_slice(&bytes) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("bench_regression: baseline {path} unreadable: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        println!("comparison vs {path} (threshold {:.0}%):", threshold * 100.0);
+        let regressions = compare(&old, &report, threshold);
+        if !regressions.is_empty() {
+            eprintln!(
+                "bench_regression: REGRESSION in {} entr{}: {}",
+                regressions.len(),
+                if regressions.len() == 1 { "y" } else { "ies" },
+                regressions.join(", ")
+            );
+            return ExitCode::from(2);
+        }
+        println!("no regressions past the threshold");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,220 @@
+//! Batched affine point addition via shared Montgomery inversion.
+//!
+//! A single affine chord/tangent addition costs one field inversion, which
+//! is why curve kernels normally work in Jacobian coordinates (~11 field
+//! multiplications per mixed addition, no inversion). But when many
+//! independent additions are performed at once, one batched inversion
+//! ([`zkperf_ff::batch_inverse_with_scratch`]) amortizes to ~3
+//! multiplications per addition, making the affine formulas (~6
+//! multiplications total) cheaper than Jacobian ones. Pippenger bucket
+//! accumulation and fixed-base multi-exponentiation both present exactly
+//! this shape: thousands of independent additions per round.
+//!
+//! [`BatchAdder::reduce_segments`] reduces contiguous segments of a point
+//! buffer to their sums by repeatedly pairing adjacent points — a balanced
+//! tree reduction — with one batch inversion per round across *all*
+//! segments, so the inversion batch stays large even when individual
+//! segments are short.
+
+use zkperf_ff::{batch_inverse_with_scratch, Field};
+
+use crate::curve::{Affine, CurveParams};
+
+/// How a queued pair resolves once the shared inversion lands.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PairKind {
+    /// Generic chord addition; denominator is `x₂ − x₁`.
+    Add,
+    /// Tangent doubling (equal points); denominator is `2·y₁`.
+    Double,
+    /// No inversion needed: an operand was the identity, or the pair
+    /// cancelled (`x₁ = x₂`, `y₁ = −y₂`). Result is stored directly.
+    Fixed,
+}
+
+/// Reusable scratch state for rounds of batched affine additions.
+///
+/// Construct once and reuse across windows/chunks so the internal buffers
+/// amortize their allocations.
+#[derive(Debug)]
+pub struct BatchAdder<C: CurveParams> {
+    denoms: Vec<C::Base>,
+    inv_scratch: Vec<C::Base>,
+    kinds: Vec<PairKind>,
+    /// Results of `Fixed` pairs only, consumed in queue order during the
+    /// apply pass — the overwhelmingly common `Add` pairs never touch it.
+    fixed: Vec<Affine<C>>,
+}
+
+impl<C: CurveParams> Default for BatchAdder<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C: CurveParams> BatchAdder<C> {
+    /// Creates an adder with empty scratch buffers.
+    pub fn new() -> Self {
+        BatchAdder {
+            denoms: Vec::new(),
+            inv_scratch: Vec::new(),
+            kinds: Vec::new(),
+            fixed: Vec::new(),
+        }
+    }
+
+    /// Reduces each segment of `points` to the sum of its elements.
+    ///
+    /// `segs` holds `(start, len)` descriptors of disjoint contiguous
+    /// segments. On return each descriptor's `len` is `0` (empty segment)
+    /// or `1`, and in the latter case `points[start]` is the segment sum
+    /// (possibly the identity). Points outside the described segments are
+    /// left unspecified — the buffer is scratch space.
+    ///
+    /// Handles every affine edge case: identity operands, equal points
+    /// (tangent doubling) and inverse points (cancellation to identity).
+    pub fn reduce_segments(&mut self, points: &mut [Affine<C>], segs: &mut [(usize, usize)]) {
+        loop {
+            self.denoms.clear();
+            self.kinds.clear();
+            self.fixed.clear();
+            for &(start, len) in segs.iter() {
+                for k in 0..len / 2 {
+                    self.classify(&points[start + 2 * k], &points[start + 2 * k + 1]);
+                }
+            }
+            if self.kinds.is_empty() {
+                return; // every segment is down to 0 or 1 points
+            }
+            batch_inverse_with_scratch(&mut self.denoms, &mut self.inv_scratch);
+            let mut pair = 0usize;
+            let mut fixed_cursor = 0usize;
+            for (start, len) in segs.iter_mut() {
+                let pairs = *len / 2;
+                for k in 0..pairs {
+                    let p = points[*start + 2 * k];
+                    let q = points[*start + 2 * k + 1];
+                    let inv = self.denoms[pair];
+                    points[*start + k] = match self.kinds[pair] {
+                        PairKind::Add => {
+                            let lambda = (q.y - p.y) * inv;
+                            let x3 = lambda.square() - p.x - q.x;
+                            let y3 = lambda * (p.x - x3) - p.y;
+                            Affine::new_unchecked(x3, y3)
+                        }
+                        PairKind::Double => {
+                            let xx = p.x.square();
+                            let lambda = (xx.double() + xx) * inv;
+                            let x3 = lambda.square() - p.x.double();
+                            let y3 = lambda * (p.x - x3) - p.y;
+                            Affine::new_unchecked(x3, y3)
+                        }
+                        PairKind::Fixed => {
+                            fixed_cursor += 1;
+                            self.fixed[fixed_cursor - 1]
+                        }
+                    };
+                    pair += 1;
+                }
+                // An odd trailing point survives into the next round.
+                if *len % 2 == 1 {
+                    points[*start + pairs] = points[*start + *len - 1];
+                }
+                *len = pairs + *len % 2;
+            }
+        }
+    }
+
+    /// Queues `p + q`: records the pair kind and its inversion denominator
+    /// (zero for `Fixed` pairs, which the batch inversion skips and whose
+    /// precomputed result is pushed to the side queue).
+    fn classify(&mut self, p: &Affine<C>, q: &Affine<C>) {
+        let (kind, denom) = if p.infinity {
+            self.fixed.push(*q);
+            (PairKind::Fixed, C::Base::zero())
+        } else if q.infinity {
+            self.fixed.push(*p);
+            (PairKind::Fixed, C::Base::zero())
+        } else if p.x == q.x {
+            if p.y == q.y && !p.y.is_zero() {
+                (PairKind::Double, p.y.double())
+            } else {
+                // Inverse points (or a 2-torsion degenerate): sum is identity.
+                self.fixed.push(Affine::identity());
+                (PairKind::Fixed, C::Base::zero())
+            }
+        } else {
+            (PairKind::Add, q.x - p.x)
+        };
+        self.kinds.push(kind);
+        self.denoms.push(denom);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bn254::{G1Affine, G1Projective};
+
+    fn reference_sum(points: &[G1Affine]) -> G1Projective {
+        points
+            .iter()
+            .fold(G1Projective::identity(), |acc, p| acc.add_mixed(p))
+    }
+
+    #[test]
+    fn reduces_random_segments() {
+        let mut rng = zkperf_ff::test_rng();
+        let points: Vec<G1Affine> = (0..64)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        // Segments of varying lengths, including 0 and 1.
+        let mut segs = vec![(0usize, 0usize), (0, 1), (1, 2), (3, 7), (10, 54)];
+        let expect: Vec<G1Projective> = segs
+            .iter()
+            .map(|&(s, l)| reference_sum(&points[s..s + l]))
+            .collect();
+        let mut buf = points.clone();
+        let mut adder = BatchAdder::new();
+        adder.reduce_segments(&mut buf, &mut segs);
+        for (i, (&(start, len), want)) in segs.iter().zip(&expect).enumerate() {
+            let got = if len == 0 {
+                G1Projective::identity()
+            } else {
+                buf[start].to_projective()
+            };
+            assert_eq!(got, *want, "segment {i}");
+        }
+    }
+
+    #[test]
+    fn handles_identity_duplicates_and_inverses() {
+        let mut rng = zkperf_ff::test_rng();
+        let p = G1Projective::random(&mut rng).to_affine();
+        let q = G1Projective::random(&mut rng).to_affine();
+        let mut buf = vec![
+            p,
+            p, // forces the tangent-doubling path
+            G1Affine::identity(),
+            q,
+            q.neg(), // cancellation to identity
+            G1Affine::identity(),
+        ];
+        let mut segs = vec![(0usize, buf.len())];
+        let expect = reference_sum(&buf);
+        let mut adder = BatchAdder::new();
+        adder.reduce_segments(&mut buf, &mut segs);
+        assert_eq!(segs[0].1, 1);
+        assert_eq!(buf[segs[0].0].to_projective(), expect);
+    }
+
+    #[test]
+    fn all_identity_segment_sums_to_identity() {
+        let mut buf = vec![G1Affine::identity(); 5];
+        let mut segs = vec![(0usize, 5usize)];
+        let mut adder = BatchAdder::<crate::bn254::G1Params>::new();
+        adder.reduce_segments(&mut buf, &mut segs);
+        assert_eq!(segs[0].1, 1);
+        assert!(buf[0].infinity);
+    }
+}

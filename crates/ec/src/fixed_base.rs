@@ -2,15 +2,31 @@
 //!
 //! The Groth16 `setup` stage multiplies one generator by tens of thousands
 //! of scalars; a per-window lookup table turns each 256-bit multiplication
-//! into ~32 mixed additions. This is the same optimization snarkjs uses and
-//! is why setup is table-building + streaming adds rather than doublings.
+//! into a handful of additions. This is the same optimization snarkjs uses
+//! and is why setup is table-building + streaming adds rather than
+//! doublings.
+//!
+//! The batch path ([`FixedBaseTable::mul_batch`]) goes further: instead of
+//! accumulating each scalar's window entries in Jacobian coordinates, it
+//! gathers the table hits for a chunk of scalars into one flat buffer and
+//! collapses every scalar's segment with [`crate::batch_add::BatchAdder`] —
+//! shared-inversion affine additions, with results landing directly in
+//! affine form (no trailing `batch_to_affine` pass). One window table,
+//! built once per base, serves every batch; Groth16 setup reuses a single
+//! table across all six of its tau-power query vectors.
 
 use zkperf_ff::PrimeField;
 use zkperf_trace as trace;
 
+use crate::batch_add::BatchAdder;
 use crate::curve::{Affine, CurveParams, Projective};
 
 /// Precomputed window tables for one base point.
+///
+/// Scalars are recoded into signed `c`-bit digits (as in [`crate::msm`]),
+/// so each window row only stores the positive multiples `1·B .. 2^(c−1)·B`
+/// — half the table of an unsigned window for the same width — and negative
+/// digits negate the looked-up point on the fly.
 ///
 /// # Examples
 ///
@@ -25,10 +41,15 @@ use crate::curve::{Affine, CurveParams, Projective};
 /// ```
 #[derive(Debug, Clone)]
 pub struct FixedBaseTable<C: CurveParams> {
-    /// `table[k][j] = j · 2^(c·k) · base` in affine form, `j ∈ [0, 2^c)`.
+    /// `table[k][j-1] = j · 2^(c·k) · base` in affine form, `j ∈ [1, 2^(c−1)]`.
     windows: Vec<Vec<Affine<C>>>,
     window_bits: usize,
 }
+
+/// Scalars per [`FixedBaseTable::mul_batch`] gather chunk; bounds the flat
+/// gather buffer at `CHUNK · num_windows` points while keeping each batch
+/// inversion large enough to amortize.
+const BATCH_CHUNK: usize = 2048;
 
 impl<C: CurveParams> FixedBaseTable<C> {
     /// Default window width (bits); 8 balances table size (~8K points for a
@@ -40,7 +61,32 @@ impl<C: CurveParams> FixedBaseTable<C> {
         Self::with_window_bits(base, Self::DEFAULT_WINDOW_BITS)
     }
 
+    /// Builds a table sized for multiplying `base` by roughly
+    /// `expected_scalars` scalars: wider windows (bigger tables, fewer
+    /// additions per scalar) as the batch grows, so table construction
+    /// stays amortized.
+    pub fn for_batch(base: &Projective<C>, expected_scalars: usize) -> Self {
+        Self::with_window_bits(base, Self::optimal_window_bits(expected_scalars))
+    }
+
+    /// Window width minimizing table-build plus per-scalar addition cost
+    /// for a batch of `n` scalars (the usual `ln n + 2` rule of thumb,
+    /// computed without floats).
+    pub fn optimal_window_bits(n: usize) -> usize {
+        if n < 32 {
+            return 3;
+        }
+        let log2 = usize::BITS as usize - 1 - n.leading_zeros() as usize;
+        (log2 * 69 / 100 + 3).clamp(4, 14)
+    }
+
     /// Builds the table with an explicit window width in `1..=15`.
+    ///
+    /// Rows are grown as a doubling tree — entries `m+1·B .. 2m·B` come
+    /// from adding the `m·B` anchor to entries `1·B .. m·B`, which are
+    /// independent additions batched across every window row at once via
+    /// [`BatchAdder`] — so construction runs at shared-inversion affine
+    /// cost and lands directly in affine form.
     ///
     /// # Panics
     ///
@@ -48,24 +94,55 @@ impl<C: CurveParams> FixedBaseTable<C> {
     pub fn with_window_bits(base: &Projective<C>, window_bits: usize) -> Self {
         assert!((1..=15).contains(&window_bits), "window bits out of range");
         let _g = trace::region_profile("fixed_base_table");
-        let scalar_bits = C::Scalar::NUM_LIMBS * 64;
-        let num_windows = scalar_bits.div_ceil(window_bits);
-        let table_len = 1usize << window_bits;
-        let mut windows = Vec::with_capacity(num_windows);
+        // Scalars are canonical, so the table only needs to cover the
+        // modulus bit length; +1 leaves room for the final signed carry.
+        let scalar_bits = C::Scalar::modulus_bits() as usize;
+        let num_windows = (scalar_bits + 1).div_ceil(window_bits);
+        let half = 1usize << (window_bits - 1);
+        // Window anchors 2^(c·k) · base, converted to affine in one batch.
         let mut window_base = *base;
+        let mut anchors = Vec::with_capacity(num_windows);
         for _ in 0..num_windows {
-            trace::alloc(table_len * std::mem::size_of::<Affine<C>>());
-            let mut row = Vec::with_capacity(table_len);
-            let mut acc = Projective::identity();
-            for _ in 0..table_len {
-                row.push(acc);
-                acc = acc.add(&window_base);
-            }
-            windows.push(Projective::batch_to_affine(&row));
-            // Advance to the next window: base ← 2^window_bits · base.
+            anchors.push(window_base);
             for _ in 0..window_bits {
                 window_base = window_base.double();
             }
+        }
+        let anchors = Projective::batch_to_affine(&anchors);
+        let mut windows: Vec<Vec<Affine<C>>> = anchors
+            .iter()
+            .map(|b| {
+                trace::alloc(half * std::mem::size_of::<Affine<C>>());
+                let mut row = Vec::with_capacity(half);
+                row.push(*b);
+                row
+            })
+            .collect();
+        let mut adder = BatchAdder::new();
+        let mut buf: Vec<Affine<C>> = Vec::new();
+        let mut segs: Vec<(usize, usize)> = Vec::new();
+        let mut m = 1usize;
+        while m < half {
+            let step = m.min(half - m);
+            buf.clear();
+            segs.clear();
+            for row in &windows {
+                let anchor = row[m - 1];
+                for &small in row.iter().take(step) {
+                    segs.push((buf.len(), 2));
+                    buf.push(anchor);
+                    buf.push(small);
+                }
+            }
+            adder.reduce_segments(&mut buf, &mut segs);
+            let mut cursor = 0usize;
+            for row in &mut windows {
+                for _ in 0..step {
+                    row.push(buf[segs[cursor].0]);
+                    cursor += 1;
+                }
+            }
+            m += step;
         }
         FixedBaseTable {
             windows,
@@ -74,26 +151,82 @@ impl<C: CurveParams> FixedBaseTable<C> {
     }
 
     /// Computes `scalar · base` using one table lookup and mixed addition
-    /// per window.
+    /// per nonzero signed window digit.
     pub fn mul(&self, scalar: &C::Scalar) -> Projective<C> {
-        let limbs = scalar.to_biguint().to_limbs(C::Scalar::NUM_LIMBS);
+        let mut limbs = [0u64; 8];
+        debug_assert!(C::Scalar::NUM_LIMBS <= limbs.len());
+        scalar.write_canonical_limbs(&mut limbs[..C::Scalar::NUM_LIMBS]);
+        let limbs = &limbs[..C::Scalar::NUM_LIMBS];
+        let half = 1i64 << (self.window_bits - 1);
         let mut acc = Projective::identity();
+        let mut carry = 0usize;
         for (k, row) in self.windows.iter().enumerate() {
-            let digit = extract(&limbs, k * self.window_bits, self.window_bits);
+            let raw = extract(limbs, k * self.window_bits, self.window_bits) + carry;
+            let digit = if raw as i64 > half {
+                carry = 1;
+                raw as i64 - (1i64 << self.window_bits)
+            } else {
+                carry = 0;
+                raw as i64
+            };
             trace::branch(0x3101, digit != 0);
-            if digit != 0 {
-                acc = acc.add_mixed(&row[digit]);
+            if digit > 0 {
+                acc = acc.add_mixed(&row[digit as usize - 1]);
+            } else if digit < 0 {
+                acc = acc.add_mixed(&row[(-digit) as usize - 1].neg());
             }
         }
         acc
     }
 
-    /// Multiplies every scalar in `scalars`, returning affine results (one
-    /// batch inversion at the end).
+    /// Multiplies every scalar in `scalars`, returning affine results.
+    ///
+    /// Works in chunks: each scalar's nonzero window entries are gathered
+    /// into a contiguous segment of a flat buffer, then all segments are
+    /// collapsed with one [`BatchAdder`] tree reduction (a handful of batch
+    /// inversions per chunk, shared across every scalar in it).
     pub fn mul_batch(&self, scalars: &[C::Scalar]) -> Vec<Affine<C>> {
         let _g = trace::region_profile("fixed_base_msm");
-        let projective: Vec<Projective<C>> = scalars.iter().map(|s| self.mul(s)).collect();
-        Projective::batch_to_affine(&projective)
+        let num_limbs = C::Scalar::NUM_LIMBS;
+        let mut out = vec![Affine::identity(); scalars.len()];
+        let mut gathered: Vec<Affine<C>> = Vec::new();
+        let mut segs: Vec<(usize, usize)> = Vec::with_capacity(BATCH_CHUNK);
+        let mut limbs = vec![0u64; num_limbs];
+        let mut adder = BatchAdder::new();
+        let half = 1i64 << (self.window_bits - 1);
+        for (chunk_idx, chunk) in scalars.chunks(BATCH_CHUNK).enumerate() {
+            gathered.clear();
+            segs.clear();
+            for s in chunk {
+                s.write_canonical_limbs(&mut limbs);
+                let start = gathered.len();
+                let mut carry = 0usize;
+                for (k, row) in self.windows.iter().enumerate() {
+                    let raw = extract(&limbs, k * self.window_bits, self.window_bits) + carry;
+                    let digit = if raw as i64 > half {
+                        carry = 1;
+                        raw as i64 - (1i64 << self.window_bits)
+                    } else {
+                        carry = 0;
+                        raw as i64
+                    };
+                    trace::branch(0x3101, digit != 0);
+                    if digit > 0 {
+                        gathered.push(row[digit as usize - 1]);
+                    } else if digit < 0 {
+                        gathered.push(row[(-digit) as usize - 1].neg());
+                    }
+                }
+                segs.push((start, gathered.len() - start));
+            }
+            adder.reduce_segments(&mut gathered, &mut segs);
+            for (j, &(start, len)) in segs.iter().enumerate() {
+                if len > 0 {
+                    out[chunk_idx * BATCH_CHUNK + j] = gathered[start];
+                }
+            }
+        }
+        out
     }
 }
 
@@ -150,11 +283,35 @@ mod tests {
         let g = G1Projective::generator();
         let table = FixedBaseTable::<G1Params>::new(&g);
         let mut rng = zkperf_ff::test_rng();
-        let scalars: Vec<Fr> = (0..10).map(|_| Fr::random(&mut rng)).collect();
+        let mut scalars: Vec<Fr> = (0..40).map(|_| Fr::random(&mut rng)).collect();
+        scalars[0] = Fr::zero();
+        scalars[17] = -Fr::one();
         let batch = table.mul_batch(&scalars);
         for (s, b) in scalars.iter().zip(&batch) {
             assert_eq!(b.to_projective(), g * *s);
         }
+    }
+
+    #[test]
+    fn batch_on_identity_base_is_all_identity() {
+        let table = FixedBaseTable::<G1Params>::new(&G1Projective::identity());
+        let scalars = vec![Fr::from_u64(7); 5];
+        for p in table.mul_batch(&scalars) {
+            assert!(p.infinity);
+        }
+    }
+
+    #[test]
+    fn optimal_window_bits_is_monotone_and_clamped() {
+        assert_eq!(FixedBaseTable::<G1Params>::optimal_window_bits(1), 3);
+        let mut prev = 0;
+        for log2 in 5..24 {
+            let bits = FixedBaseTable::<G1Params>::optimal_window_bits(1 << log2);
+            assert!(bits >= prev, "monotone");
+            assert!((1..=14).contains(&bits));
+            prev = bits;
+        }
+        assert_eq!(FixedBaseTable::<G1Params>::optimal_window_bits(usize::MAX), 14);
     }
 
     #[test]

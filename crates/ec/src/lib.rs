@@ -21,6 +21,7 @@
 //! assert!(!e.is_one());
 //! ```
 
+pub mod batch_add;
 pub mod bls12_381;
 pub mod bn254;
 pub mod curve;
@@ -29,7 +30,8 @@ mod fixed_base;
 mod msm;
 pub mod pairing;
 
+pub use batch_add::BatchAdder;
 pub use curve::{Affine, CurveParams, Projective};
 pub use engine::{Bls12_381, Bn254, Engine};
 pub use fixed_base::FixedBaseTable;
-pub use msm::msm;
+pub use msm::{msm, msm_naive};

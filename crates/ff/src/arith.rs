@@ -57,6 +57,53 @@ pub const fn sub_noborrow<const N: usize>(a: &[u64; N], b: &[u64; N]) -> [u64; N
     out
 }
 
+/// Branchless limb select: `a` if `cond == 1`, `b` if `cond == 0`.
+///
+/// Compiles to mask-and-combine (no data-dependent branch), which is what
+/// the hot-path reductions want: on random field elements the "needs one
+/// subtraction" condition is close to a coin flip, so a real branch would
+/// mispredict constantly.
+#[inline(always)]
+pub const fn select<const N: usize>(cond: u64, a: &[u64; N], b: &[u64; N]) -> [u64; N] {
+    let mask = 0u64.wrapping_sub(cond);
+    let mut out = [0u64; N];
+    let mut i = 0;
+    while i < N {
+        out[i] = (a[i] & mask) | (b[i] & !mask);
+        i += 1;
+    }
+    out
+}
+
+/// `a - b` over `N` limbs, returning `(diff, borrow_out)`.
+#[inline(always)]
+pub const fn sub_borrow<const N: usize>(a: &[u64; N], b: &[u64; N]) -> ([u64; N], u64) {
+    let mut out = [0u64; N];
+    let mut borrow = 0u64;
+    let mut i = 0;
+    while i < N {
+        let (d, bo) = sbb(a[i], b[i], borrow);
+        out[i] = d;
+        borrow = bo;
+        i += 1;
+    }
+    (out, borrow)
+}
+
+/// Reduces `sum + carry·2^(64N)` (assumed `< 2·modulus`) into `[0, modulus)`
+/// with at most one subtraction, branchlessly. Returns the result and a
+/// `{0,1}` flag recording whether the subtraction fired.
+#[inline(always)]
+pub const fn reduce_once<const N: usize>(
+    sum: &[u64; N],
+    carry: u64,
+    modulus: &[u64; N],
+) -> ([u64; N], u64) {
+    let (diff, borrow) = sub_borrow(sum, modulus);
+    let use_diff = carry | (borrow ^ 1);
+    (select(use_diff, &diff, sum), use_diff)
+}
+
 /// `a + b` over `N` limbs, returning `(sum, carry_out)`.
 #[inline]
 pub const fn add_carry<const N: usize>(a: &[u64; N], b: &[u64; N]) -> ([u64; N], u64) {

@@ -26,6 +26,7 @@
 //! ```
 
 pub mod arith;
+mod batch;
 mod bigint;
 pub mod bls12_381;
 pub mod bn254;
@@ -34,6 +35,7 @@ mod fp;
 mod quad;
 mod traits;
 
+pub use batch::{batch_inverse, batch_inverse_with_scratch};
 pub use bigint::{BigUint, ParseBigIntError};
 pub use cubic::{CubicExt, CubicExtParams};
 pub use fp::{Fp, FpParams};

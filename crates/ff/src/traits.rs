@@ -101,6 +101,30 @@ pub trait PrimeField: Field + PartialOrd + Ord {
     /// Reduces an arbitrary integer modulo `p`.
     fn from_biguint(v: &BigUint) -> Self;
 
+    /// Writes the canonical (non-Montgomery) representation into
+    /// `out[..NUM_LIMBS]`, little-endian.
+    ///
+    /// Equivalent to `to_biguint().to_limbs(NUM_LIMBS)` but without the
+    /// intermediate heap allocations, so hot paths (MSM digit extraction,
+    /// fixed-base windowing) can fill preallocated flat buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`NUM_LIMBS`](Self::NUM_LIMBS).
+    fn write_canonical_limbs(&self, out: &mut [u64]) {
+        let limbs = self.to_biguint().to_limbs(Self::NUM_LIMBS);
+        out[..Self::NUM_LIMBS].copy_from_slice(&limbs);
+    }
+
+    /// Bit length of the modulus (254 for BN254, 255 for BLS12-381 `Fr`).
+    ///
+    /// Scalars are strictly below `p`, so window decompositions past this
+    /// many bits are always zero — Pippenger loops use it to skip the empty
+    /// top windows of the limb space.
+    fn modulus_bits() -> u32 {
+        Self::modulus().bits() as u32
+    }
+
     /// Parses a decimal (radix 10) or hexadecimal (radix 16) literal and
     /// reduces it modulo `p`.
     ///

@@ -100,30 +100,64 @@ pub fn setup<E: Engine, R: Rng + ?Sized>(
         tau_pow *= tau;
     }
 
-    // Fixed-base tables for both generators.
-    let g1 = Projective::<E::G1>::generator();
-    let g2 = Projective::<E::G2>::generator();
-    let t1 = FixedBaseTable::new(&g1);
-    let t2 = FixedBaseTable::new(&g2);
+    // One fixed-base window table per generator, each built once and
+    // shared by every tau-power query vector. All G1 scalars ride a single
+    // `mul_batch` pass (likewise for G2), so the window tables — and the
+    // batch inversions inside the pass — amortize across the whole key,
+    // and the table width is tuned to the combined batch size.
+    let num_wires = r1cs.num_wires();
+    let total_g1 =
+        2 * num_wires + ic_scalars.len() + l_scalars.len() + h_scalars.len() + 3;
+    let mut g1_scalars = Vec::with_capacity(total_g1);
+    g1_scalars.extend_from_slice(&u);
+    g1_scalars.extend_from_slice(&v);
+    g1_scalars.extend_from_slice(&ic_scalars);
+    g1_scalars.extend_from_slice(&l_scalars);
+    g1_scalars.extend_from_slice(&h_scalars);
+    g1_scalars.extend_from_slice(&[alpha, beta, delta]);
+    let mut g2_scalars = Vec::with_capacity(num_wires + 3);
+    g2_scalars.extend_from_slice(&v);
+    g2_scalars.extend_from_slice(&[beta, gamma, delta]);
 
-    let a_query = t1.mul_batch(&u);
-    let b_g1_query = t1.mul_batch(&v);
-    let b_g2_query = t2.mul_batch(&v);
-    let ic = t1.mul_batch(&ic_scalars);
-    let l_query = t1.mul_batch(&l_scalars);
-    let h_query = t1.mul_batch(&h_scalars);
+    // Size each window table by the scalars that actually cost work: the
+    // QAP matrices are sparse, so (especially for G2, whose field ops are
+    // several times pricier) the nonzero count can be orders of magnitude
+    // below the batch length, and a table tuned to the raw length would
+    // cost more to build than it saves.
+    let nonzero = |s: &[E::Fr]| s.iter().filter(|v| !v.is_zero()).count();
+    let t1 = FixedBaseTable::for_batch(&Projective::<E::G1>::generator(), nonzero(&g1_scalars));
+    let t2 = FixedBaseTable::for_batch(&Projective::<E::G2>::generator(), nonzero(&g2_scalars));
+
+    let g1_points = t1.mul_batch(&g1_scalars);
+    // The batch ends with [alpha, beta, delta] by construction.
+    let alpha_g1 = g1_points[g1_points.len() - 3];
+    let beta_g1 = g1_points[g1_points.len() - 2];
+    let delta_g1 = g1_points[g1_points.len() - 1];
+    let mut g1_points = g1_points.into_iter();
+    let a_query: Vec<_> = g1_points.by_ref().take(num_wires).collect();
+    let b_g1_query: Vec<_> = g1_points.by_ref().take(num_wires).collect();
+    let ic: Vec<_> = g1_points.by_ref().take(num_public).collect();
+    let l_query: Vec<_> = g1_points.by_ref().take(r1cs.num_wires() - num_public).collect();
+    let h_query: Vec<_> = g1_points.take(domain.size()).collect();
+
+    let g2_points = t2.mul_batch(&g2_scalars);
+    // Likewise [beta, gamma, delta] close the G2 batch.
+    let beta_g2 = g2_points[g2_points.len() - 3];
+    let gamma_g2 = g2_points[g2_points.len() - 2];
+    let delta_g2 = g2_points[g2_points.len() - 1];
+    let b_g2_query: Vec<_> = g2_points.into_iter().take(num_wires).collect();
 
     let vk = VerifyingKey {
-        alpha_g1: t1.mul(&alpha).to_affine(),
-        beta_g2: t2.mul(&beta).to_affine(),
-        gamma_g2: t2.mul(&gamma).to_affine(),
-        delta_g2: t2.mul(&delta).to_affine(),
+        alpha_g1,
+        beta_g2,
+        gamma_g2,
+        delta_g2,
         ic,
     };
     Ok(ProvingKey {
         vk,
-        beta_g1: t1.mul(&beta).to_affine(),
-        delta_g1: t1.mul(&delta).to_affine(),
+        beta_g1,
+        delta_g1,
         a_query,
         b_g1_query,
         b_g2_query,

@@ -1,7 +1,14 @@
 //! Radix-2 multiplicative evaluation domains and the in-place NTT.
 
-use zkperf_ff::{BigUint, PrimeField};
+use zkperf_ff::{batch_inverse, BigUint, PrimeField};
 use zkperf_trace as trace;
+
+/// Largest `log₂(size)` for which the domain precomputes its twiddle
+/// tables at construction. Each table holds `size/2` elements, so 2^20
+/// caps the two tables at a few tens of megabytes; larger domains (up to
+/// the field's full two-adic subgroup, 2^28 for BN254) fall back to
+/// computing twiddles incrementally inside the butterfly passes.
+const MAX_CACHED_TWIDDLE_LOG: u32 = 20;
 
 /// A multiplicative subgroup of size `2^log_size` with its NTT machinery.
 ///
@@ -31,6 +38,14 @@ pub struct Radix2Domain<F: PrimeField> {
     size_inv: F,
     coset_shift: F,
     coset_shift_inv: F,
+    /// `ω^(2^j)` for `j = 0..log_size`: the square chain behind
+    /// [`element`](Self::element)'s allocation-free exponentiation.
+    omega_pow2: Vec<F>,
+    /// Bit-reversal-friendly forward twiddles `ω^j` for `j < size/2`, or
+    /// empty above [`MAX_CACHED_TWIDDLE_LOG`].
+    twiddles: Vec<F>,
+    /// Inverse twiddles `ω^{−j}` for `j < size/2`, or empty when uncached.
+    inv_twiddles: Vec<F>,
 }
 
 impl<F: PrimeField> Radix2Domain<F> {
@@ -57,6 +72,20 @@ impl<F: PrimeField> Radix2Domain<F> {
             shift_candidate += 2;
         };
         let coset_shift_inv = coset_shift.inverse().expect("shift non-zero");
+        let mut omega_pow2 = Vec::with_capacity(log_size as usize);
+        let mut w = omega;
+        for _ in 0..log_size {
+            omega_pow2.push(w);
+            w = w.square();
+        }
+        let (twiddles, inv_twiddles) = if (1..=MAX_CACHED_TWIDDLE_LOG).contains(&log_size) {
+            (
+                Self::power_table(omega, size / 2),
+                Self::power_table(omega_inv, size / 2),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
         Some(Radix2Domain {
             size,
             log_size,
@@ -65,7 +94,21 @@ impl<F: PrimeField> Radix2Domain<F> {
             size_inv,
             coset_shift,
             coset_shift_inv,
+            omega_pow2,
+            twiddles,
+            inv_twiddles,
         })
+    }
+
+    /// `[1, g, g², …, g^(len−1)]` by incremental multiplication.
+    fn power_table(g: F, len: usize) -> Vec<F> {
+        let mut table = Vec::with_capacity(len);
+        let mut acc = F::one();
+        for _ in 0..len {
+            table.push(acc);
+            acc *= g;
+        }
+        table
     }
 
     /// Number of evaluation points.
@@ -89,13 +132,44 @@ impl<F: PrimeField> Radix2Domain<F> {
     }
 
     /// The `i`-th domain element `ω^i`.
+    ///
+    /// Served from the cached twiddle table when present (`ω^(n/2) = −1`
+    /// folds the upper half), otherwise assembled from the `ω^(2^j)`
+    /// square chain — either way, no big-integer exponentiation.
     pub fn element(&self, i: usize) -> F {
-        self.omega.pow(&BigUint::from_u64((i % self.size) as u64))
+        let i = i % self.size;
+        if i == 0 {
+            return F::one();
+        }
+        let half = self.size / 2;
+        if !self.twiddles.is_empty() {
+            return if i < half {
+                self.twiddles[i]
+            } else {
+                -self.twiddles[i - half]
+            };
+        }
+        let mut acc = F::one();
+        let mut rem = i;
+        let mut bit = 0usize;
+        while rem != 0 {
+            if rem & 1 == 1 {
+                acc *= self.omega_pow2[bit];
+            }
+            rem >>= 1;
+            bit += 1;
+        }
+        acc
     }
 
-    /// Evaluates the vanishing polynomial `z(x) = x^size − 1` at `x`.
+    /// Evaluates the vanishing polynomial `z(x) = x^size − 1` at `x` with
+    /// `log₂(size)` squarings.
     pub fn eval_vanishing(&self, x: F) -> F {
-        x.pow(&BigUint::from_u64(self.size as u64)) - F::one()
+        let mut acc = x;
+        for _ in 0..self.log_size {
+            acc = acc.square();
+        }
+        acc - F::one()
     }
 
     /// In-place NTT: coefficients → evaluations over the domain.
@@ -105,7 +179,7 @@ impl<F: PrimeField> Radix2Domain<F> {
     /// Panics if `values.len() != size`.
     pub fn fft_in_place(&self, values: &mut [F]) {
         let _g = trace::region_profile("fft");
-        self.transform(values, self.omega);
+        self.transform(values, &self.twiddles, self.omega);
     }
 
     /// In-place inverse NTT: evaluations → coefficients.
@@ -115,7 +189,7 @@ impl<F: PrimeField> Radix2Domain<F> {
     /// Panics if `values.len() != size`.
     pub fn ifft_in_place(&self, values: &mut [F]) {
         let _g = trace::region_profile("fft");
-        self.transform(values, self.omega_inv);
+        self.transform(values, &self.inv_twiddles, self.omega_inv);
         for v in values.iter_mut() {
             *v *= self.size_inv;
         }
@@ -143,7 +217,12 @@ impl<F: PrimeField> Radix2Domain<F> {
 
     /// Iterative decimation-in-time NTT (bit-reversal permutation followed
     /// by log n butterfly passes).
-    fn transform(&self, values: &mut [F], omega: F) {
+    ///
+    /// When `twiddles` is non-empty it holds `ω^j` for `j < n/2` and each
+    /// butterfly reads its twiddle with a strided lookup — one multiplication
+    /// per butterfly instead of two. Domains past the cache cap pass an
+    /// empty table and fall back to incremental twiddle updates.
+    fn transform(&self, values: &mut [F], twiddles: &[F], omega: F) {
         assert_eq!(
             values.len(),
             self.size,
@@ -166,28 +245,43 @@ impl<F: PrimeField> Radix2Domain<F> {
         let mut len = 2usize;
         while len <= n {
             let half = len / 2;
-            // w_len = ω^(n/len)
-            let w_len = {
-                let mut w = omega;
-                let mut k = n / len;
-                while k > 1 {
-                    w = w.square();
-                    k /= 2;
+            let stride = n / len;
+            if !twiddles.is_empty() {
+                let mut start = 0;
+                while start < n {
+                    for k in 0..half {
+                        let t = values[start + k + half] * twiddles[k * stride];
+                        let u = values[start + k];
+                        values[start + k] = u + t;
+                        values[start + k + half] = u - t;
+                        trace::control(1);
+                    }
+                    start += len;
                 }
-                w
-            };
-            let mut start = 0;
-            while start < n {
-                let mut w = F::one();
-                for k in 0..half {
-                    let t = values[start + k + half] * w;
-                    let u = values[start + k];
-                    values[start + k] = u + t;
-                    values[start + k + half] = u - t;
-                    w *= w_len;
-                    trace::control(1);
+            } else {
+                // w_len = ω^(n/len)
+                let w_len = {
+                    let mut w = omega;
+                    let mut k = stride;
+                    while k > 1 {
+                        w = w.square();
+                        k /= 2;
+                    }
+                    w
+                };
+                let mut start = 0;
+                while start < n {
+                    let mut w = F::one();
+                    for k in 0..half {
+                        let t = values[start + k + half] * w;
+                        let u = values[start + k];
+                        values[start + k] = u + t;
+                        values[start + k + half] = u - t;
+                        w *= w_len;
+                        trace::control(1);
+                    }
+                    start += len;
                 }
-                start += len;
             }
             len *= 2;
         }
@@ -210,12 +304,19 @@ impl<F: PrimeField> Radix2Domain<F> {
             }
             return out;
         }
-        let zn = z * self.size_inv;
+        // out[i] starts as x − ω^i; one shared batch inversion replaces
+        // `size` independent field inversions.
         let mut elem = F::one();
         for _ in 0..self.size {
-            let denom = (x - elem).inverse().expect("x not in domain");
-            out.push(zn * elem * denom);
+            out.push(x - elem);
             elem *= self.omega;
+        }
+        batch_inverse(&mut out);
+        // num walks zn·ω^i incrementally alongside the inverted denominators.
+        let mut num = z * self.size_inv;
+        for v in out.iter_mut() {
+            *v *= num;
+            num *= self.omega;
         }
         out
     }

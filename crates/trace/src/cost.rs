@@ -37,6 +37,20 @@ impl OpCost {
         }
     }
 
+    /// Cost of a dedicated Montgomery squaring over `n` 64-bit limbs.
+    ///
+    /// The symmetric-term shortcut computes each off-diagonal product once
+    /// and doubles, so the operand-row multiplies drop from `n²` to
+    /// `n(n+1)/2`; the reduction rows are unchanged from [`mont_mul`]
+    /// (`OpCost::mont_mul`).
+    pub const fn mont_sqr(n: u32) -> OpCost {
+        OpCost {
+            compute: n * (n + 1) / 2 + n * n + 3 * n,
+            control: 2 * n + 1,
+            data: n * (n + 1) / 2 + n * n / 2 + 2 * n,
+        }
+    }
+
     /// Cost of a modular addition/subtraction over `n` limbs: limb adds with
     /// carries plus a conditional reduction.
     pub const fn mod_add(n: u32) -> OpCost {

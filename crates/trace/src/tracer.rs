@@ -1,9 +1,20 @@
 //! The per-thread tracer: session lifecycle, event entry points, regions.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::{EventSink, FunctionId, OpClass, OpCounts};
+
+/// Process-wide count of live sessions (any thread).
+///
+/// This is the fast-path gate: when zero — the common case for
+/// uninstrumented release runs — every event entry point reduces to one
+/// relaxed atomic load and a never-taken, perfectly predicted branch,
+/// without even touching thread-local storage. Only when some thread has a
+/// session open does the per-thread `ACTIVE` flag get consulted, so
+/// instrumented runs still observe exactly the op stream they always did.
+static LIVE_SESSIONS: AtomicU32 = AtomicU32::new(0);
 
 /// Per-region attribution collected during a session.
 #[derive(Debug, Clone)]
@@ -88,17 +99,28 @@ thread_local! {
 /// Whether a tracing session is active on this thread.
 ///
 /// Instrumented code may use this to skip preparing expensive event
-/// arguments; the event entry points already check it internally.
-#[inline]
+/// arguments; the event entry points already check it internally. When no
+/// session exists anywhere in the process this is a single relaxed atomic
+/// load plus a predictable branch — the zero-cost fast path that lets
+/// instrumentation stay compiled into release builds.
+#[inline(always)]
 pub fn is_active() -> bool {
-    ACTIVE.with(|a| a.get())
+    LIVE_SESSIONS.load(Ordering::Relaxed) != 0 && ACTIVE.with(|a| a.get())
 }
 
-#[inline]
+#[inline(always)]
 fn with_state(f: impl FnOnce(&mut State)) {
     if !is_active() {
         return;
     }
+    with_state_slow(f);
+}
+
+/// The instrumented-run path, outlined and marked cold so the fast-path
+/// check above inlines into callers as a bare load-test-return.
+#[cold]
+#[inline(never)]
+fn with_state_slow(f: impl FnOnce(&mut State)) {
     STATE.with(|s| {
         if let Some(state) = s.borrow_mut().as_mut() {
             f(state);
@@ -177,6 +199,7 @@ impl Session {
             *slot = Some(State::new(sink));
         });
         ACTIVE.with(|a| a.set(true));
+        LIVE_SESSIONS.fetch_add(1, Ordering::Relaxed);
         Session { finished: false }
     }
 
@@ -184,6 +207,7 @@ impl Session {
     pub fn finish(mut self) -> SessionReport {
         self.finished = true;
         ACTIVE.with(|a| a.set(false));
+        LIVE_SESSIONS.fetch_sub(1, Ordering::Relaxed);
         let mut state = STATE
             .with(|s| s.borrow_mut().take())
             .expect("session state missing at finish");
@@ -204,6 +228,7 @@ impl Drop for Session {
         if !self.finished {
             ACTIVE.with(|a| a.set(false));
             STATE.with(|s| *s.borrow_mut() = None);
+            LIVE_SESSIONS.fetch_sub(1, Ordering::Relaxed);
         }
     }
 }

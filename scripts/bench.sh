@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Benchmark-regression harness.
+#
+# Runs the wall-clock benches (kernel micro-benches plus the combined
+# setup+prove path on the exponentiation workloads at 2^10..2^14), writes
+# BENCH_results.json, and compares against the committed
+# BENCH_baseline.json with a configurable threshold:
+#
+#   scripts/bench.sh                      # full run + comparison
+#   ZKPERF_BENCH_THRESHOLD=0.10 scripts/bench.sh
+#   scripts/bench.sh --smoke              # kernels only (tier-1 gate)
+#
+# If no baseline exists yet, the fresh results are seeded as the baseline.
+# Exit code 2 means a benchmark regressed past the threshold.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${ZKPERF_BENCH_THRESHOLD:-0.25}"
+
+echo "==> cargo build --release -p zkperf-bench"
+cargo build --release --offline -p zkperf-bench --bin bench_regression
+
+echo "==> bench_regression (threshold ${THRESHOLD})"
+./target/release/bench_regression \
+    --out BENCH_results.json \
+    --baseline BENCH_baseline.json \
+    --threshold "${THRESHOLD}" \
+    "$@"
+
+if [ ! -f BENCH_baseline.json ]; then
+    cp BENCH_results.json BENCH_baseline.json
+    echo "==> seeded BENCH_baseline.json from this run"
+fi

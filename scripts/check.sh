@@ -30,4 +30,13 @@ else
     echo "==> cargo clippy not installed; skipping lint step" >&2
 fi
 
+# Smoke bench: reduced-size kernel micro-benches against the committed
+# baseline, failing on any kernel regressing past the threshold (default
+# 25%; override with ZKPERF_BENCH_THRESHOLD). Catches "tests still pass
+# but the fast path quietly fell off a cliff" changes. The full suite
+# (with stage-level speedup numbers) lives in scripts/bench.sh.
+echo "==> smoke bench vs BENCH_baseline.json"
+./target/release/bench_regression --smoke --baseline BENCH_baseline.json \
+    --threshold "${ZKPERF_BENCH_THRESHOLD:-0.25}"
+
 echo "==> all checks passed"

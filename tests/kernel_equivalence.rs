@@ -1,0 +1,175 @@
+//! Property tests pinning every optimized kernel to its naive reference.
+//!
+//! The fast-path kernels (signed-digit batch-affine MSM, precomputed-twiddle
+//! NTT, dedicated Montgomery squaring, shared-inversion batching) are all
+//! algebraically equivalent to straightforward textbook computations; this
+//! suite cross-checks them on both curves of the suite so an optimization
+//! bug cannot hide behind a benchmark win. Edge cases the windowed machinery
+//! is most likely to get wrong — zero scalars, identity points, saturated
+//! `-1` scalars, size-1 domains — are exercised explicitly.
+
+use proptest::prelude::*;
+
+use zkperf::ec::{msm, msm_naive, Affine, CurveParams, FixedBaseTable, Projective};
+use zkperf::ff::{batch_inverse, BigUint, Field, PrimeField};
+use zkperf::poly::Radix2Domain;
+
+fn arb_field<F: PrimeField>() -> impl Strategy<Value = F> {
+    proptest::collection::vec(any::<u64>(), 2 * F::NUM_LIMBS)
+        .prop_map(|limbs| F::from_biguint(&BigUint::from_limbs(&limbs)))
+}
+
+/// Random affine points with identities sprinkled in (index divisible by 5).
+fn arb_points<C: CurveParams>(len: usize) -> impl Strategy<Value = Vec<Affine<C>>> {
+    proptest::collection::vec(arb_field::<C::Scalar>(), len).prop_map(|scalars| {
+        scalars
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i % 5 == 4 {
+                    Affine::identity()
+                } else {
+                    (Projective::<C>::generator() * *s).to_affine()
+                }
+            })
+            .collect()
+    })
+}
+
+/// Scalar vectors mixing random values with the adversarial ones: zero
+/// (skipped buckets), one, and `-1` (every signed window carries).
+fn arb_scalars<F: PrimeField>(len: usize) -> impl Strategy<Value = Vec<F>> {
+    proptest::collection::vec((arb_field::<F>(), 0u8..4), len).prop_map(|picks| {
+        picks
+            .into_iter()
+            .map(|(s, tag)| match tag {
+                0 => F::zero(),
+                1 => -F::one(),
+                _ => s,
+            })
+            .collect()
+    })
+}
+
+/// Naive O(n²) polynomial evaluation over the domain: the NTT reference.
+fn naive_domain_eval<F: PrimeField>(domain: &Radix2Domain<F>, coeffs: &[F]) -> Vec<F> {
+    (0..domain.size())
+        .map(|i| {
+            let x = domain.element(i);
+            coeffs
+                .iter()
+                .rev()
+                .fold(F::zero(), |acc, c| acc * x + *c)
+        })
+        .collect()
+}
+
+macro_rules! kernel_equivalence_for_curve {
+    ($mod_name:ident, $g1:path, $fr:path) => {
+        mod $mod_name {
+            use super::*;
+
+            type G1 = $g1;
+            type Fr = $fr;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(16))]
+
+                #[test]
+                fn msm_matches_naive(
+                    bases in arb_points::<G1>(65),
+                    scalars in arb_scalars::<Fr>(65),
+                ) {
+                    prop_assert_eq!(
+                        msm(&bases, &scalars),
+                        msm_naive(&bases, &scalars)
+                    );
+                }
+
+                #[test]
+                fn fixed_base_batch_matches_naive(
+                    base in arb_field::<Fr>(),
+                    scalars in arb_scalars::<Fr>(33),
+                    window in 1usize..=13,
+                ) {
+                    let base = Projective::<G1>::generator() * base;
+                    let table = FixedBaseTable::with_window_bits(&base, window);
+                    let batch = table.mul_batch(&scalars);
+                    for (s, got) in scalars.iter().zip(&batch) {
+                        prop_assert_eq!(got.to_projective(), base * *s);
+                        prop_assert_eq!(table.mul(s), base * *s);
+                    }
+                }
+
+                #[test]
+                fn ntt_matches_naive_evaluation(
+                    coeffs in proptest::collection::vec(arb_field::<Fr>(), 1..32),
+                ) {
+                    let domain = Radix2Domain::<Fr>::new(coeffs.len().max(2)).unwrap();
+                    let mut values = coeffs.clone();
+                    values.resize(domain.size(), Fr::zero());
+                    domain.fft_in_place(&mut values);
+                    prop_assert_eq!(values.clone(), naive_domain_eval(&domain, &coeffs));
+                    domain.ifft_in_place(&mut values);
+                    let mut padded = coeffs.clone();
+                    padded.resize(domain.size(), Fr::zero());
+                    prop_assert_eq!(values, padded);
+                }
+
+                #[test]
+                fn square_matches_mul(a in arb_field::<Fr>()) {
+                    prop_assert_eq!(a.square(), a * a);
+                    prop_assert_eq!(a.square().square(), (a * a) * (a * a));
+                }
+
+                #[test]
+                fn batch_inverse_matches_individual(
+                    mut values in proptest::collection::vec(arb_field::<Fr>(), 0..24),
+                ) {
+                    // Plant zeros: batch inversion must skip them in place.
+                    if values.len() > 2 {
+                        let mid = values.len() / 2;
+                        values[mid] = Fr::zero();
+                    }
+                    let expect: Vec<Fr> = values
+                        .iter()
+                        .map(|v| v.inverse().unwrap_or_else(Fr::zero))
+                        .collect();
+                    batch_inverse(&mut values);
+                    prop_assert_eq!(values, expect);
+                }
+            }
+
+            #[test]
+            fn msm_all_zero_scalars_and_identity_bases() {
+                let bases = vec![Affine::<G1>::identity(); 40];
+                let scalars = vec![Fr::zero(); 40];
+                assert!(msm(&bases, &scalars).is_identity());
+                let bases = vec![Projective::<G1>::generator().to_affine(); 40];
+                assert!(msm(&bases, &scalars).is_identity());
+            }
+
+            #[test]
+            fn size_one_and_two_domains_roundtrip() {
+                // The smallest constructible domain exercises the stride-0
+                // twiddle edge of the cached NTT path.
+                let domain = Radix2Domain::<Fr>::new(1).unwrap();
+                let mut values: Vec<Fr> =
+                    (0..domain.size()).map(|i| Fr::from_u64(i as u64 + 3)).collect();
+                let coeffs = values.clone();
+                domain.fft_in_place(&mut values);
+                assert_eq!(values, naive_domain_eval(&domain, &coeffs));
+                domain.ifft_in_place(&mut values);
+                assert_eq!(values, coeffs);
+                assert_eq!(domain.element(0), Fr::one());
+            }
+        }
+    };
+}
+
+kernel_equivalence_for_curve!(bn254, zkperf::ec::bn254::G1Params, zkperf::ff::bn254::Fr);
+kernel_equivalence_for_curve!(
+    bls12_381,
+    zkperf::ec::bls12_381::G1Params,
+    zkperf::ff::bls12_381::Fr
+);
