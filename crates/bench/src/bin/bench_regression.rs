@@ -51,6 +51,9 @@ struct StageResult {
 struct BenchReport {
     schema: u32,
     mode: String,
+    /// Thread-pool size the run used (`ZKPERF_THREADS`, default 1).
+    /// Comparisons are only meaningful like-for-like.
+    threads: u64,
     kernels: Vec<KernelResult>,
     stages: Vec<StageResult>,
 }
@@ -281,10 +284,12 @@ fn main() -> ExitCode {
     }
 
     let mode = if smoke { "smoke" } else { "full" };
-    eprintln!("bench_regression: running {mode} suite");
+    let threads = zkperf_pool::current_threads() as u64;
+    eprintln!("bench_regression: running {mode} suite at {threads} thread(s)");
     let report = BenchReport {
         schema: 1,
         mode: mode.into(),
+        threads,
         kernels: kernel_benches(smoke),
         stages: if smoke { Vec::new() } else { stage_benches() },
     };
@@ -321,6 +326,16 @@ fn main() -> ExitCode {
         };
         println!("comparison vs {path} (threshold {:.0}%):", threshold * 100.0);
         let regressions = compare(&old, &report, threshold);
+        if old.threads != report.threads {
+            // A 4-thread run beating a 1-thread baseline (or losing to it)
+            // says nothing about the code; only like-for-like gates.
+            println!(
+                "note: baseline ran at {} thread(s), this run at {} — \
+                 comparison is informational only, regression gate skipped",
+                old.threads, report.threads
+            );
+            return ExitCode::SUCCESS;
+        }
         if !regressions.is_empty() {
             eprintln!(
                 "bench_regression: REGRESSION in {} entr{}: {}",

@@ -1,0 +1,211 @@
+//! Measured vs simulated strong scaling — closing the loop on Fig. 6 and
+//! Table VI.
+//!
+//! The experiment binaries predict multicore scaling from op counts: they
+//! replay a stage's task graph on [`zkperf_scale::SimCores`] and fit the
+//! resulting curve to Amdahl's law. This binary measures the *real* thing:
+//! it runs the uninstrumented setup+prove pipeline on the work-stealing
+//! pool at growing thread counts, fits the measured wall-clock speedups
+//! with the same [`zkperf_scale::fit::amdahl`], and prints both fits side
+//! by side.
+//!
+//! On a single-core host the measured column is honestly flat (speedup
+//! ~1.0 everywhere — more workers, same core), while the simulated column
+//! still shows the model's prediction for the i9; the point of the report
+//! is that both columns come from the same estimator, so on a multicore
+//! host they are directly comparable.
+//!
+//! usage: `real_scaling [--log2 N] [--sim-log2 N] [--threads A,B,..] [--out FILE]`
+//!
+//! Exit codes: 0 ok, 1 usage/IO error.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use zkperf_circuit::library::exponentiate;
+use zkperf_core::{measure_cell, stage_task_graph, Curve, Stage};
+use zkperf_ec::Bn254;
+use zkperf_ff::{bn254, Field};
+use zkperf_groth16::{prove, setup};
+use zkperf_machine::CpuProfile;
+use zkperf_scale::{fit, ParallelismFit, SimCores};
+
+/// One strong-scaling series plus its Amdahl fit.
+#[derive(Debug, Clone, Serialize)]
+struct ScalingSeries {
+    /// `(threads, speedup)` points, threads ascending.
+    points: Vec<(usize, f64)>,
+    fit: ParallelismFit,
+}
+
+/// The report written by `--out`.
+#[derive(Debug, Clone, Serialize)]
+struct ScalingReport {
+    schema: u32,
+    log2_constraints: u32,
+    sim_log2_constraints: u32,
+    host_cores: usize,
+    measured: ScalingSeries,
+    simulated: ScalingSeries,
+}
+
+/// Wall time of one setup+prove round at `n` constraints, nanoseconds.
+fn time_setup_prove(n: usize) -> u64 {
+    let circuit = exponentiate::<bn254::Fr>(n);
+    let mut rng = zkperf_ff::test_rng();
+    let witness = circuit
+        .generate_witness(&[bn254::Fr::from_u64(3)], &[])
+        .expect("witness generation succeeds");
+    let start = Instant::now();
+    let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).expect("setup succeeds");
+    let proof = prove::<Bn254, _>(&pk, circuit.r1cs(), &witness, &mut rng).expect("prove succeeds");
+    std::hint::black_box(proof);
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Measures real strong scaling: best-of-2 setup+prove wall time at each
+/// thread count, normalized to the 1-thread time.
+fn measured_scaling(log2: u32, threads: &[usize]) -> ScalingSeries {
+    let n = 1usize << log2;
+    let mut times = Vec::new();
+    for &t in threads {
+        zkperf_pool::set_threads(t);
+        let ns = time_setup_prove(n).min(time_setup_prove(n));
+        eprintln!(
+            "  measured {t:>2} thread(s): setup+prove 2^{log2} in {:.3}s",
+            ns as f64 / 1e9
+        );
+        times.push((t, ns));
+    }
+    zkperf_pool::set_threads(1);
+    let t1 = times
+        .iter()
+        .find(|&&(t, _)| t == 1)
+        .map_or_else(|| times[0].1, |&(_, ns)| ns);
+    let points: Vec<(usize, f64)> = times
+        .iter()
+        .map(|&(t, ns)| (t, t1 as f64 / ns.max(1) as f64))
+        .collect();
+    let fit = fit::amdahl(&points);
+    ScalingSeries { points, fit }
+}
+
+/// Simulated strong scaling for the same pipeline: instruments one
+/// setup+prove cell on the simulated i9, replays both stage task graphs
+/// on `SimCores`, and combines them (the measured side times the two
+/// stages back to back, so the simulated side must too).
+fn simulated_scaling(sim_log2: u32, threads: &[usize]) -> ScalingSeries {
+    let ms = measure_cell(
+        Curve::Bn128,
+        &CpuProfile::i9_13900k(),
+        1 << sim_log2,
+        &[Stage::Setup, Stage::Proving],
+    )
+    .expect("simulated setup+prove cell succeeds");
+    let graphs: Vec<_> = ms.iter().map(stage_task_graph).collect();
+    let machine = SimCores::i9_13900k();
+    let total_at = |t: usize| -> f64 { graphs.iter().map(|g| machine.simulate(g, t)).sum() };
+    let t1 = total_at(1);
+    let points: Vec<(usize, f64)> = threads.iter().map(|&t| (t, t1 / total_at(t))).collect();
+    let fit = fit::amdahl(&points);
+    ScalingSeries { points, fit }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: real_scaling [--log2 N] [--sim-log2 N] [--threads A,B,..] [--out FILE]");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut log2 = 14u32;
+    let mut sim_log2 = 10u32;
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut out_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(value) = args.get(i + 1) else {
+            return usage();
+        };
+        match args[i].as_str() {
+            "--log2" => match value.parse() {
+                Ok(v) if (4..=20).contains(&v) => log2 = v,
+                _ => return usage(),
+            },
+            "--sim-log2" => match value.parse() {
+                Ok(v) if (4..=16).contains(&v) => sim_log2 = v,
+                _ => return usage(),
+            },
+            "--threads" => {
+                let parsed: Option<Vec<usize>> =
+                    value.split(',').map(|s| s.trim().parse().ok()).collect();
+                match parsed {
+                    Some(list) if list.len() >= 2 && list.iter().all(|&t| (1..=64).contains(&t)) => {
+                        threads = list;
+                    }
+                    _ => return usage(),
+                }
+            }
+            "--out" => out_path = Some(value.clone()),
+            _ => return usage(),
+        }
+        i += 2;
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    eprintln!(
+        "real_scaling: bn254 setup+prove, measured at 2^{log2}, simulated at 2^{sim_log2}, \
+         host has {host_cores} core(s)"
+    );
+
+    let measured = measured_scaling(log2, &threads);
+    eprintln!("  simulating i9 cell at 2^{sim_log2}...");
+    let simulated = simulated_scaling(sim_log2, &threads);
+
+    println!("strong scaling, bn254 setup+prove ({host_cores}-core host):");
+    println!("  threads | measured speedup | simulated speedup (i9 model)");
+    for (&(t, m), &(_, s)) in measured.points.iter().zip(&simulated.points) {
+        println!("  {t:>7} | {m:>16.2} | {s:>17.2}");
+    }
+    println!(
+        "  Amdahl fit: measured {:.1}% serial / {:.1}% parallel, \
+         simulated {:.1}% serial / {:.1}% parallel",
+        measured.fit.serial_pct,
+        measured.fit.parallel_pct,
+        simulated.fit.serial_pct,
+        simulated.fit.parallel_pct,
+    );
+    if host_cores == 1 {
+        println!(
+            "  (single-core host: the measured curve cannot rise above 1.0; \
+             rerun on a multicore machine for a meaningful comparison)"
+        );
+    }
+
+    if let Some(path) = &out_path {
+        let report = ScalingReport {
+            schema: 1,
+            log2_constraints: log2,
+            sim_log2_constraints: sim_log2,
+            host_cores,
+            measured,
+            simulated,
+        };
+        let bytes = match serde_json::to_vec_pretty(&report) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("real_scaling: serialize failed: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        if let Err(e) = std::fs::write(path, bytes) {
+            eprintln!("real_scaling: writing {path} failed: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("real_scaling: wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

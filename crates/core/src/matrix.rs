@@ -4,6 +4,7 @@
 use serde::Serialize;
 use zkperf_ec::{Bls12_381, Bn254, Engine};
 use zkperf_machine::CpuProfile;
+use zkperf_pool as pool;
 
 use crate::measure::{measure_stage, StageMeasurement};
 use crate::stage::{Curve, Stage};
@@ -112,9 +113,20 @@ pub fn measure_cell(
 /// Runs the whole configured sweep, invoking `progress` after each cell
 /// with (cells done, cells total).
 ///
-/// Fail-fast: the first failing cell aborts the sweep. Retry, quarantine
-/// and partial-result recovery live in `zkperf-bench`'s resilient runner,
-/// which drives [`measure_cell`] cell by cell.
+/// On a multi-thread pool the cells fan out as one pool task each: every
+/// cell writes its own result slot, results and progress callbacks are
+/// then replayed in matrix order, and a panic inside a cell (organic or
+/// injected via [`pool::chaos_arm_panic_after`]) is contained to that
+/// cell as [`StageError::WorkerPanic`] — a crashed cell never aborts the
+/// sweep, the pool, or the process. Instrumented trace sessions are
+/// per-thread, so concurrently measured cells record the same op streams
+/// they would serially.
+///
+/// Fail-fast by value: the first failing cell *in matrix order* is
+/// reported (under the pool, later cells may also have run; their results
+/// are discarded). Retry, quarantine and partial-result recovery live in
+/// `zkperf-bench`'s resilient runner, which drives [`measure_cell`] cell
+/// by cell.
 ///
 /// # Errors
 ///
@@ -123,17 +135,47 @@ pub fn run_sweep(
     config: &SweepConfig,
     mut progress: impl FnMut(usize, usize),
 ) -> Result<Vec<StageMeasurement>, StageError> {
-    let total = config.log_sizes.len() * config.cpus.len() * config.curves.len();
-    let mut done = 0;
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
     for &curve in &config.curves {
         for cpu in &config.cpus {
             for &log in &config.log_sizes {
-                out.extend(measure_cell(curve, cpu, 1 << log, &config.stages)?);
-                done += 1;
-                progress(done, total);
+                cells.push((curve, cpu, log));
             }
         }
+    }
+    let total = cells.len();
+
+    let mut slots: Vec<Option<Result<Vec<StageMeasurement>, StageError>>> = Vec::new();
+    slots.resize_with(total, || None);
+    pool::parallel_for_each_mut(&mut slots, |i, slot| {
+        let (curve, cpu, log) = cells[i];
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool::chaos_checkpoint();
+            measure_cell(curve, cpu, 1 << log, &config.stages)
+        }));
+        *slot = Some(run.unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic payload of unknown type".to_string());
+            Err(StageError::WorkerPanic { message })
+        }));
+    });
+
+    let mut out = Vec::new();
+    for (done, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(ms)) => out.extend(ms),
+            Some(Err(e)) => return Err(e),
+            // Unreachable: parallel_for_each_mut fills every slot.
+            None => {
+                return Err(StageError::WorkerPanic {
+                    message: "cell result missing".to_string(),
+                })
+            }
+        }
+        progress(done + 1, total);
     }
     Ok(out)
 }
@@ -155,6 +197,46 @@ mod tests {
     fn paper_full_matches_evaluation_section() {
         let c = SweepConfig::paper_full();
         assert_eq!(c.log_sizes, (10..=18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn injected_pool_panic_surfaces_as_typed_error() {
+        let config = SweepConfig {
+            log_sizes: vec![4, 5],
+            cpus: vec![CpuProfile::i7_8650u()],
+            curves: vec![Curve::Bn128],
+            stages: vec![Stage::Compile],
+        };
+        pool::set_threads(2);
+        pool::chaos_arm_panic_after(1);
+        let err = run_sweep(&config, |_, _| {}).unwrap_err();
+        pool::chaos_disarm();
+        pool::set_threads(1);
+        assert!(matches!(err, StageError::WorkerPanic { .. }));
+        assert!(err.to_string().contains("chaos"));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_sweep() {
+        let config = SweepConfig {
+            log_sizes: vec![4, 5],
+            cpus: vec![CpuProfile::i7_8650u()],
+            curves: vec![Curve::Bn128],
+            stages: vec![Stage::Compile, Stage::Witness],
+        };
+        pool::set_threads(1);
+        let serial = run_sweep(&config, |_, _| {}).unwrap();
+        pool::set_threads(4);
+        let parallel = run_sweep(&config, |_, _| {}).unwrap();
+        pool::set_threads(1);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.stage, p.stage);
+            assert_eq!(s.constraints, p.constraints);
+            // Identical op streams: the paper's counters must not depend
+            // on the thread count.
+            assert_eq!(s.counts, p.counts);
+        }
     }
 
     #[test]

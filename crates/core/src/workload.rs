@@ -50,6 +50,12 @@ pub enum StageError {
         /// The stage whose boundary tripped.
         stage: Stage,
     },
+    /// A pool worker panicked while running this cell; the panic was
+    /// contained to the cell (never aborting the sweep or the process).
+    WorkerPanic {
+        /// The panic payload's message, when it carried one.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for StageError {
@@ -69,6 +75,9 @@ impl std::fmt::Display for StageError {
             StageError::Verify(e) => write!(f, "verifying: {e}"),
             StageError::Injected { stage } => {
                 write!(f, "chaos fault injected at the {} boundary", stage.name())
+            }
+            StageError::WorkerPanic { message } => {
+                write!(f, "pool worker panicked: {message}")
             }
         }
     }

@@ -16,6 +16,7 @@
 //! table across all six of its tau-power query vectors.
 
 use zkperf_ff::PrimeField;
+use zkperf_pool as pool;
 use zkperf_trace as trace;
 
 use crate::batch_add::BatchAdder;
@@ -189,6 +190,49 @@ impl<C: CurveParams> FixedBaseTable<C> {
         let _g = trace::region_profile("fixed_base_msm");
         let num_limbs = C::Scalar::NUM_LIMBS;
         let mut out = vec![Affine::identity(); scalars.len()];
+        // Chunks are fully independent (private gather buffers, disjoint
+        // `out` ranges), so uninstrumented multi-thread runs fan them out
+        // across the pool; each chunk computes exactly what the serial
+        // loop below computes for it, so results are bit-identical.
+        if !trace::is_active() && pool::current_threads() > 1 && scalars.len() > BATCH_CHUNK {
+            pool::parallel_chunks_mut(&mut out, BATCH_CHUNK, |chunk_idx, out_chunk| {
+                let chunk = &scalars[chunk_idx * BATCH_CHUNK..][..out_chunk.len()];
+                let mut gathered: Vec<Affine<C>> = Vec::new();
+                let mut segs: Vec<(usize, usize)> = Vec::with_capacity(chunk.len());
+                let mut limbs = vec![0u64; num_limbs];
+                let mut adder = BatchAdder::new();
+                let half = 1i64 << (self.window_bits - 1);
+                for s in chunk {
+                    s.write_canonical_limbs(&mut limbs);
+                    let start = gathered.len();
+                    let mut carry = 0usize;
+                    for (k, row) in self.windows.iter().enumerate() {
+                        let raw =
+                            extract(&limbs, k * self.window_bits, self.window_bits) + carry;
+                        let digit = if raw as i64 > half {
+                            carry = 1;
+                            raw as i64 - (1i64 << self.window_bits)
+                        } else {
+                            carry = 0;
+                            raw as i64
+                        };
+                        if digit > 0 {
+                            gathered.push(row[digit as usize - 1]);
+                        } else if digit < 0 {
+                            gathered.push(row[(-digit) as usize - 1].neg());
+                        }
+                    }
+                    segs.push((start, gathered.len() - start));
+                }
+                adder.reduce_segments(&mut gathered, &mut segs);
+                for (j, &(start, len)) in segs.iter().enumerate() {
+                    if len > 0 {
+                        out_chunk[j] = gathered[start];
+                    }
+                }
+            });
+            return out;
+        }
         let mut gathered: Vec<Affine<C>> = Vec::new();
         let mut segs: Vec<(usize, usize)> = Vec::with_capacity(BATCH_CHUNK);
         let mut limbs = vec![0u64; num_limbs];
@@ -290,6 +334,26 @@ mod tests {
         for (s, b) in scalars.iter().zip(&batch) {
             assert_eq!(b.to_projective(), g * *s);
         }
+    }
+
+    #[test]
+    fn parallel_batch_is_bit_identical_to_serial() {
+        let _lock = crate::TEST_POOL_LOCK.lock().unwrap();
+        let g = G1Projective::generator();
+        let table = FixedBaseTable::<G1Params>::new(&g);
+        let mut rng = zkperf_ff::test_rng();
+        // Past the one-chunk gate, with an odd tail and edge scalars.
+        let n = BATCH_CHUNK * 2 + 173;
+        let mut scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        scalars[0] = Fr::zero();
+        scalars[BATCH_CHUNK] = -Fr::one();
+
+        zkperf_pool::set_threads(1);
+        let serial = table.mul_batch(&scalars);
+        zkperf_pool::set_threads(4);
+        let parallel = table.mul_batch(&scalars);
+        zkperf_pool::set_threads(1);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -30,6 +30,12 @@ mod fixed_base;
 mod msm;
 pub mod pairing;
 
+/// Serializes tests that toggle the global pool thread count, so the
+/// serial and parallel legs of a comparison run at the thread count they
+/// intend to exercise.
+#[cfg(test)]
+pub(crate) static TEST_POOL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 pub use batch_add::BatchAdder;
 pub use curve::{Affine, CurveParams, Projective};
 pub use engine::{Bls12_381, Bn254, Engine};

@@ -24,10 +24,15 @@
 //! property-test suite cross-checks the two on both curves.
 
 use zkperf_ff::PrimeField;
+use zkperf_pool as pool;
 use zkperf_trace as trace;
 
 use crate::batch_add::BatchAdder;
 use crate::curve::{Affine, CurveParams, Projective};
+
+/// Smallest MSM worth fanning out across the pool; below this the
+/// per-window task overhead exceeds the bucket work.
+const PAR_MIN_MSM: usize = 1 << 10;
 
 /// Chooses the Pippenger window width (in bits) for `n` terms.
 fn window_bits(n: usize) -> usize {
@@ -82,6 +87,13 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> Projec
     if n < 8 {
         // Naive double-and-add is faster at tiny sizes.
         return msm_naive(&bases[..n], &scalars[..n]);
+    }
+    // Instrumented runs stay on the serial body below so the
+    // characterization suite sees the exact same op stream; the parallel
+    // variant computes identical values (same decomposition, same
+    // reduction order), so results match bit-for-bit either way.
+    if !trace::is_active() && pool::current_threads() > 1 && n >= PAR_MIN_MSM {
+        return msm_parallel(&bases[..n], &scalars[..n]);
     }
 
     // One flat canonical-limb buffer for every scalar: no per-scalar Vec.
@@ -172,6 +184,115 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> Projec
     acc
 }
 
+/// Window-parallel Pippenger: the same bucket method as the serial body of
+/// [`msm`], decomposed into one independent task per window.
+///
+/// Three phases:
+///
+/// 1. limb extraction and signed-digit recoding, chunked over *scalars*
+///    (each scalar's carry chain is local to its own digit row, so rows
+///    recode independently);
+/// 2. bucket accumulation, one task per *window*, each writing its
+///    index-addressed `window_sums` slot with private scratch buffers;
+/// 3. the serial top-down window combine (`log₂` depth, negligible cost).
+///
+/// The decomposition depends only on `n`, and every task writes only
+/// index-addressed slots, so the result is bit-identical to the serial
+/// body at any thread count.
+fn msm_parallel<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> Projective<C> {
+    let n = bases.len();
+    let num_limbs = C::Scalar::NUM_LIMBS;
+    const LIMB_GRAIN: usize = 1024;
+    let mut limbs = vec![0u64; n * num_limbs];
+    pool::parallel_chunks_mut(&mut limbs, num_limbs * LIMB_GRAIN, |ci, chunk| {
+        let base = ci * LIMB_GRAIN;
+        for (j, row) in chunk.chunks_mut(num_limbs).enumerate() {
+            scalars[base + j].write_canonical_limbs(row);
+        }
+    });
+
+    let c = window_bits(n);
+    let num_windows = (C::Scalar::modulus_bits() as usize + 1).div_ceil(c);
+    let half = 1usize << (c - 1);
+
+    // Phase 1: digits laid out row-major (`digits[i·W + w]`) so each
+    // scalar's recoding — including its cross-window carry chain — lands in
+    // one contiguous row and scalars chunk cleanly.
+    const DIGIT_GRAIN: usize = 512;
+    let mut digits = vec![0i32; n * num_windows];
+    pool::parallel_chunks_mut(&mut digits, num_windows * DIGIT_GRAIN, |ci, rows| {
+        let base = ci * DIGIT_GRAIN;
+        for (j, row) in rows.chunks_mut(num_windows).enumerate() {
+            let i = base + j;
+            if bases[i].infinity {
+                continue; // row stays zero, matching the serial force-to-0
+            }
+            let window = &limbs[i * num_limbs..(i + 1) * num_limbs];
+            let mut carry = 0usize;
+            for (w, d) in row.iter_mut().enumerate() {
+                let raw = extract_bits(window, w * c, c) + carry;
+                *d = if raw > half {
+                    carry = 1;
+                    (raw as i64 - (1i64 << c)) as i32
+                } else {
+                    carry = 0;
+                    raw as i32
+                };
+            }
+        }
+    });
+
+    // Phase 2: per-window bucket accumulation, mirroring the serial body's
+    // counting sort and running-sum reduction exactly (same scan order ⇒
+    // same segment contents ⇒ same field operations).
+    let mut window_sums = vec![Projective::identity(); num_windows];
+    pool::parallel_fill(&mut window_sums, 1, |w| {
+        let mut counts = vec![0u32; half];
+        for i in 0..n {
+            let d = digits[i * num_windows + w];
+            if d != 0 {
+                counts[d.unsigned_abs() as usize - 1] += 1;
+            }
+        }
+        let mut segs: Vec<(usize, usize)> = Vec::with_capacity(half);
+        let mut start = 0usize;
+        for &count in counts.iter() {
+            segs.push((start, 0));
+            start += count as usize;
+        }
+        let mut sorted: Vec<Affine<C>> = vec![Affine::identity(); start];
+        for i in 0..n {
+            let d = digits[i * num_windows + w];
+            if d == 0 {
+                continue;
+            }
+            let (seg_start, seg_len) = &mut segs[d.unsigned_abs() as usize - 1];
+            sorted[*seg_start + *seg_len] = if d < 0 { bases[i].neg() } else { bases[i] };
+            *seg_len += 1;
+        }
+        let mut adder = BatchAdder::new();
+        adder.reduce_segments(&mut sorted, &mut segs);
+        let mut running = Projective::identity();
+        let mut sum = Projective::identity();
+        for &(seg_start, seg_len) in segs.iter().rev() {
+            if seg_len > 0 {
+                running = running.add_mixed(&sorted[seg_start]);
+            }
+            sum += running;
+        }
+        sum
+    });
+
+    let mut acc = Projective::identity();
+    for sum in window_sums.into_iter().rev() {
+        for _ in 0..c {
+            acc = acc.double();
+        }
+        acc += sum;
+    }
+    acc
+}
+
 /// Extracts `count` bits starting at bit `lo` from little-endian limbs.
 fn extract_bits(limbs: &[u64], lo: usize, count: usize) -> usize {
     debug_assert!(count < 64);
@@ -191,6 +312,7 @@ fn extract_bits(limbs: &[u64], lo: usize, count: usize) -> usize {
 mod tests {
     use super::*;
     use crate::bn254::{G1Affine, G1Projective};
+    use crate::FixedBaseTable;
     use zkperf_ff::bn254::Fr;
     use zkperf_ff::Field;
 
@@ -234,6 +356,31 @@ mod tests {
         scalars[11] = Fr::zero();
         bases[5] = G1Affine::identity();
         assert_eq!(msm(&bases, &scalars), msm_naive(&bases, &scalars));
+    }
+
+    #[test]
+    fn parallel_msm_is_bit_identical_to_serial() {
+        let _lock = crate::TEST_POOL_LOCK.lock().unwrap();
+        let mut rng = zkperf_ff::test_rng();
+        let n = PAR_MIN_MSM + 37; // past the parallel gate, odd tail
+        let table = FixedBaseTable::new(&G1Projective::generator());
+        let mut scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        scalars[5] = Fr::zero();
+        scalars[n - 1] = -Fr::one();
+        let mut bases = table.mul_batch(&scalars);
+        bases[9] = G1Affine::identity();
+
+        pool::set_threads(1);
+        let serial = msm(&bases, &scalars);
+        pool::set_threads(4);
+        let par4 = msm(&bases, &scalars);
+        pool::set_threads(2);
+        let par2 = msm(&bases, &scalars);
+        pool::set_threads(1);
+        // Affine equality is exact limb equality — bit-identity, not just
+        // projective-class equality.
+        assert_eq!(serial.to_affine(), par4.to_affine());
+        assert_eq!(serial.to_affine(), par2.to_affine());
     }
 
     #[test]

@@ -4,9 +4,16 @@ use rand::Rng;
 
 use zkperf_circuit::R1cs;
 use zkperf_ec::{Engine, FixedBaseTable, Projective};
-use zkperf_ff::Field;
+use zkperf_ff::{BigUint, Field};
 use zkperf_poly::Radix2Domain;
+use zkperf_pool as pool;
 use zkperf_trace as trace;
+
+/// Smallest scalar batch worth constructing on the pool.
+const PAR_MIN_SCALARS: usize = 1 << 12;
+
+/// Scalars per pool task when building the query batches.
+const SCALAR_GRAIN: usize = 1 << 11;
 
 use crate::key::{ProvingKey, VerifyingKey};
 use crate::qap;
@@ -85,19 +92,55 @@ pub fn setup<E: Engine, R: Rng + ?Sized>(
     let (u, v, w) = qap::evaluate_matrices_at(r1cs, &domain, tau);
     let num_public = r1cs.num_public_wires();
 
-    // Scalar batches for the group queries.
-    let ic_scalars: Vec<E::Fr> = (0..num_public)
-        .map(|i| (beta * u[i] + alpha * v[i] + w[i]) * gamma_inv)
-        .collect();
-    let l_scalars: Vec<E::Fr> = (num_public..r1cs.num_wires())
-        .map(|i| (beta * u[i] + alpha * v[i] + w[i]) * delta_inv)
-        .collect();
+    // Scalar batches for the group queries. Each batch is an
+    // index-addressed map, so uninstrumented multi-thread runs build them
+    // on the pool; the h-power chain seeds each chunk with one
+    // exponentiation, making chunks independent while computing the exact
+    // same field values as the serial prefix.
+    let use_pool = |n: usize| {
+        !trace::is_active() && pool::current_threads() > 1 && n >= PAR_MIN_SCALARS
+    };
+    let ic_scalars: Vec<E::Fr> = if use_pool(num_public) {
+        let mut out = vec![E::Fr::zero(); num_public];
+        pool::parallel_fill(&mut out, SCALAR_GRAIN, |i| {
+            (beta * u[i] + alpha * v[i] + w[i]) * gamma_inv
+        });
+        out
+    } else {
+        (0..num_public)
+            .map(|i| (beta * u[i] + alpha * v[i] + w[i]) * gamma_inv)
+            .collect()
+    };
+    let l_scalars: Vec<E::Fr> = if use_pool(r1cs.num_wires() - num_public) {
+        let mut out = vec![E::Fr::zero(); r1cs.num_wires() - num_public];
+        pool::parallel_fill(&mut out, SCALAR_GRAIN, |j| {
+            let i = num_public + j;
+            (beta * u[i] + alpha * v[i] + w[i]) * delta_inv
+        });
+        out
+    } else {
+        (num_public..r1cs.num_wires())
+            .map(|i| (beta * u[i] + alpha * v[i] + w[i]) * delta_inv)
+            .collect()
+    };
     let z_tau = domain.eval_vanishing(tau);
-    let mut h_scalars = Vec::with_capacity(domain.size());
-    let mut tau_pow = E::Fr::one();
-    for _ in 0..domain.size() {
-        h_scalars.push(tau_pow * z_tau * delta_inv);
-        tau_pow *= tau;
+    let mut h_scalars;
+    if use_pool(domain.size()) {
+        h_scalars = vec![E::Fr::zero(); domain.size()];
+        pool::parallel_chunks_mut(&mut h_scalars, SCALAR_GRAIN, |ci, chunk| {
+            let mut tau_pow = tau.pow(&BigUint::from_u64((ci * SCALAR_GRAIN) as u64));
+            for slot in chunk.iter_mut() {
+                *slot = tau_pow * z_tau * delta_inv;
+                tau_pow *= tau;
+            }
+        });
+    } else {
+        h_scalars = Vec::with_capacity(domain.size());
+        let mut tau_pow = E::Fr::one();
+        for _ in 0..domain.size() {
+            h_scalars.push(tau_pow * z_tau * delta_inv);
+            tau_pow *= tau;
+        }
     }
 
     // One fixed-base window table per generator, each built once and

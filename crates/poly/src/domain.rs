@@ -1,7 +1,20 @@
 //! Radix-2 multiplicative evaluation domains and the in-place NTT.
 
 use zkperf_ff::{batch_inverse, BigUint, PrimeField};
+use zkperf_pool as pool;
 use zkperf_trace as trace;
+
+/// Smallest `log₂(size)` worth transforming on the pool; smaller domains
+/// finish before the fan-out would pay for itself.
+const PAR_MIN_FFT_LOG: u32 = 12;
+
+/// Elements per pool task for a buffer of `n` elements: coarse enough to
+/// amortize task dispatch, fine enough that even the smallest parallel
+/// domain splits into several tasks. A pure function of `n` — never of
+/// the thread count — per the deterministic-decomposition rule.
+fn task_elems(n: usize) -> usize {
+    (n / 8).clamp(1 << 10, 1 << 13)
+}
 
 /// Largest `log₂(size)` for which the domain precomputes its twiddle
 /// tables at construction. Each table holds `size/2` elements, so 2^20
@@ -190,6 +203,14 @@ impl<F: PrimeField> Radix2Domain<F> {
     pub fn ifft_in_place(&self, values: &mut [F]) {
         let _g = trace::region_profile("fft");
         self.transform(values, &self.inv_twiddles, self.omega_inv);
+        if Self::use_pool(values.len()) {
+            pool::parallel_chunks_mut(values, task_elems(self.size), |_, chunk| {
+                for v in chunk.iter_mut() {
+                    *v *= self.size_inv;
+                }
+            });
+            return;
+        }
         for v in values.iter_mut() {
             *v *= self.size_inv;
         }
@@ -208,11 +229,33 @@ impl<F: PrimeField> Radix2Domain<F> {
     }
 
     fn distribute_powers(values: &mut [F], g: F) {
+        if Self::use_pool(values.len()) {
+            // Each chunk seeds its own power run with one exponentiation;
+            // the products are the exact same field values the serial
+            // prefix computes, so results are bit-identical.
+            let grain = task_elems(values.len());
+            pool::parallel_chunks_mut(values, grain, |ci, chunk| {
+                let mut pow = g.pow(&BigUint::from_u64((ci * grain) as u64));
+                for v in chunk.iter_mut() {
+                    *v *= pow;
+                    pow *= g;
+                }
+            });
+            return;
+        }
         let mut pow = F::one();
         for v in values.iter_mut() {
             *v *= pow;
             pow *= g;
         }
+    }
+
+    /// True when this transform should fan out across the pool: never
+    /// while a trace session is live (the characterization suite must see
+    /// the serial op stream), never on a 1-thread pool, and never below
+    /// [`PAR_MIN_FFT_LOG`].
+    fn use_pool(n: usize) -> bool {
+        !trace::is_active() && pool::current_threads() > 1 && n >= (1 << PAR_MIN_FFT_LOG)
     }
 
     /// Iterative decimation-in-time NTT (bit-reversal permutation followed
@@ -230,6 +273,10 @@ impl<F: PrimeField> Radix2Domain<F> {
         );
         let n = self.size;
         if n == 1 {
+            return;
+        }
+        if Self::use_pool(n) {
+            self.transform_parallel(values, twiddles, omega);
             return;
         }
         // Bit-reversal permutation.
@@ -284,6 +331,110 @@ impl<F: PrimeField> Radix2Domain<F> {
                 }
             }
             len *= 2;
+        }
+    }
+
+    /// Layer-parallel variant of [`transform`](Self::transform): identical
+    /// butterfly network, with each pass's independent work fanned out
+    /// across the pool.
+    ///
+    /// Early passes (many small blocks) group whole blocks into tasks;
+    /// late passes (few blocks larger than a task) split each block's
+    /// butterfly range at `half`, pairing lower/upper sub-slices so every
+    /// task owns disjoint data. Both decompositions depend only on `n`,
+    /// and every butterfly computes the same field values as the serial
+    /// pass (cached twiddles are shared lookups; uncached chunks seed
+    /// their twiddle run with one exponentiation), so the output is
+    /// bit-identical at any thread count.
+    fn transform_parallel(&self, values: &mut [F], twiddles: &[F], omega: F) {
+        let n = self.size;
+        // Bit-reversal stays serial: the transpositions cross chunk
+        // boundaries and the pass is a small slice of total work.
+        let shift = usize::BITS - self.log_size;
+        for i in 0..n {
+            let j = i.reverse_bits() >> shift;
+            if i < j {
+                values.swap(i, j);
+            }
+        }
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            // w_len = ω^(n/len), used only on the uncached-twiddle path.
+            let w_len = if twiddles.is_empty() {
+                let mut w = omega;
+                let mut k = stride;
+                while k > 1 {
+                    w = w.square();
+                    k /= 2;
+                }
+                w
+            } else {
+                F::one()
+            };
+            if len <= task_elems(n) {
+                // Many small blocks: group whole blocks per task.
+                let blocks_per_task = (task_elems(n) / len).max(1);
+                pool::parallel_chunks_mut(values, len * blocks_per_task, |_, span| {
+                    for block in span.chunks_mut(len) {
+                        let (lo, hi) = block.split_at_mut(half);
+                        Self::butterflies(lo, hi, 0, stride, twiddles, F::one(), w_len);
+                    }
+                });
+            } else {
+                // Few large blocks: split each block's butterfly range.
+                for block in values.chunks_mut(len) {
+                    let (lo, hi) = block.split_at_mut(half);
+                    let grain = task_elems(n);
+                    let mut pairs: Vec<(&mut [F], &mut [F])> = lo
+                        .chunks_mut(grain)
+                        .zip(hi.chunks_mut(grain))
+                        .collect();
+                    pool::parallel_for_each_mut(&mut pairs, |pi, (lc, hc)| {
+                        let k0 = pi * grain;
+                        let w0 = if twiddles.is_empty() {
+                            omega.pow(&BigUint::from_u64((stride * k0) as u64))
+                        } else {
+                            F::one()
+                        };
+                        Self::butterflies(lc, hc, k0, stride, twiddles, w0, w_len);
+                    });
+                }
+            }
+            len *= 2;
+        }
+    }
+
+    /// One run of butterflies pairing `lo[k] ↔ hi[k]` for the butterfly
+    /// indices `k0..k0+lo.len()` of a pass with twiddle stride `stride`.
+    /// With cached `twiddles` each butterfly looks its factor up; without,
+    /// the factor starts at `w0 = w_len^k0` and advances incrementally.
+    fn butterflies(
+        lo: &mut [F],
+        hi: &mut [F],
+        k0: usize,
+        stride: usize,
+        twiddles: &[F],
+        w0: F,
+        w_len: F,
+    ) {
+        if !twiddles.is_empty() {
+            for (k, (u_slot, t_slot)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                let t = *t_slot * twiddles[(k0 + k) * stride];
+                let u = *u_slot;
+                *u_slot = u + t;
+                *t_slot = u - t;
+            }
+        } else {
+            let mut w = w0;
+            for (u_slot, t_slot) in lo.iter_mut().zip(hi.iter_mut()) {
+                let t = *t_slot * w;
+                let u = *u_slot;
+                *u_slot = u + t;
+                *t_slot = u - t;
+                w *= w_len;
+            }
         }
     }
 
@@ -438,6 +589,55 @@ mod tests {
                 assert!(l.is_zero());
             }
         }
+    }
+
+    #[test]
+    fn parallel_transforms_are_bit_identical_to_serial() {
+        let mut rng = zkperf_ff::test_rng();
+        let d = Radix2Domain::<Fr>::new(1 << PAR_MIN_FFT_LOG).unwrap();
+        let coeffs: Vec<Fr> = (0..d.size()).map(|_| Fr::random(&mut rng)).collect();
+
+        let run = |threads: usize| {
+            zkperf_pool::set_threads(threads);
+            let mut fwd = coeffs.clone();
+            d.fft_in_place(&mut fwd);
+            let mut coset = coeffs.clone();
+            d.coset_fft_in_place(&mut coset);
+            let mut round = fwd.clone();
+            d.ifft_in_place(&mut round);
+            zkperf_pool::set_threads(1);
+            (fwd, coset, round)
+        };
+        let (fwd1, coset1, round1) = run(1);
+        let (fwd4, coset4, round4) = run(4);
+        assert_eq!(fwd1, fwd4);
+        assert_eq!(coset1, coset4);
+        assert_eq!(round1, round4);
+        assert_eq!(round1, coeffs);
+    }
+
+    #[test]
+    fn parallel_uncached_twiddle_path_matches_serial() {
+        // Domains past the twiddle-cache cap exercise the pow-seeded
+        // incremental twiddle path. Build a small domain and blank its
+        // caches to reach that branch without a 2^21-point transform.
+        let mut rng = zkperf_ff::test_rng();
+        let mut d = Radix2Domain::<Fr>::new(1 << PAR_MIN_FFT_LOG).unwrap();
+        d.twiddles = Vec::new();
+        d.inv_twiddles = Vec::new();
+        let coeffs: Vec<Fr> = (0..d.size()).map(|_| Fr::random(&mut rng)).collect();
+
+        zkperf_pool::set_threads(1);
+        let mut serial = coeffs.clone();
+        d.fft_in_place(&mut serial);
+        zkperf_pool::set_threads(4);
+        let mut parallel = coeffs.clone();
+        d.fft_in_place(&mut parallel);
+        let mut round = parallel.clone();
+        d.ifft_in_place(&mut round);
+        zkperf_pool::set_threads(1);
+        assert_eq!(serial, parallel);
+        assert_eq!(round, coeffs);
     }
 
     #[test]

@@ -1,0 +1,640 @@
+//! A dependency-free work-stealing thread pool with *deterministic* task
+//! decomposition.
+//!
+//! Every parallel primitive in this crate follows one rule: **the
+//! decomposition of work into tasks, and the order results are combined,
+//! depend only on the input size — never on the thread count or on
+//! scheduling**. Each task writes to slots addressed by its task index, so
+//! running the same input on 1, 2, or 64 threads produces bit-identical
+//! output. This is what lets the proof system above this crate promise
+//! byte-identical proofs at any `ZKPERF_THREADS` setting.
+//!
+//! # Execution model
+//!
+//! A process-wide pool of worker threads is spawned lazily on first use,
+//! sized from the `ZKPERF_THREADS` environment variable (falling back to
+//! [`std::thread::available_parallelism`]). A call to [`parallel_for`]
+//! publishes a *job* — a borrowed closure plus an atomic index cursor — to
+//! a shared registry. Idle workers steal the newest published job (LIFO,
+//! so nested jobs drain before their parents' siblings) and claim task
+//! indices from its cursor with a `fetch_add`; the **calling thread
+//! participates too**, claiming indices in the same loop, which makes
+//! nested `parallel_for` calls deadlock-free: a caller never blocks while
+//! its own job still has unclaimed work.
+//!
+//! # Panic isolation
+//!
+//! Each task body runs under [`std::panic::catch_unwind`]. The first
+//! captured payload is re-raised *on the calling thread* after all sibling
+//! tasks complete, so a panic inside a pool task behaves exactly like a
+//! panic in serial code: it unwinds the caller, not the process, and the
+//! resilience layer's `catch_unwind`-based runners convert it into a typed
+//! stage error.
+//!
+//! # Chaos hooks
+//!
+//! [`chaos_arm_panic_after`] arms a one-shot countdown, scoped to jobs
+//! submitted by the arming thread. Tasks that call [`chaos_checkpoint`]
+//! tick the countdown; the tick that drains it panics with
+//! [`CHAOS_PANIC_MSG`]. Because the panic is raised *inside* the task
+//! body, a task that wraps its work in `catch_unwind` can convert the
+//! injected fault into a typed error — the fault-injection hook used by
+//! the chaos-mode sweeps to prove worker panics never abort the process.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread;
+
+/// Upper bound on the pool size; oversubscription beyond this is clamped.
+const MAX_THREADS: usize = 64;
+
+/// Locks a mutex, ignoring poisoning. Task panics are confined by
+/// `catch_unwind` before any pool lock is taken, so a poisoned lock can
+/// only mean a panic in the pool's own bookkeeping — recovering the guard
+/// is strictly better than cascading the abort.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One published batch of tasks: a type-erased borrowed closure plus the
+/// claim cursor and completion bookkeeping.
+struct Job {
+    /// The task body. Points into the stack frame of the `parallel_for`
+    /// caller; see the safety argument on [`parallel_for`] for why workers
+    /// never dereference it after that frame returns.
+    task: *const (dyn Fn(usize) + Sync + 'static),
+    /// Total number of task indices in `0..count`.
+    count: usize,
+    /// Next unclaimed task index. Claimed with `fetch_add`; values at or
+    /// beyond `count` mean the job is fully claimed.
+    next: AtomicUsize,
+    /// Number of *worker* threads that have joined (the caller is always
+    /// a participant and is not counted). Capped so `set_threads(n)`
+    /// limits per-job concurrency even when more workers are alive.
+    joined: AtomicUsize,
+    /// Maximum workers allowed to join this job.
+    max_workers: usize,
+    /// Completed-task count, paired with `done_cv` for the caller's wait.
+    done: Mutex<usize>,
+    /// Notified when `done` reaches `count`.
+    done_cv: Condvar,
+    /// First captured panic payload from any task, re-raised by the caller.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Optional chaos countdown: the task execution that decrements this
+    /// from 1 to 0 panics deliberately.
+    chaos: Option<Arc<AtomicI64>>,
+}
+
+// SAFETY: `task` is only dereferenced while the publishing caller is
+// blocked inside `parallel_for` (all dereferences happen between claim and
+// completion, and the caller waits for `done == count` before returning),
+// and the closure itself is `Sync`, so sharing the pointer across threads
+// is sound.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// Registry shared between workers and callers.
+struct Shared {
+    /// Published jobs with unclaimed work, newest last.
+    jobs: Mutex<Vec<Arc<Job>>>,
+    /// Notified when a job is published.
+    work_cv: Condvar,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    /// Target concurrency including the calling thread.
+    threads: AtomicUsize,
+    /// Worker threads spawned so far (grows monotonically, never shrinks;
+    /// `threads` caps how many may join any one job).
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Chaos countdown armed on this thread; attached to jobs it submits.
+    static LOCAL_CHAOS: RefCell<Option<Arc<AtomicI64>>> = const { RefCell::new(None) };
+    /// The chaos countdown of the job whose task is currently executing on
+    /// this thread (if any); read by [`chaos_checkpoint`].
+    static CURRENT_CHAOS: RefCell<Option<Arc<AtomicI64>>> = const { RefCell::new(None) };
+}
+
+/// RAII guard installing a job's chaos countdown as this thread's ambient
+/// one for the duration of a task, restoring the previous value on drop
+/// (tasks nest when a worker participates in a job submitted from inside
+/// another task).
+struct ChaosScope {
+    prev: Option<Arc<AtomicI64>>,
+}
+
+impl ChaosScope {
+    fn enter(chaos: Option<Arc<AtomicI64>>) -> Self {
+        let prev = CURRENT_CHAOS.with(|c| c.replace(chaos));
+        ChaosScope { prev }
+    }
+}
+
+impl Drop for ChaosScope {
+    fn drop(&mut self) {
+        CURRENT_CHAOS.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Message carried by deliberately injected pool-task panics, so the layers
+/// above can distinguish chaos faults from organic ones.
+pub const CHAOS_PANIC_MSG: &str = "chaos: injected pool task panic";
+
+fn env_threads() -> usize {
+    match std::env::var("ZKPERF_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let p = Pool {
+            shared: Arc::new(Shared {
+                jobs: Mutex::new(Vec::new()),
+                work_cv: Condvar::new(),
+            }),
+            threads: AtomicUsize::new(1),
+            spawned: Mutex::new(0),
+        };
+        p.resize(env_threads());
+        p
+    })
+}
+
+impl Pool {
+    /// Sets the target thread count, spawning workers as needed. Workers
+    /// are never torn down; a lowered count just stops them from joining
+    /// new jobs.
+    fn resize(&self, threads: usize) {
+        let threads = threads.clamp(1, MAX_THREADS);
+        self.threads.store(threads, Ordering::Relaxed);
+        let wanted_workers = threads - 1;
+        let mut spawned = lock_ignore_poison(&self.spawned);
+        while *spawned < wanted_workers {
+            let shared = Arc::clone(&self.shared);
+            let name = format!("zkperf-pool-{}", *spawned);
+            // Spawn failure (resource exhaustion) degrades to fewer
+            // workers; the caller-participation model still makes progress.
+            if thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(&shared))
+                .is_err()
+            {
+                break;
+            }
+            *spawned += 1;
+        }
+    }
+}
+
+/// Picks the newest published job this worker may join, consuming a join
+/// slot. Fully-claimed jobs are pruned from the registry as a side effect.
+fn pick_job(jobs: &mut Vec<Arc<Job>>) -> Option<Arc<Job>> {
+    jobs.retain(|j| j.next.load(Ordering::Relaxed) < j.count);
+    for job in jobs.iter().rev() {
+        let joined = job
+            .joined
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |j| {
+                (j < job.max_workers).then_some(j + 1)
+            });
+        if joined.is_ok() {
+            return Some(Arc::clone(job));
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut jobs = lock_ignore_poison(&shared.jobs);
+            loop {
+                if let Some(job) = pick_job(&mut jobs) {
+                    break job;
+                }
+                jobs = shared
+                    .work_cv
+                    .wait(jobs)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        run_tasks(&job);
+    }
+}
+
+/// Claims and executes task indices from `job` until the cursor is
+/// exhausted, capturing the first panic.
+fn run_tasks(job: &Job) {
+    loop {
+        let idx = job.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= job.count {
+            break;
+        }
+        // SAFETY: idx < count, so the publishing caller is still blocked in
+        // `parallel_for` waiting for this task to complete; the closure it
+        // borrows is alive.
+        let task = unsafe { &*job.task };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _scope = ChaosScope::enter(job.chaos.clone());
+            task(idx);
+        }));
+        if let Err(payload) = result {
+            let mut slot = lock_ignore_poison(&job.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut done = lock_ignore_poison(&job.done);
+        *done += 1;
+        if *done == job.count {
+            job.done_cv.notify_all();
+        }
+    }
+}
+
+/// Ticks the ambient chaos countdown (the one attached to the job whose
+/// task is currently running on this thread); the tick that drains it
+/// panics with [`CHAOS_PANIC_MSG`]. A no-op when no fault is armed, so
+/// production task bodies can call it unconditionally as their
+/// fault-injection point.
+pub fn chaos_checkpoint() {
+    let chaos = CURRENT_CHAOS.with(|c| c.borrow().clone());
+    if let Some(c) = chaos {
+        if c.fetch_sub(1, Ordering::Relaxed) == 1 {
+            panic!("{CHAOS_PANIC_MSG}");
+        }
+    }
+}
+
+/// Current target concurrency (including the calling thread). `1` means
+/// every parallel primitive degrades to a plain serial loop.
+pub fn current_threads() -> usize {
+    pool().threads.load(Ordering::Relaxed)
+}
+
+/// Sets the pool's target concurrency (clamped to `1..=64`), spawning
+/// workers on demand. Intended for tests and benchmark harnesses; normal
+/// runs size the pool once from `ZKPERF_THREADS` at first use.
+pub fn set_threads(threads: usize) {
+    pool().resize(threads);
+}
+
+/// Arms a one-shot chaos fault: among tasks of jobs submitted *by this
+/// thread* after arming, the `n`-th call to [`chaos_checkpoint`]
+/// (1-based, counted across those jobs in execution order) panics with
+/// [`CHAOS_PANIC_MSG`]. Disarm with [`chaos_disarm`]. Used by chaos-mode
+/// tests to prove worker panics surface as typed errors instead of
+/// aborting the process.
+pub fn chaos_arm_panic_after(n: u64) {
+    let n = i64::try_from(n.max(1)).unwrap_or(i64::MAX);
+    LOCAL_CHAOS.with(|c| *c.borrow_mut() = Some(Arc::new(AtomicI64::new(n))));
+}
+
+/// Disarms a pending [`chaos_arm_panic_after`] fault on this thread.
+pub fn chaos_disarm() {
+    LOCAL_CHAOS.with(|c| *c.borrow_mut() = None);
+}
+
+fn local_chaos() -> Option<Arc<AtomicI64>> {
+    LOCAL_CHAOS.with(|c| c.borrow().clone())
+}
+
+/// Runs `task(i)` for every `i in 0..count`, spreading the indices across
+/// the pool. Blocks until all tasks complete. Task indices are claimed
+/// dynamically, so **tasks must be independent**; every task sees the same
+/// `&task` closure, so shared state must be `Sync`.
+///
+/// Determinism: which thread runs which index is scheduling-dependent, but
+/// the index set itself is fixed, so closures that write only to
+/// index-addressed slots produce identical results at any thread count.
+///
+/// Panics in tasks are re-raised on the calling thread after all sibling
+/// tasks finish (first panic wins).
+///
+/// Tasks should be coarse (microseconds or more): each claim costs an
+/// atomic RMW plus a completion-count lock. For fine-grained loops over
+/// large arrays, use [`parallel_chunks_mut`] or [`parallel_fill`], which
+/// group elements into chunks first.
+pub fn parallel_for<F: Fn(usize) + Sync>(count: usize, task: F) {
+    if count == 0 {
+        return;
+    }
+    let p = pool();
+    let threads = p.threads.load(Ordering::Relaxed);
+    let chaos = local_chaos();
+    if threads <= 1 || count == 1 {
+        // Serial fast path: same semantics (including the ambient chaos
+        // scope and panic propagation — a panic here unwinds the caller
+        // directly).
+        let _scope = ChaosScope::enter(chaos);
+        for i in 0..count {
+            task(i);
+        }
+        return;
+    }
+
+    // Erase the closure's lifetime so workers can hold the pointer.
+    //
+    // SAFETY (lifetime): this function does not return until `done ==
+    // count`. A worker can only dereference `task` for an index it claimed
+    // with `idx < count`, and each such claim is followed by a `done`
+    // increment — so every dereference happens before the final increment
+    // that releases this frame. Claims at or past `count` never touch the
+    // pointer.
+    let local: *const (dyn Fn(usize) + Sync) = &task;
+    #[allow(clippy::missing_transmute_annotations)]
+    let erased: *const (dyn Fn(usize) + Sync + 'static) =
+        unsafe { std::mem::transmute(local) };
+    let job = Arc::new(Job {
+        task: erased,
+        count,
+        next: AtomicUsize::new(0),
+        joined: AtomicUsize::new(0),
+        max_workers: threads - 1,
+        done: Mutex::new(0),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
+        chaos,
+    });
+
+    {
+        let mut jobs = lock_ignore_poison(&p.shared.jobs);
+        jobs.push(Arc::clone(&job));
+        p.shared.work_cv.notify_all();
+    }
+
+    // The caller participates, so nested parallel_for calls always make
+    // progress even when every worker is busy elsewhere.
+    run_tasks(&job);
+
+    let mut done = lock_ignore_poison(&job.done);
+    while *done < count {
+        done = job
+            .done_cv
+            .wait(done)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+    drop(done);
+
+    let payload = lock_ignore_poison(&job.panic).take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Pointer wrapper that lets disjoint-range writes cross the closure's
+/// `Sync` bound. Safety is established at each use site: tasks index
+/// non-overlapping ranges.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field access) so closures capture the
+    /// whole `SendPtr` — edition-2021 disjoint capture would otherwise
+    /// capture the raw `*mut T` field, which is not `Sync`.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the last
+/// may be shorter) and runs `body(chunk_index, chunk)` for each in
+/// parallel. The chunk boundaries depend only on `data.len()` and
+/// `chunk_len`, never on the thread count — the deterministic-decomposition
+/// rule.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    let chunks = len.div_ceil(chunk_len);
+    let base = SendPtr(data.as_mut_ptr());
+    parallel_for(chunks, |ci| {
+        let start = ci * chunk_len;
+        let n = chunk_len.min(len - start);
+        // SAFETY: chunks cover disjoint index ranges of `data`, each task
+        // runs exactly one chunk, and `data` outlives the parallel_for
+        // call (which blocks until all tasks complete).
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), n) };
+        body(ci, chunk);
+    });
+}
+
+/// Runs `body(i, &mut items[i])` for every element in parallel, giving
+/// each task exclusive access to its element.
+pub fn parallel_for_each_mut<T, F>(items: &mut [T], body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    parallel_chunks_mut(items, 1, |i, chunk| {
+        if let Some(item) = chunk.first_mut() {
+            body(i, item);
+        }
+    });
+}
+
+/// Fills `out[i] = f(i)` for every index, parallelized over chunks of
+/// `grain` consecutive indices. The chunking depends only on `out.len()`
+/// and `grain`.
+pub fn parallel_fill<T, F>(out: &mut [T], grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let grain = grain.max(1);
+    parallel_chunks_mut(out, grain, |ci, chunk| {
+        let start = ci * grain;
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(start + j);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Serializes tests that mutate the global thread count.
+    static THREAD_KNOB: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _g = lock_ignore_poison(&THREAD_KNOB);
+        set_threads(n);
+        let out = f();
+        set_threads(1);
+        out
+    }
+
+    #[test]
+    fn one_thread_degrades_to_serial() {
+        with_threads(1, || {
+            // On a 1-thread pool the body runs inline on the caller: the
+            // thread-id observed by every task is the caller's.
+            let caller = std::thread::current().id();
+            let hits = AtomicUsize::new(0);
+            parallel_for(17, |_| {
+                assert_eq!(std::thread::current().id(), caller);
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.into_inner(), 17);
+        });
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        with_threads(4, || {
+            parallel_for(0, |_| panic!("must not run"));
+            let mut empty: [u64; 0] = [];
+            parallel_chunks_mut(&mut empty, 8, |_, _| panic!("must not run"));
+            parallel_fill(&mut empty, 8, |_| panic!("must not run"));
+        });
+    }
+
+    #[test]
+    fn nested_parallel_for_completes() {
+        with_threads(4, || {
+            let total = AtomicU64::new(0);
+            parallel_for(8, |i| {
+                parallel_for(8, |j| {
+                    total.fetch_add((i * 8 + j) as u64, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(total.into_inner(), (0..64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn oversubscription_is_clamped_and_correct() {
+        // Far more threads than cores (and past the clamp).
+        with_threads(1000, || {
+            assert_eq!(current_threads(), 64);
+            let mut out = vec![0u64; 10_000];
+            parallel_fill(&mut out, 37, |i| (i as u64).wrapping_mul(2_654_435_761));
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, (i as u64).wrapping_mul(2_654_435_761));
+            }
+        });
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut out = vec![0u64; 4096];
+                parallel_fill(&mut out, 64, |i| (i as u64).wrapping_mul(0x9e37_79b9));
+                out
+            })
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(5));
+    }
+
+    #[test]
+    fn task_panic_unwinds_caller_not_process() {
+        with_threads(4, || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                parallel_for(32, |i| {
+                    if i == 13 {
+                        panic!("boom at 13");
+                    }
+                });
+            }));
+            let payload = result.expect_err("panic must propagate to the caller");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(String::from)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(msg.contains("boom at 13"));
+            // The pool is still usable afterwards.
+            let hits = AtomicUsize::new(0);
+            parallel_for(8, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.into_inner(), 8);
+        });
+    }
+
+    #[test]
+    fn chaos_countdown_fires_once_at_a_checkpoint() {
+        with_threads(2, || {
+            chaos_arm_panic_after(5);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                parallel_for(16, |_| chaos_checkpoint());
+            }));
+            chaos_disarm();
+            let payload = result.expect_err("chaos fault must fire");
+            let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("chaos"));
+            // One-shot: the next job runs clean.
+            parallel_for(16, |_| chaos_checkpoint());
+        });
+    }
+
+    #[test]
+    fn chaos_fault_inside_task_catch_unwind_is_typed_not_fatal() {
+        // The pattern the sweep runner uses: each task wraps its body in
+        // catch_unwind and converts the injected panic into a value.
+        with_threads(2, || {
+            chaos_arm_panic_after(3);
+            let faults = AtomicUsize::new(0);
+            parallel_for(8, |_| {
+                if catch_unwind(AssertUnwindSafe(chaos_checkpoint)).is_err() {
+                    faults.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            chaos_disarm();
+            assert_eq!(faults.into_inner(), 1);
+        });
+    }
+
+    #[test]
+    fn checkpoint_without_armed_fault_is_noop() {
+        with_threads(2, || {
+            chaos_checkpoint(); // outside any task
+            parallel_for(4, |_| chaos_checkpoint());
+        });
+    }
+
+    #[test]
+    fn for_each_mut_gives_exclusive_access() {
+        with_threads(4, || {
+            let mut items: Vec<Vec<u32>> = (0..40).map(|i| vec![i]).collect();
+            parallel_for_each_mut(&mut items, |i, item| {
+                item.push(i as u32 * 2);
+            });
+            for (i, item) in items.iter().enumerate() {
+                assert_eq!(item, &vec![i as u32, i as u32 * 2]);
+            }
+        });
+    }
+}

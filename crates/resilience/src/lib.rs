@@ -17,6 +17,6 @@ pub mod chaos;
 pub mod fault;
 pub mod runner;
 
-pub use chaos::{chaos_mode, ChaosMode};
+pub use chaos::{arm_pool_chaos, arm_pool_chaos_with, chaos_mode, ChaosMode};
 pub use fault::{FaultKind, FaultPlan, FaultyReader, FaultyWriter};
 pub use runner::{run_with_retry, Quarantine, RetryPolicy, RunOutcome};

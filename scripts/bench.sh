@@ -32,3 +32,20 @@ if [ ! -f BENCH_baseline.json ]; then
     cp BENCH_results.json BENCH_baseline.json
     echo "==> seeded BENCH_baseline.json from this run"
 fi
+
+# 1-vs-N-thread smoke comparison: the same reduced kernel suite at one
+# thread and at N (ZKPERF_THREADS if set, else the host's core count).
+# The comparison is informational — thread counts differ, so the
+# regression gate is skipped by design; it exists to eyeball real
+# multicore speedup (flat on a single-core host).
+N="${ZKPERF_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+if [ "${N}" -gt 1 ]; then
+    echo "==> 1-vs-${N}-thread smoke comparison"
+    T1_JSON="$(mktemp)"
+    trap 'rm -f "${T1_JSON}"' EXIT
+    ZKPERF_THREADS=1 ./target/release/bench_regression --smoke --out "${T1_JSON}"
+    ZKPERF_THREADS="${N}" ./target/release/bench_regression --smoke \
+        --baseline "${T1_JSON}"
+else
+    echo "==> single-core host (or ZKPERF_THREADS=1): skipping 1-vs-N smoke comparison"
+fi

@@ -23,6 +23,13 @@ cargo build --release --workspace --offline
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
+# Proofs and measurements must be byte-identical at any pool size, so the
+# determinism suites run twice: once serial, once on a 4-thread pool.
+# (Tests that need other counts call pool::set_threads explicitly.)
+echo "==> determinism suites at ZKPERF_THREADS=1 and 4"
+ZKPERF_THREADS=1 cargo test -q --offline --test determinism --test thread_determinism
+ZKPERF_THREADS=4 cargo test -q --offline --test determinism --test thread_determinism
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -D warnings"
     cargo clippy -q --offline --workspace --all-targets -- -D warnings

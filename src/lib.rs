@@ -15,6 +15,7 @@
 //! * [`groth16`] — setup / prove / verify (plus ceremony contributions);
 //! * [`plonk`] — the PlonK comparison scheme on KZG commitments;
 //! * [`io`] — `.r1cs`/`.wtns`/`.zkey`-style binary file formats;
+//! * [`pool`] — the deterministic work-stealing thread pool;
 //! * [`trace`] — the event-tracing layer;
 //! * [`machine`] — the trace-driven CPU simulator;
 //! * [`scale`] — simulated-multicore scaling and Amdahl/Gustafson fits;
@@ -46,5 +47,6 @@ pub use zkperf_io as io;
 pub use zkperf_machine as machine;
 pub use zkperf_plonk as plonk;
 pub use zkperf_poly as poly;
+pub use zkperf_pool as pool;
 pub use zkperf_scale as scale;
 pub use zkperf_trace as trace;

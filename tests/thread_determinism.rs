@@ -1,0 +1,47 @@
+//! Integration: proofs are byte-identical at any thread-pool size.
+//!
+//! The pool decomposes work purely by input size and reduces in a fixed
+//! order, so setup, witness evaluation, NTT, and MSM must produce the
+//! same bits whether they ran serially or on N workers. This is the
+//! workspace-level seal on that rule: a full setup→prove→serialize round
+//! at a size that clears every parallel threshold, compared byte for
+//! byte across pool sizes.
+
+use zkperf::circuit::library;
+use zkperf::ec::Bn254;
+use zkperf::ff::Field;
+use zkperf::groth16::{prove, setup, verify};
+use zkperf::io::write_proof;
+use zkperf::pool;
+
+/// 2^12 constraints clears every parallel gate in the pipeline
+/// (MSM ≥ 2^10 points, NTT ≥ 2^12 domain, setup/quotient ≥ 2^12 scalars,
+/// constraint evaluation ≥ 2^10 rows).
+const CONSTRAINTS: usize = 1 << 12;
+
+fn proof_bytes() -> Vec<u8> {
+    type Fr = zkperf::ff::bn254::Fr;
+    let circuit = library::exponentiate::<Fr>(CONSTRAINTS);
+    let mut rng = zkperf::ff::test_rng();
+    let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+    let witness = circuit.generate_witness(&[Fr::from_u64(3)], &[]).unwrap();
+    let proof = prove::<Bn254, _>(&pk, circuit.r1cs(), &witness, &mut rng).unwrap();
+    assert!(verify::<Bn254>(&pk.vk, &proof, witness.public()).unwrap());
+    let mut bytes = Vec::new();
+    write_proof::<Bn254>(&mut bytes, &proof).unwrap();
+    bytes
+}
+
+#[test]
+fn proofs_are_byte_identical_across_thread_counts() {
+    // First round at the ambient pool size (ZKPERF_THREADS when
+    // scripts/check.sh drives this binary), then explicit 1/2/4-thread
+    // pools; every round must serialize to the same bytes.
+    let baseline = proof_bytes();
+    for threads in [1usize, 2, 4] {
+        pool::set_threads(threads);
+        let bytes = proof_bytes();
+        assert_eq!(baseline, bytes, "proof bytes differ at {threads} thread(s)");
+    }
+    pool::set_threads(1);
+}
