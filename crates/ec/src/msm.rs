@@ -384,6 +384,55 @@ mod tests {
     }
 
     #[test]
+    fn msm_all_zero_scalars_is_identity() {
+        let mut rng = zkperf_ff::test_rng();
+        for n in [1usize, 7, 8, 64] {
+            let bases: Vec<G1Affine> = (0..n)
+                .map(|_| G1Projective::random(&mut rng).to_affine())
+                .collect();
+            let scalars = vec![Fr::zero(); n];
+            assert!(msm(&bases, &scalars).is_identity(), "n = {n}");
+            assert!(msm_naive(&bases, &scalars).is_identity(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn msm_mismatched_lengths_truncate_to_shorter_side() {
+        // Documented contract: both kernels operate on the common prefix.
+        let mut rng = zkperf_ff::test_rng();
+        let bases: Vec<G1Affine> = (0..20)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        let scalars: Vec<Fr> = (0..12).map(|_| Fr::random(&mut rng)).collect();
+        let expect = msm(&bases[..12], &scalars);
+        assert_eq!(msm(&bases, &scalars), expect);
+        assert_eq!(msm_naive(&bases, &scalars), expect);
+        let expect = msm(&bases, &scalars[..5]);
+        assert_eq!(expect, msm(&bases[..5], &scalars[..5]));
+        // Degenerate: one side empty.
+        assert!(msm(&bases, &[]).is_identity());
+        assert!(msm::<crate::bn254::G1Params>(&[], &scalars).is_identity());
+    }
+
+    #[test]
+    fn msm_straddles_every_window_breakpoint() {
+        // window_bits changes strategy at 2/32/256; the naive path ends at
+        // n = 8. Check n = breakpoint − 1, breakpoint, breakpoint + 1.
+        let mut rng = zkperf_ff::test_rng();
+        let bases: Vec<G1Affine> = (0..257)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        let scalars: Vec<Fr> = (0..257).map(|_| Fr::random(&mut rng)).collect();
+        for n in [1usize, 2, 3, 7, 8, 9, 31, 32, 33, 255, 256, 257] {
+            assert_eq!(
+                msm(&bases[..n], &scalars[..n]),
+                msm_naive(&bases[..n], &scalars[..n]),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
     fn msm_handles_extreme_and_duplicate_scalars() {
         // -1 (all top windows saturated) exercises the signed-digit carry
         // chain through the final window; duplicate bases exercise the

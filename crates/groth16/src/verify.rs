@@ -114,4 +114,32 @@ mod tests {
         bad.a = Affine::new_unchecked(Fq::from_u64(1), Fq::from_u64(1));
         assert_eq!(verify::<Bn254>(&pk.vk, &bad, w.public()), Ok(false));
     }
+
+    #[test]
+    fn valid_proof_with_tampered_public_inputs_is_rejected() {
+        // The proof itself stays untouched and valid; only the claimed
+        // statement changes. Every non-constant public wire is tampered in
+        // turn — each must flip the verdict to Ok(false), never Ok(true)
+        // and never a shape error (the arity is still correct).
+        let circuit = exponentiate::<Fr>(8);
+        let mut rng = zkperf_ff::test_rng();
+        let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+        let w = circuit.generate_witness(&[Fr::from_u64(3)], &[]).unwrap();
+        let proof = prove::<Bn254, _>(&pk, circuit.r1cs(), &w, &mut rng).unwrap();
+        assert_eq!(verify::<Bn254>(&pk.vk, &proof, w.public()), Ok(true));
+
+        for i in 1..w.public().len() {
+            let mut tampered = w.public().to_vec();
+            tampered[i] += Fr::one();
+            assert_eq!(
+                verify::<Bn254>(&pk.vk, &proof, &tampered),
+                Ok(false),
+                "tampered public wire {i} must invalidate the statement"
+            );
+        }
+        // Swapping the (distinct) output and input wires is also a lie.
+        let mut swapped = w.public().to_vec();
+        swapped.swap(1, 2);
+        assert_eq!(verify::<Bn254>(&pk.vk, &proof, &swapped), Ok(false));
+    }
 }

@@ -536,6 +536,66 @@ mod tests {
     }
 
     #[test]
+    fn size_zero_request_rounds_up_to_the_trivial_domain() {
+        // new(0): next_power_of_two(0) = 1, so the trivial domain — the
+        // degenerate boundary a caller hits with an empty constraint set.
+        let d = Radix2Domain::<Fr>::new(0).unwrap();
+        assert_eq!(d.size(), 1);
+        assert_eq!(d.log_size(), 0);
+    }
+
+    #[test]
+    fn trivial_domain_transforms_are_the_identity() {
+        // On H = {1} every transform is the identity map and ω = 1; the
+        // butterfly network is empty, so this exercises pure setup/teardown.
+        let d = Radix2Domain::<Fr>::new(1).unwrap();
+        assert!(d.group_gen().is_one());
+        assert_eq!(d.element(0), Fr::one());
+        let x = Fr::from_u64(7);
+        let mut buf = vec![x];
+        d.fft_in_place(&mut buf);
+        assert_eq!(buf, vec![x]);
+        d.ifft_in_place(&mut buf);
+        assert_eq!(buf, vec![x]);
+        d.coset_fft_in_place(&mut buf);
+        d.coset_ifft_in_place(&mut buf);
+        assert_eq!(buf, vec![x]);
+        // Z_H(y) = y − 1 and the single Lagrange basis is the constant 1.
+        assert!(d.eval_vanishing(Fr::one()).is_zero());
+        assert_eq!(d.eval_vanishing(x), x - Fr::one());
+        assert_eq!(d.lagrange_coefficients_at(x), vec![Fr::one()]);
+    }
+
+    #[test]
+    fn two_point_domain_is_a_single_butterfly() {
+        // Size 2: ω = −1 and the FFT is (a+b, a−b) — small enough to pin
+        // against the closed form rather than another FFT.
+        let d = Radix2Domain::<Fr>::new(2).unwrap();
+        assert_eq!(d.group_gen(), -Fr::one());
+        let (a, b) = (Fr::from_u64(3), Fr::from_u64(5));
+        let mut buf = vec![a, b];
+        d.fft_in_place(&mut buf);
+        assert_eq!(buf, vec![a + b, a - b]);
+        d.ifft_in_place(&mut buf);
+        assert_eq!(buf, vec![a, b]);
+    }
+
+    #[test]
+    fn all_zero_input_stays_zero_through_every_transform() {
+        for log in [0u32, 1, 5] {
+            let d = Radix2Domain::<Fr>::new(1 << log).unwrap();
+            let zeros = vec![Fr::zero(); d.size()];
+            let mut buf = zeros.clone();
+            d.fft_in_place(&mut buf);
+            assert_eq!(buf, zeros, "fft, size 2^{log}");
+            d.coset_fft_in_place(&mut buf);
+            assert_eq!(buf, zeros, "coset fft, size 2^{log}");
+            d.ifft_in_place(&mut buf);
+            assert_eq!(buf, zeros, "ifft, size 2^{log}");
+        }
+    }
+
+    #[test]
     fn coset_roundtrip_and_distinctness() {
         let mut rng = zkperf_ff::test_rng();
         let d = Radix2Domain::<Fr>::new(32).unwrap();

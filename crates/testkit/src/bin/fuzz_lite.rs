@@ -1,0 +1,107 @@
+//! Fixed-seed differential fuzz campaign over every optimized kernel.
+//!
+//! ```text
+//! fuzz_lite [--iters N] [--seed S] [--only SUBSTR] [--case K]
+//!           [--skip-soundness] [--list]
+//! ```
+//!
+//! The root seed comes from `--seed`, else the `ZKPERF_TESTKIT_SEED`
+//! environment variable (decimal or `0x…` hex), else a built-in default —
+//! so `scripts/check.sh` gets a reproducible smoke tier and a failure
+//! report is replayed by pasting the printed command.
+
+use std::process::ExitCode;
+
+use zkperf_testkit::campaign::{run_campaign, CampaignConfig};
+use zkperf_testkit::{all_oracles, parse_seed, seed_from_env};
+
+const USAGE: &str = "usage: fuzz_lite [--iters N] [--seed S] [--only SUBSTR] [--case K] [--skip-soundness] [--list]";
+
+fn parse_args() -> Result<Option<CampaignConfig>, String> {
+    let mut config = CampaignConfig {
+        seed: seed_from_env(),
+        iters: 8,
+        filter: None,
+        case: None,
+        skip_soundness: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--iters" => {
+                config.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--seed" => {
+                let raw = value("--seed")?;
+                config.seed = parse_seed(&raw).ok_or(format!("--seed: bad literal {raw:?}"))?;
+            }
+            "--only" => config.filter = Some(value("--only")?),
+            "--case" => {
+                config.case = Some(
+                    value("--case")?
+                        .parse()
+                        .map_err(|e| format!("--case: {e}"))?,
+                );
+            }
+            "--skip-soundness" => config.skip_soundness = true,
+            "--list" => {
+                for o in all_oracles() {
+                    println!("{}", o.name);
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(Some(config))
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(Some(config)) => config,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fuzz_lite: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "fuzz_lite: seed 0x{:x}, {} cases/oracle{}",
+        config.seed,
+        config.iters,
+        config
+            .filter
+            .as_deref()
+            .map(|f| format!(", filter {f:?}"))
+            .unwrap_or_default()
+    );
+    let report = run_campaign(&config, |oracle, failures| {
+        if failures.is_empty() {
+            println!("  ok   {oracle}");
+        } else {
+            println!("  FAIL {oracle} ({} diverging case(s))", failures.len());
+        }
+    });
+    println!(
+        "fuzz_lite: {} oracle(s), {} case(s), {} mutation class(es)",
+        report.oracles_run, report.cases_run, report.mutation_classes
+    );
+    if report.passed() {
+        println!("fuzz_lite: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.failures {
+            eprintln!("fuzz_lite: FAIL {} case {}: {}", f.oracle, f.case, f.detail);
+            eprintln!("  replay: {}", f.replay_command());
+        }
+        eprintln!("fuzz_lite: {} failure(s)", report.failures.len());
+        ExitCode::FAILURE
+    }
+}

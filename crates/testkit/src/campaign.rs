@@ -1,0 +1,206 @@
+//! Campaign driver: iterates oracles, collects failures, renders replay
+//! commands.
+//!
+//! A campaign is fully determined by its root seed: the case at
+//! `(seed, oracle, index)` always sees the same byte stream, so a failure
+//! is replayed by re-running just that one case — the [`Failure`] carries
+//! a ready-to-paste shell line.
+
+use crate::oracles::{all_oracles, Oracle};
+use crate::rng::{case_rng, SEED_ENV};
+use crate::soundness::{distinct_classes, run_all_mutations};
+
+/// What to run and how hard.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Root seed; every case derives from it.
+    pub seed: u64,
+    /// Cases per oracle.
+    pub iters: u64,
+    /// Only run oracles whose name contains this substring.
+    pub filter: Option<String>,
+    /// Pin a single case index (replay mode).
+    pub case: Option<u64>,
+    /// Skip the soundness-negative mutation suite.
+    pub skip_soundness: bool,
+}
+
+impl CampaignConfig {
+    /// The fixed-seed smoke configuration used by `scripts/check.sh`.
+    pub fn smoke(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            iters: 4,
+            filter: None,
+            case: None,
+            skip_soundness: false,
+        }
+    }
+}
+
+/// One diverging case, addressable for replay.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Oracle (or pseudo-oracle `soundness`) that diverged.
+    pub oracle: String,
+    /// Case index within the oracle's stream.
+    pub case: u64,
+    /// Campaign root seed.
+    pub seed: u64,
+    /// What diverged.
+    pub detail: String,
+}
+
+impl Failure {
+    /// A shell line that re-runs exactly this case.
+    pub fn replay_command(&self) -> String {
+        format!(
+            "{}=0x{:x} cargo run --release --offline -p zkperf-testkit --bin fuzz_lite -- --only {} --case {}",
+            SEED_ENV, self.seed, self.oracle, self.case
+        )
+    }
+}
+
+/// Aggregate result of a campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Oracles that matched the filter and ran.
+    pub oracles_run: usize,
+    /// Total differential cases executed.
+    pub cases_run: u64,
+    /// Distinct soundness mutation classes exercised (0 when skipped).
+    pub mutation_classes: usize,
+    /// Every diverging case.
+    pub failures: Vec<Failure>,
+}
+
+impl CampaignReport {
+    /// True when no case diverged.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn matches(filter: &Option<String>, name: &str) -> bool {
+    filter.as_deref().is_none_or(|f| name.contains(f))
+}
+
+/// Pseudo-oracle name under which the mutation suite reports failures.
+pub const SOUNDNESS_ORACLE: &str = "soundness";
+
+/// Runs the campaign described by `config` against the full oracle
+/// inventory plus the soundness suite, invoking `progress` after each
+/// oracle completes (use `|_, _| {}` when no reporting is wanted).
+pub fn run_campaign(
+    config: &CampaignConfig,
+    mut progress: impl FnMut(&str, &[Failure]),
+) -> CampaignReport {
+    let mut report = CampaignReport {
+        oracles_run: 0,
+        cases_run: 0,
+        mutation_classes: 0,
+        failures: Vec::new(),
+    };
+    for Oracle { name, run } in all_oracles() {
+        if !matches(&config.filter, name) {
+            continue;
+        }
+        report.oracles_run += 1;
+        let before = report.failures.len();
+        let cases: Vec<u64> = match config.case {
+            Some(c) => vec![c],
+            None => (0..config.iters).collect(),
+        };
+        for case in cases {
+            let mut rng = case_rng(config.seed, name, case);
+            report.cases_run += 1;
+            if let Err(detail) = run(&mut rng) {
+                report.failures.push(Failure {
+                    oracle: name.to_string(),
+                    case,
+                    seed: config.seed,
+                    detail,
+                });
+            }
+        }
+        progress(name, &report.failures[before..]);
+    }
+    if !config.skip_soundness && matches(&config.filter, SOUNDNESS_ORACLE) {
+        let case = config.case.unwrap_or(0);
+        let mut rng = case_rng(config.seed, SOUNDNESS_ORACLE, case);
+        let before = report.failures.len();
+        report.cases_run += 1;
+        match run_all_mutations(&mut rng) {
+            Ok(outcomes) => {
+                report.mutation_classes = distinct_classes(&outcomes);
+                for o in outcomes.iter().filter(|o| !o.rejected) {
+                    report.failures.push(Failure {
+                        oracle: SOUNDNESS_ORACLE.to_string(),
+                        case,
+                        seed: config.seed,
+                        detail: format!(
+                            "{}/{} accepted a mutated input ({})",
+                            o.scheme, o.name, o.outcome
+                        ),
+                    });
+                }
+            }
+            Err(detail) => report.failures.push(Failure {
+                oracle: SOUNDNESS_ORACLE.to_string(),
+                case,
+                seed: config.seed,
+                detail,
+            }),
+        }
+        progress(SOUNDNESS_ORACLE, &report.failures[before..]);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_command_is_copy_pasteable() {
+        let f = Failure {
+            oracle: "msm_bn254_g1".into(),
+            case: 3,
+            seed: 0xabc,
+            detail: "divergence".into(),
+        };
+        let cmd = f.replay_command();
+        assert!(cmd.starts_with("ZKPERF_TESTKIT_SEED=0xabc "));
+        assert!(cmd.contains("--only msm_bn254_g1"));
+        assert!(cmd.contains("--case 3"));
+    }
+
+    #[test]
+    fn filter_narrows_the_inventory() {
+        let config = CampaignConfig {
+            seed: 1,
+            iters: 1,
+            filter: Some("field_ops_bn254".into()),
+            case: None,
+            skip_soundness: true,
+        };
+        let report = run_campaign(&config, |_, _| {});
+        assert_eq!(report.oracles_run, 2); // fr + fq
+        assert_eq!(report.cases_run, 2);
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn case_pinning_runs_exactly_one_case() {
+        let config = CampaignConfig {
+            seed: 9,
+            iters: 100, // ignored when a case is pinned
+            filter: Some("field_inverse_bn254_fr".into()),
+            case: Some(42),
+            skip_soundness: true,
+        };
+        let report = run_campaign(&config, |_, _| {});
+        assert_eq!(report.cases_run, 1);
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+}

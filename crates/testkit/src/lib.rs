@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Differential fuzzing, soundness-negative audit, and adversarial input
+//! corpus for the zkperf workspace.
+//!
+//! The paper's numbers are only as good as the kernels that produce them:
+//! after the Montgomery/MSM/NTT overhauls and the deterministic thread
+//! pool, every hot path has a fast implementation whose correctness is no
+//! longer obvious by inspection. This crate pins each of them to a slow,
+//! independent reference and audits the proof systems from the adversary's
+//! side:
+//!
+//! - [`rng`] — a splittable deterministic PRNG ([`SplitRng`]) addressing
+//!   every case by `(root seed, oracle, case index)`, so any failure is
+//!   replayable in O(1);
+//! - [`gen`] — generators biased toward adversarial inputs: field values
+//!   at limb and modulus boundaries, identity/duplicate/negated points,
+//!   lengths straddling every kernel crossover;
+//! - [`reference`] — slow, obviously-correct implementations (`BigUint`
+//!   schoolbook arithmetic, double-and-add, O(n²) DFT) sharing no code
+//!   with the optimized kernels;
+//! - [`oracles`] — the differential comparisons themselves, one named
+//!   oracle per (kernel, instantiation);
+//! - [`soundness`] — mutation classes over valid Groth16/PLONK proofs
+//!   that verification must reject;
+//! - [`campaign`] — the driver that iterates oracles, collects failures
+//!   and renders `ZKPERF_TESTKIT_SEED=… fuzz_lite --only …` replay lines.
+//!
+//! The `fuzz_lite` binary exposes all of this on the command line and runs
+//! as a fixed-seed smoke tier in `scripts/check.sh`.
+
+pub mod campaign;
+pub mod gen;
+pub mod oracles;
+pub mod reference;
+pub mod rng;
+pub mod soundness;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Failure};
+pub use oracles::{all_oracles, Oracle};
+pub use rng::{case_rng, parse_seed, seed_from_env, SplitRng, DEFAULT_SEED, SEED_ENV};
+pub use soundness::{run_all_mutations, MutationOutcome};

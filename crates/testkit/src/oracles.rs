@@ -1,0 +1,521 @@
+//! Differential oracles: every optimized kernel pinned to a slow
+//! reference.
+//!
+//! Each oracle runs **one** randomized case from a caller-supplied
+//! [`SplitRng`] and reports any divergence as an `Err(detail)`. The
+//! campaign layer (`campaign`) owns iteration, seed addressing and
+//! replay reporting, so an oracle body stays a pure function of its RNG.
+//!
+//! The oracle inventory covers, per the kernel overhaul PRs:
+//!
+//! | optimized kernel                     | reference                        |
+//! |--------------------------------------|----------------------------------|
+//! | no-carry CIOS Montgomery mul/sqr     | `BigUint` schoolbook mod-mul     |
+//! | modular add/sub/neg/double           | `BigUint` canonical arithmetic   |
+//! | Fermat inverse + `batch_inverse`     | per-element inverse + product=1  |
+//! | signed-window batch-affine `msm`     | `msm_naive` + double-and-add     |
+//! | `FixedBaseTable` mul / `mul_batch`   | double-and-add                   |
+//! | cached-twiddle NTT (fwd/inv/coset)   | O(n²) DFT + roundtrip identity   |
+//! | `Radix2Domain::element`, Lagrange    | ω-power run + interpolation      |
+//! | N-thread pool execution              | 1-thread execution, bit-for-bit  |
+//! | Groth16 / PLONK pipelines            | end-to-end accept on valid input |
+
+use rand::Rng;
+use zkperf_ec::{msm, msm_naive, Affine, CurveParams, Engine, FixedBaseTable, Projective};
+use zkperf_ff::{batch_inverse, BigUint, PrimeField};
+use zkperf_poly::Radix2Domain;
+use zkperf_pool as pool;
+
+use crate::gen::{
+    adversarial_circuit, adversarial_field, adversarial_len, adversarial_points,
+    adversarial_pow2, adversarial_scalars,
+};
+use crate::reference::{
+    add_mod_biguint, coset_dft_reference, dft_reference, horner, msm_double_and_add,
+    mul_mod_biguint, pow_mod_biguint, sub_mod_biguint,
+};
+use crate::rng::SplitRng;
+
+/// A named differential oracle; `run` executes one randomized case.
+pub struct Oracle {
+    /// Stable identifier used in replay commands and `--only` filters.
+    pub name: &'static str,
+    /// Runs one case; `Err` carries the divergence detail.
+    pub run: fn(&mut SplitRng) -> Result<(), String>,
+}
+
+/// Shorthand for oracle bodies.
+pub type CaseResult = Result<(), String>;
+
+fn fail(kernel: &str, detail: impl std::fmt::Display) -> CaseResult {
+    Err(format!("{kernel}: {detail}"))
+}
+
+// ---------------------------------------------------------------- fields
+
+fn field_ops_case<F: PrimeField>(rng: &mut SplitRng) -> CaseResult {
+    for _ in 0..16 {
+        let a: F = adversarial_field(rng);
+        let b: F = adversarial_field(rng);
+        if a * b != mul_mod_biguint(a, b) {
+            return fail("mont_mul", format_args!("{a} * {b}"));
+        }
+        if a.square() != mul_mod_biguint(a, a) {
+            return fail("mont_sqr", a);
+        }
+        if a + b != add_mod_biguint(a, b) {
+            return fail("mod_add", format_args!("{a} + {b}"));
+        }
+        if a - b != sub_mod_biguint(a, b) {
+            return fail("mod_sub", format_args!("{a} - {b}"));
+        }
+        if a.double() != add_mod_biguint(a, a) {
+            return fail("double", a);
+        }
+        if !(a + (-a)).is_zero() {
+            return fail("neg", a);
+        }
+        // Montgomery round-trip: canonical limbs must re-embed to the
+        // same element.
+        if F::from_biguint(&a.to_biguint()) != a {
+            return fail("mont_roundtrip", a);
+        }
+    }
+    Ok(())
+}
+
+fn field_inverse_case<F: PrimeField>(rng: &mut SplitRng) -> CaseResult {
+    // Fermat inverse and pow against BigUint square-and-multiply.
+    let a: F = adversarial_field(rng);
+    match a.inverse() {
+        None if !a.is_zero() => return fail("inverse", format_args!("None for nonzero {a}")),
+        Some(inv) if !(a * inv).is_one() => {
+            return fail("inverse", format_args!("a * a^-1 != 1 for {a}"));
+        }
+        _ => {}
+    }
+    let exp = BigUint::from_u64(rng.gen::<u64>());
+    if a.pow(&exp) != pow_mod_biguint(a, &exp) {
+        return fail("pow", a);
+    }
+    // batch_inverse against per-element inversion, zeros preserved.
+    let n = adversarial_len(rng, 64);
+    let values: Vec<F> = adversarial_scalars(rng, n);
+    let mut batched = values.clone();
+    batch_inverse(&mut batched);
+    for (i, (orig, fast)) in values.iter().zip(&batched).enumerate() {
+        let expect = orig.inverse().unwrap_or_else(F::zero);
+        if *fast != expect {
+            return fail("batch_inverse", format_args!("slot {i} of {n}"));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- curves
+
+fn msm_case<C: CurveParams>(rng: &mut SplitRng) -> CaseResult {
+    let n = adversarial_len(rng, 300);
+    let bases: Vec<Affine<C>> = adversarial_points(rng, n);
+    let scalars: Vec<C::Scalar> = adversarial_scalars(rng, n);
+    let fast = msm(&bases, &scalars);
+    let naive = msm_naive(&bases, &scalars);
+    if fast != naive {
+        return fail("msm vs msm_naive", format_args!("n = {n}"));
+    }
+    // And both against the shared-nothing double-and-add reference.
+    if naive != msm_double_and_add(&bases, &scalars) {
+        return fail("msm_naive vs double_and_add", format_args!("n = {n}"));
+    }
+    // Mismatched slice lengths: documented truncation to the shorter side.
+    if n > 1 {
+        let truncated = msm(&bases[..n - 1], &scalars);
+        let expect = msm_naive(&bases[..n - 1], &scalars[..n - 1]);
+        if truncated != expect {
+            return fail("msm length truncation", format_args!("n = {n}"));
+        }
+    }
+    Ok(())
+}
+
+fn fixed_base_case<C: CurveParams>(rng: &mut SplitRng) -> CaseResult {
+    let base = if rng.gen_bool(0.1) {
+        Projective::<C>::identity()
+    } else {
+        Projective::<C>::random(rng)
+    };
+    let bits = 1 + rng.gen_range(0..10) as usize;
+    let table = FixedBaseTable::<C>::with_window_bits(&base, bits);
+    let n = adversarial_len(rng, 48).max(1);
+    let scalars: Vec<C::Scalar> = adversarial_scalars(rng, n);
+    let base_affine = base.to_affine();
+    for s in &scalars {
+        let expect = crate::reference::scalar_mul_double_and_add(&base_affine, s);
+        if table.mul(s) != expect {
+            return fail("fixed_base mul", format_args!("window {bits}, scalar {s}"));
+        }
+    }
+    let batch = table.mul_batch(&scalars);
+    for (i, (s, got)) in scalars.iter().zip(&batch).enumerate() {
+        let expect = crate::reference::scalar_mul_double_and_add(&base_affine, s).to_affine();
+        if *got != expect {
+            return fail(
+                "fixed_base mul_batch",
+                format_args!("window {bits}, slot {i}"),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn batch_to_affine_case<C: CurveParams>(rng: &mut SplitRng) -> CaseResult {
+    let n = adversarial_len(rng, 64);
+    let points: Vec<Projective<C>> = adversarial_points::<C>(rng, n)
+        .iter()
+        .map(Affine::to_projective)
+        .collect();
+    let batch = Projective::batch_to_affine(&points);
+    for (i, (p, got)) in points.iter().zip(&batch).enumerate() {
+        if *got != p.to_affine() {
+            return fail("batch_to_affine", format_args!("slot {i} of {n}"));
+        }
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------------ NTT
+
+fn ntt_case<F: PrimeField>(rng: &mut SplitRng) -> CaseResult {
+    let size = adversarial_pow2(rng, 8);
+    let Some(domain) = Radix2Domain::<F>::new(size) else {
+        return fail("ntt", format_args!("no domain of size {size}"));
+    };
+    let coeffs: Vec<F> = adversarial_scalars(rng, domain.size());
+
+    // Forward transform against the O(n²) DFT.
+    let mut evals = coeffs.clone();
+    domain.fft_in_place(&mut evals);
+    if evals != dft_reference(&domain, &coeffs) {
+        return fail("ntt forward vs dft", format_args!("size {size}"));
+    }
+    // Inverse transform closes the roundtrip.
+    let mut round = evals.clone();
+    domain.ifft_in_place(&mut round);
+    if round != coeffs {
+        return fail("ntt ifft roundtrip", format_args!("size {size}"));
+    }
+    // Coset transform against the shifted DFT.
+    let mut coset = coeffs.clone();
+    domain.coset_fft_in_place(&mut coset);
+    if coset != coset_dft_reference(&domain, &coeffs) {
+        return fail("coset ntt vs dft", format_args!("size {size}"));
+    }
+    let mut coset_round = coset;
+    domain.coset_ifft_in_place(&mut coset_round);
+    if coset_round != coeffs {
+        return fail("coset ifft roundtrip", format_args!("size {size}"));
+    }
+    // element(i) — served from the cached twiddle table — against an
+    // independent ω power run.
+    let mut x = F::one();
+    for i in 0..domain.size() {
+        if domain.element(i) != x {
+            return fail("domain element", format_args!("i = {i}, size {size}"));
+        }
+        x *= domain.group_gen();
+    }
+    Ok(())
+}
+
+fn lagrange_case<F: PrimeField>(rng: &mut SplitRng) -> CaseResult {
+    let size = adversarial_pow2(rng, 6);
+    let Some(domain) = Radix2Domain::<F>::new(size) else {
+        return fail("lagrange", format_args!("no domain of size {size}"));
+    };
+    let evals: Vec<F> = adversarial_scalars(rng, domain.size());
+    // At a random point: Σ Lᵢ(x)·evalsᵢ must equal the interpolated
+    // polynomial evaluated there (IFFT + Horner reference).
+    let x: F = if rng.gen_bool(0.25) {
+        // In-domain x exercises the indicator special case.
+        domain.element(rng.gen_range(0..domain.size() as u64) as usize)
+    } else {
+        F::random(rng)
+    };
+    let lag = domain.lagrange_coefficients_at(x);
+    let via_lagrange: F = lag.iter().zip(&evals).map(|(l, e)| *l * *e).sum();
+    let mut coeffs = evals.clone();
+    domain.ifft_in_place(&mut coeffs);
+    if via_lagrange != horner(&coeffs, x) {
+        return fail("lagrange_coefficients_at", format_args!("size {size}"));
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------- threads
+
+/// Restores the pool to one thread even when the comparison fails.
+struct ThreadGuard;
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        pool::set_threads(1);
+    }
+}
+
+fn threads_msm_case<C: CurveParams>(rng: &mut SplitRng) -> CaseResult {
+    let _guard = ThreadGuard;
+    // Past the parallel gate (1 << 10), with an odd tail.
+    let n = (1 << 10) + 1 + rng.gen_range(0..200) as usize;
+    let bases: Vec<Affine<C>> = adversarial_points(rng, n);
+    let scalars: Vec<C::Scalar> = adversarial_scalars(rng, n);
+    pool::set_threads(1);
+    let serial = msm(&bases, &scalars).to_affine();
+    for threads in [2usize, 4] {
+        pool::set_threads(threads);
+        let par = msm(&bases, &scalars).to_affine();
+        if par != serial {
+            return fail("threads msm", format_args!("{threads} threads, n = {n}"));
+        }
+    }
+    Ok(())
+}
+
+fn threads_ntt_case<F: PrimeField>(rng: &mut SplitRng) -> CaseResult {
+    let _guard = ThreadGuard;
+    // At the parallel gate (2^12).
+    let Some(domain) = Radix2Domain::<F>::new(1 << 12) else {
+        return fail("threads ntt", "no 2^12 domain");
+    };
+    let coeffs: Vec<F> = adversarial_scalars(rng, domain.size());
+    pool::set_threads(1);
+    let mut serial = coeffs.clone();
+    domain.coset_fft_in_place(&mut serial);
+    domain.ifft_in_place(&mut serial);
+    for threads in [2usize, 4] {
+        pool::set_threads(threads);
+        let mut par = coeffs.clone();
+        domain.coset_fft_in_place(&mut par);
+        domain.ifft_in_place(&mut par);
+        if par != serial {
+            return fail("threads ntt", format_args!("{threads} threads"));
+        }
+    }
+    Ok(())
+}
+
+fn threads_fixed_base_case<C: CurveParams>(rng: &mut SplitRng) -> CaseResult {
+    let _guard = ThreadGuard;
+    // Past the one-chunk gate (2048 scalars per chunk), with a ragged tail.
+    let n = 2048 + 1 + rng.gen_range(0..300) as usize;
+    let base = Projective::<C>::random(rng);
+    let table = FixedBaseTable::<C>::for_batch(&base, n);
+    let scalars: Vec<C::Scalar> = adversarial_scalars(rng, n);
+    pool::set_threads(1);
+    let serial = table.mul_batch(&scalars);
+    pool::set_threads(4);
+    let parallel = table.mul_batch(&scalars);
+    if serial != parallel {
+        return fail("threads fixed_base", format_args!("n = {n}"));
+    }
+    Ok(())
+}
+
+fn threads_groth16_case<E: Engine>(rng: &mut SplitRng) -> CaseResult {
+    let _guard = ThreadGuard;
+    let (circuit, witness) = adversarial_circuit::<E::Fr>(rng);
+    let proof_at = |threads: usize, rng: &SplitRng| {
+        pool::set_threads(threads);
+        // Clone the RNG so both legs see the identical randomness stream
+        // for setup *and* prove: any output difference is then a real
+        // thread-count divergence, not sampling noise.
+        let mut local = rng.clone();
+        let pk = zkperf_groth16::setup::<E, _>(circuit.r1cs(), &mut local)
+            .map_err(|e| format!("setup failed: {e}"))?;
+        let proof = zkperf_groth16::prove::<E, _>(&pk, circuit.r1cs(), &witness, &mut local)
+            .map_err(|e| format!("prove failed: {e}"))?;
+        Ok::<_, String>((pk, proof))
+    };
+    let (pk1, serial) = proof_at(1, rng)?;
+    let (pk4, parallel) = proof_at(4, rng)?;
+    if pk1.vk != pk4.vk {
+        return fail("threads groth16", "verifying keys diverge across thread counts");
+    }
+    if serial != parallel {
+        return fail("threads groth16", "proofs diverge across thread counts");
+    }
+    pool::set_threads(1);
+    match zkperf_groth16::verify::<E>(&pk1.vk, &serial, witness.public()) {
+        Ok(true) => Ok(()),
+        other => fail("threads groth16", format_args!("valid proof rejected: {other:?}")),
+    }
+}
+
+// ------------------------------------------------------------ protocols
+
+fn groth16_roundtrip_case<E: Engine>(rng: &mut SplitRng) -> CaseResult {
+    let (circuit, witness) = adversarial_circuit::<E::Fr>(rng);
+    let pk = zkperf_groth16::setup::<E, _>(circuit.r1cs(), rng)
+        .map_err(|e| format!("setup failed: {e}"))?;
+    let proof = zkperf_groth16::prove::<E, _>(&pk, circuit.r1cs(), &witness, rng)
+        .map_err(|e| format!("prove failed: {e}"))?;
+    match zkperf_groth16::verify::<E>(&pk.vk, &proof, witness.public()) {
+        Ok(true) => Ok(()),
+        other => fail(
+            "groth16 roundtrip",
+            format_args!("valid proof rejected: {other:?} ({})", circuit.name()),
+        ),
+    }
+}
+
+fn plonk_roundtrip_case<E: Engine>(rng: &mut SplitRng) -> CaseResult
+where
+    <E::G1 as CurveParams>::Base: PrimeField,
+{
+    let (circuit, witness) = adversarial_circuit::<E::Fr>(rng);
+    let pk = zkperf_plonk::plonk_setup::<E, _>(circuit.r1cs(), rng)
+        .map_err(|e| format!("setup failed: {e}"))?;
+    let proof =
+        zkperf_plonk::plonk_prove(&pk, witness.full()).map_err(|e| format!("prove failed: {e}"))?;
+    if !zkperf_plonk::plonk_verify(pk.vk(), &proof, witness.public()) {
+        return fail(
+            "plonk roundtrip",
+            format_args!("valid proof rejected ({})", circuit.name()),
+        );
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------ inventory
+
+/// The full oracle inventory, one entry per (kernel, instantiation).
+pub fn all_oracles() -> Vec<Oracle> {
+    use zkperf_ec::{bls12_381, bn254};
+    use zkperf_ff::{bls12_381 as ffbls, bn254 as ffbn};
+    vec![
+        Oracle {
+            name: "field_ops_bn254_fr",
+            run: field_ops_case::<ffbn::Fr>,
+        },
+        Oracle {
+            name: "field_ops_bn254_fq",
+            run: field_ops_case::<ffbn::Fq>,
+        },
+        Oracle {
+            name: "field_ops_bls12_381_fr",
+            run: field_ops_case::<ffbls::Fr>,
+        },
+        Oracle {
+            name: "field_ops_bls12_381_fq",
+            run: field_ops_case::<ffbls::Fq>,
+        },
+        Oracle {
+            name: "field_inverse_bn254_fr",
+            run: field_inverse_case::<ffbn::Fr>,
+        },
+        Oracle {
+            name: "field_inverse_bls12_381_fr",
+            run: field_inverse_case::<ffbls::Fr>,
+        },
+        Oracle {
+            name: "msm_bn254_g1",
+            run: msm_case::<bn254::G1Params>,
+        },
+        Oracle {
+            name: "msm_bn254_g2",
+            run: msm_case::<bn254::G2Params>,
+        },
+        Oracle {
+            name: "msm_bls12_381_g1",
+            run: msm_case::<bls12_381::G1Params>,
+        },
+        Oracle {
+            name: "fixed_base_bn254_g1",
+            run: fixed_base_case::<bn254::G1Params>,
+        },
+        Oracle {
+            name: "fixed_base_bls12_381_g1",
+            run: fixed_base_case::<bls12_381::G1Params>,
+        },
+        Oracle {
+            name: "batch_to_affine_bn254_g1",
+            run: batch_to_affine_case::<bn254::G1Params>,
+        },
+        Oracle {
+            name: "ntt_bn254_fr",
+            run: ntt_case::<ffbn::Fr>,
+        },
+        Oracle {
+            name: "ntt_bls12_381_fr",
+            run: ntt_case::<ffbls::Fr>,
+        },
+        Oracle {
+            name: "lagrange_bn254_fr",
+            run: lagrange_case::<ffbn::Fr>,
+        },
+        Oracle {
+            name: "threads_msm_bn254_g1",
+            run: threads_msm_case::<bn254::G1Params>,
+        },
+        Oracle {
+            name: "threads_ntt_bn254_fr",
+            run: threads_ntt_case::<ffbn::Fr>,
+        },
+        Oracle {
+            name: "threads_fixed_base_bn254_g1",
+            run: threads_fixed_base_case::<bn254::G1Params>,
+        },
+        Oracle {
+            name: "threads_groth16_bn254",
+            run: threads_groth16_case::<zkperf_ec::Bn254>,
+        },
+        Oracle {
+            name: "groth16_roundtrip_bn254",
+            run: groth16_roundtrip_case::<zkperf_ec::Bn254>,
+        },
+        Oracle {
+            name: "groth16_roundtrip_bls12_381",
+            run: groth16_roundtrip_case::<zkperf_ec::Bls12_381>,
+        },
+        Oracle {
+            name: "plonk_roundtrip_bn254",
+            run: plonk_roundtrip_case::<zkperf_ec::Bn254>,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_names_are_unique_and_wellformed() {
+        let oracles = all_oracles();
+        let mut seen = std::collections::HashSet::new();
+        for o in &oracles {
+            assert!(seen.insert(o.name), "duplicate oracle name {}", o.name);
+            assert!(
+                o.name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "name {} unusable in a shell replay line",
+                o.name
+            );
+        }
+        assert!(oracles.len() >= 20);
+    }
+
+    #[test]
+    fn cheap_oracles_pass_one_case() {
+        // The full sweep lives in the integration suite and fuzz_lite;
+        // here just one case of the pure-field oracles as a smoke check.
+        for name in [
+            "field_ops_bn254_fr",
+            "field_inverse_bn254_fr",
+            "ntt_bn254_fr",
+        ] {
+            let o = all_oracles()
+                .into_iter()
+                .find(|o| o.name == name)
+                .expect("inventory contains the oracle");
+            let mut rng = crate::rng::case_rng(0xfeed, name, 0);
+            assert_eq!((o.run)(&mut rng), Ok(()), "{name}");
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Soundness-negative audit: mutated proofs must be rejected.
+//!
+//! A verifier that accepts everything passes every roundtrip test. This
+//! module is the other half of the differential story: starting from a
+//! **valid** (proof, key, statement) triple, each *mutation class* applies
+//! one structured corruption — a flipped coordinate, a swapped group
+//! element, an off-by-one public input, an evaluation moved to the wrong
+//! domain point — and asserts verification no longer accepts. A class that
+//! is still accepted is a soundness hole, reported with the campaign's
+//! replay seed.
+//!
+//! Classes are deliberately *semantic* (negate `A`, splice `B` from
+//! another valid proof, evaluate `z` at ζ instead of ζω…) rather than
+//! random bit noise: random corruption nearly always lands off the curve
+//! and only exercises the deserialization guard, while these land on
+//! well-formed-but-wrong inputs that only the pairing / opening checks can
+//! catch.
+
+use rand::Rng;
+use zkperf_ec::{Affine, CurveParams, Engine};
+use zkperf_ff::{Field, PrimeField};
+use zkperf_groth16::{Proof, VerifyingKey};
+use zkperf_plonk::{PlonkProof, PlonkVerifyingKey};
+
+use crate::rng::SplitRng;
+
+/// The result of one mutation class: `rejected` must be `true`.
+#[derive(Debug, Clone)]
+pub struct MutationOutcome {
+    /// Proof system the class targets (`"groth16"` or `"plonk"`).
+    pub scheme: &'static str,
+    /// Stable class name, usable in failure reports.
+    pub name: &'static str,
+    /// Whether the verifier rejected the mutated input (the expectation).
+    pub rejected: bool,
+    /// Debug rendering of the verifier's verdict.
+    pub outcome: String,
+}
+
+fn doubled<C: CurveParams>(p: &Affine<C>) -> Affine<C> {
+    p.to_projective().double().to_affine()
+}
+
+/// A well-formed-looking point that is (overwhelmingly likely) off the
+/// curve: same `y`, nudged `x`.
+fn off_curve<C: CurveParams>(p: &Affine<C>) -> Affine<C> {
+    Affine::new_unchecked(p.x + C::Base::one(), p.y)
+}
+
+// --------------------------------------------------------------- Groth16
+
+struct Groth16Fixture<E: Engine> {
+    vk: VerifyingKey<E>,
+    proof: Proof<E>,
+    public: Vec<E::Fr>,
+    /// A second valid proof for a *different* statement under the same key.
+    proof_other: Proof<E>,
+    public_other: Vec<E::Fr>,
+}
+
+fn groth16_fixture<E: Engine>(rng: &mut SplitRng) -> Result<Groth16Fixture<E>, String> {
+    // y = x^8 with x ≥ 2 keeps the three public wires (1, y, x) pairwise
+    // distinct, so swap/tamper mutations genuinely change the statement.
+    let circuit = zkperf_circuit::library::exponentiate::<E::Fr>(8);
+    let x = E::Fr::from_u64(2 + rng.gen_range(0..64));
+    let x_other = x + E::Fr::one();
+    let pk = zkperf_groth16::setup::<E, _>(circuit.r1cs(), rng)
+        .map_err(|e| format!("fixture setup failed: {e}"))?;
+    let mut prove = |x: E::Fr| -> Result<(Proof<E>, Vec<E::Fr>), String> {
+        let w = circuit
+            .generate_witness(&[x], &[])
+            .map_err(|e| format!("fixture witness failed: {e}"))?;
+        let proof = zkperf_groth16::prove::<E, _>(&pk, circuit.r1cs(), &w, rng)
+            .map_err(|e| format!("fixture prove failed: {e}"))?;
+        Ok((proof, w.public().to_vec()))
+    };
+    let (proof, public) = prove(x)?;
+    let (proof_other, public_other) = prove(x_other)?;
+    // The fixture itself must verify, otherwise every mutation "passes"
+    // vacuously.
+    match zkperf_groth16::verify::<E>(&pk.vk, &proof, &public) {
+        Ok(true) => {}
+        other => return Err(format!("fixture proof does not verify: {other:?}")),
+    }
+    Ok(Groth16Fixture {
+        vk: pk.vk,
+        proof,
+        public,
+        proof_other,
+        public_other,
+    })
+}
+
+fn record_groth16<E: Engine>(
+    out: &mut Vec<MutationOutcome>,
+    name: &'static str,
+    vk: &VerifyingKey<E>,
+    proof: &Proof<E>,
+    public: &[E::Fr],
+) {
+    let res = zkperf_groth16::verify::<E>(vk, proof, public);
+    out.push(MutationOutcome {
+        scheme: "groth16",
+        name,
+        rejected: !matches!(res, Ok(true)),
+        outcome: format!("{res:?}"),
+    });
+}
+
+/// Runs every Groth16 mutation class against a fresh fixture.
+///
+/// # Errors
+///
+/// Fails only when the fixture itself cannot be built or does not verify —
+/// a mutation class that is *accepted* is reported in its
+/// [`MutationOutcome`], not as an `Err`.
+pub fn run_groth16_mutations<E: Engine>(
+    rng: &mut SplitRng,
+) -> Result<Vec<MutationOutcome>, String> {
+    let fx = groth16_fixture::<E>(rng)?;
+    let (vk, proof, public) = (&fx.vk, &fx.proof, fx.public.as_slice());
+    let mut out = Vec::new();
+
+    // -- proof-element mutations ------------------------------------
+    let with = |name: &'static str, p: Proof<E>, out: &mut Vec<MutationOutcome>| {
+        record_groth16::<E>(out, name, vk, &p, public);
+    };
+    with(
+        "swap_a_c",
+        Proof {
+            a: proof.c,
+            b: proof.b,
+            c: proof.a,
+        },
+        &mut out,
+    );
+    with(
+        "negate_a",
+        Proof {
+            a: proof.a.neg(),
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    with(
+        "negate_b",
+        Proof {
+            b: proof.b.neg(),
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    with(
+        "negate_c",
+        Proof {
+            c: proof.c.neg(),
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    with(
+        "a_identity",
+        Proof {
+            a: Affine::identity(),
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    with(
+        "b_identity",
+        Proof {
+            b: Affine::identity(),
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    with(
+        "c_identity",
+        Proof {
+            c: Affine::identity(),
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    with(
+        "a_generator",
+        Proof {
+            a: Affine::generator(),
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    with(
+        "a_doubled",
+        Proof {
+            a: doubled(&proof.a),
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    with(
+        "b_doubled",
+        Proof {
+            b: doubled(&proof.b),
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    with(
+        "c_doubled",
+        Proof {
+            c: doubled(&proof.c),
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    with(
+        "a_off_curve",
+        Proof {
+            a: off_curve(&proof.a),
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    with(
+        "b_off_curve",
+        Proof {
+            b: off_curve(&proof.b),
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    // Splices: each element individually replaced by the matching element
+    // of a *different* valid proof — every piece is on-curve and honestly
+    // generated, only the combination is wrong.
+    with(
+        "splice_a_from_other_proof",
+        Proof {
+            a: fx.proof_other.a,
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    with(
+        "splice_b_from_other_proof",
+        Proof {
+            b: fx.proof_other.b,
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    with(
+        "splice_c_from_other_proof",
+        Proof {
+            c: fx.proof_other.c,
+            ..proof.clone()
+        },
+        &mut out,
+    );
+    record_groth16::<E>(
+        &mut out,
+        "proof_for_other_statement",
+        vk,
+        &fx.proof_other,
+        public,
+    );
+
+    // -- verifying-key mutations ------------------------------------
+    let mut vk_swapped = vk.clone();
+    std::mem::swap(&mut vk_swapped.gamma_g2, &mut vk_swapped.delta_g2);
+    record_groth16::<E>(&mut out, "vk_gamma_delta_swapped", &vk_swapped, proof, public);
+    let mut vk_neg_alpha = vk.clone();
+    vk_neg_alpha.alpha_g1 = vk_neg_alpha.alpha_g1.neg();
+    record_groth16::<E>(&mut out, "vk_alpha_negated", &vk_neg_alpha, proof, public);
+    let mut vk_bad_ic = vk.clone();
+    vk_bad_ic.ic[1] = doubled(&vk_bad_ic.ic[1]);
+    record_groth16::<E>(&mut out, "vk_ic_tampered", &vk_bad_ic, proof, public);
+
+    // -- public-witness mutations -----------------------------------
+    let mut tampered = public.to_vec();
+    tampered[1] += E::Fr::one();
+    record_groth16::<E>(&mut out, "public_output_tampered", vk, proof, &tampered);
+    let mut swapped = public.to_vec();
+    swapped.swap(1, 2);
+    record_groth16::<E>(&mut out, "public_entries_swapped", vk, proof, &swapped);
+    let mut zeroed_one = public.to_vec();
+    zeroed_one[0] = E::Fr::zero();
+    record_groth16::<E>(&mut out, "public_one_wire_zeroed", vk, proof, &zeroed_one);
+    record_groth16::<E>(&mut out, "public_truncated", vk, proof, &public[..public.len() - 1]);
+    let mut extended = public.to_vec();
+    extended.push(E::Fr::one());
+    record_groth16::<E>(&mut out, "public_extended", vk, proof, &extended);
+
+    // -- batch verification poisoned by one bad statement -----------
+    let batch = [
+        (proof.clone(), public.to_vec()),
+        (fx.proof_other.clone(), public.to_vec()), // statement mismatch
+    ];
+    let res = zkperf_groth16::verify_batch::<E, _>(vk, &batch, rng);
+    out.push(MutationOutcome {
+        scheme: "groth16",
+        name: "batch_with_poisoned_statement",
+        rejected: !matches!(res, Ok(true)),
+        outcome: format!("{res:?}"),
+    });
+    // Sanity: the all-valid batch still passes (guards against a batch
+    // verifier that rejects everything).
+    let good_batch = [
+        (proof.clone(), public.to_vec()),
+        (fx.proof_other.clone(), fx.public_other.clone()),
+    ];
+    match zkperf_groth16::verify_batch::<E, _>(vk, &good_batch, rng) {
+        Ok(true) => {}
+        other => return Err(format!("valid batch rejected: {other:?}")),
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------- PLONK
+
+fn record_plonk<E: Engine>(
+    out: &mut Vec<MutationOutcome>,
+    name: &'static str,
+    vk: &PlonkVerifyingKey<E>,
+    proof: &PlonkProof<E>,
+    public: &[E::Fr],
+) where
+    <E::G1 as CurveParams>::Base: PrimeField,
+{
+    let accepted = zkperf_plonk::plonk_verify(vk, proof, public);
+    out.push(MutationOutcome {
+        scheme: "plonk",
+        name,
+        rejected: !accepted,
+        outcome: format!("accepted = {accepted}"),
+    });
+}
+
+/// Runs every PLONK mutation class against a fresh fixture.
+///
+/// # Errors
+///
+/// Fails only when the fixture itself cannot be built or does not verify.
+pub fn run_plonk_mutations<E: Engine>(rng: &mut SplitRng) -> Result<Vec<MutationOutcome>, String>
+where
+    <E::G1 as CurveParams>::Base: PrimeField,
+{
+    let circuit = zkperf_circuit::library::exponentiate::<E::Fr>(8);
+    let x = E::Fr::from_u64(2 + rng.gen_range(0..64));
+    let pk = zkperf_plonk::plonk_setup::<E, _>(circuit.r1cs(), rng)
+        .map_err(|e| format!("fixture setup failed: {e}"))?;
+    let w = circuit
+        .generate_witness(&[x], &[])
+        .map_err(|e| format!("fixture witness failed: {e}"))?;
+    let proof =
+        zkperf_plonk::plonk_prove(&pk, w.full()).map_err(|e| format!("fixture prove failed: {e}"))?;
+    let vk = pk.vk();
+    let public = w.public();
+    if !zkperf_plonk::plonk_verify(vk, &proof, public) {
+        return Err("fixture proof does not verify".into());
+    }
+    let mut out = Vec::new();
+    // Evaluation order in `evals_zeta`:
+    // a, b, c, z, s₁, s₂, s₃, q_L, q_R, q_O, q_M, q_C, t.
+    const EVAL_A: usize = 0;
+    const EVAL_Z: usize = 3;
+    const EVAL_S1: usize = 4;
+    const EVAL_QL: usize = 7;
+    const EVAL_T: usize = 12;
+
+    // -- commitment mutations ---------------------------------------
+    let mut bad = proof.clone();
+    bad.wire_commits[0].0 = doubled(&bad.wire_commits[0].0);
+    record_plonk::<E>(&mut out, "wire_commit_doubled", vk, &bad, public);
+    let mut bad = proof.clone();
+    bad.wire_commits.swap(0, 1);
+    record_plonk::<E>(&mut out, "wire_commits_swapped", vk, &bad, public);
+    let mut bad = proof.clone();
+    bad.z_commit.0 = doubled(&bad.z_commit.0);
+    record_plonk::<E>(&mut out, "z_commit_doubled", vk, &bad, public);
+    let mut bad = proof.clone();
+    bad.z_commit = bad.t_commit;
+    record_plonk::<E>(&mut out, "z_commit_replaced_by_t", vk, &bad, public);
+    let mut bad = proof.clone();
+    bad.t_commit.0 = doubled(&bad.t_commit.0);
+    record_plonk::<E>(&mut out, "t_commit_doubled", vk, &bad, public);
+    let mut bad = proof.clone();
+    bad.t_commit.0 = Affine::identity();
+    record_plonk::<E>(&mut out, "t_commit_identity", vk, &bad, public);
+
+    // -- claimed-evaluation mutations -------------------------------
+    for (name, idx) in [
+        ("eval_wire_tampered", EVAL_A),
+        ("eval_z_tampered", EVAL_Z),
+        ("eval_sigma_tampered", EVAL_S1),
+        ("eval_selector_tampered", EVAL_QL),
+        ("eval_quotient_tampered", EVAL_T),
+    ] {
+        let mut bad = proof.clone();
+        bad.evals_zeta[idx] += E::Fr::one();
+        record_plonk::<E>(&mut out, name, vk, &bad, public);
+    }
+    let mut bad = proof.clone();
+    bad.evals_zeta.rotate_left(1);
+    record_plonk::<E>(&mut out, "evals_rotated", vk, &bad, public);
+    let mut bad = proof.clone();
+    bad.z_omega_eval += E::Fr::one();
+    record_plonk::<E>(&mut out, "z_omega_tampered", vk, &bad, public);
+    // Wrong-domain evaluation: claim z(ζ) where the protocol expects
+    // z(ζω) — a correctly computed value for the wrong domain point.
+    let mut bad = proof.clone();
+    bad.z_omega_eval = bad.evals_zeta[EVAL_Z];
+    record_plonk::<E>(&mut out, "z_omega_wrong_domain", vk, &bad, public);
+
+    // -- opening-proof mutations ------------------------------------
+    let mut bad = proof.clone();
+    bad.w_zeta.0 = doubled(&bad.w_zeta.0);
+    record_plonk::<E>(&mut out, "w_zeta_doubled", vk, &bad, public);
+    let mut bad = proof.clone();
+    bad.w_zeta_omega.0 = doubled(&bad.w_zeta_omega.0);
+    record_plonk::<E>(&mut out, "w_zeta_omega_doubled", vk, &bad, public);
+    let mut bad = proof.clone();
+    std::mem::swap(&mut bad.w_zeta, &mut bad.w_zeta_omega);
+    record_plonk::<E>(&mut out, "opening_proofs_swapped", vk, &bad, public);
+
+    // -- public-input mutations -------------------------------------
+    let mut tampered = public.to_vec();
+    tampered[1] += E::Fr::one();
+    record_plonk::<E>(&mut out, "public_output_tampered", vk, &proof, &tampered);
+    let mut swapped = public.to_vec();
+    swapped.swap(1, 2);
+    record_plonk::<E>(&mut out, "public_entries_swapped", vk, &proof, &swapped);
+    record_plonk::<E>(
+        &mut out,
+        "public_truncated",
+        vk,
+        &proof,
+        &public[..public.len() - 1],
+    );
+    Ok(out)
+}
+
+/// Runs the full mutation suite (Groth16 over BN254 and BLS12-381, PLONK
+/// over BN254) and returns every class outcome.
+///
+/// # Errors
+///
+/// Propagates fixture construction failures; accepted mutations are
+/// reported in the outcomes, not as errors.
+pub fn run_all_mutations(rng: &mut SplitRng) -> Result<Vec<MutationOutcome>, String> {
+    let mut out = run_groth16_mutations::<zkperf_ec::Bn254>(&mut rng.fork(1))?;
+    // The same Groth16 classes over the second curve guard curve-specific
+    // verifier shortcuts; they share class names, so distinct-class counts
+    // stay per-scheme.
+    out.extend(run_groth16_mutations::<zkperf_ec::Bls12_381>(&mut rng.fork(2))?);
+    out.extend(run_plonk_mutations::<zkperf_ec::Bn254>(&mut rng.fork(3))?);
+    Ok(out)
+}
+
+/// Number of *distinct* (scheme, class-name) pairs in a set of outcomes.
+pub fn distinct_classes(outcomes: &[MutationOutcome]) -> usize {
+    outcomes
+        .iter()
+        .map(|o| (o.scheme, o.name))
+        .collect::<std::collections::HashSet<_>>()
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groth16_mutation_classes_all_rejected_bn254() {
+        let mut rng = SplitRng::from_seed(0x50d4);
+        let outcomes = run_groth16_mutations::<zkperf_ec::Bn254>(&mut rng).unwrap();
+        assert!(outcomes.len() >= 20);
+        for o in &outcomes {
+            assert!(o.rejected, "{} accepted a mutated input: {}", o.name, o.outcome);
+        }
+    }
+
+    #[test]
+    fn plonk_mutation_classes_all_rejected() {
+        let mut rng = SplitRng::from_seed(0x50d5);
+        let outcomes = run_plonk_mutations::<zkperf_ec::Bn254>(&mut rng).unwrap();
+        assert!(outcomes.len() >= 15);
+        for o in &outcomes {
+            assert!(o.rejected, "{} accepted a mutated input: {}", o.name, o.outcome);
+        }
+    }
+}

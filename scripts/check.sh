@@ -30,6 +30,18 @@ echo "==> determinism suites at ZKPERF_THREADS=1 and 4"
 ZKPERF_THREADS=1 cargo test -q --offline --test determinism --test thread_determinism
 ZKPERF_THREADS=4 cargo test -q --offline --test determinism --test thread_determinism
 
+# Fixed-seed differential fuzz smoke tier: every optimized kernel against
+# its slow in-tree reference plus the soundness-negative mutation audit.
+# The seed is pinned (fuzz_lite's built-in default) so this tier is fully
+# deterministic; on divergence fuzz_lite prints a ready-to-paste
+# ZKPERF_TESTKIT_SEED=... replay command for the single failing case.
+# Deeper runs: ZKPERF_TESTKIT_SEED=$RANDOM ./target/release/fuzz_lite --iters 64
+echo "==> fuzz_lite fixed-seed smoke tier"
+if ! ./target/release/fuzz_lite --iters 8; then
+    echo "fuzz_lite found diverging cases; paste a replay line from above" >&2
+    exit 1
+fi
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -D warnings"
     cargo clippy -q --offline --workspace --all-targets -- -D warnings

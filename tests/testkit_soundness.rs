@@ -1,0 +1,46 @@
+//! Integration: the soundness-negative audit — every mutation class over
+//! valid Groth16 and PLONK proofs must be rejected by verification.
+
+use zkperf_testkit::soundness::{distinct_classes, run_all_mutations};
+use zkperf_testkit::SplitRng;
+
+#[test]
+fn all_mutation_classes_are_rejected_and_coverage_is_wide() {
+    let mut rng = SplitRng::from_seed(0x7e57_0002);
+    let outcomes = run_all_mutations(&mut rng).expect("fixtures build and verify");
+
+    // Acceptance bar: at least 25 distinct mutation classes across the two
+    // proof systems, with both schemes represented.
+    assert!(
+        distinct_classes(&outcomes) >= 25,
+        "only {} distinct mutation classes",
+        distinct_classes(&outcomes)
+    );
+    assert!(outcomes.iter().any(|o| o.scheme == "groth16"));
+    assert!(outcomes.iter().any(|o| o.scheme == "plonk"));
+
+    let accepted: Vec<String> = outcomes
+        .iter()
+        .filter(|o| !o.rejected)
+        .map(|o| format!("{}/{} ({})", o.scheme, o.name, o.outcome))
+        .collect();
+    assert!(
+        accepted.is_empty(),
+        "soundness holes — mutated inputs accepted: {accepted:?}"
+    );
+}
+
+#[test]
+fn mutation_suite_is_deterministic_per_seed() {
+    // The audit is part of the fixed-seed smoke tier, so its verdicts must
+    // be a pure function of the seed.
+    let run = |seed: u64| {
+        let mut rng = SplitRng::from_seed(seed);
+        run_all_mutations(&mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|o| (o.scheme, o.name, o.rejected))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(42), run(42));
+}
