@@ -12,6 +12,11 @@
 //!   path on the exponentiation workloads at 2^10..2^14 constraints.
 //! * `--smoke`: kernel micro-benches only, at reduced sizes — fast enough
 //!   for the tier-1 gate in `scripts/check.sh`.
+//! * `--large`: adds the big-domain sweep — MSM at 2^18/2^20 and NTT at
+//!   2^18/2^20/2^22 (the four-step crossover and beyond). Off in tier-1;
+//!   the small-size kernels keep their exact names so baseline
+//!   comparisons stay like-for-like, and `compare` only gates entries
+//!   present in both reports, so large entries append harmlessly.
 //!
 //! Exit codes: 0 ok, 1 usage/IO error, 2 regression past the threshold.
 
@@ -179,6 +184,47 @@ fn kernel_benches(smoke: bool) -> Vec<KernelResult> {
     out
 }
 
+/// The `--large` sweep: MSM and NTT at sizes where the GLV bucket sets
+/// and the four-step crossover actually bite. Separate from
+/// `kernel_benches` so the default suites keep their runtimes.
+fn large_kernel_benches() -> Vec<KernelResult> {
+    let mut rng = zkperf_ff::test_rng();
+    let mut out = Vec::new();
+
+    let table = FixedBaseTable::new(&Projective::<zkperf_ec::bn254::G1Params>::generator());
+    for log in [18u32, 20] {
+        let n = 1usize << log;
+        eprintln!("  preparing bn254_msm_g1_2e{log} ({n} points)...");
+        let scalars: Vec<bn254::Fr> = (0..n).map(|_| bn254::Fr::random(&mut rng)).collect();
+        let bases = table.mul_batch(&scalars);
+        out.push(KernelResult {
+            name: format!("bn254_msm_g1_2e{log}"),
+            nanos: best_of(2, || {
+                std::hint::black_box(msm(&bases, &scalars));
+            }),
+        });
+        eprintln!("  kernel bn254_msm_g1_2e{log}: {} ns", out.last().expect("just pushed").nanos);
+    }
+
+    for log in [18u32, 20, 22] {
+        let domain = Radix2Domain::<bn254::Fr>::new(1 << log).expect("domain fits");
+        let values: Vec<bn254::Fr> = (0..domain.size())
+            .map(|_| bn254::Fr::random(&mut rng))
+            .collect();
+        let mut buf = values.clone();
+        out.push(KernelResult {
+            name: format!("bn254_ntt_2e{log}"),
+            nanos: best_of(3, || {
+                buf.copy_from_slice(&values);
+                domain.fft_in_place(&mut buf);
+                std::hint::black_box(&buf);
+            }),
+        });
+        eprintln!("  kernel bn254_ntt_2e{log}: {} ns", out.last().expect("just pushed").nanos);
+    }
+    out
+}
+
 fn stage_benches() -> Vec<StageResult> {
     let mut out = Vec::new();
     for log in [10u32, 12, 14] {
@@ -248,13 +294,14 @@ fn compare(old: &BenchReport, new: &BenchReport, threshold: f64) -> Vec<String> 
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench_regression [--smoke] [--out FILE] [--baseline FILE] [--threshold FRACTION]"
+        "usage: bench_regression [--smoke] [--large] [--out FILE] [--baseline FILE] [--threshold FRACTION]"
     );
     ExitCode::from(1)
 }
 
 fn main() -> ExitCode {
     let mut smoke = false;
+    let mut large = false;
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut threshold = 0.25f64;
@@ -264,6 +311,7 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--large" => large = true,
             "--out" | "--baseline" | "--threshold" => {
                 let Some(value) = args.get(i + 1) else {
                     return usage();
@@ -286,11 +334,16 @@ fn main() -> ExitCode {
     let mode = if smoke { "smoke" } else { "full" };
     let threads = zkperf_pool::current_threads() as u64;
     eprintln!("bench_regression: running {mode} suite at {threads} thread(s)");
+    let mut kernels = kernel_benches(smoke);
+    if large {
+        eprintln!("bench_regression: --large sweep (MSM 2^18..2^20, NTT 2^18..2^22)");
+        kernels.extend(large_kernel_benches());
+    }
     let report = BenchReport {
         schema: 1,
         mode: mode.into(),
         threads,
-        kernels: kernel_benches(smoke),
+        kernels,
         stages: if smoke { Vec::new() } else { stage_benches() },
     };
     for k in &report.kernels {

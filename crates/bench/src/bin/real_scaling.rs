@@ -132,7 +132,10 @@ fn main() -> ExitCode {
         };
         match args[i].as_str() {
             "--log2" => match value.parse() {
-                Ok(v) if (4..=20).contains(&v) => log2 = v,
+                // 2^22 constraints needs a 2^23 quotient domain — well
+                // inside BN254's 2^28 two-adicity, and large enough to
+                // drive the four-step NTT and GLV MSM paths end to end.
+                Ok(v) if (4..=22).contains(&v) => log2 = v,
                 _ => return usage(),
             },
             "--sim-log2" => match value.parse() {

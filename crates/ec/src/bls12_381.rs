@@ -24,6 +24,18 @@ impl CurveParams for G1Params {
             fq("08b3f481e3aaa0f1a09e30ed741d8ae4fcf5e095d5d00af600db18cb2c04b3edd03cc744a2888ae40caa232946c5e7e1"),
         )
     }
+    fn glv_params() -> Option<&'static crate::glv::GlvParams<Self>> {
+        static CELL: std::sync::OnceLock<Option<crate::glv::GlvParams<G1Params>>> =
+            std::sync::OnceLock::new();
+        CELL.get_or_init(|| {
+            // Escape hatch for A/B benchmarking and debugging.
+            if std::env::var("ZKPERF_NO_GLV").is_ok_and(|v| v == "1") {
+                return None;
+            }
+            crate::glv::derive::<G1Params>()
+        })
+        .as_ref()
+    }
 }
 
 /// BLS12-381 G1 in affine coordinates.

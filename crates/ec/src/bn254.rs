@@ -22,6 +22,18 @@ impl CurveParams for G1Params {
     fn generator_xy() -> (Fq, Fq) {
         (Fq::from_u64(1), Fq::from_u64(2))
     }
+    fn glv_params() -> Option<&'static crate::glv::GlvParams<Self>> {
+        static CELL: std::sync::OnceLock<Option<crate::glv::GlvParams<G1Params>>> =
+            std::sync::OnceLock::new();
+        CELL.get_or_init(|| {
+            // Escape hatch for A/B benchmarking and debugging.
+            if std::env::var("ZKPERF_NO_GLV").is_ok_and(|v| v == "1") {
+                return None;
+            }
+            crate::glv::derive::<G1Params>()
+        })
+        .as_ref()
+    }
 }
 
 /// BN254 G1 in affine coordinates.

@@ -25,6 +25,16 @@ pub trait CurveParams:
     fn coeff_b() -> Self::Base;
     /// Affine coordinates of the standard subgroup generator.
     fn generator_xy() -> (Self::Base, Self::Base);
+    /// GLV endomorphism parameters, for groups whose base field carries a
+    /// cube root of unity (BN254 / BLS12-381 G1). `None` (the default)
+    /// keeps every scalar kernel on the generic path.
+    ///
+    /// Implementations derive the parameters once per process via
+    /// [`crate::glv::derive`] and must return `None` rather than
+    /// unverified constants.
+    fn glv_params() -> Option<&'static crate::glv::GlvParams<Self>> {
+        None
+    }
 }
 
 /// An affine point (or the point at infinity).
@@ -295,10 +305,28 @@ impl<C: CurveParams> Projective<C> {
     /// Scalar multiplication with a fixed 4-bit window: ~w× fewer
     /// additions than double-and-add at the cost of a 15-entry table.
     /// Used by ceremony contributions, which re-scale whole key sections.
+    ///
+    /// When the group exposes [`CurveParams::glv_params`] and the exponent
+    /// is a canonical scalar (`exp < r`), the multiplication runs as a
+    /// Straus double-scalar pass over the GLV half-width components —
+    /// half the doubling chain for the same table cost. The GLV route
+    /// assumes the point lies in the prime-order subgroup (the standing
+    /// invariant of points carrying `Scalar = Fr`); out-of-range exponents
+    /// fall back to the generic window loop.
     pub fn mul_windowed(&self, exp: &BigUint) -> Self {
         const W: usize = 4;
         if exp.is_zero() {
             return Self::identity();
+        }
+        // Instrumented runs stay on the generic window loop: the
+        // characterization suite pins that op stream, and the lazy GLV
+        // parameter derivation must not execute inside a traced region.
+        if !trace::is_active() {
+            if let Some(glv) = C::glv_params() {
+                if exp < &C::Scalar::modulus() {
+                    return self.mul_windowed_glv(glv, exp);
+                }
+            }
         }
         let _g = trace::region_profile("scalar_mul");
         // table[d] = d · P for d in 1..16
@@ -323,6 +351,54 @@ impl<C: CurveParams> Projective<C> {
             trace::branch(0x2002, digit != 0);
             if digit != 0 {
                 out = out.add(&table[digit - 1]);
+            }
+        }
+        out
+    }
+
+    /// Straus simultaneous multiplication over the GLV split
+    /// `k = k1 + k2·λ`: one shared ~⌈half_bits⌉-deep doubling chain with
+    /// two 4-bit window tables (for `±P` and `±φ(P)`).
+    fn mul_windowed_glv(&self, glv: &crate::glv::GlvParams<C>, exp: &BigUint) -> Self {
+        const W: usize = 4;
+        let _g = trace::region_profile("scalar_mul");
+        let d = glv.decompose(&C::Scalar::from_biguint(exp));
+        let p_aff = self.to_affine();
+        let endo_aff = glv.endo(&p_aff);
+        let base1 = if d.k1.neg { p_aff.neg() } else { p_aff }.to_projective();
+        let base2 = if d.k2.neg { endo_aff.neg() } else { endo_aff }.to_projective();
+        // table[t][digit - 1] = digit · base_t for digit in 1..16.
+        let mut tables = [[Self::identity(); (1 << W) - 1]; 2];
+        for (table, base) in tables.iter_mut().zip([base1, base2]) {
+            let mut acc = base;
+            for slot in table.iter_mut() {
+                *slot = acc;
+                acc = acc.add(&base);
+            }
+        }
+        let extract = |limbs: &[u64; crate::glv::HALF_LIMBS], lo: usize| -> usize {
+            let (limb, off) = (lo / 64, lo % 64);
+            if limb >= limbs.len() {
+                return 0;
+            }
+            let mut v = limbs[limb] >> off;
+            if off + W > 64 && limb + 1 < limbs.len() {
+                v |= limbs[limb + 1] << (64 - off);
+            }
+            (v as usize) & ((1 << W) - 1)
+        };
+        let digits = glv.half_bits().div_ceil(W);
+        let mut out = Self::identity();
+        for pos in (0..digits).rev() {
+            for _ in 0..W {
+                out = out.double();
+            }
+            for (table, limbs) in tables.iter().zip([&d.k1.limbs, &d.k2.limbs]) {
+                let digit = extract(limbs, pos * W);
+                trace::branch(0x2002, digit != 0);
+                if digit != 0 {
+                    out = out.add(&table[digit - 1]);
+                }
             }
         }
         out

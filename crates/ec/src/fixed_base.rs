@@ -70,15 +70,18 @@ impl<C: CurveParams> FixedBaseTable<C> {
         Self::with_window_bits(base, Self::optimal_window_bits(expected_scalars))
     }
 
-    /// Window width minimizing table-build plus per-scalar addition cost
-    /// for a batch of `n` scalars (the usual `ln n + 2` rule of thumb,
-    /// computed without floats).
+    /// Window width for a batch of `n` scalars, from the same cache-aware
+    /// Pippenger cost model the bucket MSM uses ([`crate::tuning`]): the
+    /// table rows play the role of the bucket array, so the width that
+    /// keeps MSM's live set cache-resident keeps the lookup stream
+    /// resident here too, and the two kernels can no longer drift apart.
     pub fn optimal_window_bits(n: usize) -> usize {
-        if n < 32 {
-            return 3;
-        }
-        let log2 = usize::BITS as usize - 1 - n.leading_zeros() as usize;
-        (log2 * 69 / 100 + 3).clamp(4, 14)
+        crate::tuning::window_bits(
+            n,
+            C::Scalar::modulus_bits() as usize,
+            std::mem::size_of::<Affine<C>>(),
+        )
+        .clamp(1, 14)
     }
 
     /// Builds the table with an explicit window width in `1..=15`.
@@ -367,7 +370,6 @@ mod tests {
 
     #[test]
     fn optimal_window_bits_is_monotone_and_clamped() {
-        assert_eq!(FixedBaseTable::<G1Params>::optimal_window_bits(1), 3);
         let mut prev = 0;
         for log2 in 5..24 {
             let bits = FixedBaseTable::<G1Params>::optimal_window_bits(1 << log2);
@@ -375,7 +377,24 @@ mod tests {
             assert!((1..=14).contains(&bits));
             prev = bits;
         }
-        assert_eq!(FixedBaseTable::<G1Params>::optimal_window_bits(usize::MAX), 14);
+        assert!(FixedBaseTable::<G1Params>::optimal_window_bits(1 << 40) <= 14);
+    }
+
+    #[test]
+    fn fixed_base_and_msm_share_the_window_model() {
+        // Satellite requirement: both kernels must resolve the same width
+        // from the same (n, scalar_bits, cache) inputs — one cost model,
+        // not two drifting heuristics.
+        use zkperf_ff::PrimeField;
+        let scalar_bits = Fr::modulus_bits() as usize;
+        for log2 in [0usize, 4, 8, 10, 12, 14, 16, 18, 20] {
+            let n = 1usize << log2;
+            assert_eq!(
+                FixedBaseTable::<G1Params>::optimal_window_bits(n),
+                crate::msm::window_bits::<G1Params>(n, scalar_bits),
+                "n = {n}"
+            );
+        }
     }
 
     #[test]

@@ -27,8 +27,10 @@ pub mod bn254;
 pub mod curve;
 mod engine;
 mod fixed_base;
+pub mod glv;
 mod msm;
 pub mod pairing;
+pub mod tuning;
 
 /// Serializes tests that toggle the global pool thread count, so the
 /// serial and parallel legs of a comparison run at the thread count they
@@ -40,4 +42,5 @@ pub use batch_add::BatchAdder;
 pub use curve::{Affine, CurveParams, Projective};
 pub use engine::{Bls12_381, Bn254, Engine};
 pub use fixed_base::FixedBaseTable;
+pub use glv::{DecomposedScalar, GlvParams, SignedHalf};
 pub use msm::{msm, msm_naive};

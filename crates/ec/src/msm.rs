@@ -4,9 +4,14 @@
 //! bucket accumulation produces the scattered memory traffic that the
 //! paper's memory analysis attributes to the proving stage.
 //!
-//! The fast path layers three classic optimizations on the textbook bucket
+//! The fast path layers four classic optimizations on the textbook bucket
 //! method:
 //!
+//! * **GLV decomposition.** On curves with the cube-root endomorphism
+//!   ([`CurveParams::glv_params`]), every 254-bit scalar splits into two
+//!   signed ~128-bit halves and Pippenger runs over `2n` half-width
+//!   scalars — roughly half the window passes for one extra field
+//!   multiplication per point (`φ(x, y) = (β·x, y)`).
 //! * **Signed-digit windows.** Each `c`-bit window digit is recoded into
 //!   `[−(2^(c−1)−1), 2^(c−1)]` with a carry into the next window; negative
 //!   digits add the negated base point. This halves the bucket count (and
@@ -15,10 +20,14 @@
 //!   per-bucket segments and summed with [`crate::batch_add::BatchAdder`]:
 //!   shared-inversion affine additions at ~6 field multiplications each
 //!   instead of ~11 for a Jacobian mixed addition.
-//! * **No per-scalar heap churn.** Scalars are written once into one flat
-//!   limb buffer ([`PrimeField::write_canonical_limbs`]), and windows past
-//!   [`PrimeField::modulus_bits`] — always zero, since scalars are reduced —
-//!   are never visited.
+//! * **Cache-aware window choice.** The width comes from the shared
+//!   Pippenger cost model ([`crate::tuning`]) parameterized by the host's
+//!   measured L2/LLC geometry, so the live bucket array stays in cache;
+//!   `ZKPERF_MSM_WINDOW` pins it for reproducing fixed configurations.
+//!
+//! Scalars are written once into one flat limb buffer
+//! ([`PrimeField::write_canonical_limbs`] or the GLV half-magnitudes), and
+//! windows past the scalar bit length are never visited.
 //!
 //! [`msm_naive`] keeps the unoptimized reference semantics; the
 //! property-test suite cross-checks the two on both curves.
@@ -29,21 +38,18 @@ use zkperf_trace as trace;
 
 use crate::batch_add::BatchAdder;
 use crate::curve::{Affine, CurveParams, Projective};
+use crate::glv::{GlvParams, HALF_LIMBS};
+use crate::tuning;
 
 /// Smallest MSM worth fanning out across the pool; below this the
 /// per-window task overhead exceeds the bucket work.
 const PAR_MIN_MSM: usize = 1 << 10;
 
-/// Chooses the Pippenger window width (in bits) for `n` terms.
-fn window_bits(n: usize) -> usize {
-    match n {
-        0..=1 => 1,
-        2..=31 => 3,
-        32..=255 => 5,
-        256..=4095 => 8,
-        4096..=131071 => 11,
-        _ => 13,
-    }
+/// Chooses the Pippenger window width (in bits) for `n` terms of
+/// `scalar_bits`-bit (possibly GLV-halved) scalars, via the shared
+/// cache-aware cost model.
+pub(crate) fn window_bits<C: CurveParams>(n: usize, scalar_bits: usize) -> usize {
+    tuning::window_bits(n, scalar_bits, std::mem::size_of::<Affine<C>>())
 }
 
 /// Reference implementation: independent double-and-add per term.
@@ -64,6 +70,9 @@ pub fn msm_naive<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> 
 ///
 /// Scalars and bases beyond the shorter of the two slices are ignored.
 /// Identity bases and zero scalars are handled (skipped) correctly.
+/// Bases are assumed to lie in the prime-order subgroup — the standing
+/// invariant of points whose scalar type is the subgroup order (and a
+/// correctness requirement of the GLV route on cofactor > 1 curves).
 ///
 /// # Examples
 ///
@@ -88,25 +97,146 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> Projec
         // Naive double-and-add is faster at tiny sizes.
         return msm_naive(&bases[..n], &scalars[..n]);
     }
-    // Instrumented runs stay on the serial body below so the
-    // characterization suite sees the exact same op stream; the parallel
-    // variant computes identical values (same decomposition, same
-    // reduction order), so results match bit-for-bit either way.
-    if !trace::is_active() && pool::current_threads() > 1 && n >= PAR_MIN_MSM {
-        return msm_parallel(&bases[..n], &scalars[..n]);
+    // Instrumented runs skip the GLV route (like the pool below): the
+    // characterization suite pins the plain serial op stream, and the
+    // one-time parameter derivation must never land inside a traced
+    // region, where its field ops would skew exactly one measurement.
+    if !trace::is_active() {
+        if let Some(glv) = C::glv_params() {
+            return msm_glv(&bases[..n], &scalars[..n], glv);
+        }
     }
+    // Instrumented runs stay on the serial body so the characterization
+    // suite sees the exact same op stream; the parallel variant computes
+    // identical values (same decomposition, same reduction order), so
+    // results match bit-for-bit either way.
+    let use_pool = !trace::is_active() && pool::current_threads() > 1 && n >= PAR_MIN_MSM;
 
     // One flat canonical-limb buffer for every scalar: no per-scalar Vec.
     let num_limbs = C::Scalar::NUM_LIMBS;
     let mut limbs = vec![0u64; n * num_limbs];
-    for (i, s) in scalars[..n].iter().enumerate() {
-        s.write_canonical_limbs(&mut limbs[i * num_limbs..(i + 1) * num_limbs]);
+    if use_pool {
+        const LIMB_GRAIN: usize = 1024;
+        pool::parallel_chunks_mut(&mut limbs, num_limbs * LIMB_GRAIN, |ci, chunk| {
+            let base = ci * LIMB_GRAIN;
+            for (j, row) in chunk.chunks_mut(num_limbs).enumerate() {
+                scalars[base + j].write_canonical_limbs(row);
+            }
+        });
+    } else {
+        for (i, s) in scalars[..n].iter().enumerate() {
+            s.write_canonical_limbs(&mut limbs[i * num_limbs..(i + 1) * num_limbs]);
+        }
     }
 
-    let c = window_bits(n);
-    // Scalars are canonical (< p), so windows past the modulus bit length
-    // are identically zero; the +1 leaves room for the final signed carry.
-    let num_windows = (C::Scalar::modulus_bits() as usize + 1).div_ceil(c);
+    let total_bits = C::Scalar::modulus_bits() as usize;
+    let c = window_bits::<C>(n, total_bits);
+    if use_pool {
+        pippenger_parallel(&bases[..n], &limbs, num_limbs, total_bits, c)
+    } else {
+        pippenger_serial(&bases[..n], &limbs, num_limbs, total_bits, c)
+    }
+}
+
+/// The GLV front end: decomposes every scalar into two signed half-width
+/// components and hands Pippenger a `2n`-point problem at half the bit
+/// length. Signs are folded into the base points (`−k·P = k·(−P)`), so the
+/// bucket machinery below never sees them.
+fn msm_glv<C: CurveParams>(
+    bases: &[Affine<C>],
+    scalars: &[C::Scalar],
+    glv: &GlvParams<C>,
+) -> Projective<C> {
+    let n = bases.len();
+    let use_pool = !trace::is_active() && pool::current_threads() > 1 && n >= PAR_MIN_MSM;
+    const GLV_GRAIN: usize = 512;
+
+    // Decompose every scalar once; the splits are pure per-index functions
+    // of the inputs, so the parallel fill is bit-identical to a serial one.
+    let mut decomposed = vec![crate::glv::DecomposedScalar::default(); n];
+    if use_pool {
+        pool::parallel_fill(&mut decomposed, GLV_GRAIN, |i| glv.decompose(&scalars[i]));
+    } else {
+        for (d, s) in decomposed.iter_mut().zip(scalars) {
+            *d = glv.decompose(s);
+        }
+    }
+
+    // 2n-point problem: [±P_i | ±φ(P_i)] with the component signs folded
+    // into the points, and one flat half-magnitude row per point.
+    let mut points = vec![Affine::identity(); 2 * n];
+    let mut limbs = vec![0u64; 2 * n * HALF_LIMBS];
+    {
+        let (p1, p2) = points.split_at_mut(n);
+        let (l1, l2) = limbs.split_at_mut(n * HALF_LIMBS);
+        let fill_half = |ps: &mut [Affine<C>], ls: &mut [u64], second: bool| {
+            let point_at = |i: usize| {
+                let d = &decomposed[i];
+                if second {
+                    let endo = glv.endo(&bases[i]);
+                    if d.k2.neg {
+                        endo.neg()
+                    } else {
+                        endo
+                    }
+                } else if d.k1.neg {
+                    bases[i].neg()
+                } else {
+                    bases[i]
+                }
+            };
+            let limbs_at = |i: usize| {
+                let d = &decomposed[i];
+                if second {
+                    d.k2.limbs
+                } else {
+                    d.k1.limbs
+                }
+            };
+            if use_pool {
+                pool::parallel_fill(ps, GLV_GRAIN, point_at);
+                pool::parallel_chunks_mut(ls, HALF_LIMBS * GLV_GRAIN, |ci, chunk| {
+                    let base = ci * GLV_GRAIN;
+                    for (j, row) in chunk.chunks_mut(HALF_LIMBS).enumerate() {
+                        row.copy_from_slice(&limbs_at(base + j));
+                    }
+                });
+            } else {
+                for (i, p) in ps.iter_mut().enumerate() {
+                    *p = point_at(i);
+                }
+                for (i, row) in ls.chunks_mut(HALF_LIMBS).enumerate() {
+                    row.copy_from_slice(&limbs_at(i));
+                }
+            }
+        };
+        fill_half(p1, l1, false);
+        fill_half(p2, l2, true);
+    }
+
+    let total_bits = glv.half_bits();
+    let c = window_bits::<C>(2 * n, total_bits);
+    if use_pool {
+        pippenger_parallel(&points, &limbs, HALF_LIMBS, total_bits, c)
+    } else {
+        pippenger_serial(&points, &limbs, HALF_LIMBS, total_bits, c)
+    }
+}
+
+/// The serial Pippenger body over a prepared point array and flat unsigned
+/// limb buffer (`stride` limbs per point, digits meaningful up to
+/// `total_bits`).
+fn pippenger_serial<C: CurveParams>(
+    points: &[Affine<C>],
+    limbs: &[u64],
+    stride: usize,
+    total_bits: usize,
+    c: usize,
+) -> Projective<C> {
+    let n = points.len();
+    // Magnitudes stay below 2^total_bits; the +1 leaves room for the final
+    // signed carry.
+    let num_windows = (total_bits + 1).div_ceil(c);
     let half = 1usize << (c - 1); // signed digits: buckets 1..=2^(c-1)
 
     let mut carries = vec![0u8; n];
@@ -122,7 +252,7 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> Projec
         // window: raw ∈ [0, 2^c]; anything above 2^(c-1) wraps negative.
         counts.fill(0);
         for i in 0..n {
-            let window = &limbs[i * num_limbs..(i + 1) * num_limbs];
+            let window = &limbs[i * stride..(i + 1) * stride];
             let raw = extract_bits(window, w * c, c) + carries[i] as usize;
             let digit = if raw > half {
                 carries[i] = 1;
@@ -131,7 +261,7 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> Projec
                 carries[i] = 0;
                 raw as i64
             };
-            let digit = if bases[i].infinity { 0 } else { digit as i32 };
+            let digit = if points[i].infinity { 0 } else { digit as i32 };
             digits[i] = digit;
             trace::branch(0x3001, digit != 0);
             if digit != 0 {
@@ -154,7 +284,7 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> Projec
             let (seg_start, seg_len) = &mut segs[d.unsigned_abs() as usize - 1];
             // Scattered write into the bucket segment: the address stream
             // the memory analysis cares about.
-            sorted[*seg_start + *seg_len] = if d < 0 { bases[i].neg() } else { bases[i] };
+            sorted[*seg_start + *seg_len] = if d < 0 { points[i].neg() } else { points[i] };
             *seg_len += 1;
         }
 
@@ -173,25 +303,16 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> Projec
         window_sums.push(sum);
     }
 
-    // Combine windows from the top down: acc = acc·2^c + window.
-    let mut acc = Projective::identity();
-    for sum in window_sums.into_iter().rev() {
-        for _ in 0..c {
-            acc = acc.double();
-        }
-        acc += sum;
-    }
-    acc
+    combine_windows(window_sums, c)
 }
 
-/// Window-parallel Pippenger: the same bucket method as the serial body of
-/// [`msm`], decomposed into one independent task per window.
+/// Window-parallel Pippenger: the same bucket method as
+/// [`pippenger_serial`], decomposed into one independent task per window.
 ///
 /// Three phases:
 ///
-/// 1. limb extraction and signed-digit recoding, chunked over *scalars*
-///    (each scalar's carry chain is local to its own digit row, so rows
-///    recode independently);
+/// 1. signed-digit recoding, chunked over *points* (each row's carry chain
+///    is local, so rows recode independently);
 /// 2. bucket accumulation, one task per *window*, each writing its
 ///    index-addressed `window_sums` slot with private scratch buffers;
 /// 3. the serial top-down window combine (`log₂` depth, negligible cost).
@@ -199,35 +320,30 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> Projec
 /// The decomposition depends only on `n`, and every task writes only
 /// index-addressed slots, so the result is bit-identical to the serial
 /// body at any thread count.
-fn msm_parallel<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> Projective<C> {
-    let n = bases.len();
-    let num_limbs = C::Scalar::NUM_LIMBS;
-    const LIMB_GRAIN: usize = 1024;
-    let mut limbs = vec![0u64; n * num_limbs];
-    pool::parallel_chunks_mut(&mut limbs, num_limbs * LIMB_GRAIN, |ci, chunk| {
-        let base = ci * LIMB_GRAIN;
-        for (j, row) in chunk.chunks_mut(num_limbs).enumerate() {
-            scalars[base + j].write_canonical_limbs(row);
-        }
-    });
-
-    let c = window_bits(n);
-    let num_windows = (C::Scalar::modulus_bits() as usize + 1).div_ceil(c);
+fn pippenger_parallel<C: CurveParams>(
+    points: &[Affine<C>],
+    limbs: &[u64],
+    stride: usize,
+    total_bits: usize,
+    c: usize,
+) -> Projective<C> {
+    let n = points.len();
+    let num_windows = (total_bits + 1).div_ceil(c);
     let half = 1usize << (c - 1);
 
     // Phase 1: digits laid out row-major (`digits[i·W + w]`) so each
-    // scalar's recoding — including its cross-window carry chain — lands in
-    // one contiguous row and scalars chunk cleanly.
+    // point's recoding — including its cross-window carry chain — lands in
+    // one contiguous row and rows chunk cleanly.
     const DIGIT_GRAIN: usize = 512;
     let mut digits = vec![0i32; n * num_windows];
     pool::parallel_chunks_mut(&mut digits, num_windows * DIGIT_GRAIN, |ci, rows| {
         let base = ci * DIGIT_GRAIN;
         for (j, row) in rows.chunks_mut(num_windows).enumerate() {
             let i = base + j;
-            if bases[i].infinity {
+            if points[i].infinity {
                 continue; // row stays zero, matching the serial force-to-0
             }
-            let window = &limbs[i * num_limbs..(i + 1) * num_limbs];
+            let window = &limbs[i * stride..(i + 1) * stride];
             let mut carry = 0usize;
             for (w, d) in row.iter_mut().enumerate() {
                 let raw = extract_bits(window, w * c, c) + carry;
@@ -267,7 +383,7 @@ fn msm_parallel<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> P
                 continue;
             }
             let (seg_start, seg_len) = &mut segs[d.unsigned_abs() as usize - 1];
-            sorted[*seg_start + *seg_len] = if d < 0 { bases[i].neg() } else { bases[i] };
+            sorted[*seg_start + *seg_len] = if d < 0 { points[i].neg() } else { points[i] };
             *seg_len += 1;
         }
         let mut adder = BatchAdder::new();
@@ -283,6 +399,11 @@ fn msm_parallel<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> P
         sum
     });
 
+    combine_windows(window_sums, c)
+}
+
+/// Combines per-window sums from the top down: `acc = acc·2^c + window`.
+fn combine_windows<C: CurveParams>(window_sums: Vec<Projective<C>>, c: usize) -> Projective<C> {
     let mut acc = Projective::identity();
     for sum in window_sums.into_iter().rev() {
         for _ in 0..c {
@@ -415,9 +536,9 @@ mod tests {
     }
 
     #[test]
-    fn msm_straddles_every_window_breakpoint() {
-        // window_bits changes strategy at 2/32/256; the naive path ends at
-        // n = 8. Check n = breakpoint − 1, breakpoint, breakpoint + 1.
+    fn msm_straddles_small_size_breakpoints() {
+        // The naive path ends at n = 8 and the window model shifts width
+        // with n; check sizes bracketing the old heuristic's breakpoints.
         let mut rng = zkperf_ff::test_rng();
         let bases: Vec<G1Affine> = (0..257)
             .map(|_| G1Projective::random(&mut rng).to_affine())
@@ -444,5 +565,36 @@ mod tests {
         scalars[7] = Fr::one();
         scalars[8] = Fr::from_u64(u64::MAX);
         assert_eq!(msm(&bases, &scalars), msm_naive(&bases, &scalars));
+    }
+
+    #[test]
+    fn glv_msm_matches_plain_pippenger() {
+        // Run the same inputs through the GLV front end and the plain
+        // full-width body; both must agree with the naive reference.
+        let mut rng = zkperf_ff::test_rng();
+        let n = 64;
+        let bases: Vec<G1Affine> = (0..n)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        let mut scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        scalars[0] = Fr::zero();
+        scalars[1] = -Fr::one();
+        let glv = crate::bn254::G1Params::glv_params().expect("BN254 G1 has GLV");
+        let via_glv = msm_glv(&bases, &scalars, glv);
+        let num_limbs = Fr::NUM_LIMBS;
+        let mut limbs = vec![0u64; n * num_limbs];
+        for (i, s) in scalars.iter().enumerate() {
+            s.write_canonical_limbs(&mut limbs[i * num_limbs..(i + 1) * num_limbs]);
+        }
+        let plain = pippenger_serial(
+            &bases,
+            &limbs,
+            num_limbs,
+            Fr::modulus_bits() as usize,
+            window_bits::<crate::bn254::G1Params>(n, Fr::modulus_bits() as usize),
+        );
+        let naive = msm_naive(&bases, &scalars);
+        assert_eq!(via_glv, naive);
+        assert_eq!(plain, naive);
     }
 }

@@ -1,0 +1,139 @@
+//! Detection of the *host* machine's cache hierarchy.
+//!
+//! The simulator models the paper's three CPUs ([`CpuProfile`]), but the
+//! kernels themselves run on whatever machine executes the binary. Cache-
+//! aware tuning decisions (Pippenger window width, NTT blocking) must key
+//! off the **host** hierarchy, never the simulated profile: the
+//! characterization suite requires the op stream to be identical across
+//! simulated CPUs, and the simulated geometry says nothing about where the
+//! real buckets land.
+//!
+//! Linux exposes the hierarchy under
+//! `/sys/devices/system/cpu/cpu0/cache/index*/`; the probe reads it once
+//! per process and caches the result. When sysfs is absent (non-Linux,
+//! containers with masked sysfs) the probe falls back to the paper's
+//! mid-range machine (i5-11400: 512 KiB L2, 12 MiB LLC), which is a sane
+//! default for the commodity parts the paper targets.
+
+use std::sync::OnceLock;
+
+use crate::profile::{CacheGeometry, CpuProfile};
+
+/// The host's data-cache hierarchy, as relevant to kernel tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostCaches {
+    /// Unified (or data) per-core L2.
+    pub l2: CacheGeometry,
+    /// Last-level cache shared across cores.
+    pub llc: CacheGeometry,
+    /// `true` when the values came from sysfs, `false` on fallback.
+    pub detected: bool,
+}
+
+/// Returns the host cache hierarchy, probing sysfs on first call and
+/// caching the result for the lifetime of the process.
+pub fn host_caches() -> &'static HostCaches {
+    static CACHES: OnceLock<HostCaches> = OnceLock::new();
+    CACHES.get_or_init(|| probe_sysfs().unwrap_or_else(fallback))
+}
+
+fn fallback() -> HostCaches {
+    let p = CpuProfile::i5_11400();
+    HostCaches {
+        l2: p.l2,
+        llc: p.llc,
+        detected: false,
+    }
+}
+
+/// Parses a sysfs cache size string: `"512K"`, `"12288K"`, `"2M"`, `"32768"`.
+fn parse_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<usize>().ok().map(|v| v * mult)
+}
+
+fn read_trimmed(path: &std::path::Path) -> Option<String> {
+    std::fs::read_to_string(path)
+        .ok()
+        .map(|s| s.trim().to_string())
+}
+
+fn probe_sysfs() -> Option<HostCaches> {
+    let base = std::path::Path::new("/sys/devices/system/cpu/cpu0/cache");
+    let mut levels: Vec<(u32, CacheGeometry)> = Vec::new();
+    for entry in std::fs::read_dir(base).ok()? {
+        let dir = match entry {
+            Ok(e) => e.path(),
+            Err(_) => continue,
+        };
+        if !dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("index"))
+        {
+            continue;
+        }
+        // Instruction caches never hold bucket or twiddle data.
+        let kind = read_trimmed(&dir.join("type"))?;
+        if kind != "Data" && kind != "Unified" {
+            continue;
+        }
+        let level: u32 = read_trimmed(&dir.join("level"))?.parse().ok()?;
+        let size_bytes = parse_size(&read_trimmed(&dir.join("size"))?)?;
+        let ways = read_trimmed(&dir.join("ways_of_associativity"))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(8);
+        let line_bytes = read_trimmed(&dir.join("coherency_line_size"))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        if size_bytes == 0 || line_bytes == 0 {
+            continue;
+        }
+        levels.push((
+            level,
+            CacheGeometry {
+                size_bytes,
+                ways: ways.max(1),
+                line_bytes,
+            },
+        ));
+    }
+    let l2 = levels.iter().find(|(lv, _)| *lv == 2).map(|&(_, g)| g)?;
+    // The LLC is the deepest level; on two-level parts that is the L2 again.
+    let llc = levels.iter().max_by_key(|(lv, _)| *lv).map(|&(_, g)| g)?;
+    Some(HostCaches {
+        l2,
+        llc,
+        detected: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_size_handles_suffixes() {
+        assert_eq!(parse_size("512K"), Some(512 << 10));
+        assert_eq!(parse_size("12M"), Some(12 << 20));
+        assert_eq!(parse_size("32768"), Some(32768));
+        assert_eq!(parse_size(" 48K\n"), Some(48 << 10));
+        assert_eq!(parse_size("junk"), None);
+    }
+
+    #[test]
+    fn host_caches_are_sane_and_stable() {
+        let c = host_caches();
+        // Whether detected or fallback, the geometry must be usable.
+        assert!(c.l2.size_bytes >= 64 << 10, "L2 {} too small", c.l2.size_bytes);
+        assert!(c.llc.size_bytes >= c.l2.size_bytes);
+        assert!(c.l2.line_bytes >= 16);
+        // Same pointer on every call: one probe per process.
+        assert!(std::ptr::eq(c, host_caches()));
+    }
+}

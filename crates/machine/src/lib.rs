@@ -15,12 +15,14 @@
 
 mod branch;
 mod cache;
+pub mod host;
 mod profile;
 mod report;
 mod sim;
 
 pub use branch::BranchPredictor;
 pub use cache::{Cache, HitLevel};
+pub use host::{host_caches, HostCaches};
 pub use profile::{CacheGeometry, CoreConfig, CpuProfile, DramConfig, ExecEnv};
 pub use report::{MachineReport, TopdownBreakdown};
 pub use sim::{MachineSim, SharedSim};

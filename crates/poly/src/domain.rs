@@ -17,11 +17,22 @@ fn task_elems(n: usize) -> usize {
 }
 
 /// Largest `log₂(size)` for which the domain precomputes its twiddle
-/// tables at construction. Each table holds `size/2` elements, so 2^20
-/// caps the two tables at a few tens of megabytes; larger domains (up to
-/// the field's full two-adic subgroup, 2^28 for BN254) fall back to
-/// computing twiddles incrementally inside the butterfly passes.
-const MAX_CACHED_TWIDDLE_LOG: u32 = 20;
+/// tables at construction. Domains at or above [`FOUR_STEP_MIN_LOG`] run
+/// the blocked four-step layout, whose row transforms read the cached
+/// tables of the two √n-sized sub-domains instead — precomputing a
+/// full-size table there would only burn memory. Domains between the two
+/// thresholds do not exist (the caps are adjacent); an instrumented
+/// (trace-active) large transform falls back to the flat pass with
+/// incremental twiddles.
+const MAX_CACHED_TWIDDLE_LOG: u32 = 17;
+
+/// Smallest `log₂(size)` routed through the cache-blocked four-step NTT.
+/// Below this the strided butterfly passes stay close enough to cache for
+/// the flat radix-2 transform with cached twiddles to win; above it the
+/// late passes stride across the whole buffer and thrash, so decomposing
+/// into √n×√n row transforms — each cache-resident — is faster despite
+/// three extra transposes.
+const FOUR_STEP_MIN_LOG: u32 = 18;
 
 /// A multiplicative subgroup of size `2^log_size` with its NTT machinery.
 ///
@@ -59,6 +70,9 @@ pub struct Radix2Domain<F: PrimeField> {
     twiddles: Vec<F>,
     /// Inverse twiddles `ω^{−j}` for `j < size/2`, or empty when uncached.
     inv_twiddles: Vec<F>,
+    /// The `(n1, n2)` sub-domains (`n1·n2 = size`, `n1 ≤ n2`) backing the
+    /// four-step transform; present only for `log_size ≥ FOUR_STEP_MIN_LOG`.
+    four_step: Option<Box<(Radix2Domain<F>, Radix2Domain<F>)>>,
 }
 
 impl<F: PrimeField> Radix2Domain<F> {
@@ -99,6 +113,14 @@ impl<F: PrimeField> Radix2Domain<F> {
         } else {
             (Vec::new(), Vec::new())
         };
+        let four_step = if log_size >= FOUR_STEP_MIN_LOG {
+            let log1 = log_size / 2;
+            let sub1 = Self::new(1usize << log1)?;
+            let sub2 = Self::new(1usize << (log_size - log1))?;
+            Some(Box::new((sub1, sub2)))
+        } else {
+            None
+        };
         Some(Radix2Domain {
             size,
             log_size,
@@ -110,6 +132,7 @@ impl<F: PrimeField> Radix2Domain<F> {
             omega_pow2,
             twiddles,
             inv_twiddles,
+            four_step,
         })
     }
 
@@ -187,12 +210,20 @@ impl<F: PrimeField> Radix2Domain<F> {
 
     /// In-place NTT: coefficients → evaluations over the domain.
     ///
+    /// Domains of `2^18` points and up run the cache-blocked four-step
+    /// layout; smaller ones the flat radix-2 passes. Both compute the
+    /// exact same field elements, so the choice is invisible to callers.
+    ///
     /// # Panics
     ///
     /// Panics if `values.len() != size`.
     pub fn fft_in_place(&self, values: &mut [F]) {
         let _g = trace::region_profile("fft");
-        self.transform(values, &self.twiddles, self.omega);
+        if self.use_four_step() {
+            self.four_step_any_size(values, false);
+        } else {
+            self.transform(values, &self.twiddles, self.omega);
+        }
     }
 
     /// In-place inverse NTT: evaluations → coefficients.
@@ -202,7 +233,24 @@ impl<F: PrimeField> Radix2Domain<F> {
     /// Panics if `values.len() != size`.
     pub fn ifft_in_place(&self, values: &mut [F]) {
         let _g = trace::region_profile("fft");
-        self.transform(values, &self.inv_twiddles, self.omega_inv);
+        if self.use_four_step() {
+            self.four_step_any_size(values, true);
+        } else {
+            self.transform(values, &self.inv_twiddles, self.omega_inv);
+        }
+        self.scale_by_size_inv(values);
+    }
+
+    /// True when transforms should take the blocked four-step path: only
+    /// on domains large enough to have sub-domains, and never while a
+    /// trace session is live (the characterization suite pins the flat
+    /// serial op stream).
+    fn use_four_step(&self) -> bool {
+        self.four_step.is_some() && !trace::is_active()
+    }
+
+    /// The final `1/n` scaling of an inverse transform.
+    fn scale_by_size_inv(&self, values: &mut [F]) {
         if Self::use_pool(values.len()) {
             pool::parallel_chunks_mut(values, task_elems(self.size), |_, chunk| {
                 for v in chunk.iter_mut() {
@@ -279,6 +327,15 @@ impl<F: PrimeField> Radix2Domain<F> {
             self.transform_parallel(values, twiddles, omega);
             return;
         }
+        self.transform_serial(values, twiddles, omega);
+    }
+
+    /// Serial body of [`transform`](Self::transform). Also the row kernel
+    /// of the four-step path, whose fan-out happens at the row level — the
+    /// per-row transform must not re-enter the pool.
+    fn transform_serial(&self, values: &mut [F], twiddles: &[F], omega: F) {
+        let n = self.size;
+        debug_assert_eq!(values.len(), n);
         // Bit-reversal permutation.
         let shift = usize::BITS - self.log_size;
         for i in 0..n {
@@ -436,6 +493,191 @@ impl<F: PrimeField> Radix2Domain<F> {
                 w *= w_len;
             }
         }
+    }
+
+    /// Dispatches to the four-step body, building throwaway sub-domains
+    /// when the forced entry points are used below [`FOUR_STEP_MIN_LOG`].
+    fn four_step_any_size(&self, values: &mut [F], inverse: bool) {
+        if self.log_size < 2 {
+            // No n1·n2 split exists below four points; the flat transform
+            // is the same computation.
+            let (tw, om) = if inverse {
+                (&self.inv_twiddles, self.omega_inv)
+            } else {
+                (&self.twiddles, self.omega)
+            };
+            self.transform(values, tw, om);
+            return;
+        }
+        match self.four_step.as_deref() {
+            Some((sub1, sub2)) => self.four_step_with(values, sub1, sub2, inverse),
+            None => {
+                let log1 = self.log_size / 2;
+                let sub1 = Self::new(1usize << log1).expect("sub-domain of a valid domain");
+                let sub2 = Self::new(1usize << (self.log_size - log1))
+                    .expect("sub-domain of a valid domain");
+                self.four_step_with(values, &sub1, &sub2, inverse);
+            }
+        }
+    }
+
+    /// Cache-blocked four-step (Bailey) NTT.
+    ///
+    /// Writing indices as `j = j1 + n1·j2` and `k = k2 + n2·k1` turns the
+    /// size-`n` DFT into `n1` row DFTs of length `n2`, a twiddle by
+    /// `ω^(j1·k2)`, and `n2` row DFTs of length `n1`:
+    ///
+    /// `X[k2 + n2·k1] = Σ_{j1} ω^(j1·k2) (ω^{n2})^{j1·k1}
+    ///                  Σ_{j2} x[j1 + n1·j2] (ω^{n1})^{j2·k2}`
+    ///
+    /// Each row is contiguous and cache-resident, so the only passes that
+    /// touch the full buffer are three tiled transposes. `ω^{n1}` and
+    /// `ω^{n2}` are exactly the sub-domains' generators (both come from
+    /// the same two-adic square chain), and field arithmetic is exact, so
+    /// the output is bit-identical to the flat radix-2 transform — at any
+    /// thread count, since every task owns an index-addressed slice and
+    /// per-row twiddle seeds are computed by exponentiation, never carried
+    /// across rows.
+    fn four_step_with(&self, values: &mut [F], sub1: &Self, sub2: &Self, inverse: bool) {
+        assert_eq!(
+            values.len(),
+            self.size,
+            "buffer length must equal the domain size"
+        );
+        let n = self.size;
+        let (n1, n2) = (sub1.size, sub2.size);
+        debug_assert_eq!(n1 * n2, n);
+        let omega = if inverse { self.omega_inv } else { self.omega };
+        let (tw1, om1) = if inverse {
+            (&sub1.inv_twiddles, sub1.omega_inv)
+        } else {
+            (&sub1.twiddles, sub1.omega)
+        };
+        let (tw2, om2) = if inverse {
+            (&sub2.inv_twiddles, sub2.omega_inv)
+        } else {
+            (&sub2.twiddles, sub2.omega)
+        };
+        let mut scratch = vec![F::zero(); n];
+
+        // Step 1: gather the n1 decimated sequences x[j1], x[j1+n1], …
+        // into contiguous rows: scratch[j1·n2 + j2] = values[j2·n1 + j1].
+        Self::transpose_into(values, &mut scratch, n2, n1);
+
+        // Steps 2–3: length-n2 NTT on every row, then the inter-pass
+        // twiddle ω^(j1·k2), advanced incrementally from the per-row seed
+        // ω^j1 (row j1 = 0 needs no multiply, nor does column k2 = 0).
+        let rows_per_task = (task_elems(n) / n2).max(1);
+        pool::parallel_chunks_mut(&mut scratch, rows_per_task * n2, |ci, span| {
+            for (r, row) in span.chunks_mut(n2).enumerate() {
+                let j1 = ci * rows_per_task + r;
+                sub2.transform_serial(row, tw2, om2);
+                if j1 > 0 {
+                    let w_step = omega.pow(&BigUint::from_u64(j1 as u64));
+                    let mut w = w_step;
+                    for v in row.iter_mut().skip(1) {
+                        *v *= w;
+                        w *= w_step;
+                    }
+                }
+            }
+        });
+
+        // Step 4: transpose so each k2 column becomes a contiguous row:
+        // values[k2·n1 + j1] = scratch[j1·n2 + k2].
+        Self::transpose_into(&scratch, values, n1, n2);
+
+        // Step 5: length-n1 NTT on every row.
+        let rows_per_task = (task_elems(n) / n1).max(1);
+        pool::parallel_chunks_mut(values, rows_per_task * n1, |_, span| {
+            for row in span.chunks_mut(n1) {
+                sub1.transform_serial(row, tw1, om1);
+            }
+        });
+
+        // Step 6: the result of row k2 holds X[k2 + n2·k1] at slot k1 —
+        // one last transpose into natural order, then copy back.
+        Self::transpose_into(values, &mut scratch, n2, n1);
+        let grain = task_elems(n);
+        pool::parallel_chunks_mut(values, grain, |ci, chunk| {
+            chunk.copy_from_slice(&scratch[ci * grain..ci * grain + chunk.len()]);
+        });
+    }
+
+    /// Tiled out-of-place transpose: reads `src` as a row-major
+    /// `src_rows × src_cols` matrix and writes its transpose into `dst`.
+    /// 16×16-element tiles keep the strided reads within a handful of
+    /// cache lines while the writes stream; tasks own disjoint bands of
+    /// destination rows, so the decomposition is deterministic.
+    fn transpose_into(src: &[F], dst: &mut [F], src_rows: usize, src_cols: usize) {
+        debug_assert_eq!(src.len(), src_rows * src_cols);
+        debug_assert_eq!(dst.len(), src.len());
+        const TILE: usize = 16;
+        pool::parallel_chunks_mut(dst, TILE * src_rows, |ci, band| {
+            let c0 = ci * TILE;
+            for r0 in (0..src_rows).step_by(TILE) {
+                let r_hi = (r0 + TILE).min(src_rows);
+                for (dc, drow) in band.chunks_mut(src_rows).enumerate() {
+                    let c = c0 + dc;
+                    for r in r0..r_hi {
+                        drow[r] = src[r * src_cols + c];
+                    }
+                }
+            }
+        });
+    }
+
+    /// In-place NTT through the flat radix-2 passes regardless of domain
+    /// size.
+    ///
+    /// Reference leg for the four-step crossover tests; production callers
+    /// should use [`fft_in_place`](Self::fft_in_place), which picks the
+    /// faster layout automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != size`.
+    pub fn fft_in_place_radix2(&self, values: &mut [F]) {
+        let _g = trace::region_profile("fft");
+        self.transform(values, &self.twiddles, self.omega);
+    }
+
+    /// Inverse counterpart of [`fft_in_place_radix2`](Self::fft_in_place_radix2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != size`.
+    pub fn ifft_in_place_radix2(&self, values: &mut [F]) {
+        let _g = trace::region_profile("fft");
+        self.transform(values, &self.inv_twiddles, self.omega_inv);
+        self.scale_by_size_inv(values);
+    }
+
+    /// In-place NTT through the cache-blocked four-step layout regardless
+    /// of domain size (domains below four points fall back to the flat
+    /// transform — no row/column split exists).
+    ///
+    /// Lets tests and oracles exercise the blocked path at sizes small
+    /// enough to cross-check cheaply; production callers should use
+    /// [`fft_in_place`](Self::fft_in_place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != size`.
+    pub fn fft_in_place_four_step(&self, values: &mut [F]) {
+        let _g = trace::region_profile("fft");
+        self.four_step_any_size(values, false);
+    }
+
+    /// Inverse counterpart of [`fft_in_place_four_step`](Self::fft_in_place_four_step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != size`.
+    pub fn ifft_in_place_four_step(&self, values: &mut [F]) {
+        let _g = trace::region_profile("fft");
+        self.four_step_any_size(values, true);
+        self.scale_by_size_inv(values);
     }
 
     /// Evaluates all Lagrange basis polynomials of the domain at `x`,
@@ -698,6 +940,76 @@ mod tests {
         zkperf_pool::set_threads(1);
         assert_eq!(serial, parallel);
         assert_eq!(round, coeffs);
+    }
+
+    #[test]
+    fn four_step_matches_radix2_at_forced_sizes() {
+        // Below FOUR_STEP_MIN_LOG the blocked path is never chosen
+        // automatically, but the forced entry points exercise the same
+        // code with throwaway sub-domains — cheap cross-checks of the
+        // index algebra at odd and even log sizes (n1 ≠ n2 and n1 = n2).
+        let mut rng = zkperf_ff::test_rng();
+        for log in [0u32, 1, 2, 3, 5, 6, 10] {
+            let d = Radix2Domain::<Fr>::new(1 << log).unwrap();
+            let coeffs: Vec<Fr> = (0..d.size()).map(|_| Fr::random(&mut rng)).collect();
+
+            let mut flat = coeffs.clone();
+            d.fft_in_place_radix2(&mut flat);
+            let mut blocked = coeffs.clone();
+            d.fft_in_place_four_step(&mut blocked);
+            assert_eq!(flat, blocked, "forward, size 2^{log}");
+
+            d.ifft_in_place_four_step(&mut blocked);
+            assert_eq!(blocked, coeffs, "round-trip, size 2^{log}");
+
+            let mut inv_flat = flat.clone();
+            d.ifft_in_place_radix2(&mut inv_flat);
+            let mut inv_blocked = flat;
+            d.ifft_in_place_four_step(&mut inv_blocked);
+            assert_eq!(inv_flat, inv_blocked, "inverse, size 2^{log}");
+        }
+    }
+
+    #[test]
+    fn four_step_is_bit_identical_across_thread_counts() {
+        let mut rng = zkperf_ff::test_rng();
+        let d = Radix2Domain::<Fr>::new(1 << 10).unwrap();
+        let coeffs: Vec<Fr> = (0..d.size()).map(|_| Fr::random(&mut rng)).collect();
+        let run = |threads: usize| {
+            zkperf_pool::set_threads(threads);
+            let mut buf = coeffs.clone();
+            d.fft_in_place_four_step(&mut buf);
+            zkperf_pool::set_threads(1);
+            buf
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(4));
+    }
+
+    #[test]
+    fn large_domains_carry_four_step_subdomains() {
+        // 2^18 is the crossover: the domain skips the flat twiddle cache
+        // and instead carries √n sub-domains whose generators are exact
+        // powers of ω — ω^{n1} and ω^{n2} from the same square chain.
+        let d = Radix2Domain::<Fr>::new(1 << FOUR_STEP_MIN_LOG).unwrap();
+        assert!(d.twiddles.is_empty());
+        let (sub1, sub2) = d.four_step.as_deref().expect("sub-domains present");
+        assert_eq!(sub1.size() * sub2.size(), d.size());
+        assert_eq!(sub1.omega, d.omega.pow(&BigUint::from_u64(sub2.size() as u64)));
+        assert_eq!(sub2.omega, d.omega.pow(&BigUint::from_u64(sub1.size() as u64)));
+        // Small domains keep the flat cached-twiddle layout.
+        let small = Radix2Domain::<Fr>::new(1 << 10).unwrap();
+        assert!(small.four_step.is_none());
+        assert!(!small.twiddles.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn four_step_rejects_wrong_length() {
+        let d = Radix2Domain::<Fr>::new(8).unwrap();
+        let mut buf = vec![Fr::zero(); 4];
+        d.fft_in_place_four_step(&mut buf);
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //! | modular add/sub/neg/double           | `BigUint` canonical arithmetic   |
 //! | Fermat inverse + `batch_inverse`     | per-element inverse + product=1  |
 //! | signed-window batch-affine `msm`     | `msm_naive` + double-and-add     |
+//! | GLV lattice decomposition            | `k1 + λ·k2 ≡ k (mod r)` BigUint  |
+//! | GLV msm / `mul_windowed` Straus      | naive MSM + double-and-add       |
 //! | `FixedBaseTable` mul / `mul_batch`   | double-and-add                   |
 //! | cached-twiddle NTT (fwd/inv/coset)   | O(n²) DFT + roundtrip identity   |
+//! | four-step blocked NTT (forced path)  | flat radix-2 transform           |
 //! | `Radix2Domain::element`, Lagrange    | ω-power run + interpolation      |
 //! | N-thread pool execution              | 1-thread execution, bit-for-bit  |
 //! | Groth16 / PLONK pipelines            | end-to-end accept on valid input |
@@ -183,6 +186,131 @@ fn batch_to_affine_case<C: CurveParams>(rng: &mut SplitRng) -> CaseResult {
     Ok(())
 }
 
+// ------------------------------------------------------------------ GLV
+
+/// Folds a signed half-width GLV component into `Z/r`: `|x| mod r`,
+/// negated when the sign bit is set.
+fn signed_half_mod_r(x: &zkperf_ec::SignedHalf, r: &BigUint) -> BigUint {
+    let mag = BigUint::from_limbs(&x.limbs).rem(r);
+    if x.neg && !mag.is_zero() {
+        r.checked_sub(&mag).expect("mag < r after reduction")
+    } else {
+        mag
+    }
+}
+
+/// Scalars that stress the lattice decomposition: the eigenvalue λ and
+/// its neighbours (the decomposition pivots there), the full-order scalar
+/// `r − 1`, the half-width bound `2^half_bits ± 1` (where `k1` crosses
+/// from one to two lattice cells), and the trivial edges.
+fn glv_boundary_scalars<C: CurveParams>(glv: &zkperf_ec::GlvParams<C>) -> Vec<C::Scalar> {
+    let r = C::Scalar::modulus();
+    let lambda = glv.lambda().clone();
+    let half_bound = BigUint::one().shl(glv.half_bits());
+    let mut raw = vec![
+        BigUint::zero(),
+        BigUint::one(),
+        r.checked_sub(&BigUint::one()).expect("r > 1"),
+        lambda.clone(),
+        (&lambda + &BigUint::one()).rem(&r),
+        lambda
+            .checked_sub(&BigUint::one())
+            .expect("lambda > 1")
+            .rem(&r),
+        half_bound.clone(),
+    ];
+    raw.push((&half_bound + &BigUint::one()).rem(&r));
+    raw.push(half_bound.checked_sub(&BigUint::one()).expect("bound > 0"));
+    raw.into_iter()
+        .map(|x| C::Scalar::from_biguint(&x.rem(&r)))
+        .collect()
+}
+
+fn glv_decompose_case<C: CurveParams>(rng: &mut SplitRng) -> CaseResult {
+    let Some(glv) = C::glv_params() else {
+        return fail("glv decompose", "no GLV parameters derived for this group");
+    };
+    let r = C::Scalar::modulus();
+    let lambda = glv.lambda();
+    let mut scalars = glv_boundary_scalars::<C>(glv);
+    scalars.extend(adversarial_scalars::<C::Scalar>(rng, 24));
+    for s in &scalars {
+        let d = glv.decompose(s);
+        // Identity: k1 + λ·k2 ≡ k (mod r).
+        let k1 = signed_half_mod_r(&d.k1, &r);
+        let k2 = signed_half_mod_r(&d.k2, &r);
+        let recomposed = (&k1 + &(&k2 * lambda).rem(&r)).rem(&r);
+        if recomposed != s.to_biguint() {
+            return fail("glv decompose identity", format_args!("scalar {s}"));
+        }
+        // Both components must respect the advertised half-width bound.
+        let bound = BigUint::one().shl(glv.half_bits());
+        for (name, half) in [("k1", &d.k1), ("k2", &d.k2)] {
+            if BigUint::from_limbs(&half.limbs) >= bound {
+                return fail(
+                    "glv decompose bound",
+                    format_args!("{name} exceeds 2^{} for scalar {s}", glv.half_bits()),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn glv_msm_case<C: CurveParams>(rng: &mut SplitRng) -> CaseResult {
+    let Some(glv) = C::glv_params() else {
+        return fail("glv msm", "no GLV parameters derived for this group");
+    };
+    // Boundary scalars first so they always pair with real points, then
+    // adversarial filler up to a size that clears the GLV MSM gate.
+    let mut scalars = glv_boundary_scalars::<C>(glv);
+    let n = scalars.len() + adversarial_len(rng, 48);
+    scalars.extend(adversarial_scalars::<C::Scalar>(rng, n - scalars.len()));
+    let bases: Vec<Affine<C>> = adversarial_points(rng, n);
+    let fast = msm(&bases, &scalars);
+    if fast != msm_naive(&bases, &scalars) {
+        return fail("glv msm vs msm_naive", format_args!("n = {n}"));
+    }
+    if fast != msm_double_and_add(&bases, &scalars) {
+        return fail("glv msm vs double_and_add", format_args!("n = {n}"));
+    }
+    Ok(())
+}
+
+fn glv_mul_windowed_case<C: CurveParams>(rng: &mut SplitRng) -> CaseResult {
+    let Some(glv) = C::glv_params() else {
+        return fail("glv mul_windowed", "no GLV parameters derived for this group");
+    };
+    let r = C::Scalar::modulus();
+    let p = if rng.gen_bool(0.1) {
+        Projective::<C>::identity()
+    } else {
+        Projective::<C>::random(rng)
+    };
+    // Canonical scalars take the GLV Straus route.
+    let mut exps: Vec<BigUint> = glv_boundary_scalars::<C>(glv)
+        .iter()
+        .map(C::Scalar::to_biguint)
+        .collect();
+    exps.push(adversarial_field::<C::Scalar>(rng).to_biguint());
+    // Out-of-range exponents (≥ r) must fall back to the generic window
+    // loop and still agree with double-and-add.
+    exps.push(r.clone());
+    exps.push(&r + &BigUint::from_u64(rng.gen::<u64>()));
+    for exp in &exps {
+        if p.mul_windowed(exp) != p.mul_bigint(exp) {
+            return fail("glv mul_windowed vs mul_bigint", format_args!("exp {exp}"));
+        }
+    }
+    // The interleaved GLV reference pins the decomposition end-to-end.
+    let s: C::Scalar = adversarial_field(rng);
+    let reference = zkperf_ec::glv::mul_glv_reference(glv, &p, &s);
+    if reference != p.mul_bigint(&s.to_biguint()) {
+        return fail("glv reference mul", format_args!("scalar {s}"));
+    }
+    Ok(())
+}
+
 // ------------------------------------------------------------------ NTT
 
 fn ntt_case<F: PrimeField>(rng: &mut SplitRng) -> CaseResult {
@@ -223,6 +351,39 @@ fn ntt_case<F: PrimeField>(rng: &mut SplitRng) -> CaseResult {
             return fail("domain element", format_args!("i = {i}, size {size}"));
         }
         x *= domain.group_gen();
+    }
+    Ok(())
+}
+
+fn ntt_four_step_case<F: PrimeField>(rng: &mut SplitRng) -> CaseResult {
+    // The blocked four-step layout only engages automatically at 2^18,
+    // far too big for a fuzz case — the forced entry points run the same
+    // index algebra at small sizes against the flat radix-2 transform
+    // (itself pinned to the O(n²) DFT by `ntt_case`).
+    let size = adversarial_pow2(rng, 8).max(4);
+    let Some(domain) = Radix2Domain::<F>::new(size) else {
+        return fail("ntt four_step", format_args!("no domain of size {size}"));
+    };
+    let coeffs: Vec<F> = adversarial_scalars(rng, domain.size());
+
+    let mut flat = coeffs.clone();
+    domain.fft_in_place_radix2(&mut flat);
+    let mut blocked = coeffs.clone();
+    domain.fft_in_place_four_step(&mut blocked);
+    if flat != blocked {
+        return fail("ntt four_step forward", format_args!("size {size}"));
+    }
+    let mut round = blocked;
+    domain.ifft_in_place_four_step(&mut round);
+    if round != coeffs {
+        return fail("ntt four_step roundtrip", format_args!("size {size}"));
+    }
+    let mut inv_flat = flat.clone();
+    domain.ifft_in_place_radix2(&mut inv_flat);
+    let mut inv_blocked = flat;
+    domain.ifft_in_place_four_step(&mut inv_blocked);
+    if inv_flat != inv_blocked {
+        return fail("ntt four_step inverse", format_args!("size {size}"));
     }
     Ok(())
 }
@@ -440,8 +601,36 @@ pub fn all_oracles() -> Vec<Oracle> {
             run: batch_to_affine_case::<bn254::G1Params>,
         },
         Oracle {
+            name: "glv_decompose_bn254_g1",
+            run: glv_decompose_case::<bn254::G1Params>,
+        },
+        Oracle {
+            name: "glv_decompose_bls12_381_g1",
+            run: glv_decompose_case::<bls12_381::G1Params>,
+        },
+        Oracle {
+            name: "glv_msm_bn254_g1",
+            run: glv_msm_case::<bn254::G1Params>,
+        },
+        Oracle {
+            name: "glv_msm_bls12_381_g1",
+            run: glv_msm_case::<bls12_381::G1Params>,
+        },
+        Oracle {
+            name: "glv_mul_windowed_bn254_g1",
+            run: glv_mul_windowed_case::<bn254::G1Params>,
+        },
+        Oracle {
             name: "ntt_bn254_fr",
             run: ntt_case::<ffbn::Fr>,
+        },
+        Oracle {
+            name: "ntt_four_step_bn254_fr",
+            run: ntt_four_step_case::<ffbn::Fr>,
+        },
+        Oracle {
+            name: "ntt_four_step_bls12_381_fr",
+            run: ntt_four_step_case::<ffbls::Fr>,
         },
         Oracle {
             name: "ntt_bls12_381_fr",

@@ -42,6 +42,16 @@ if ! ./target/release/fuzz_lite --iters 8; then
     exit 1
 fi
 
+# The GLV lattice decomposition guards every scalar multiplication on the
+# G1 groups, so its oracles get a deeper dedicated pass: decompose
+# identity (k1 + λ·k2 ≡ k mod r) on boundary scalars, GLV MSM and the
+# mul_windowed Straus route against double-and-add.
+echo "==> fuzz_lite GLV tier"
+if ! ./target/release/fuzz_lite --only glv --iters 16; then
+    echo "fuzz_lite found GLV divergences; paste a replay line from above" >&2
+    exit 1
+fi
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -D warnings"
     cargo clippy -q --offline --workspace --all-targets -- -D warnings

@@ -1,0 +1,79 @@
+//! Integration: the cache-blocked four-step NTT is byte-identical to the
+//! flat radix-2 transform across the crossover and at any pool size.
+//!
+//! `Radix2Domain` switches layouts at 2^18: smaller domains run the flat
+//! cached-twiddle passes, larger ones the blocked √n×√n decomposition.
+//! Both compute the exact same field elements, so callers must never be
+//! able to observe the switch — these tests pin forward, inverse, and
+//! coset transforms on both sides of the boundary, each at 1-, 2- and
+//! 4-thread pools, against the forced flat reference path.
+
+use zkperf::ff::bn254::Fr;
+use zkperf::ff::Field;
+use zkperf::poly::Radix2Domain;
+use zkperf::pool;
+
+/// Deterministic pseudo-random coefficients sized to the domain.
+fn coeffs(domain: &Radix2Domain<Fr>) -> Vec<Fr> {
+    let mut rng = zkperf::ff::test_rng();
+    (0..domain.size()).map(|_| Fr::random(&mut rng)).collect()
+}
+
+/// Runs forward + inverse + coset round-trips at a given pool size,
+/// returning the three transform outputs for cross-thread comparison.
+fn transforms_at(
+    domain: &Radix2Domain<Fr>,
+    input: &[Fr],
+    threads: usize,
+) -> (Vec<Fr>, Vec<Fr>, Vec<Fr>) {
+    pool::set_threads(threads);
+    let mut fwd = input.to_vec();
+    domain.fft_in_place(&mut fwd);
+    let mut coset = input.to_vec();
+    domain.coset_fft_in_place(&mut coset);
+    let mut round = fwd.clone();
+    domain.ifft_in_place(&mut round);
+    assert_eq!(round, input, "ifft(fft(x)) = x at {threads} threads");
+    let mut coset_round = coset.clone();
+    domain.coset_ifft_in_place(&mut coset_round);
+    assert_eq!(
+        coset_round, input,
+        "coset_ifft(coset_fft(x)) = x at {threads} threads"
+    );
+    pool::set_threads(1);
+    (fwd, coset, round)
+}
+
+/// One crossover leg: auto path vs forced flat radix-2 reference, then
+/// the same outputs at 2- and 4-thread pools, all compared exactly
+/// (canonical Montgomery form makes `Eq` a byte comparison).
+fn crossover_leg(log_size: u32) {
+    let domain = Radix2Domain::<Fr>::new(1usize << log_size).expect("domain fits the field");
+    let input = coeffs(&domain);
+
+    // Reference: the forced flat path on a single thread.
+    pool::set_threads(1);
+    let mut flat = input.clone();
+    domain.fft_in_place_radix2(&mut flat);
+    let mut flat_inv = flat.clone();
+    domain.ifft_in_place_radix2(&mut flat_inv);
+    assert_eq!(flat_inv, input, "flat round-trip, size 2^{log_size}");
+
+    let (fwd1, coset1, _) = transforms_at(&domain, &input, 1);
+    assert_eq!(fwd1, flat, "auto path vs flat reference, size 2^{log_size}");
+    for threads in [2usize, 4] {
+        let (fwd, coset, _) = transforms_at(&domain, &input, threads);
+        assert_eq!(fwd, fwd1, "forward at {threads} threads, size 2^{log_size}");
+        assert_eq!(coset, coset1, "coset at {threads} threads, size 2^{log_size}");
+    }
+}
+
+#[test]
+fn below_the_crossover_stays_flat_and_thread_invariant() {
+    crossover_leg(17);
+}
+
+#[test]
+fn at_the_crossover_four_step_matches_flat_exactly() {
+    crossover_leg(18);
+}
