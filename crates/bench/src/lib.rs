@@ -158,6 +158,8 @@ fn cell_policy() -> RetryPolicy {
         max_attempts: 2,
         base_backoff: Duration::from_millis(100),
         max_backoff: Duration::from_secs(2),
+        jitter: 0.5,
+        jitter_seed: 0x5eed_ce11,
         timeout: Some(Duration::from_secs(600)),
     }
 }

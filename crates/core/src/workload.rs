@@ -56,6 +56,21 @@ pub enum StageError {
         /// The panic payload's message, when it carried one.
         message: String,
     },
+    /// The ambient [`zkperf_pool::CancelToken`] was cancelled or its
+    /// deadline expired before or during this stage.
+    Cancelled {
+        /// The stage that observed the cancellation.
+        stage: Stage,
+    },
+    /// An on-disk artifact (compiled R1CS, setup keys, proofs) could not
+    /// be read or written. Carries the offending path so callers can
+    /// evict and rebuild exactly the broken entry.
+    Artifact {
+        /// Path of the artifact that failed.
+        path: String,
+        /// Human-readable failure detail from the format layer.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for StageError {
@@ -79,7 +94,27 @@ impl std::fmt::Display for StageError {
             StageError::WorkerPanic { message } => {
                 write!(f, "pool worker panicked: {message}")
             }
+            StageError::Cancelled { stage } => {
+                write!(f, "{} cancelled by caller or deadline", stage.name())
+            }
+            StageError::Artifact { path, detail } => {
+                write!(f, "artifact {path}: {detail}")
+            }
         }
+    }
+}
+
+impl StageError {
+    /// Whether this error reports cooperative cancellation (a fired
+    /// [`zkperf_pool::CancelToken`] or an expired deadline) rather than a
+    /// fault in the workload itself.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(
+            self,
+            StageError::Cancelled { .. }
+                | StageError::Setup(SetupError::Cancelled)
+                | StageError::Prove(ProveError::Cancelled)
+        )
     }
 }
 
@@ -112,6 +147,15 @@ impl From<ProveError> for StageError {
 impl From<VerifyError> for StageError {
     fn from(e: VerifyError) -> Self {
         StageError::Verify(e)
+    }
+}
+
+impl From<zkperf_io::ArtifactError> for StageError {
+    fn from(e: zkperf_io::ArtifactError) -> Self {
+        StageError::Artifact {
+            path: e.path.display().to_string(),
+            detail: e.error.to_string(),
+        }
     }
 }
 
@@ -268,8 +312,14 @@ impl<E: Engine> Workload<E> {
     /// Returns [`StageError::MissingPrerequisite`] when an earlier stage
     /// has not run, wraps the underlying pipeline error when a stage's
     /// inputs are inconsistent, and returns [`StageError::Injected`] when
-    /// the `ZKPERF_CHAOS` knob forces a fault at this boundary.
+    /// the `ZKPERF_CHAOS` knob forces a fault at this boundary. When the
+    /// ambient [`zkperf_pool::CancelToken`] has fired (or its deadline
+    /// expired) the stage is skipped entirely and
+    /// [`StageError::Cancelled`] is returned.
     pub fn run_stage(&mut self, stage: Stage) -> Result<(), StageError> {
+        if zkperf_pool::cancellation_pending() {
+            return Err(StageError::Cancelled { stage });
+        }
         if let Some(err) = self.chaos_injection(stage, chaos_mode()) {
             return Err(err);
         }

@@ -37,6 +37,9 @@ pub enum ProveError {
     /// The proving key's internal shape is inconsistent (e.g. more
     /// public wires than query points) — a corrupt or tampered zkey.
     MalformedKey(&'static str),
+    /// The ambient [`zkperf_pool::CancelToken`] was cancelled or its
+    /// deadline expired; the proof was abandoned at a stage boundary.
+    Cancelled,
 }
 
 impl std::fmt::Display for ProveError {
@@ -53,6 +56,7 @@ impl std::fmt::Display for ProveError {
                 "proving key domain holds {domain} evaluations but the circuit has {constraints} constraints"
             ),
             ProveError::MalformedKey(what) => write!(f, "malformed proving key: {what}"),
+            ProveError::Cancelled => write!(f, "proving cancelled by caller or deadline"),
         }
     }
 }
@@ -74,6 +78,12 @@ impl std::error::Error for ProveError {}
 /// [`ProveError::DomainTooSmall`] / [`ProveError::MalformedKey`] when the
 /// proving key's header fields are inconsistent with the circuit — the
 /// shapes a corrupted or tampered `.zkey` produces.
+///
+/// Cancellation is cooperative: when the ambient
+/// [`zkperf_pool::CancelToken`] fires, the prover returns
+/// [`ProveError::Cancelled`] at the next internal boundary (before the
+/// quotient computation, before the MSMs, and between MSM groups) rather
+/// than mid-kernel, so partial work never escapes.
 pub fn prove<E: Engine, R: Rng + ?Sized>(
     pk: &ProvingKey<E>,
     r1cs: &R1cs<E::Fr>,
@@ -107,9 +117,17 @@ pub fn prove<E: Engine, R: Rng + ?Sized>(
         });
     }
 
+    if zkperf_pool::cancellation_pending() {
+        return Err(ProveError::Cancelled);
+    }
+
     // Quotient polynomial h(x) = (a·b − c)/z.
     let (a_ev, b_ev, c_ev) = qap::evaluate_constraints(r1cs, &domain, w);
     let h = qap::compute_h_coefficients(&domain, a_ev, b_ev, c_ev);
+
+    if zkperf_pool::cancellation_pending() {
+        return Err(ProveError::Cancelled);
+    }
 
     let (r, s) = (E::Fr::random(rng), E::Fr::random(rng));
 
@@ -124,6 +142,10 @@ pub fn prove<E: Engine, R: Rng + ?Sized>(
     let g_b1 = pk.beta_g1.to_projective()
         + msm(&pk.b_g1_query, w)
         + pk.delta_g1.to_projective() * s;
+
+    if zkperf_pool::cancellation_pending() {
+        return Err(ProveError::Cancelled);
+    }
 
     // C = Σ_{priv} wᵢ·Lᵢ + Σ hᵢ·Hᵢ + s·A + r·B₁ − r·s·δ
     let priv_witness = &w[pk.num_public_wires..];
@@ -149,6 +171,29 @@ mod tests {
     use zkperf_ec::Bn254;
     use zkperf_ff::bn254::Fr;
     use zkperf_ff::Field;
+
+    #[test]
+    fn ambient_cancellation_stops_setup_and_prove() {
+        use crate::setup::SetupError;
+        let circuit = exponentiate::<Fr>(8);
+        let mut rng = zkperf_ff::test_rng();
+        let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+        let w = circuit.generate_witness(&[Fr::from_u64(2)], &[]).unwrap();
+
+        let token = zkperf_pool::CancelToken::new();
+        token.cancel();
+        let _scope = token.enter();
+        assert!(matches!(
+            setup::<Bn254, _>(circuit.r1cs(), &mut rng),
+            Err(SetupError::Cancelled)
+        ));
+        assert!(matches!(
+            prove::<Bn254, _>(&pk, circuit.r1cs(), &w, &mut rng),
+            Err(ProveError::Cancelled)
+        ));
+        drop(_scope);
+        assert!(prove::<Bn254, _>(&pk, circuit.r1cs(), &w, &mut rng).is_ok());
+    }
 
     #[test]
     fn witness_length_mismatch_is_reported() {

@@ -26,6 +26,9 @@ pub enum SetupError {
         /// Constraints requested.
         constraints: usize,
     },
+    /// The ambient [`zkperf_pool::CancelToken`] was cancelled or its
+    /// deadline expired; setup was abandoned at a stage boundary.
+    Cancelled,
 }
 
 impl std::fmt::Display for SetupError {
@@ -34,6 +37,7 @@ impl std::fmt::Display for SetupError {
             SetupError::CircuitTooLarge { constraints } => {
                 write!(f, "circuit with {constraints} constraints exceeds the FFT domain")
             }
+            SetupError::Cancelled => write!(f, "setup cancelled by caller or deadline"),
         }
     }
 }
@@ -87,6 +91,10 @@ pub fn setup<E: Engine, R: Rng + ?Sized>(
     let (alpha, beta) = (nonzero(rng), nonzero(rng));
     let (gamma, gamma_inv) = invertible(rng);
     let (delta, delta_inv) = invertible(rng);
+
+    if pool::cancellation_pending() {
+        return Err(SetupError::Cancelled);
+    }
 
     // QAP evaluations at τ for every wire.
     let (u, v, w) = qap::evaluate_matrices_at(r1cs, &domain, tau);
@@ -143,6 +151,10 @@ pub fn setup<E: Engine, R: Rng + ?Sized>(
         }
     }
 
+    if pool::cancellation_pending() {
+        return Err(SetupError::Cancelled);
+    }
+
     // One fixed-base window table per generator, each built once and
     // shared by every tau-power query vector. All G1 scalars ride a single
     // `mul_batch` pass (likewise for G2), so the window tables — and the
@@ -182,6 +194,10 @@ pub fn setup<E: Engine, R: Rng + ?Sized>(
     let ic: Vec<_> = g1_points.by_ref().take(num_public).collect();
     let l_query: Vec<_> = g1_points.by_ref().take(r1cs.num_wires() - num_public).collect();
     let h_query: Vec<_> = g1_points.take(domain.size()).collect();
+
+    if pool::cancellation_pending() {
+        return Err(SetupError::Cancelled);
+    }
 
     let g2_points = t2.mul_batch(&g2_scalars);
     // Likewise [beta, gamma, delta] close the G2 batch.

@@ -25,10 +25,16 @@
 //! ```
 
 pub mod checksum;
+mod artifact;
 mod codec;
 mod files;
 mod format;
 
+pub use artifact::{
+    read_container_file, read_proof_file, read_r1cs_file, read_vkey_file, read_zkey_file,
+    write_container_file, write_proof_file, write_r1cs_file, write_vkey_file, write_zkey_file,
+    ArtifactError,
+};
 pub use checksum::crc32;
 pub use codec::{decode_point_compressed, encode_point_compressed, FieldCodec};
 pub use files::{

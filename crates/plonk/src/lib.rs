@@ -58,6 +58,26 @@ mod tests {
     }
 
     #[test]
+    fn ambient_cancellation_stops_setup_and_prove() {
+        let circuit = exponentiate::<Fr>(10);
+        let mut rng = zkperf_ff::test_rng();
+        let pk = plonk_setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+        let w = circuit.generate_witness(&[Fr::from_u64(3)], &[]).unwrap();
+
+        let token = zkperf_pool::CancelToken::new();
+        token.cancel();
+        let _scope = token.enter();
+        assert!(matches!(
+            plonk_setup::<Bn254, _>(circuit.r1cs(), &mut rng),
+            Err(PlonkError::Cancelled)
+        ));
+        assert!(matches!(plonk_prove(&pk, w.full()), Err(PlonkError::Cancelled)));
+        drop(_scope);
+        // Outside the scope the prover runs normally again.
+        assert!(plonk_prove(&pk, w.full()).is_ok());
+    }
+
+    #[test]
     fn wrong_public_inputs_are_rejected() {
         let circuit = exponentiate::<Fr>(6);
         let mut rng = zkperf_ff::test_rng();

@@ -84,6 +84,9 @@ pub enum PlonkError {
         /// Wires supplied.
         got: usize,
     },
+    /// The ambient [`zkperf_pool::CancelToken`] was cancelled or its
+    /// deadline expired; the operation was abandoned at a round boundary.
+    Cancelled,
 }
 
 impl std::fmt::Display for PlonkError {
@@ -93,6 +96,7 @@ impl std::fmt::Display for PlonkError {
             PlonkError::WitnessLength { expected, got } => {
                 write!(f, "witness has {got} wires, circuit expects {expected}")
             }
+            PlonkError::Cancelled => write!(f, "plonk operation cancelled by caller or deadline"),
         }
     }
 }
@@ -139,6 +143,9 @@ pub fn plonk_setup<E: Engine, R: Rng + ?Sized>(
 ) -> Result<PlonkProverKey<E>, PlonkError> {
     let _g = trace::region_profile("plonk_setup");
     let circuit = PlonkCircuit::from_r1cs(r1cs)?;
+    if zkperf_pool::cancellation_pending() {
+        return Err(PlonkError::Cancelled);
+    }
     let n = circuit.n;
     let srs = Srs::<E>::generate(4 * n + 8, rng);
     let domain = Radix2Domain::<E::Fr>::new(n).expect("checked by arithmetization");
@@ -238,6 +245,10 @@ where
     let beta = transcript.challenge();
     let gamma = transcript.challenge();
 
+    if zkperf_pool::cancellation_pending() {
+        return Err(PlonkError::Cancelled);
+    }
+
     // Round 2: permutation accumulator z.
     let mut z_evals = Vec::with_capacity(n);
     let mut acc = E::Fr::one();
@@ -267,6 +278,10 @@ where
     let z_commit = pk.srs.commit(&z_poly);
     transcript.absorb_point(&z_commit.0);
     let alpha = transcript.challenge();
+
+    if zkperf_pool::cancellation_pending() {
+        return Err(PlonkError::Cancelled);
+    }
 
     // Round 3: quotient t = (gate + α·perm₁ + α²·perm₂) / Z_H on a 4n coset.
     let domain4 = Radix2Domain::<E::Fr>::new(4 * n).expect("checked at setup");

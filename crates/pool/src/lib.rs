@@ -40,6 +40,18 @@
 //! body, a task that wraps its work in `catch_unwind` can convert the
 //! injected fault into a typed error — the fault-injection hook used by
 //! the chaos-mode sweeps to prove worker panics never abort the process.
+//!
+//! # Cooperative cancellation and deadlines
+//!
+//! A [`CancelToken`] carries an explicit cancel flag plus an optional
+//! absolute deadline. Installing it with [`CancelToken::enter`] makes it
+//! the thread's ambient cancellation scope; jobs published to the pool
+//! from inside that scope re-install the token in every task, so
+//! [`cancellation_pending`] answers correctly on whichever thread the work
+//! landed. Cancellation is strictly cooperative — kernels poll at their
+//! own boundaries and surface a typed error — which keeps the
+//! deterministic-decomposition guarantee intact: a job either completes
+//! bit-identically or fails as a value, never half-writes.
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
@@ -47,9 +59,10 @@
 use std::any::Any;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the pool size; oversubscription beyond this is clamped.
 const MAX_THREADS: usize = 64;
@@ -89,6 +102,9 @@ struct Job {
     /// Optional chaos countdown: the task execution that decrements this
     /// from 1 to 0 panics deliberately.
     chaos: Option<Arc<AtomicI64>>,
+    /// Cancellation scope of the submitting thread, re-installed inside
+    /// every task so [`cancellation_pending`] works across the pool.
+    cancel: Option<Arc<CancelState>>,
 }
 
 // SAFETY: `task` is only dereferenced while the publishing caller is
@@ -124,6 +140,159 @@ thread_local! {
     /// The chaos countdown of the job whose task is currently executing on
     /// this thread (if any); read by [`chaos_checkpoint`].
     static CURRENT_CHAOS: RefCell<Option<Arc<AtomicI64>>> = const { RefCell::new(None) };
+    /// The cancellation token governing work on this thread: installed by
+    /// [`CancelToken::enter`] on submitting threads and re-installed inside
+    /// pool tasks of jobs those threads publish, so a kernel can poll
+    /// [`cancellation_pending`] no matter which thread its code landed on.
+    static CURRENT_CANCEL: RefCell<Option<Arc<CancelState>>> = const { RefCell::new(None) };
+}
+
+/// Shared state behind a [`CancelToken`].
+#[derive(Debug)]
+struct CancelState {
+    cancelled: AtomicBool,
+    /// Absolute deadline; `None` means the token only cancels explicitly.
+    deadline: Option<Instant>,
+}
+
+impl CancelState {
+    fn pending(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// A cooperative cancellation token with an optional absolute deadline.
+///
+/// Cancellation is *observed*, never imposed: the pool never kills a task.
+/// Long-running kernels and stage boundaries poll
+/// [`cancellation_pending`] and convert a pending cancellation into their
+/// own typed error, so a cancelled proof job unwinds through ordinary
+/// `Result` paths with every invariant intact.
+///
+/// Install a token for a region of work with [`CancelToken::enter`]; jobs
+/// published to the pool from inside that region carry the token, making
+/// deadline-aware task spawning transparent to the kernels.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use zkperf_pool::{cancellation_pending, CancelToken};
+///
+/// let token = CancelToken::with_timeout(Duration::from_secs(60));
+/// let _scope = token.enter();
+/// assert!(!cancellation_pending());
+/// token.cancel();
+/// assert!(cancellation_pending());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    state: Arc<CancelState>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; cancels only via [`CancelToken::cancel`].
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken {
+            state: Arc::new(CancelState {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that additionally reports cancellation once `deadline`
+    /// passes.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            state: Arc::new(CancelState {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A token whose deadline is `budget` from now.
+    #[must_use]
+    pub fn with_timeout(budget: Duration) -> Self {
+        Self::with_deadline(Instant::now() + budget)
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the next poll.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.pending()
+    }
+
+    /// Time left until the deadline (`None` without one; zero once past).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.state
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Installs this token as the calling thread's ambient cancellation
+    /// scope until the guard drops. Scopes nest; the innermost wins.
+    #[must_use]
+    pub fn enter(&self) -> CancelScope {
+        let prev = CURRENT_CANCEL.with(|c| c.replace(Some(Arc::clone(&self.state))));
+        CancelScope { prev }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RAII guard for an ambient cancellation scope (see [`CancelToken::enter`]).
+pub struct CancelScope {
+    prev: Option<Arc<CancelState>>,
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        CURRENT_CANCEL.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Guard installing a job's cancel token as the executing thread's ambient
+/// one for the duration of a task (the worker-side counterpart of
+/// [`CancelToken::enter`]).
+struct TaskCancelScope {
+    prev: Option<Arc<CancelState>>,
+}
+
+impl TaskCancelScope {
+    fn enter(cancel: Option<Arc<CancelState>>) -> Self {
+        let prev = CURRENT_CANCEL.with(|c| c.replace(cancel));
+        TaskCancelScope { prev }
+    }
+}
+
+impl Drop for TaskCancelScope {
+    fn drop(&mut self) {
+        CURRENT_CANCEL.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Whether the ambient cancellation scope (if any) wants work to stop:
+/// explicitly cancelled, or past its deadline. A no-op `false` outside any
+/// scope, so kernels can poll unconditionally at their natural boundaries.
+pub fn cancellation_pending() -> bool {
+    CURRENT_CANCEL.with(|c| c.borrow().as_ref().is_some_and(|s| s.pending()))
+}
+
+fn ambient_cancel() -> Option<Arc<CancelState>> {
+    CURRENT_CANCEL.with(|c| c.borrow().clone())
 }
 
 /// RAII guard installing a job's chaos countdown as this thread's ambient
@@ -255,6 +424,7 @@ fn run_tasks(job: &Job) {
         let task = unsafe { &*job.task };
         let result = catch_unwind(AssertUnwindSafe(|| {
             let _scope = ChaosScope::enter(job.chaos.clone());
+            let _cancel = TaskCancelScope::enter(job.cancel.clone());
             task(idx);
         }));
         if let Err(payload) = result {
@@ -374,6 +544,7 @@ pub fn parallel_for<F: Fn(usize) + Sync>(count: usize, task: F) {
         done_cv: Condvar::new(),
         panic: Mutex::new(None),
         chaos,
+        cancel: ambient_cancel(),
     });
 
     {
@@ -623,6 +794,64 @@ mod tests {
             chaos_checkpoint(); // outside any task
             parallel_for(4, |_| chaos_checkpoint());
         });
+    }
+
+    #[test]
+    fn cancellation_is_ambient_and_scoped() {
+        assert!(!cancellation_pending(), "no scope installed");
+        let token = CancelToken::new();
+        {
+            let _scope = token.enter();
+            assert!(!cancellation_pending());
+            token.cancel();
+            assert!(cancellation_pending());
+        }
+        // Scope dropped: the cancelled token no longer governs this thread.
+        assert!(!cancellation_pending());
+    }
+
+    #[test]
+    fn deadline_tokens_trip_after_expiry() {
+        let token = CancelToken::with_timeout(Duration::from_millis(5));
+        assert!(token.remaining().is_some());
+        thread::sleep(Duration::from_millis(10));
+        assert!(token.is_cancelled());
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+        // A generous deadline does not trip.
+        let patient = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!patient.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_scope_propagates_into_pool_tasks() {
+        with_threads(4, || {
+            let token = CancelToken::new();
+            token.cancel();
+            let _scope = token.enter();
+            let seen = AtomicUsize::new(0);
+            parallel_for(32, |_| {
+                if cancellation_pending() {
+                    seen.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            // Every task observed the submitting thread's cancellation,
+            // regardless of which thread ran it.
+            assert_eq!(seen.into_inner(), 32);
+        });
+    }
+
+    #[test]
+    fn nested_scopes_innermost_wins() {
+        let outer = CancelToken::new();
+        outer.cancel();
+        let _o = outer.enter();
+        assert!(cancellation_pending());
+        {
+            let inner = CancelToken::new();
+            let _i = inner.enter();
+            assert!(!cancellation_pending(), "inner scope shadows outer");
+        }
+        assert!(cancellation_pending(), "outer scope restored");
     }
 
     #[test]

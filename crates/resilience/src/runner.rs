@@ -10,15 +10,27 @@ use std::thread;
 use std::time::Duration;
 
 /// Retry/backoff/timeout configuration for one class of work.
+///
+/// The sleep before attempt `n > 1` is the capped exponential
+/// `min(base_backoff · 2^(n-2), max_backoff)` scaled by a deterministic
+/// jitter factor drawn from `(jitter_seed, n)`: with `jitter = j`, the
+/// factor lies in `[1 - j, 1)`. Jitter decorrelates retry storms when many
+/// workers hit the same transient fault, while staying a pure function of
+/// the seed so any schedule can be replayed exactly.
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
     /// Total attempts (first try included). At least 1.
     pub max_attempts: u32,
-    /// Sleep before attempt `n` is `base_backoff * 2^(n-1)`, capped at
-    /// [`RetryPolicy::max_backoff`].
+    /// Base of the exponential backoff curve.
     pub base_backoff: Duration,
-    /// Upper bound on a single backoff sleep.
+    /// Upper bound on a single backoff sleep (before jitter scaling).
     pub max_backoff: Duration,
+    /// Fraction of each backoff randomized, clamped to `0.0..=1.0`.
+    /// `0.0` reproduces the pure capped exponential.
+    pub jitter: f64,
+    /// Seed of the jitter stream; the whole schedule is a pure function
+    /// of `(jitter_seed, attempt)`.
+    pub jitter_seed: u64,
     /// Wall-clock budget per attempt; `None` waits indefinitely.
     pub timeout: Option<Duration>,
 }
@@ -29,6 +41,8 @@ impl Default for RetryPolicy {
             max_attempts: 3,
             base_backoff: Duration::from_millis(50),
             max_backoff: Duration::from_secs(2),
+            jitter: 0.5,
+            jitter_seed: 0,
             timeout: None,
         }
     }
@@ -41,16 +55,51 @@ impl RetryPolicy {
             max_attempts: 1,
             base_backoff: Duration::ZERO,
             max_backoff: Duration::ZERO,
+            jitter: 0.0,
+            jitter_seed: 0,
             timeout: None,
         }
     }
 
-    fn backoff_before(&self, attempt: u32) -> Duration {
+    /// The same policy with its jitter stream re-seeded (e.g. per job, so
+    /// concurrent retriers of one shared policy decorrelate).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The sleep inserted before attempt `attempt` (1-based; zero before
+    /// the first attempt). Deterministic: equal `(policy, attempt)` pairs
+    /// always produce equal sleeps.
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
         if attempt <= 1 {
             return Duration::ZERO;
         }
         let factor = 1u32 << (attempt - 2).min(16);
-        (self.base_backoff * factor).min(self.max_backoff)
+        let capped = (self.base_backoff * factor).min(self.max_backoff);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 || capped.is_zero() {
+            return capped;
+        }
+        // splitmix64 of (seed, attempt): a uniform draw in [0, 1).
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let scale = 1.0 - jitter + jitter * unit;
+        Duration::from_nanos((capped.as_nanos() as f64 * scale) as u64)
+    }
+
+    /// The full backoff schedule for this policy's attempt budget (the
+    /// sleep before each attempt, first entry always zero).
+    pub fn backoff_schedule(&self) -> Vec<Duration> {
+        (1..=self.max_attempts.max(1))
+            .map(|a| self.backoff_before(a))
+            .collect()
     }
 }
 
@@ -271,8 +320,85 @@ mod tests {
             max_attempts: attempts,
             base_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(4),
+            jitter: 0.5,
+            jitter_seed: 7,
             timeout: None,
         }
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_under_a_fixed_seed() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter: 0.5,
+            jitter_seed: 42,
+            timeout: None,
+        };
+        assert_eq!(policy.backoff_schedule(), policy.backoff_schedule());
+        assert_eq!(
+            policy.backoff_schedule(),
+            policy.clone().with_seed(42).backoff_schedule()
+        );
+        // A different seed produces a different (but equally fixed) schedule.
+        let other = policy.clone().with_seed(43).backoff_schedule();
+        assert_ne!(policy.backoff_schedule(), other);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_respects_the_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.0, // pure curve: no jitter
+            jitter_seed: 0,
+            timeout: None,
+        };
+        let schedule = policy.backoff_schedule();
+        assert_eq!(schedule[0], Duration::ZERO);
+        assert_eq!(schedule[1], Duration::from_millis(10));
+        assert_eq!(schedule[2], Duration::from_millis(20));
+        assert_eq!(schedule[3], Duration::from_millis(40));
+        assert_eq!(schedule[4], Duration::from_millis(80));
+        // Capped from attempt 6 on.
+        assert!(schedule[5..].iter().all(|&d| d == Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn jitter_stays_inside_its_band() {
+        let jitter = 0.5;
+        for seed in 0..64u64 {
+            let policy = RetryPolicy {
+                max_attempts: 8,
+                base_backoff: Duration::from_millis(16),
+                max_backoff: Duration::from_secs(1),
+                jitter,
+                jitter_seed: seed,
+                timeout: None,
+            };
+            for attempt in 2..=8u32 {
+                let pure = (policy.base_backoff * (1u32 << (attempt - 2)))
+                    .min(policy.max_backoff);
+                let jittered = policy.backoff_before(attempt);
+                assert!(jittered < pure, "jitter must shorten, not extend");
+                assert!(
+                    jittered.as_secs_f64() >= pure.as_secs_f64() * (1.0 - jitter) - 1e-9,
+                    "seed {seed} attempt {attempt}: below the jitter band"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_jitter_is_clamped_not_panicking() {
+        let mut policy = fast_policy(3);
+        policy.jitter = 7.5;
+        let d = policy.backoff_before(2);
+        assert!(d <= policy.max_backoff);
+        policy.jitter = -1.0;
+        assert_eq!(policy.backoff_before(2), Duration::from_millis(1));
     }
 
     #[test]

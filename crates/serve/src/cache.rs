@@ -1,0 +1,301 @@
+//! A content-addressed artifact cache for compiled circuits and setup
+//! keys.
+//!
+//! Entries are keyed by a hash of the curve name and the circuit source,
+//! so identical shapes share one compile + trusted setup across jobs,
+//! retries, and server restarts. On disk each entry is a pair of
+//! checksummed v2 containers (`{key}.r1cs`, `{key}.zkey`) written
+//! atomically; reads that fail the container checks are classified by
+//! [`zkperf_io::ArtifactError::is_corruption`] and the entry is evicted
+//! and rebuilt — a corrupt artifact is never served.
+//!
+//! Setup randomness is derived from the content key alone, so a rebuilt
+//! entry is bit-identical to the original and proofs stay reproducible
+//! across evictions.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use rand::SeedableRng;
+
+use zkperf_circuit::{lang, Circuit};
+use zkperf_core::StageError;
+use zkperf_ec::{CurveParams, Engine};
+use zkperf_groth16::{contribute, setup, ProvingKey};
+use zkperf_io::{
+    read_r1cs_file, read_zkey_file, write_r1cs_file, write_zkey_file, FieldCodec,
+};
+
+use crate::job::CircuitSpec;
+
+/// Domain-separation constant for setup randomness.
+const SETUP_SEED: u64 = 0x5e7_cafe_0000;
+
+/// Hashes `(curve, source)` into a 64-bit content key (FNV-1a).
+pub fn content_key(curve: &str, source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in [curve.as_bytes(), &[0u8], source.as_bytes()] {
+        for &b in chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Counters exposed by [`ArtifactCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries served from memory.
+    pub mem_hits: u64,
+    /// Entries loaded from intact disk artifacts.
+    pub disk_hits: u64,
+    /// Entries built from scratch (cold or after eviction).
+    pub builds: u64,
+    /// Corrupt disk artifacts detected, evicted, and rebuilt.
+    pub corrupt_evictions: u64,
+}
+
+/// Where an entry came from and what it cost, for per-stage accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadTiming {
+    /// Nanoseconds spent compiling the source (zero on a memory hit).
+    pub compile_nanos: u64,
+    /// Nanoseconds spent acquiring the proving key — disk read on a hit,
+    /// trusted setup on a build (zero on a memory hit).
+    pub setup_nanos: u64,
+}
+
+/// A compiled circuit and its proving key, shared across jobs.
+pub struct CacheEntry<E: Engine> {
+    /// The compiled circuit (witness generation needs the instruction
+    /// stream, not just the R1CS).
+    pub circuit: Circuit<E::Fr>,
+    /// The Groth16 proving key (embeds the verification key).
+    pub pk: ProvingKey<E>,
+    /// The entry's content key.
+    pub key: u64,
+}
+
+/// The cache itself: an in-memory map over a disk directory.
+pub struct ArtifactCache<E: Engine> {
+    dir: PathBuf,
+    mem: HashMap<u64, Arc<CacheEntry<E>>>,
+    stats: CacheStats,
+}
+
+impl<E: Engine> ArtifactCache<E>
+where
+    <E::G1 as CurveParams>::Base: FieldCodec,
+    <E::G2 as CurveParams>::Base: FieldCodec,
+{
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`StageError::Artifact`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ArtifactCache<E>, StageError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| StageError::Artifact {
+            path: dir.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Ok(ArtifactCache {
+            dir,
+            mem: HashMap::new(),
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn r1cs_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.r1cs"))
+    }
+
+    fn zkey_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.zkey"))
+    }
+
+    /// Returns the entry for `spec`, compiling and running setup only
+    /// when no intact artifact exists.
+    ///
+    /// # Errors
+    ///
+    /// Compile and setup failures surface as their [`StageError`]
+    /// variants; unreadable artifacts that are *not* corruption (e.g.
+    /// permission errors) surface as [`StageError::Artifact`] carrying
+    /// the offending path.
+    pub fn load_or_build(
+        &mut self,
+        spec: &CircuitSpec,
+    ) -> Result<(Arc<CacheEntry<E>>, LoadTiming), StageError> {
+        let key = content_key(E::NAME, &spec.source);
+        if let Some(entry) = self.mem.get(&key) {
+            self.stats.mem_hits += 1;
+            return Ok((Arc::clone(entry), LoadTiming::default()));
+        }
+
+        // The instruction stream is required for witness generation, so
+        // the compile always runs; the disk artifacts exist to skip the
+        // trusted setup (the paper's 76%-of-runtime stage) and to
+        // cross-check the compile output.
+        let start = std::time::Instant::now();
+        let circuit = lang::compile::<E::Fr>(&spec.source)?;
+        self.reconcile_r1cs(key, &circuit)?;
+        let compile_nanos = start.elapsed().as_nanos() as u64;
+
+        let start = std::time::Instant::now();
+        let pk = self.load_or_setup_pk(key, &circuit)?;
+        let setup_nanos = start.elapsed().as_nanos() as u64;
+
+        let entry = Arc::new(CacheEntry { circuit, pk, key });
+        self.mem.insert(key, Arc::clone(&entry));
+        Ok((
+            entry,
+            LoadTiming {
+                compile_nanos,
+                setup_nanos,
+            },
+        ))
+    }
+
+    /// Validates (or writes) the cached R1CS against the fresh compile.
+    /// A readable-but-different R1CS under a content-addressed key means
+    /// the file was tampered with or corrupted in a checksum-colliding
+    /// way; it is evicted like any other corruption.
+    fn reconcile_r1cs(&mut self, key: u64, circuit: &Circuit<E::Fr>) -> Result<(), StageError> {
+        let path = self.r1cs_path(key);
+        match read_r1cs_file::<E::Fr>(&path) {
+            Ok(on_disk) if &on_disk == circuit.r1cs() => Ok(()),
+            Ok(_) => {
+                self.evict(&path);
+                write_r1cs_file(&path, circuit.r1cs())?;
+                Ok(())
+            }
+            Err(e) if e.is_missing() => {
+                write_r1cs_file(&path, circuit.r1cs())?;
+                Ok(())
+            }
+            Err(e) if e.is_corruption() => {
+                self.evict(&path);
+                write_r1cs_file(&path, circuit.r1cs())?;
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn load_or_setup_pk(
+        &mut self,
+        key: u64,
+        circuit: &Circuit<E::Fr>,
+    ) -> Result<ProvingKey<E>, StageError> {
+        let path = self.zkey_path(key);
+        match read_zkey_file::<E>(&path) {
+            Ok(pk) => {
+                self.stats.disk_hits += 1;
+                Ok(pk)
+            }
+            Err(e) if e.is_missing() => self.build_pk(key, circuit, &path),
+            Err(e) if e.is_corruption() => {
+                self.evict(&path);
+                self.build_pk(key, circuit, &path)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn build_pk(
+        &mut self,
+        key: u64,
+        circuit: &Circuit<E::Fr>,
+        path: &Path,
+    ) -> Result<ProvingKey<E>, StageError> {
+        self.stats.builds += 1;
+        // Seeding from the content key makes rebuilt keys bit-identical,
+        // which in turn keeps proofs byte-reproducible across evictions.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(SETUP_SEED ^ key);
+        let mut pk = setup::<E, _>(circuit.r1cs(), &mut rng)?;
+        contribute::<E, _>(&mut pk, &mut rng);
+        write_zkey_file::<E>(path, &pk)?;
+        Ok(pk)
+    }
+
+    fn evict(&mut self, path: &Path) {
+        self.stats.corrupt_evictions += 1;
+        // Nothing to do about a failed unlink beyond the rebuild that
+        // follows; the atomic rename will replace the entry either way.
+        let _ = fs::remove_file(path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_ec::Bn254;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "zkperf-serve-cache-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_round_trip_skips_setup() {
+        let dir = tmpdir("roundtrip");
+        let spec = CircuitSpec::exponentiate(8, 3);
+        let mut cache = ArtifactCache::<Bn254>::open(&dir).unwrap();
+        let (first, timing) = cache.load_or_build(&spec).unwrap();
+        assert!(timing.setup_nanos > 0);
+        assert_eq!(cache.stats().builds, 1);
+
+        // A fresh cache over the same directory loads from disk.
+        let mut cache2 = ArtifactCache::<Bn254>::open(&dir).unwrap();
+        let (second, _) = cache2.load_or_build(&spec).unwrap();
+        assert_eq!(cache2.stats().builds, 0);
+        assert_eq!(cache2.stats().disk_hits, 1);
+        assert_eq!(first.pk, second.pk);
+
+        // Memory hit on repeat.
+        cache2.load_or_build(&spec).unwrap();
+        assert_eq!(cache2.stats().mem_hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_zkey_is_evicted_and_rebuilt_identically() {
+        let dir = tmpdir("corrupt");
+        let spec = CircuitSpec::exponentiate(8, 3);
+        let mut cache = ArtifactCache::<Bn254>::open(&dir).unwrap();
+        let (original, _) = cache.load_or_build(&spec).unwrap();
+
+        let key = content_key(Bn254::NAME, &spec.source);
+        let zkey = dir.join(format!("{key:016x}.zkey"));
+        let mut bytes = fs::read(&zkey).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&zkey, bytes).unwrap();
+
+        let mut cache2 = ArtifactCache::<Bn254>::open(&dir).unwrap();
+        let (rebuilt, _) = cache2.load_or_build(&spec).unwrap();
+        assert_eq!(cache2.stats().corrupt_evictions, 1);
+        assert_eq!(cache2.stats().builds, 1);
+        // Deterministic setup seed ⇒ the rebuild is bit-identical.
+        assert_eq!(original.pk, rebuilt.pk);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,240 @@
+//! Job specifications and typed outcomes.
+
+use std::time::Duration;
+
+use zkperf_circuit::library;
+
+/// Identifies a submitted job for the lifetime of a server.
+pub type JobId = u64;
+
+/// Scheduling class. Under overload the queue sheds `Low` before
+/// `Normal` before `High`; within a class, arrival order is preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Best-effort; first to be shed.
+    Low,
+    /// The default class.
+    Normal,
+    /// Latency-sensitive; only shed to nothing.
+    High,
+}
+
+impl Priority {
+    /// Stable numeric rank (higher = more important).
+    pub fn rank(self) -> u8 {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+
+    /// Decodes [`Priority::rank`]; unknown ranks clamp to `Low`.
+    pub fn from_rank(rank: u8) -> Priority {
+        match rank {
+            2 => Priority::High,
+            1 => Priority::Normal,
+            _ => Priority::Low,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
+/// What a circuit looks like, independent of any engine: compile `source`
+/// and feed it the given inputs. Two specs with the same source are the
+/// same circuit *shape* and share cache entries and breaker state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitSpec {
+    /// Short display name (e.g. `exp1024`).
+    pub name: String,
+    /// Circuit-language source text.
+    pub source: String,
+    /// Declared constraint count (used for admission cost estimates).
+    pub constraints: usize,
+    /// Public inputs, as small integers lifted into the scalar field.
+    pub public_inputs: Vec<u64>,
+    /// Private inputs, lifted the same way.
+    pub private_inputs: Vec<u64>,
+}
+
+impl CircuitSpec {
+    /// The paper's exponentiation benchmark circuit `y = x^constraints`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraints == 0` (the underlying generator requires at
+    /// least one constraint).
+    pub fn exponentiate(constraints: usize, x: u64) -> CircuitSpec {
+        CircuitSpec {
+            name: format!("exp{constraints}"),
+            source: library::exponentiate_source(constraints),
+            constraints,
+            public_inputs: vec![x],
+            private_inputs: Vec::new(),
+        }
+    }
+
+    /// Rough resident-memory cost of proving this circuit, used for the
+    /// admission controller's in-flight byte budget. Dominated by the
+    /// proving key's group elements (a handful per wire) plus the
+    /// evaluation-domain scratch vectors.
+    pub fn estimated_bytes(&self) -> usize {
+        self.constraints * 640 + (1 << 12)
+    }
+}
+
+/// What the job asks the server to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobKind {
+    /// Run the full pipeline and return serialized proof bytes.
+    Prove,
+    /// Check previously produced proof bytes against the circuit's
+    /// public inputs (the cheap path that stays available when the
+    /// service degrades).
+    Verify {
+        /// A `.proof` container as returned by a served prove job.
+        proof: Vec<u8>,
+    },
+}
+
+impl JobKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Prove => "prove",
+            JobKind::Verify { .. } => "verify",
+        }
+    }
+}
+
+/// A job as submitted by a client.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The circuit to run.
+    pub circuit: CircuitSpec,
+    /// Prove or verify.
+    pub kind: JobKind,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Optional completion budget, measured from admission. `None`
+    /// inherits the server default (which may also be `None`).
+    pub deadline: Option<Duration>,
+}
+
+/// Why the admission controller refused a job. Every rejection carries
+/// enough context for the client to act (back off, drop priority, retry
+/// against another instance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The queue is at capacity and the job does not outrank anything
+    /// already enqueued.
+    QueueFull {
+        /// Current depth.
+        depth: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+    /// Admitting the job would exceed the in-flight memory budget.
+    InflightBytes {
+        /// Bytes currently accounted (queued + executing).
+        bytes: usize,
+        /// This job's estimated cost.
+        cost: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+    /// The service has degraded to verify-only; prove jobs are refused.
+    VerifyOnly,
+    /// The server is draining for shutdown.
+    Draining,
+    /// This circuit shape is quarantined by the circuit breaker.
+    CircuitOpen {
+        /// Content key of the quarantined shape.
+        key: u64,
+        /// Submission tick at which the breaker half-opens.
+        until_tick: u64,
+    },
+    /// The job was admitted but later shed to make room for a
+    /// higher-priority arrival.
+    Shed {
+        /// The job that displaced it.
+        by: JobId,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth, limit } => {
+                write!(f, "queue full ({depth}/{limit})")
+            }
+            RejectReason::InflightBytes { bytes, cost, limit } => write!(
+                f,
+                "in-flight byte budget exceeded ({bytes} held + {cost} requested > {limit})"
+            ),
+            RejectReason::VerifyOnly => write!(f, "service degraded to verify-only"),
+            RejectReason::Draining => write!(f, "server draining"),
+            RejectReason::CircuitOpen { key, until_tick } => write!(
+                f,
+                "circuit {key:016x} quarantined until tick {until_tick}"
+            ),
+            RejectReason::Shed { by } => write!(f, "shed for higher-priority job {by}"),
+        }
+    }
+}
+
+/// The single typed outcome every accepted job ends with (and every
+/// rejected submission records). The accounting invariant — one outcome
+/// per submitted job, no silent drops — is what the `serve_smoke` tier
+/// checks under chaos.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job completed inside its deadline.
+    Served {
+        /// Serialized `.proof` container (empty for verify jobs).
+        proof: Vec<u8>,
+        /// Verification result, when the job asked for one.
+        verified: Option<bool>,
+        /// Attempts consumed (1 = first try).
+        attempts: u32,
+    },
+    /// Refused at admission, or shed later.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+    },
+    /// The deadline expired before (or while) the job ran.
+    DeadlineExceeded {
+        /// Stage boundary that observed the expiry.
+        stage: String,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// Explicitly cancelled (drain without checkpoint slot, or caller).
+    Cancelled {
+        /// Stage boundary that observed the cancellation.
+        stage: String,
+    },
+    /// All retry attempts failed.
+    Failed {
+        /// Final error, rendered.
+        error: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+impl JobOutcome {
+    /// Whether the outcome counts as successfully served.
+    pub fn is_served(&self) -> bool {
+        matches!(self, JobOutcome::Served { .. })
+    }
+}

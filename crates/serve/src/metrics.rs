@@ -1,0 +1,264 @@
+//! Latency recording and the loadgen report: per-stage p50/p99/p99.9
+//! plus cost-per-proof.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A working assumption for converting CPU-busy time into dollars:
+/// roughly an on-demand cloud vCPU-hour.
+pub const DEFAULT_DOLLARS_PER_CPU_HOUR: f64 = 0.045;
+
+/// Collects latency samples (nanoseconds) and answers percentile queries
+/// by the nearest-rank method.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, nanos: u64) {
+        self.samples.push(nanos);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of all samples (total busy time attributed to this series).
+    pub fn total(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Nearest-rank percentile; `q` in `(0, 100]`. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Per-stage recorders keyed by stage name, in insertion-stable
+/// (alphabetical) order for reproducible reports.
+#[derive(Debug, Default)]
+pub struct StageTable {
+    stages: BTreeMap<String, LatencyRecorder>,
+}
+
+impl StageTable {
+    /// An empty table.
+    pub fn new() -> StageTable {
+        StageTable::default()
+    }
+
+    /// Records `nanos` against `stage`.
+    pub fn record(&mut self, stage: &str, nanos: u64) {
+        self.stages.entry(stage.to_string()).or_default().record(nanos);
+    }
+
+    /// The recorder for `stage`, if any samples exist.
+    pub fn get(&self, stage: &str) -> Option<&LatencyRecorder> {
+        self.stages.get(stage)
+    }
+
+    /// Total busy nanoseconds across all stages.
+    pub fn total_busy_nanos(&self) -> u64 {
+        self.stages.values().map(LatencyRecorder::total).sum()
+    }
+
+    /// Iterates `(stage, recorder)` pairs in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &LatencyRecorder)> {
+        self.stages.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}µs", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+/// The loadgen summary: the stage latency table plus service counters and
+/// the cost-per-proof estimate.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-stage latency distributions.
+    pub stages: Vec<StageRow>,
+    /// Jobs served.
+    pub served: u64,
+    /// Of which prove jobs (the denominator for cost-per-proof).
+    pub proofs: u64,
+    /// Typed rejections (admission + shed).
+    pub rejected: u64,
+    /// Deadline expiries.
+    pub deadline_exceeded: u64,
+    /// Terminal failures after retries.
+    pub failed: u64,
+    /// Explicit cancellations.
+    pub cancelled: u64,
+    /// Total CPU-busy nanoseconds across all stages and attempts.
+    pub busy_nanos: u64,
+    /// Price assumption used for the cost line.
+    pub dollars_per_cpu_hour: f64,
+}
+
+/// One row of the stage table.
+#[derive(Debug)]
+pub struct StageRow {
+    /// Stage name.
+    pub stage: String,
+    /// 50th percentile, nanoseconds.
+    pub p50: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99: u64,
+    /// 99.9th percentile, nanoseconds.
+    pub p999: u64,
+    /// Worst sample, nanoseconds.
+    pub max: u64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl ServeReport {
+    /// Builds a report from a stage table and outcome counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        table: &StageTable,
+        served: u64,
+        proofs: u64,
+        rejected: u64,
+        deadline_exceeded: u64,
+        failed: u64,
+        cancelled: u64,
+        dollars_per_cpu_hour: f64,
+    ) -> ServeReport {
+        let stages = table
+            .iter()
+            .map(|(stage, rec)| StageRow {
+                stage: stage.to_string(),
+                p50: rec.percentile(50.0),
+                p99: rec.percentile(99.0),
+                p999: rec.percentile(99.9),
+                max: rec.max(),
+                count: rec.count(),
+            })
+            .collect();
+        ServeReport {
+            stages,
+            served,
+            proofs,
+            rejected,
+            deadline_exceeded,
+            failed,
+            cancelled,
+            busy_nanos: table.total_busy_nanos(),
+            dollars_per_cpu_hour,
+        }
+    }
+
+    /// Dollars of CPU time spent per successfully served proof
+    /// (`None` when no proofs were served).
+    pub fn cost_per_proof(&self) -> Option<f64> {
+        if self.proofs == 0 {
+            return None;
+        }
+        let hours = self.busy_nanos as f64 / 3.6e12;
+        Some(hours * self.dollars_per_cpu_hour / self.proofs as f64)
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            "stage", "p50", "p99", "p99.9", "max", "count"
+        )?;
+        for row in &self.stages {
+            writeln!(
+                f,
+                "{:<10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+                row.stage,
+                fmt_nanos(row.p50),
+                fmt_nanos(row.p99),
+                fmt_nanos(row.p999),
+                fmt_nanos(row.max),
+                row.count
+            )?;
+        }
+        writeln!(
+            f,
+            "outcomes: served={} rejected={} deadline_exceeded={} failed={} cancelled={}",
+            self.served, self.rejected, self.deadline_exceeded, self.failed, self.cancelled
+        )?;
+        match self.cost_per_proof() {
+            Some(c) => writeln!(
+                f,
+                "cost: {} proofs, {} busy, ${c:.8}/proof (at ${}/cpu-hour)",
+                self.proofs,
+                fmt_nanos(self.busy_nanos),
+                self.dollars_per_cpu_hour
+            ),
+            None => writeln!(f, "cost: no proofs served"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut r = LatencyRecorder::new();
+        for n in 1..=100u64 {
+            r.record(n * 10);
+        }
+        assert_eq!(r.percentile(50.0), 500);
+        assert_eq!(r.percentile(99.0), 990);
+        assert_eq!(r.percentile(99.9), 1000);
+        assert_eq!(r.max(), 1000);
+        assert_eq!(r.count(), 100);
+    }
+
+    #[test]
+    fn empty_recorder_is_zeroes() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.percentile(50.0), 0);
+        assert_eq!(r.max(), 0);
+    }
+
+    #[test]
+    fn report_cost_per_proof() {
+        let mut t = StageTable::new();
+        t.record("prove", 3_600_000_000); // 3.6s busy
+        let report = ServeReport::new(&t, 1, 1, 0, 0, 0, 0, 36.0);
+        // 3.6s = 1e-3 hours; at $36/hr that is $0.036 for one proof.
+        let c = report.cost_per_proof().unwrap();
+        assert!((c - 0.036).abs() < 1e-12, "{c}");
+        let rendered = report.to_string();
+        assert!(rendered.contains("prove"));
+        assert!(rendered.contains("/proof"));
+    }
+}

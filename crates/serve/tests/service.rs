@@ -1,0 +1,302 @@
+//! End-to-end service tests: deterministic overload behaviour, deadline
+//! accounting, circuit breaking, degradation, and checkpoint/resume.
+//!
+//! Everything here runs the server's synchronous loop, so outcomes are
+//! exact — no sleeps, no races.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use zkperf_ec::Bn254;
+use zkperf_serve::{
+    prove_serial, ArtifactCache, CircuitSpec, JobKind, JobOutcome, JobSpec, Priority,
+    RejectReason, Server, ServerConfig, ServiceMode,
+};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zkperf-serve-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn prove_job(constraints: usize, x: u64, priority: Priority) -> JobSpec {
+    JobSpec {
+        circuit: CircuitSpec::exponentiate(constraints, x),
+        kind: JobKind::Prove,
+        priority,
+        deadline: None,
+    }
+}
+
+/// Satellite 3: fill the admission queue and check the exact
+/// reject-with-reason ordering (lowest priority shed first), then
+/// byte-compare every accepted job's proof against the serial path.
+#[test]
+fn overload_sheds_lowest_priority_first_and_stays_deterministic() {
+    let dir = tmpdir("overload");
+    let mut cfg = ServerConfig::default();
+    cfg.admission.max_depth = 3;
+    let mut server: Server<Bn254> = Server::open(dir.join("server"), cfg).unwrap();
+
+    // Five Low arrivals against a depth-3 queue: 1..3 admitted, 4..5
+    // rejected outright (nothing to shed at equal priority).
+    let mut ids = Vec::new();
+    for x in 0..5u64 {
+        let (id, res) = server.submit(prove_job(8, 2 + x, Priority::Low));
+        ids.push(id);
+        if x < 3 {
+            assert!(res.is_ok(), "job {x} should be admitted");
+        } else {
+            assert!(
+                matches!(res, Err(RejectReason::QueueFull { depth: 3, limit: 3 })),
+                "job {x}: {res:?}"
+            );
+        }
+    }
+    // A Normal arrival displaces the youngest Low (the third submission).
+    let (norm_id, res) = server.submit(prove_job(8, 7, Priority::Normal));
+    assert!(res.is_ok());
+    assert_eq!(
+        server.outcome(ids[2]),
+        Some(&JobOutcome::Rejected {
+            reason: RejectReason::Shed { by: norm_id }
+        })
+    );
+    // Two High arrivals displace the remaining Lows, youngest first.
+    let (high1, res) = server.submit(prove_job(8, 8, Priority::High));
+    assert!(res.is_ok());
+    assert_eq!(
+        server.outcome(ids[1]),
+        Some(&JobOutcome::Rejected {
+            reason: RejectReason::Shed { by: high1 }
+        })
+    );
+    let (high2, res) = server.submit(prove_job(8, 9, Priority::High));
+    assert!(res.is_ok());
+    assert_eq!(
+        server.outcome(ids[0]),
+        Some(&JobOutcome::Rejected {
+            reason: RejectReason::Shed { by: high2 }
+        })
+    );
+    // Normal cannot displace Normal/High.
+    let (_, res) = server.submit(prove_job(8, 10, Priority::Normal));
+    assert!(matches!(res, Err(RejectReason::QueueFull { .. })));
+
+    // Execution order: High before Normal, FIFO within class.
+    assert_eq!(server.queued_ids(), vec![high1, high2, norm_id]);
+    server.run_until_drained();
+    assert!(server.accounting_errors().is_empty());
+
+    // Byte-identical to the serial reference pipeline.
+    let mut serial: ArtifactCache<Bn254> = ArtifactCache::open(dir.join("serial")).unwrap();
+    for (id, x) in [(norm_id, 7u64), (high1, 8), (high2, 9)] {
+        let spec = CircuitSpec::exponentiate(8, x);
+        let expected = prove_serial(&mut serial, &spec).unwrap();
+        match server.outcome(id) {
+            Some(JobOutcome::Served { proof, attempts: 1, .. }) => {
+                assert_eq!(proof, &expected, "job {id} proof differs from serial path")
+            }
+            other => panic!("job {id}: {other:?}"),
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// An impossible deadline produces a typed `DeadlineExceeded` at a stage
+/// boundary — never a panic, never an untyped error.
+#[test]
+fn expired_deadline_is_a_typed_outcome() {
+    let dir = tmpdir("deadline");
+    let mut server: Server<Bn254> =
+        Server::open(dir.join("server"), ServerConfig::default()).unwrap();
+    let (id, res) = server.submit(JobSpec {
+        circuit: CircuitSpec::exponentiate(8, 3),
+        kind: JobKind::Prove,
+        priority: Priority::Normal,
+        deadline: Some(Duration::ZERO),
+    });
+    assert!(res.is_ok(), "admission happens before the deadline check");
+    server.run_until_drained();
+    match server.outcome(id) {
+        Some(JobOutcome::DeadlineExceeded { stage, .. }) => {
+            assert_eq!(stage, "compile", "caught at the first stage boundary")
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(server.accounting_errors().is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A shape that always fails trips its breaker after the threshold;
+/// other shapes are unaffected; the breaker half-opens after cooldown.
+#[test]
+fn failing_circuit_shape_is_quarantined() {
+    let dir = tmpdir("breaker");
+    let mut cfg = ServerConfig::default();
+    cfg.retry.max_attempts = 1;
+    cfg.retry.base_backoff = Duration::ZERO;
+    cfg.breaker_threshold = 2;
+    cfg.breaker_cooldown_ticks = 3;
+    let mut server: Server<Bn254> = Server::open(dir.join("server"), cfg).unwrap();
+
+    let bad = JobSpec {
+        circuit: CircuitSpec {
+            name: "bad".into(),
+            source: "circuit bad { this does not parse".into(),
+            constraints: 1,
+            public_inputs: vec![],
+            private_inputs: vec![],
+        },
+        kind: JobKind::Prove,
+        priority: Priority::Normal,
+        deadline: None,
+    };
+
+    // Two terminal failures open the breaker.
+    for _ in 0..2 {
+        let (id, res) = server.submit(bad.clone());
+        assert!(res.is_ok());
+        server.run_until_drained();
+        assert!(matches!(
+            server.outcome(id),
+            Some(JobOutcome::Failed { attempts: 1, .. })
+        ));
+    }
+    // Third submission is rejected at admission with the typed reason.
+    let (_, res) = server.submit(bad.clone());
+    assert!(
+        matches!(res, Err(RejectReason::CircuitOpen { until_tick: 5, .. })),
+        "{res:?}"
+    );
+    // A healthy shape sails through while the bad one is quarantined.
+    let (good_id, res) = server.submit(prove_job(8, 3, Priority::Normal));
+    assert!(res.is_ok());
+    server.run_until_drained();
+    assert!(server.outcome(good_id).unwrap().is_served());
+    // Tick 5 reached: the breaker half-opens and admits a probe, whose
+    // failure re-opens it immediately.
+    let (probe_id, res) = server.submit(bad.clone());
+    assert!(res.is_ok(), "half-open admits one probe: {res:?}");
+    server.run_until_drained();
+    assert!(matches!(
+        server.outcome(probe_id),
+        Some(JobOutcome::Failed { .. })
+    ));
+    let (_, res) = server.submit(bad);
+    assert!(matches!(res, Err(RejectReason::CircuitOpen { .. })));
+    assert!(server.accounting_errors().is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Queue pressure degrades the service to verify-only; draining restores
+/// normal operation.
+#[test]
+fn overload_degrades_to_verify_only_and_recovers() {
+    let dir = tmpdir("degrade");
+    let cfg = ServerConfig {
+        verify_only_depth: 2,
+        ..ServerConfig::default()
+    };
+    let mut server: Server<Bn254> = Server::open(dir.join("server"), cfg).unwrap();
+
+    let (first, res) = server.submit(prove_job(8, 3, Priority::Normal));
+    assert!(res.is_ok());
+    assert_eq!(server.mode(), ServiceMode::Normal);
+    let (_, res) = server.submit(prove_job(8, 4, Priority::Normal));
+    assert!(res.is_ok());
+    assert_eq!(server.mode(), ServiceMode::VerifyOnly);
+
+    // Prove traffic is refused while degraded …
+    let (_, res) = server.submit(prove_job(8, 5, Priority::High));
+    assert!(matches!(res, Err(RejectReason::VerifyOnly)));
+
+    // … but verify traffic still lands. Serve the first job to get real
+    // proof bytes, which immediately relieves pressure too.
+    assert!(server.step());
+    let proof = match server.outcome(first) {
+        Some(JobOutcome::Served { proof, .. }) => proof.clone(),
+        other => panic!("{other:?}"),
+    };
+    let (verify_id, res) = server.submit(JobSpec {
+        circuit: CircuitSpec::exponentiate(8, 3),
+        kind: JobKind::Verify { proof },
+        priority: Priority::High,
+        deadline: None,
+    });
+    assert!(res.is_ok(), "verify admitted while degraded: {res:?}");
+
+    server.run_until_drained();
+    assert_eq!(server.mode(), ServiceMode::Normal, "recovered after drain");
+    assert!(matches!(
+        server.outcome(verify_id),
+        Some(JobOutcome::Served { verified: Some(true), .. })
+    ));
+    assert!(server.accounting_errors().is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Shutdown drains queued jobs to a checksummed checkpoint; a successor
+/// server resumes them and produces byte-identical proofs.
+#[test]
+fn drain_checkpoint_resume_round_trip() {
+    let dir = tmpdir("checkpoint");
+    let ckpt = dir.join("drain.zksv");
+    let specs = [(16usize, 5u64), (8, 6)];
+
+    let mut server: Server<Bn254> =
+        Server::open(dir.join("server"), ServerConfig::default()).unwrap();
+    let mut ids = Vec::new();
+    for &(constraints, x) in &specs {
+        let (id, res) = server.submit(prove_job(constraints, x, Priority::Normal));
+        assert!(res.is_ok());
+        ids.push(id);
+    }
+    let drained = server.drain_to_checkpoint(&ckpt).unwrap();
+    assert_eq!(drained, 2);
+    for id in &ids {
+        assert!(matches!(
+            server.outcome(*id),
+            Some(JobOutcome::Cancelled { .. })
+        ));
+    }
+    // Draining refuses new work.
+    let (_, res) = server.submit(prove_job(8, 9, Priority::High));
+    assert!(matches!(res, Err(RejectReason::Draining)));
+    assert!(server.accounting_errors().is_empty());
+
+    // A successor over the same artifact cache resumes the queue.
+    let mut successor: Server<Bn254> =
+        Server::open(dir.join("server"), ServerConfig::default()).unwrap();
+    let resumed = successor.resume_from_checkpoint(&ckpt).unwrap();
+    assert_eq!(resumed.len(), 2);
+    assert!(resumed.iter().all(|(_, r)| r.is_ok()));
+    successor.run_until_drained();
+
+    let mut serial: ArtifactCache<Bn254> = ArtifactCache::open(dir.join("serial")).unwrap();
+    for (i, &(constraints, x)) in specs.iter().enumerate() {
+        let new_id = *resumed[i].1.as_ref().unwrap();
+        let expected = prove_serial(&mut serial, &CircuitSpec::exponentiate(constraints, x)).unwrap();
+        match successor.outcome(new_id) {
+            Some(JobOutcome::Served { proof, .. }) => assert_eq!(
+                proof, &expected,
+                "resumed job {new_id} proof differs from serial path"
+            ),
+            other => panic!("{other:?}"),
+        }
+    }
+    assert!(successor.accounting_errors().is_empty());
+
+    // A truncated checkpoint is typed corruption, never replayed.
+    let bytes = fs::read(&ckpt).unwrap();
+    fs::write(&ckpt, &bytes[..bytes.len() / 2]).unwrap();
+    let mut another: Server<Bn254> =
+        Server::open(dir.join("server2"), ServerConfig::default()).unwrap();
+    let err = another.resume_from_checkpoint(&ckpt).unwrap_err();
+    assert!(
+        matches!(err, zkperf_core::StageError::Artifact { .. }),
+        "{err:?}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

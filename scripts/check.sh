@@ -52,6 +52,18 @@ if ! ./target/release/fuzz_lite --only glv --iters 16; then
     exit 1
 fi
 
+# Serving smoke tier: replay a fixed-seed open-loop trace through the
+# zkperf-serve daemon with fault injection armed. The loadgen exits
+# non-zero on any panic, any accepted-but-unaccounted job, any
+# deadline-accounting error, or any served proof whose bytes differ from
+# the serial reference pipeline — the service-level determinism and
+# fault-tolerance contract.
+echo "==> serve_smoke: loadgen under fixed-seed ZKPERF_CHAOS"
+if ! ZKPERF_CHAOS=20240808 ./target/release/loadgen --jobs 32 --seed 42; then
+    echo "serve_smoke failed: see loadgen accounting errors above" >&2
+    exit 1
+fi
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -D warnings"
     cargo clippy -q --offline --workspace --all-targets -- -D warnings

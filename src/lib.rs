@@ -19,7 +19,9 @@
 //! * [`trace`] — the event-tracing layer;
 //! * [`machine`] — the trace-driven CPU simulator;
 //! * [`scale`] — simulated-multicore scaling and Amdahl/Gustafson fits;
-//! * [`core`] — the characterization framework (the paper's contribution).
+//! * [`core`] — the characterization framework (the paper's contribution);
+//! * [`resilience`] — retry policies, fault injection, chaos plumbing;
+//! * [`serve`] — the fault-tolerant proving-as-a-service daemon.
 //!
 //! # Quickstart
 //!
@@ -48,5 +50,7 @@ pub use zkperf_machine as machine;
 pub use zkperf_plonk as plonk;
 pub use zkperf_poly as poly;
 pub use zkperf_pool as pool;
+pub use zkperf_resilience as resilience;
 pub use zkperf_scale as scale;
+pub use zkperf_serve as serve;
 pub use zkperf_trace as trace;
