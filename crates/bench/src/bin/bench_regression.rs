@@ -26,9 +26,9 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use zkperf_circuit::library::exponentiate;
-use zkperf_ec::{msm, Bn254, FixedBaseTable, Projective};
+use zkperf_ec::{msm, Bn254, Engine, FixedBaseTable, Projective};
 use zkperf_ff::{bls12_381, bn254, Field};
-use zkperf_groth16::{prove, setup};
+use zkperf_groth16::{prove, setup, verify, verify_batch};
 use zkperf_poly::Radix2Domain;
 
 /// One timed kernel micro-benchmark.
@@ -160,6 +160,61 @@ fn kernel_benches(smoke: bool) -> Vec<KernelResult> {
             name: "bls12_381_msm_g1_2e10".into(),
             nanos: best_of(3, || {
                 std::hint::black_box(msm(&bases381, &scalars381));
+            }),
+        });
+    }
+
+    // Pairing and verification kernels: the per-request cost at serving
+    // scale. The circuit is small on purpose — verification cost is
+    // constraint-independent up to the public-input MSM, so these numbers
+    // are the pairing substrate, not the prover.
+    {
+        let g1 = (Projective::<zkperf_ec::bn254::G1Params>::generator()
+            * bn254::Fr::from_u64(20240808))
+        .to_affine();
+        let g2 = (Projective::<zkperf_ec::bn254::G2Params>::generator()
+            * bn254::Fr::from_u64(4294967311))
+        .to_affine();
+        out.push(KernelResult {
+            name: "bn254_pairing".into(),
+            nanos: best_of(if smoke { 3 } else { 5 }, || {
+                std::hint::black_box(Bn254::pairing(&g1, &g2));
+            }),
+        });
+
+        let circuit = exponentiate::<bn254::Fr>(16);
+        let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).expect("setup succeeds");
+        let witness = circuit
+            .generate_witness(&[bn254::Fr::from_u64(3)], &[])
+            .expect("witness generation succeeds");
+        let proof = prove::<Bn254, _>(&pk, circuit.r1cs(), &witness, &mut rng)
+            .expect("prove succeeds");
+        out.push(KernelResult {
+            name: "bn254_verify".into(),
+            nanos: best_of(3, || {
+                let ok = verify::<Bn254>(&pk.vk, &proof, witness.public())
+                    .expect("well-formed inputs");
+                assert!(ok, "bench proof must verify");
+            }),
+        });
+
+        let items: Vec<_> = (0..16)
+            .map(|i| {
+                let w = circuit
+                    .generate_witness(&[bn254::Fr::from_u64(2 + i)], &[])
+                    .expect("witness generation succeeds");
+                let p = prove::<Bn254, _>(&pk, circuit.r1cs(), &w, &mut rng)
+                    .expect("prove succeeds");
+                (p, w.public().to_vec())
+            })
+            .collect();
+        out.push(KernelResult {
+            name: "bn254_verify_batch_x16".into(),
+            nanos: best_of(if smoke { 2 } else { 3 }, || {
+                let mut batch_rng = zkperf_ff::test_rng();
+                let ok = verify_batch::<Bn254, _>(&pk.vk, &items, &mut batch_rng)
+                    .expect("well-formed inputs");
+                assert!(ok, "bench batch must verify");
             }),
         });
     }

@@ -1,10 +1,15 @@
 //! BLS12-381 groups and optimal-ate pairing.
 
-use zkperf_ff::bls12_381::{Fq, Fq12, Fq2, Fq6, Fr, BLS_X, BLS_X_IS_NEGATIVE};
-use zkperf_ff::{BigUint, Field, PrimeField};
+use std::sync::OnceLock;
+
+use zkperf_ff::bls12_381::{
+    Fq, Fq12, Fq12Params, Fq2, Fq2Params, Fq6, Fq6Params, Fr, BLS_X, BLS_X_IS_NEGATIVE,
+};
+use zkperf_ff::{BigUint, Field, Frobenius, PrimeField};
 
 use crate::curve::{Affine, CurveParams, Projective};
 use crate::pairing::{final_exponentiation, hard_exponent, miller_loop, ExtPoint};
+use crate::pairing_fast::{self, G2Prepared, TwistType};
 
 /// Marker for the BLS12-381 G1 group (`y² = x³ + 4` over `Fq`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,23 +126,147 @@ pub fn pairing_hard_exponent() -> BigUint {
     hard_exponent(&Fq::modulus(), &Fr::modulus())
 }
 
+/// Binary digits of `|x|`, least-significant first — the BLS parameter is
+/// already low-weight, so plain bits beat a NAF recoding here.
+fn ate_digits() -> &'static [i8] {
+    static CELL: OnceLock<Vec<i8>> = OnceLock::new();
+    CELL.get_or_init(|| pairing_fast::bit_digits(BLS_X as u128))
+}
+
+/// The line-coefficient sequence of `q` for the `|x|` Miller loop (no
+/// correction lines on BLS curves).
+fn ate_coeffs(q: &G2Affine) -> Vec<[Fq2; 3]> {
+    pairing_fast::prepare_coeffs::<G2Params>(q, TwistType::M, ate_digits(), &[])
+}
+
+fn eval_prepared(p: &G1Affine, coeffs: &[[Fq2; 3]]) -> Fq12 {
+    let f = pairing_fast::eval_lines::<Fq2Params, Fq6Params, Fq12Params>(
+        coeffs,
+        ate_digits(),
+        0,
+        p.x,
+        p.y,
+        TwistType::M,
+    );
+    if BLS_X_IS_NEGATIVE {
+        f.conjugate()
+    } else {
+        f
+    }
+}
+
+/// Precomputes the Miller-loop line coefficients of a fixed G2 point so
+/// that pairings against it reduce to sparse multiplications.
+///
+/// When the fast path is gated off (`ZKPERF_NO_FAST_PAIRING=1` or an
+/// active trace session) no lines are computed and pairings fall back to
+/// the untwisted reference through the retained affine point.
+pub fn prepare_g2(q: &G2Affine) -> G2Prepared<G2Params> {
+    let coeffs = if pairing_fast::fast_pairing_enabled() && !q.infinity {
+        Some(ate_coeffs(q))
+    } else {
+        None
+    };
+    G2Prepared { q: *q, coeffs }
+}
+
+/// `g^x` for the (negative) BLS parameter, on cyclotomic elements.
+fn pow_x(g: &Fq12) -> Fq12 {
+    let t = g.cyclotomic_pow_u64(BLS_X);
+    if BLS_X_IS_NEGATIVE {
+        t.conjugate()
+    } else {
+        t
+    }
+}
+
+/// Final exponentiation via the BLS addition chain with cyclotomic
+/// x-power exponentiations. Agrees bit-for-bit with
+/// [`final_exponentiation`].
+pub fn final_exponentiation_fast(f: Fq12) -> Gt {
+    // Easy part, identical to the reference: f^(q⁶−1)(q²+1).
+    let f1 = f.conjugate() * f.inverse().expect("pairing value non-zero");
+    let r = f1.frobenius(2) * f1;
+    // Hard part: (q⁴ − q² + 1)/r = m·(x+q)·(x²+q²−1) + 1 with
+    // m = (x−1)²/3 — exact for the BLS parameter (x ≡ 1 mod 3), and
+    // pinned against the reference exponentiation in the tests. The
+    // parameter is negative, so powers of x−1 = −(|x|+1) conjugate after
+    // raising to |x|+1.
+    let rxm1 = r.cyclotomic_pow_u64(BLS_X + 1).conjugate();
+    let a = rxm1.cyclotomic_pow_u64((BLS_X + 1) / 3).conjugate();
+    let b = pow_x(&a) * a.frobenius(1);
+    let c = pow_x(&pow_x(&b)) * b.frobenius(2) * b.conjugate();
+    c * r
+}
+
+fn pairing_fast_path(p: &G1Affine, q: &G2Affine) -> Gt {
+    if p.infinity || q.infinity {
+        return Fq12::one();
+    }
+    final_exponentiation_fast(eval_prepared(p, &ate_coeffs(q)))
+}
+
 /// The full optimal-ate pairing `e(P, Q)`.
+///
+/// Runs the twisted projective fast path unless gated off via
+/// `ZKPERF_NO_FAST_PAIRING=1` or an active trace session, in which case
+/// the untwisted serial reference runs; both produce bit-identical values.
 pub fn pairing(p: &G1Affine, q: &G2Affine) -> Gt {
-    final_exponentiation(miller(p, q), &pairing_hard_exponent())
+    if pairing_fast::fast_pairing_enabled() {
+        pairing_fast_path(p, q)
+    } else {
+        final_exponentiation(miller(p, q), &pairing_hard_exponent())
+    }
 }
 
 /// `e(P₁,Q₁)·…·e(Pₙ,Qₙ)` with a single shared final exponentiation.
 ///
-/// # Panics
-///
-/// Panics if the two slices have different lengths.
+/// Mirrors the MSM length contract: when the slices have different
+/// lengths, the longer one is truncated to the shorter and the extra
+/// entries are ignored.
 pub fn multi_pairing(ps: &[G1Affine], qs: &[G2Affine]) -> Gt {
-    assert_eq!(ps.len(), qs.len(), "mismatched pairing inputs");
-    let mut f = Fq12::one();
-    for (p, q) in ps.iter().zip(qs) {
-        f *= miller(p, q);
+    if pairing_fast::fast_pairing_enabled() {
+        let mut f = Fq12::one();
+        for (p, q) in ps.iter().zip(qs) {
+            if p.infinity || q.infinity {
+                continue;
+            }
+            f *= eval_prepared(p, &ate_coeffs(q));
+        }
+        final_exponentiation_fast(f)
+    } else {
+        let mut f = Fq12::one();
+        for (p, q) in ps.iter().zip(qs) {
+            f *= miller(p, q);
+        }
+        final_exponentiation(f, &pairing_hard_exponent())
     }
-    final_exponentiation(f, &pairing_hard_exponent())
+}
+
+/// [`multi_pairing`] over points prepared with [`prepare_g2`], skipping
+/// the per-pairing line computation entirely. Follows the same truncation
+/// contract for mismatched lengths, and falls back to the untwisted
+/// reference whenever the fast path is gated off.
+pub fn multi_pairing_prepared(ps: &[G1Affine], qs: &[&G2Prepared<G2Params>]) -> Gt {
+    if pairing_fast::fast_pairing_enabled() {
+        let mut f = Fq12::one();
+        for (p, prep) in ps.iter().zip(qs) {
+            if p.infinity || prep.q.infinity {
+                continue;
+            }
+            match &prep.coeffs {
+                Some(coeffs) => f *= eval_prepared(p, coeffs),
+                None => f *= eval_prepared(p, &ate_coeffs(&prep.q)),
+            }
+        }
+        final_exponentiation_fast(f)
+    } else {
+        let mut f = Fq12::one();
+        for (p, prep) in ps.iter().zip(qs) {
+            f *= miller(p, &prep.q);
+        }
+        final_exponentiation(f, &pairing_hard_exponent())
+    }
 }
 
 #[cfg(test)]
@@ -201,5 +330,63 @@ mod tests {
             multi_pairing(&[p1, p2], &[q1, q2]),
             pairing(&p1, &q1) * pairing(&p2, &q2)
         );
+    }
+
+    #[test]
+    fn multi_pairing_truncates_mismatched_lengths() {
+        let g1 = G1Projective::generator();
+        let g2 = G2Projective::generator();
+        let p1 = (g1 * Fr::from_u64(8)).to_affine();
+        let p2 = (g1 * Fr::from_u64(10)).to_affine();
+        let q1 = (g2 * Fr::from_u64(12)).to_affine();
+        assert_eq!(multi_pairing(&[p1, p2], &[q1]), pairing(&p1, &q1));
+        assert_eq!(multi_pairing(&[p1], &[q1, q1]), pairing(&p1, &q1));
+        assert!(multi_pairing(&[], &[q1]).is_one());
+    }
+
+    #[test]
+    fn bls_parameter_supports_the_cube_root_chain() {
+        // The final-exp chain divides (|x|+1) by 3; that must be exact.
+        assert_eq!((BLS_X + 1) % 3, 0);
+    }
+
+    #[test]
+    fn fast_pairing_matches_untwisted_reference_bit_for_bit() {
+        let g1 = G1Projective::generator();
+        let g2 = G2Projective::generator();
+        for (a, b) in [(1u64, 1u64), (6, 35), (41, 43)] {
+            let p = (g1 * Fr::from_u64(a)).to_affine();
+            let q = (g2 * Fr::from_u64(b)).to_affine();
+            let fast = pairing_fast_path(&p, &q);
+            let reference = final_exponentiation(miller(&p, &q), &pairing_hard_exponent());
+            assert_eq!(fast, reference);
+        }
+    }
+
+    #[test]
+    fn fast_final_exponentiation_matches_reference() {
+        let mut rng = zkperf_ff::test_rng();
+        let hard = pairing_hard_exponent();
+        for _ in 0..2 {
+            let f = Fq12::random(&mut rng);
+            assert_eq!(final_exponentiation_fast(f), final_exponentiation(f, &hard));
+        }
+    }
+
+    #[test]
+    fn prepared_multi_pairing_matches_unprepared() {
+        let g1 = G1Projective::generator();
+        let g2 = G2Projective::generator();
+        let ps = [
+            (g1 * Fr::from_u64(14)).to_affine(),
+            (g1 * Fr::from_u64(15)).to_affine(),
+        ];
+        let qs = [
+            (g2 * Fr::from_u64(16)).to_affine(),
+            (g2 * Fr::from_u64(17)).to_affine(),
+        ];
+        let prepared: Vec<_> = qs.iter().map(prepare_g2).collect();
+        let refs: Vec<_> = prepared.iter().collect();
+        assert_eq!(multi_pairing_prepared(&ps, &refs), multi_pairing(&ps, &qs));
     }
 }

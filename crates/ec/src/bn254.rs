@@ -1,12 +1,15 @@
 //! BN254 (alt_bn128) groups and optimal-ate pairing.
 
-use zkperf_ff::bn254::{Fq, Fq12, Fq2, Fq6, Fr, BN_X};
-use zkperf_ff::{BigUint, Field, PrimeField};
+use std::sync::OnceLock;
+
+use zkperf_ff::bn254::{Fq, Fq12, Fq12Params, Fq2, Fq2Params, Fq6, Fq6Params, Fr, BN_X};
+use zkperf_ff::{BigUint, Field, Frobenius, PrimeField};
 
 use crate::curve::{Affine, CurveParams, Projective};
 use crate::pairing::{
     final_exponentiation, hard_exponent, line_and_add, miller_loop, ExtPoint,
 };
+use crate::pairing_fast::{self, G2Prepared, TwistType};
 
 /// Marker for the BN254 G1 group (`y² = x³ + 3` over `Fq`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,23 +126,172 @@ pub fn pairing_hard_exponent() -> BigUint {
     hard_exponent(&Fq::modulus(), &Fr::modulus())
 }
 
+/// NAF digits of the optimal-ate loop count `6x + 2`, least-significant
+/// first (the value exceeds 64 bits, hence the `u128` arithmetic).
+fn ate_digits() -> &'static [i8] {
+    static CELL: OnceLock<Vec<i8>> = OnceLock::new();
+    CELL.get_or_init(|| pairing_fast::naf_digits(6 * BN_X as u128 + 2))
+}
+
+/// The twist-Frobenius scalars `(ξ^((q−1)/3), ξ^((q−1)/2))` applied to the
+/// coordinates of ψ(Q).
+fn twist_frob_coeffs() -> &'static (Fq2, Fq2) {
+    static CELL: OnceLock<(Fq2, Fq2)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let qm1 = Fq::modulus()
+            .checked_sub(&BigUint::one())
+            .expect("q >= 1");
+        let exp = |d: u64| {
+            let (e, rem) = qm1.divrem_u64(d);
+            assert_eq!(rem, 0, "q - 1 not divisible by {d}");
+            e
+        };
+        let xi = zkperf_ff::bn254::xi();
+        (xi.pow(&exp(3)), xi.pow(&exp(2)))
+    })
+}
+
+/// The image of the q-power Frobenius endomorphism on the twist,
+/// ψ⁻¹ ∘ π ∘ ψ.
+fn mul_by_char(q: &G2Affine) -> G2Affine {
+    let (cx, cy) = *twist_frob_coeffs();
+    G2Affine::new_unchecked(q.x.frobenius(1) * cx, q.y.frobenius(1) * cy)
+}
+
+/// The full line-coefficient sequence of `q`: the `6x + 2` NAF loop plus
+/// the two Frobenius correction additions with `π(Q)` and `−π²(Q)`.
+fn ate_coeffs(q: &G2Affine) -> Vec<[Fq2; 3]> {
+    let q1 = mul_by_char(q);
+    let q2 = mul_by_char(&q1);
+    let corrections = [(q1.x, q1.y), (q2.x, -q2.y)];
+    pairing_fast::prepare_coeffs::<G2Params>(q, TwistType::D, ate_digits(), &corrections)
+}
+
+fn eval_prepared(p: &G1Affine, coeffs: &[[Fq2; 3]]) -> Fq12 {
+    pairing_fast::eval_lines::<Fq2Params, Fq6Params, Fq12Params>(
+        coeffs,
+        ate_digits(),
+        2,
+        p.x,
+        p.y,
+        TwistType::D,
+    )
+}
+
+/// Precomputes the Miller-loop line coefficients of a fixed G2 point so
+/// that pairings against it reduce to sparse multiplications.
+///
+/// When the fast path is gated off (`ZKPERF_NO_FAST_PAIRING=1` or an
+/// active trace session) no lines are computed and pairings fall back to
+/// the untwisted reference through the retained affine point.
+pub fn prepare_g2(q: &G2Affine) -> G2Prepared<G2Params> {
+    let coeffs = if pairing_fast::fast_pairing_enabled() && !q.infinity {
+        Some(ate_coeffs(q))
+    } else {
+        None
+    };
+    G2Prepared { q: *q, coeffs }
+}
+
+/// Final exponentiation via the Frobenius decomposition of the hard part
+/// and cyclotomic x-power chains — three exponentiations by the BN
+/// parameter instead of a full 2790-bit square-and-multiply. Agrees
+/// bit-for-bit with [`final_exponentiation`].
+pub fn final_exponentiation_fast(f: Fq12) -> Gt {
+    // Easy part, identical to the reference: f^(q⁶−1)(q²+1).
+    let f1 = f.conjugate() * f.inverse().expect("pairing value non-zero");
+    let r = f1.frobenius(2) * f1;
+    // Hard part: (q⁴ − q² + 1)/r written in base q with x-polynomial
+    // digits d = −λ₀ − λ₁·q + (6x²+1)·q² + q³ where
+    // λ₀ = 36x³+30x²+18x+2 and λ₁ = 36x³+18x²+12x−1 (exactness is pinned
+    // against the reference exponentiation in the tests).
+    let rx = r.cyclotomic_pow_u64(BN_X);
+    let r3x = rx.cyclotomic_square() * rx;
+    let r6x = r3x.cyclotomic_square();
+    let r6x2 = r6x.cyclotomic_pow_u64(BN_X);
+    let r12x2 = r6x2.cyclotomic_square();
+    let r12x3 = r12x2.cyclotomic_pow_u64(BN_X);
+    let r36x3 = r12x3.cyclotomic_square() * r12x3;
+    let r18x2 = r6x2 * r12x2;
+    let r12x = r6x.cyclotomic_square();
+    let r18x = r12x * r6x;
+    let lam1 = r36x3 * r18x2 * r12x * r.conjugate();
+    let lam0 = r36x3 * r18x2 * r12x2 * r18x * r.cyclotomic_square();
+    lam0.conjugate()
+        * lam1.conjugate().frobenius(1)
+        * (r6x2 * r).frobenius(2)
+        * r.frobenius(3)
+}
+
+fn pairing_fast_path(p: &G1Affine, q: &G2Affine) -> Gt {
+    if p.infinity || q.infinity {
+        return Fq12::one();
+    }
+    final_exponentiation_fast(eval_prepared(p, &ate_coeffs(q)))
+}
+
 /// The full optimal-ate pairing `e(P, Q)`.
+///
+/// Runs the twisted projective fast path unless gated off via
+/// `ZKPERF_NO_FAST_PAIRING=1` or an active trace session, in which case
+/// the untwisted serial reference runs; both produce bit-identical values.
 pub fn pairing(p: &G1Affine, q: &G2Affine) -> Gt {
-    final_exponentiation(miller(p, q), &pairing_hard_exponent())
+    if pairing_fast::fast_pairing_enabled() {
+        pairing_fast_path(p, q)
+    } else {
+        final_exponentiation(miller(p, q), &pairing_hard_exponent())
+    }
 }
 
 /// `e(P₁,Q₁)·…·e(Pₙ,Qₙ)` with a single shared final exponentiation.
 ///
-/// # Panics
-///
-/// Panics if the two slices have different lengths.
+/// Mirrors the MSM length contract: when the slices have different
+/// lengths, the longer one is truncated to the shorter and the extra
+/// entries are ignored.
 pub fn multi_pairing(ps: &[G1Affine], qs: &[G2Affine]) -> Gt {
-    assert_eq!(ps.len(), qs.len(), "mismatched pairing inputs");
-    let mut f = Fq12::one();
-    for (p, q) in ps.iter().zip(qs) {
-        f *= miller(p, q);
+    if pairing_fast::fast_pairing_enabled() {
+        let mut f = Fq12::one();
+        for (p, q) in ps.iter().zip(qs) {
+            if p.infinity || q.infinity {
+                continue;
+            }
+            f *= eval_prepared(p, &ate_coeffs(q));
+        }
+        final_exponentiation_fast(f)
+    } else {
+        let mut f = Fq12::one();
+        for (p, q) in ps.iter().zip(qs) {
+            f *= miller(p, q);
+        }
+        final_exponentiation(f, &pairing_hard_exponent())
     }
-    final_exponentiation(f, &pairing_hard_exponent())
+}
+
+/// [`multi_pairing`] over points prepared with [`prepare_g2`], skipping
+/// the per-pairing line computation entirely. Follows the same truncation
+/// contract for mismatched lengths, and falls back to the untwisted
+/// reference whenever the fast path is gated off — prepared points carry
+/// their affine original for exactly that purpose.
+pub fn multi_pairing_prepared(ps: &[G1Affine], qs: &[&G2Prepared<G2Params>]) -> Gt {
+    if pairing_fast::fast_pairing_enabled() {
+        let mut f = Fq12::one();
+        for (p, prep) in ps.iter().zip(qs) {
+            if p.infinity || prep.q.infinity {
+                continue;
+            }
+            match &prep.coeffs {
+                Some(coeffs) => f *= eval_prepared(p, coeffs),
+                None => f *= eval_prepared(p, &ate_coeffs(&prep.q)),
+            }
+        }
+        final_exponentiation_fast(f)
+    } else {
+        let mut f = Fq12::one();
+        for (p, prep) in ps.iter().zip(qs) {
+            f *= miller(p, &prep.q);
+        }
+        final_exponentiation(f, &pairing_hard_exponent())
+    }
 }
 
 #[cfg(test)]
@@ -202,5 +354,84 @@ mod tests {
         let q2 = (g2 * Fr::from_u64(11)).to_affine();
         let combined = multi_pairing(&[p1, p2], &[q1, q2]);
         assert_eq!(combined, pairing(&p1, &q1) * pairing(&p2, &q2));
+    }
+
+    #[test]
+    fn multi_pairing_truncates_mismatched_lengths() {
+        let g1 = G1Projective::generator();
+        let g2 = G2Projective::generator();
+        let p1 = (g1 * Fr::from_u64(13)).to_affine();
+        let p2 = (g1 * Fr::from_u64(17)).to_affine();
+        let q1 = (g2 * Fr::from_u64(19)).to_affine();
+        // Extra G1 entries beyond the shorter G2 slice are ignored.
+        assert_eq!(multi_pairing(&[p1, p2], &[q1]), pairing(&p1, &q1));
+        assert_eq!(multi_pairing(&[p1], &[q1, q1]), pairing(&p1, &q1));
+        assert!(multi_pairing(&[p1], &[]).is_one());
+    }
+
+    #[test]
+    fn mul_by_char_is_the_frobenius_endomorphism_on_the_twist() {
+        let q = G2Affine::generator();
+        let q1 = mul_by_char(&q);
+        assert!(q1.is_on_curve());
+        // ψ satisfies ψ²(Q) − [t]ψ(Q) + [q]Q = 0; spot-check the cheap
+        // consequence that the untwisted image matches π(untwist(Q)).
+        let lifted = untwist(&q1);
+        let direct = untwist(&q).frobenius(1);
+        assert_eq!(lifted.x, direct.x);
+        assert_eq!(lifted.y, direct.y);
+    }
+
+    #[test]
+    fn fast_pairing_matches_untwisted_reference_bit_for_bit() {
+        let g1 = G1Projective::generator();
+        let g2 = G2Projective::generator();
+        for (a, b) in [(1u64, 1u64), (127, 911), (5, 7)] {
+            let p = (g1 * Fr::from_u64(a)).to_affine();
+            let q = (g2 * Fr::from_u64(b)).to_affine();
+            let fast = pairing_fast_path(&p, &q);
+            let reference = final_exponentiation(miller(&p, &q), &pairing_hard_exponent());
+            assert_eq!(fast, reference);
+        }
+        // Identity inputs agree too.
+        assert_eq!(
+            pairing_fast_path(&G1Affine::identity(), &G2Affine::generator()),
+            final_exponentiation(
+                miller(&G1Affine::identity(), &G2Affine::generator()),
+                &pairing_hard_exponent()
+            )
+        );
+    }
+
+    #[test]
+    fn fast_final_exponentiation_matches_reference() {
+        let mut rng = zkperf_ff::test_rng();
+        let hard = pairing_hard_exponent();
+        for _ in 0..4 {
+            let f = Fq12::random(&mut rng);
+            assert_eq!(final_exponentiation_fast(f), final_exponentiation(f, &hard));
+        }
+    }
+
+    #[test]
+    fn prepared_multi_pairing_matches_unprepared() {
+        let g1 = G1Projective::generator();
+        let g2 = G2Projective::generator();
+        let ps = [
+            (g1 * Fr::from_u64(23)).to_affine(),
+            (g1 * Fr::from_u64(29)).to_affine(),
+        ];
+        let qs = [
+            (g2 * Fr::from_u64(31)).to_affine(),
+            (g2 * Fr::from_u64(37)).to_affine(),
+        ];
+        let prepared: Vec<_> = qs.iter().map(prepare_g2).collect();
+        let refs: Vec<_> = prepared.iter().collect();
+        assert_eq!(multi_pairing_prepared(&ps, &refs), multi_pairing(&ps, &qs));
+        // Truncation contract holds on the prepared path as well.
+        assert_eq!(
+            multi_pairing_prepared(&ps, &refs[..1]),
+            pairing(&ps[0], &qs[0])
+        );
     }
 }

@@ -23,14 +23,25 @@ pub trait Engine: Copy + Clone + Debug + PartialEq + Eq + Hash + Send + Sync + '
     type G2: CurveParams<Scalar = Self::Fr>;
     /// The target group (multiplicative subgroup of `Fq12`).
     type Gt: Field;
+    /// A G2 point with its Miller-loop line coefficients precomputed.
+    type G2Prepared: Clone + Debug + PartialEq + Eq + Send + Sync + 'static;
     /// Display name matching the paper's terminology.
     const NAME: &'static str;
 
     /// The bilinear pairing `e(P, Q)`.
     fn pairing(p: &Affine<Self::G1>, q: &Affine<Self::G2>) -> Self::Gt;
 
-    /// `Π e(Pᵢ, Qᵢ)` with one shared final exponentiation.
+    /// `Π e(Pᵢ, Qᵢ)` with one shared final exponentiation. Mismatched
+    /// slice lengths truncate to the shorter slice (the MSM contract).
     fn multi_pairing(ps: &[Affine<Self::G1>], qs: &[Affine<Self::G2>]) -> Self::Gt;
+
+    /// Precomputes the Miller-loop lines of a fixed G2 point, amortizing
+    /// them across every future pairing against that point.
+    fn prepare_g2(q: &Affine<Self::G2>) -> Self::G2Prepared;
+
+    /// [`Engine::multi_pairing`] over prepared G2 points (same truncation
+    /// contract).
+    fn multi_pairing_prepared(ps: &[Affine<Self::G1>], qs: &[&Self::G2Prepared]) -> Self::Gt;
 }
 
 /// The BN254 engine (the paper's "BN128", circom/snarkjs default).
@@ -42,6 +53,7 @@ impl Engine for Bn254 {
     type G1 = crate::bn254::G1Params;
     type G2 = crate::bn254::G2Params;
     type Gt = zkperf_ff::bn254::Fq12;
+    type G2Prepared = crate::pairing_fast::G2Prepared<crate::bn254::G2Params>;
     const NAME: &'static str = "BN128";
 
     fn pairing(p: &Affine<Self::G1>, q: &Affine<Self::G2>) -> Self::Gt {
@@ -50,6 +62,14 @@ impl Engine for Bn254 {
 
     fn multi_pairing(ps: &[Affine<Self::G1>], qs: &[Affine<Self::G2>]) -> Self::Gt {
         crate::bn254::multi_pairing(ps, qs)
+    }
+
+    fn prepare_g2(q: &Affine<Self::G2>) -> Self::G2Prepared {
+        crate::bn254::prepare_g2(q)
+    }
+
+    fn multi_pairing_prepared(ps: &[Affine<Self::G1>], qs: &[&Self::G2Prepared]) -> Self::Gt {
+        crate::bn254::multi_pairing_prepared(ps, qs)
     }
 }
 
@@ -62,6 +82,7 @@ impl Engine for Bls12_381 {
     type G1 = crate::bls12_381::G1Params;
     type G2 = crate::bls12_381::G2Params;
     type Gt = zkperf_ff::bls12_381::Fq12;
+    type G2Prepared = crate::pairing_fast::G2Prepared<crate::bls12_381::G2Params>;
     const NAME: &'static str = "BLS12-381";
 
     fn pairing(p: &Affine<Self::G1>, q: &Affine<Self::G2>) -> Self::Gt {
@@ -70,6 +91,14 @@ impl Engine for Bls12_381 {
 
     fn multi_pairing(ps: &[Affine<Self::G1>], qs: &[Affine<Self::G2>]) -> Self::Gt {
         crate::bls12_381::multi_pairing(ps, qs)
+    }
+
+    fn prepare_g2(q: &Affine<Self::G2>) -> Self::G2Prepared {
+        crate::bls12_381::prepare_g2(q)
+    }
+
+    fn multi_pairing_prepared(ps: &[Affine<Self::G1>], qs: &[&Self::G2Prepared]) -> Self::Gt {
+        crate::bls12_381::multi_pairing_prepared(ps, qs)
     }
 }
 

@@ -30,6 +30,7 @@ mod fixed_base;
 pub mod glv;
 mod msm;
 pub mod pairing;
+pub mod pairing_fast;
 pub mod tuning;
 
 /// Serializes tests that toggle the global pool thread count, so the
@@ -44,3 +45,4 @@ pub use engine::{Bls12_381, Bn254, Engine};
 pub use fixed_base::FixedBaseTable;
 pub use glv::{DecomposedScalar, GlvParams, SignedHalf};
 pub use msm::{msm, msm_naive};
+pub use pairing_fast::{fast_pairing_enabled, G2Prepared, TwistType};

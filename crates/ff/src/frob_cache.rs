@@ -1,0 +1,43 @@
+//! One-time caches for tower Frobenius coefficients.
+//!
+//! `QuadExt`/`CubicExt` apply `x ↦ x^(p^k)` coefficient-wise with a
+//! constant `β^((p^k−1)/d)` per coefficient. That constant only depends on
+//! the extension parameters and `k`, but computing it is a multi-hundred-
+//! bit exponentiation in the base field — recomputing it per call made
+//! Frobenius cost more than a full extension inverse and dominated the
+//! pairing final exponentiation. The registry below computes the constants
+//! once per extension type and serves them from a leaked static.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Highest Frobenius power with a cached coefficient; larger powers (none
+/// occur in the towers we build — `p^6` already generates every Galois
+/// conjugate we use) fall back to direct computation.
+pub(crate) const MAX_POWER: usize = 6;
+
+type Registry = Mutex<HashMap<TypeId, &'static (dyn Any + Send + Sync)>>;
+
+/// Returns the cached value for extension parameter type `P`, building it
+/// on first use. The build runs outside the registry lock, so it may
+/// safely recurse into other field arithmetic; a race at first use builds
+/// twice and keeps one.
+pub(crate) fn get_or_build<P: 'static, T: Any + Send + Sync>(
+    build: impl FnOnce() -> T,
+) -> &'static T {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = TypeId::of::<P>();
+    let lock = || registry.lock().expect("frobenius coefficient registry poisoned");
+    if let Some(cached) = lock().get(&key) {
+        return cached.downcast_ref::<T>().expect("registry entries are keyed by type");
+    }
+    let built: &'static T = Box::leak(Box::new(build()));
+    let mut guard = lock();
+    guard
+        .entry(key)
+        .or_insert(built as &'static (dyn Any + Send + Sync))
+        .downcast_ref::<T>()
+        .expect("registry entries are keyed by type")
+}

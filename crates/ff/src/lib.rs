@@ -32,7 +32,9 @@ pub mod bls12_381;
 pub mod bn254;
 mod cubic;
 mod fp;
+mod frob_cache;
 mod quad;
+mod tower;
 mod traits;
 
 pub use batch::{batch_inverse, batch_inverse_with_scratch};

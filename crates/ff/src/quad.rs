@@ -122,13 +122,27 @@ impl<P: QuadExtParams> Field for QuadExt<P> {
     }
 }
 
+/// The constants `β^((p^k−1)/2)` for `k = 1..=MAX_POWER`, computed once
+/// per extension type.
+fn frob_coeffs<P: QuadExtParams>() -> &'static [P::Base] {
+    crate::frob_cache::get_or_build::<P, Vec<P::Base>>(|| {
+        (1..=crate::frob_cache::MAX_POWER)
+            .map(|k| P::non_residue().pow(&QuadExt::<P>::frob_exponent(k, 2)))
+            .collect()
+    })
+}
+
 impl<P: QuadExtParams> Frobenius for QuadExt<P> {
     fn frobenius(&self, power: usize) -> Self {
         if power == 0 {
             return *self;
         }
         // (c0 + c1 x)^(p^k) = c0^(p^k) + c1^(p^k) · β^((p^k−1)/2) · x
-        let coeff = P::non_residue().pow(&Self::frob_exponent(power, 2));
+        let coeff = if power <= crate::frob_cache::MAX_POWER {
+            frob_coeffs::<P>()[power - 1]
+        } else {
+            P::non_residue().pow(&Self::frob_exponent(power, 2))
+        };
         Self::new(
             self.c0.frobenius(power),
             self.c1.frobenius(power) * coeff,

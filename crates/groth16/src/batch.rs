@@ -34,8 +34,37 @@ pub fn verify_batch<E: Engine, R: Rng + ?Sized>(
     if items.is_empty() {
         return Ok(true);
     }
+    let Some(parts) = accumulate(vk, items, rng)? else {
+        return Ok(false);
+    };
+    let mut g2_inputs = parts.bs;
+    g2_inputs.push(vk.gamma_g2);
+    g2_inputs.push(vk.delta_g2);
+    g2_inputs.push(vk.beta_g2);
+    Ok(E::multi_pairing(&parts.g1, &g2_inputs).is_one())
+}
+
+/// The G1 side of the combined check plus the per-proof `B` points; the
+/// caller appends `(γ, δ, β)` — plain or prepared — to the G2 side.
+pub(crate) struct BatchParts<E: Engine> {
+    /// `[r₁A₁, …, rₖAₖ, −Σrᵢxᵢ, −ΣrᵢCᵢ, −(Σrᵢ)α]`.
+    pub g1: Vec<Affine<E::G1>>,
+    /// `[B₁, …, Bₖ]`.
+    pub bs: Vec<Affine<E::G2>>,
+}
+
+/// Accumulates the random-linear-combination terms of the batch equation
+/// `Π e(rᵢAᵢ, Bᵢ) · e(−Σrᵢxᵢ, γ) · e(−ΣrᵢCᵢ, δ) · e(−(Σrᵢ)α, β) = 1`.
+///
+/// Returns `Ok(None)` when a proof element is off-curve (the batch is
+/// invalid without needing any pairing).
+pub(crate) fn accumulate<E: Engine, R: Rng + ?Sized>(
+    vk: &VerifyingKey<E>,
+    items: &[(Proof<E>, Vec<E::Fr>)],
+    rng: &mut R,
+) -> Result<Option<BatchParts<E>>, VerifyError> {
     let mut g1_inputs: Vec<Affine<E::G1>> = Vec::with_capacity(items.len() + 3);
-    let mut g2_inputs: Vec<Affine<E::G2>> = Vec::with_capacity(items.len() + 3);
+    let mut bs: Vec<Affine<E::G2>> = Vec::with_capacity(items.len());
     let mut sum_r = E::Fr::zero();
     let mut sum_c = Projective::<E::G1>::identity();
     let mut sum_x = Projective::<E::G1>::identity();
@@ -51,26 +80,22 @@ pub fn verify_batch<E: Engine, R: Rng + ?Sized>(
             return Err(VerifyError::MissingOneWire);
         }
         if !(proof.a.is_on_curve() && proof.b.is_on_curve() && proof.c.is_on_curve()) {
-            return Ok(false);
+            return Ok(None);
         }
         let r = E::Fr::random(rng);
         sum_r += r;
         // rᵢ·Aᵢ paired with Bᵢ.
         g1_inputs.push((proof.a.to_projective() * r).to_affine());
-        g2_inputs.push(proof.b);
+        bs.push(proof.b);
         sum_c += proof.c.to_projective() * r;
         sum_x += msm(&vk.ic, public) * r;
     }
 
-    // Π e(rᵢAᵢ, Bᵢ) · e(−Σrᵢxᵢ, γ) · e(−ΣrᵢCᵢ, δ) · e(−(Σrᵢ)α, β) = 1.
     g1_inputs.push(sum_x.to_affine().neg());
-    g2_inputs.push(vk.gamma_g2);
     g1_inputs.push(sum_c.to_affine().neg());
-    g2_inputs.push(vk.delta_g2);
     g1_inputs.push((vk.alpha_g1.to_projective() * sum_r).to_affine().neg());
-    g2_inputs.push(vk.beta_g2);
 
-    Ok(E::multi_pairing(&g1_inputs, &g2_inputs).is_one())
+    Ok(Some(BatchParts { g1: g1_inputs, bs }))
 }
 
 #[cfg(test)]

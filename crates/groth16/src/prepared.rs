@@ -3,6 +3,11 @@
 //! The Groth16 equation's `e(α, β)` term is statement-independent; caching
 //! it turns every verification from four Miller loops into three — the
 //! standard production optimization (arkworks' `PreparedVerifyingKey`).
+//! On top of that, the key's G2 points (β, γ, δ) are fixed across all
+//! proofs, so their Miller-loop line coefficients are precomputed once and
+//! every verification pays only sparse multiplications for them.
+
+use rand::Rng;
 
 use zkperf_ec::{msm, Engine};
 use zkperf_ff::Field;
@@ -11,21 +16,32 @@ use zkperf_trace as trace;
 use crate::key::{Proof, VerifyingKey};
 use crate::verify::VerifyError;
 
-/// A verification key with the pairing constant precomputed.
+/// A verification key with the pairing constant and the key-side G2 line
+/// coefficients precomputed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PreparedVerifyingKey<E: Engine> {
     vk: VerifyingKey<E>,
     /// `e(α, β)`, the statement-independent pairing term.
     alpha_beta: E::Gt,
+    /// Prepared lines for `β` (used by the batch equation).
+    beta_lines: E::G2Prepared,
+    /// Prepared lines for `γ`.
+    gamma_lines: E::G2Prepared,
+    /// Prepared lines for `δ`.
+    delta_lines: E::G2Prepared,
 }
 
 impl<E: Engine> PreparedVerifyingKey<E> {
-    /// Prepares a verification key (one pairing, done once).
+    /// Prepares a verification key (one pairing plus three G2 line
+    /// precomputations, done once).
     pub fn prepare(vk: &VerifyingKey<E>) -> Self {
         let alpha_beta = E::pairing(&vk.alpha_g1, &vk.beta_g2);
         PreparedVerifyingKey {
             vk: vk.clone(),
             alpha_beta,
+            beta_lines: E::prepare_g2(&vk.beta_g2),
+            gamma_lines: E::prepare_g2(&vk.gamma_g2),
+            delta_lines: E::prepare_g2(&vk.delta_g2),
         }
     }
 
@@ -58,12 +74,45 @@ impl<E: Engine> PreparedVerifyingKey<E> {
             return Ok(false);
         }
         let vk_x = msm(&self.vk.ic, public_witness).to_affine();
-        // e(A,B) · e(−vk_x, γ) · e(−C, δ) == e(α, β)
-        let lhs = E::multi_pairing(
+        // e(A,B) · e(−vk_x, γ) · e(−C, δ) == e(α, β), with the γ/δ lines
+        // served from the preparation done once at key setup.
+        let b_lines = E::prepare_g2(&proof.b);
+        let lhs = E::multi_pairing_prepared(
             &[proof.a, vk_x.neg(), proof.c.neg()],
-            &[proof.b, self.vk.gamma_g2, self.vk.delta_g2],
+            &[&b_lines, &self.gamma_lines, &self.delta_lines],
         );
         Ok(lhs == self.alpha_beta)
+    }
+
+    /// Batch-verifies `items` with a single combined pairing check, the
+    /// key-side G2 lines (γ, δ, β) served from the cached preparation.
+    ///
+    /// Semantics match [`crate::verify_batch`]: every proof is scaled by
+    /// an independent random coefficient from `rng`, an empty batch
+    /// verifies trivially, and one invalid member fails the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::verify_batch`].
+    pub fn verify_batch<R: Rng + ?Sized>(
+        &self,
+        items: &[(Proof<E>, Vec<E::Fr>)],
+        rng: &mut R,
+    ) -> Result<bool, VerifyError> {
+        let _g = trace::region_profile("verify_batch");
+        if items.is_empty() {
+            return Ok(true);
+        }
+        let Some(parts) = crate::batch::accumulate(&self.vk, items, rng)? else {
+            return Ok(false);
+        };
+        let b_lines: Vec<E::G2Prepared> =
+            parts.bs.iter().map(|b| E::prepare_g2(b)).collect();
+        let mut g2_inputs: Vec<&E::G2Prepared> = b_lines.iter().collect();
+        g2_inputs.push(&self.gamma_lines);
+        g2_inputs.push(&self.delta_lines);
+        g2_inputs.push(&self.beta_lines);
+        Ok(E::multi_pairing_prepared(&parts.g1, &g2_inputs).is_one())
     }
 }
 
@@ -93,6 +142,33 @@ mod tests {
             wrong[1] += Fr::one();
             assert!(!pvk.verify(&proof, &wrong).unwrap());
         }
+    }
+
+    #[test]
+    fn prepared_batch_agrees_with_free_batch() {
+        let circuit = exponentiate::<Fr>(6);
+        let mut rng = zkperf_ff::test_rng();
+        let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).unwrap();
+        let pvk = PreparedVerifyingKey::prepare(&pk.vk);
+        let items: Vec<_> = (0..3)
+            .map(|i| {
+                let w = circuit
+                    .generate_witness(&[Fr::from_u64(2 + i)], &[])
+                    .unwrap();
+                let proof = prove::<Bn254, _>(&pk, circuit.r1cs(), &w, &mut rng).unwrap();
+                (proof, w.public().to_vec())
+            })
+            .collect();
+        assert!(pvk.verify_batch(&items, &mut rng).unwrap());
+        assert!(crate::verify_batch(&pk.vk, &items, &mut rng).unwrap());
+        assert!(pvk.verify_batch(&[], &mut rng).unwrap(), "empty batch");
+        let mut bad = items.clone();
+        bad[1].1[1] += Fr::one();
+        assert!(!pvk.verify_batch(&bad, &mut rng).unwrap());
+        assert!(matches!(
+            pvk.verify_batch(&[(items[0].0.clone(), vec![Fr::one()])], &mut rng),
+            Err(VerifyError::PublicWitnessLength { .. })
+        ));
     }
 
     #[test]

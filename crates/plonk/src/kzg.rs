@@ -1,5 +1,7 @@
 //! KZG polynomial commitments over a pairing engine.
 
+use std::sync::OnceLock;
+
 use rand::Rng;
 
 use zkperf_ec::{msm, Affine, Engine, FixedBaseTable, Projective};
@@ -16,6 +18,10 @@ pub struct Srs<E: Engine> {
     pub g2: Affine<E::G2>,
     /// `[τ]₂`.
     pub g2_tau: Affine<E::G2>,
+    /// Lazily cached line coefficients for the two fixed G2 points — every
+    /// opening check pairs against exactly these, so the Miller-loop lines
+    /// are computed once per SRS.
+    prepared_g2: OnceLock<(E::G2Prepared, E::G2Prepared)>,
 }
 
 /// A commitment to a polynomial.
@@ -51,7 +57,13 @@ impl<E: Engine> Srs<E> {
             g1_powers,
             g2: g2gen.to_affine(),
             g2_tau: (g2gen * tau).to_affine(),
+            prepared_g2: OnceLock::new(),
         }
+    }
+
+    fn prepared_g2(&self) -> &(E::G2Prepared, E::G2Prepared) {
+        self.prepared_g2
+            .get_or_init(|| (E::prepare_g2(&self.g2), E::prepare_g2(&self.g2_tau)))
     }
 
     /// Highest committable degree.
@@ -97,15 +109,19 @@ impl<E: Engine> Srs<E> {
         proof: &OpeningProof<E>,
     ) -> bool {
         let g1 = Projective::<E::G1>::generator();
-        let c_minus_y = commitment.0.to_projective() + (g1 * value).neg();
-        let tau_minus_z =
-            self.g2_tau.to_projective() + (Projective::<E::G2>::generator() * z).neg();
-        // e(C − yG, G₂) · e(−W, [τ−z]₂) == 1
-        let lhs = E::multi_pairing(
-            &[c_minus_y.to_affine(), proof.0.neg()],
-            &[self.g2, tau_minus_z.to_affine()],
-        );
-        lhs.is_one()
+        // The check e(C − yG, G₂) = e(W, [τ−z]₂) rearranged so both G2
+        // inputs are the fixed SRS points: e(C − yG + zW, G₂) · e(−W, [τ]₂)
+        // == 1. This moves the per-check scalar multiplication from G2 to
+        // G1 and lets the pairing consume the SRS's cached line
+        // coefficients.
+        let acc =
+            commitment.0.to_projective() + (g1 * value).neg() + proof.0.to_projective() * z;
+        let (g2_lines, g2_tau_lines) = self.prepared_g2();
+        E::multi_pairing_prepared(
+            &[acc.to_affine(), proof.0.neg()],
+            &[g2_lines, g2_tau_lines],
+        )
+        .is_one()
     }
 
     /// Verifies a ν-batched opening of several `(commitment, value)` pairs

@@ -117,6 +117,10 @@ pub struct ServeReport {
     pub failed: u64,
     /// Explicit cancellations.
     pub cancelled: u64,
+    /// Combined pairing checks executed over batched verify jobs.
+    pub verify_batches: u64,
+    /// Verify jobs that were served through a combined check.
+    pub batched_verifies: u64,
     /// Total CPU-busy nanoseconds across all stages and attempts.
     pub busy_nanos: u64,
     /// Price assumption used for the cost line.
@@ -151,6 +155,8 @@ impl ServeReport {
         deadline_exceeded: u64,
         failed: u64,
         cancelled: u64,
+        verify_batches: u64,
+        batched_verifies: u64,
         dollars_per_cpu_hour: f64,
     ) -> ServeReport {
         let stages = table
@@ -172,9 +178,18 @@ impl ServeReport {
             deadline_exceeded,
             failed,
             cancelled,
+            verify_batches,
+            batched_verifies,
             busy_nanos: table.total_busy_nanos(),
             dollars_per_cpu_hour,
         }
+    }
+
+    /// Miller loops saved by verify batching: `k` jobs checked together
+    /// cost `2k + 3` loops instead of `4k`, so each combined check of `k`
+    /// members saves `2k − 3`.
+    pub fn miller_loops_saved(&self) -> u64 {
+        (2 * self.batched_verifies).saturating_sub(3 * self.verify_batches)
     }
 
     /// Dollars of CPU time spent per successfully served proof
@@ -212,6 +227,15 @@ impl fmt::Display for ServeReport {
             "outcomes: served={} rejected={} deadline_exceeded={} failed={} cancelled={}",
             self.served, self.rejected, self.deadline_exceeded, self.failed, self.cancelled
         )?;
+        if self.verify_batches > 0 {
+            writeln!(
+                f,
+                "batching: {} verifies in {} combined checks ({} Miller loops saved)",
+                self.batched_verifies,
+                self.verify_batches,
+                self.miller_loops_saved()
+            )?;
+        }
         match self.cost_per_proof() {
             Some(c) => writeln!(
                 f,
@@ -253,12 +277,26 @@ mod tests {
     fn report_cost_per_proof() {
         let mut t = StageTable::new();
         t.record("prove", 3_600_000_000); // 3.6s busy
-        let report = ServeReport::new(&t, 1, 1, 0, 0, 0, 0, 36.0);
+        let report = ServeReport::new(&t, 1, 1, 0, 0, 0, 0, 0, 0, 36.0);
         // 3.6s = 1e-3 hours; at $36/hr that is $0.036 for one proof.
         let c = report.cost_per_proof().unwrap();
         assert!((c - 0.036).abs() < 1e-12, "{c}");
         let rendered = report.to_string();
         assert!(rendered.contains("prove"));
         assert!(rendered.contains("/proof"));
+        // No batching happened → no batching line.
+        assert!(!rendered.contains("batching:"));
+    }
+
+    #[test]
+    fn report_amortization_line() {
+        let t = StageTable::new();
+        // 16 verifies through 2 combined checks of 8: each check costs
+        // 2·8 + 3 = 19 loops instead of 4·8 = 32, saving 13 — 26 total.
+        let report = ServeReport::new(&t, 16, 0, 0, 0, 0, 0, 2, 16, 36.0);
+        assert_eq!(report.miller_loops_saved(), 26);
+        let rendered = report.to_string();
+        assert!(rendered.contains("batching: 16 verifies in 2 combined checks"));
+        assert!(rendered.contains("26 Miller loops saved"));
     }
 }

@@ -127,6 +127,24 @@ impl AdmissionQueue {
         Some(self.entries.remove(best))
     }
 
+    /// Removes and returns the next job to execute only when `pred`
+    /// accepts it; otherwise leaves the queue untouched. Lets the server
+    /// assemble verify batches without disturbing priority order — the
+    /// candidate is always the job [`Self::pop`] would have returned.
+    pub fn pop_if(&mut self, pred: impl FnOnce(&QueuedJob) -> bool) -> Option<QueuedJob> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, j)| (j.spec.priority.rank(), u64::MAX - j.seq))?
+            .0;
+        if pred(&self.entries[best]) {
+            Some(self.entries.remove(best))
+        } else {
+            None
+        }
+    }
+
     /// Returns a completed (or abandoned) job's bytes to the budget.
     pub fn release(&mut self, cost_bytes: usize) {
         self.inflight_bytes = self.inflight_bytes.saturating_sub(cost_bytes);

@@ -17,7 +17,7 @@ use rand::SeedableRng;
 use zkperf_core::{Stage, StageError};
 use zkperf_ec::{CurveParams, Engine};
 use zkperf_ff::Field;
-use zkperf_groth16::{prove, verify};
+use zkperf_groth16::{prove, verify, verify_batch};
 use zkperf_io::{
     read_container_file, read_proof, write_container_file, write_proof, Container, Cursor,
     FieldCodec, Payload,
@@ -26,7 +26,7 @@ use zkperf_pool::CancelToken;
 use zkperf_resilience::{ChaosMode, RetryPolicy};
 
 use crate::breaker::{BreakerDecision, CircuitBreaker};
-use crate::cache::{content_key, ArtifactCache, CacheStats};
+use crate::cache::{content_key, ArtifactCache, CacheStats, LoadTiming};
 use crate::job::{CircuitSpec, JobId, JobKind, JobOutcome, JobSpec, Priority, RejectReason};
 use crate::metrics::{ServeReport, StageTable, DEFAULT_DOLLARS_PER_CPU_HOUR};
 use crate::queue::{AdmissionConfig, AdmissionQueue, QueuedJob};
@@ -55,6 +55,11 @@ pub struct ServerConfig {
     /// Queue depth at which the service degrades to verify-only
     /// (recovers at half this depth). `usize::MAX` disables degradation.
     pub verify_only_depth: usize,
+    /// Maximum verify jobs drained into one combined pairing check
+    /// (`2k + 3` Miller loops instead of `4k`). Values below 2 disable
+    /// batching. Only deadline-free verify jobs of the same circuit are
+    /// batched; everything else keeps the per-job path.
+    pub verify_batch_max: usize,
     /// Fault-injection plan for stage boundaries (off by default; the
     /// loadgen arms it from `ZKPERF_CHAOS`).
     pub chaos: ChaosMode,
@@ -78,6 +83,7 @@ impl Default for ServerConfig {
             breaker_cooldown_ticks: 16,
             default_deadline: None,
             verify_only_depth: usize::MAX,
+            verify_batch_max: 8,
             chaos: ChaosMode::Off,
             dollars_per_cpu_hour: DEFAULT_DOLLARS_PER_CPU_HOUR,
         }
@@ -108,6 +114,8 @@ struct Counters {
     deadline_exceeded: u64,
     failed: u64,
     cancelled: u64,
+    verify_batches: u64,
+    batched_verifies: u64,
 }
 
 /// A proving-as-a-service instance over engine `E`.
@@ -278,12 +286,27 @@ where
         }
     }
 
-    /// Executes the next queued job. Returns false when the queue is
+    /// Executes the next queued job — or, when the head of the queue is a
+    /// deadline-free verify job, drains up to
+    /// [`ServerConfig::verify_batch_max`] same-circuit verify jobs behind
+    /// it into one combined pairing check. Returns false when the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
         let Some(job) = self.queue.pop() else {
             return false;
         };
+        let mut batch = self.collect_verify_batch(job);
+        if batch.len() >= 2 {
+            self.execute_verify_batch(batch);
+        } else if let Some(job) = batch.pop() {
+            self.finish_single(job);
+        }
+        true
+    }
+
+    /// The per-job execution path: retry loop, outcome recording, byte
+    /// release, mode update.
+    fn finish_single(&mut self, job: QueuedJob) {
         let cost = job.cost_bytes;
         let outcome = self.execute(job.id, &job.spec);
         match &outcome {
@@ -301,7 +324,153 @@ where
         self.outcomes.insert(job.id, outcome);
         self.queue.release(cost);
         self.update_mode();
-        true
+    }
+
+    /// Starting from the already-popped `first`, pulls consecutive
+    /// next-in-order verify jobs that share its circuit and carry no
+    /// deadline. Returns a single-element vector when `first` is not
+    /// batchable (prove job, deadline attached, batching disabled, or no
+    /// eligible followers).
+    fn collect_verify_batch(&mut self, first: QueuedJob) -> Vec<QueuedJob> {
+        let batchable = |deadlines: &HashMap<JobId, Instant>, j: &QueuedJob| {
+            matches!(j.spec.kind, JobKind::Verify { .. }) && !deadlines.contains_key(&j.id)
+        };
+        let mut batch = vec![first];
+        if self.cfg.verify_batch_max < 2 || !batchable(&self.deadlines, &batch[0]) {
+            return batch;
+        }
+        let key = content_key(E::NAME, &batch[0].spec.circuit.source);
+        while batch.len() < self.cfg.verify_batch_max {
+            let deadlines = &self.deadlines;
+            let Some(next) = self.queue.pop_if(|j| {
+                batchable(deadlines, j) && content_key(E::NAME, &j.spec.circuit.source) == key
+            }) else {
+                break;
+            };
+            batch.push(next);
+        }
+        batch
+    }
+
+    /// One pre-verify probe of a batched job: the compile/witness stages
+    /// and proof parsing exactly as the per-job pipeline runs them
+    /// (including chaos gates, so an injection here reproduces identically
+    /// when the job falls back to the individual retry path).
+    #[allow(clippy::type_complexity)]
+    fn probe_verify(
+        &mut self,
+        job: &QueuedJob,
+    ) -> Result<(zkperf_groth16::Proof<E>, Vec<E::Fr>, LoadTiming, u64), StageError> {
+        self.pre_stage(job.id, 1, Stage::Compile)?;
+        let (entry, timing) = self.cache.load_or_build(&job.spec.circuit)?;
+        if entry.circuit.r1cs().num_constraints() != job.spec.circuit.constraints {
+            return Err(StageError::ConstraintCountMismatch {
+                declared: job.spec.circuit.constraints,
+                compiled: entry.circuit.r1cs().num_constraints(),
+            });
+        }
+
+        self.pre_stage(job.id, 1, Stage::Witness)?;
+        let start = Instant::now();
+        let to_field = |vals: &[u64]| -> Vec<E::Fr> {
+            vals.iter().map(|&v| E::Fr::from_u64(v)).collect()
+        };
+        let witness = entry.circuit.generate_witness(
+            &to_field(&job.spec.circuit.public_inputs),
+            &to_field(&job.spec.circuit.private_inputs),
+        )?;
+        let witness_nanos = start.elapsed().as_nanos() as u64;
+
+        self.pre_stage(job.id, 1, Stage::Verifying)?;
+        let JobKind::Verify { proof } = &job.spec.kind else {
+            return Err(StageError::Cancelled {
+                stage: Stage::Verifying,
+            });
+        };
+        let parsed =
+            read_proof::<E>(&mut proof.as_slice()).map_err(|e| StageError::Artifact {
+                path: format!("(job {} proof payload)", job.id),
+                detail: e.to_string(),
+            })?;
+        Ok((parsed, witness.public().to_vec(), timing, witness_nanos))
+    }
+
+    /// Runs `batch` (≥ 2 same-circuit verify jobs) through one combined
+    /// random-linear-combination pairing check — `2k + 3` Miller loops
+    /// instead of `4k`. RLC coefficients come from an rng seeded purely by
+    /// the batch's job content, so replays are deterministic. Jobs whose
+    /// pre-verify stages fail, and every job of a batch whose combined
+    /// check does not pass, fall back to the standard per-job path for
+    /// individual outcomes.
+    fn execute_verify_batch(&mut self, batch: Vec<QueuedJob>) {
+        let mut ready = Vec::with_capacity(batch.len());
+        let mut singles = Vec::new();
+        for job in batch {
+            match self.probe_verify(&job) {
+                Ok(parts) => ready.push((job, parts)),
+                Err(_) => singles.push(job),
+            }
+        }
+
+        if ready.len() >= 2 {
+            // All ready jobs share a circuit; fetch the shared entry once
+            // (memory hit) for the key and verification key.
+            match self.cache.load_or_build(&ready[0].0.spec.circuit) {
+                Ok((entry, _)) => {
+                    let mut seed = 0x6a7c_ba7c ^ entry.key;
+                    for (job, _) in &ready {
+                        seed = seed.rotate_left(21)
+                            ^ prove_seed(entry.key, &job.spec.circuit)
+                            ^ job.id;
+                    }
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                    let items: Vec<(zkperf_groth16::Proof<E>, Vec<E::Fr>)> = ready
+                        .iter()
+                        .map(|(_, (proof, public, _, _))| (proof.clone(), public.clone()))
+                        .collect();
+                    let start = Instant::now();
+                    let verdict = verify_batch::<E, _>(&entry.pk.vk, &items, &mut rng);
+                    let batch_nanos = start.elapsed().as_nanos() as u64;
+                    if matches!(verdict, Ok(true)) {
+                        let per_job = batch_nanos / ready.len() as u64;
+                        self.counters.verify_batches += 1;
+                        self.counters.batched_verifies += ready.len() as u64;
+                        for (job, (_, _, timing, witness_nanos)) in ready {
+                            let key_label =
+                                format!("{:016x}", content_key(E::NAME, &job.spec.circuit.source));
+                            self.breaker.record_success(&key_label);
+                            self.metrics.record("compile", timing.compile_nanos);
+                            self.metrics.record("setup", timing.setup_nanos);
+                            self.metrics.record("witness", witness_nanos);
+                            self.metrics.record("verify", per_job);
+                            self.counters.served += 1;
+                            self.outcomes.insert(
+                                job.id,
+                                JobOutcome::Served {
+                                    proof: Vec::new(),
+                                    verified: Some(true),
+                                    attempts: 1,
+                                },
+                            );
+                            self.queue.release(job.cost_bytes);
+                        }
+                    } else {
+                        // Some member is invalid (or inputs were
+                        // malformed): re-run individually so each job gets
+                        // its own verdict.
+                        singles.extend(ready.into_iter().map(|(job, _)| job));
+                    }
+                }
+                Err(_) => singles.extend(ready.into_iter().map(|(job, _)| job)),
+            }
+        } else {
+            singles.extend(ready.into_iter().map(|(job, _)| job));
+        }
+
+        for job in singles {
+            self.finish_single(job);
+        }
+        self.update_mode();
     }
 
     /// Runs [`Server::step`] until the queue is empty.
@@ -539,6 +708,8 @@ where
             self.counters.deadline_exceeded,
             self.counters.failed,
             self.counters.cancelled,
+            self.counters.verify_batches,
+            self.counters.batched_verifies,
             self.cfg.dollars_per_cpu_hour,
         )
     }

@@ -237,6 +237,98 @@ fn overload_degrades_to_verify_only_and_recovers() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Tentpole satellite: queued same-circuit verify jobs drain through one
+/// combined pairing check, a poisoned batch falls back to per-job
+/// verdicts, and the accounting invariant holds either way.
+#[test]
+fn verify_jobs_batch_into_one_pairing_check() {
+    let dir = tmpdir("vbatch");
+    let mut server: Server<Bn254> =
+        Server::open(dir.join("server"), ServerConfig::default()).unwrap();
+
+    // Produce real proof bytes for x = 3 and x = 4.
+    let (p3, res) = server.submit(prove_job(8, 3, Priority::Normal));
+    assert!(res.is_ok());
+    let (p4, res) = server.submit(prove_job(8, 4, Priority::Normal));
+    assert!(res.is_ok());
+    server.run_until_drained();
+    let proof_of = |server: &Server<Bn254>, id| match server.outcome(id) {
+        Some(JobOutcome::Served { proof, .. }) => proof.clone(),
+        other => panic!("{other:?}"),
+    };
+    let proof3 = proof_of(&server, p3);
+    let proof4 = proof_of(&server, p4);
+
+    let verify_job = |x: u64, proof: Vec<u8>| JobSpec {
+        circuit: CircuitSpec::exponentiate(8, x),
+        kind: JobKind::Verify { proof },
+        priority: Priority::Normal,
+        deadline: None,
+    };
+
+    // Four consistent verify jobs of the same circuit shape: one batch.
+    let mut ids = Vec::new();
+    for (x, proof) in [(3, &proof3), (4, &proof4), (3, &proof3), (4, &proof4)] {
+        let (id, res) = server.submit(verify_job(x, proof.clone()));
+        assert!(res.is_ok());
+        ids.push(id);
+    }
+    server.run_until_drained();
+    for id in &ids {
+        assert!(
+            matches!(
+                server.outcome(*id),
+                Some(JobOutcome::Served { verified: Some(true), attempts: 1, .. })
+            ),
+            "job {id}: {:?}",
+            server.outcome(*id)
+        );
+    }
+    let report = server.report();
+    assert_eq!(report.verify_batches, 1, "one combined check");
+    assert_eq!(report.batched_verifies, 4, "all four jobs rode it");
+    assert_eq!(report.miller_loops_saved(), 2 * 4 - 3);
+    assert!(report.to_string().contains("batching: 4 verifies in 1 combined checks"));
+
+    // Poison one member: proof for x = 3 against the statement x = 5. The
+    // combined check fails and every member falls back to an individual
+    // verdict — true for the honest jobs, false for the mismatch.
+    let (good, res) = server.submit(verify_job(3, proof3.clone()));
+    assert!(res.is_ok());
+    let (bad, res) = server.submit(verify_job(5, proof3.clone()));
+    assert!(res.is_ok());
+    server.run_until_drained();
+    assert!(matches!(
+        server.outcome(good),
+        Some(JobOutcome::Served { verified: Some(true), .. })
+    ));
+    assert!(matches!(
+        server.outcome(bad),
+        Some(JobOutcome::Served { verified: Some(false), .. })
+    ));
+    let report = server.report();
+    assert_eq!(report.verify_batches, 1, "poisoned batch fell back");
+    assert!(server.accounting_errors().is_empty());
+
+    // Batching disabled: same traffic, no combined checks.
+    let cfg = ServerConfig {
+        verify_batch_max: 1,
+        ..ServerConfig::default()
+    };
+    let mut single: Server<Bn254> = Server::open(dir.join("single"), cfg).unwrap();
+    for (x, proof) in [(3, &proof3), (4, &proof4)] {
+        let (_, res) = single.submit(verify_job(x, proof.clone()));
+        assert!(res.is_ok());
+    }
+    single.run_until_drained();
+    let report = single.report();
+    assert_eq!(report.verify_batches, 0);
+    assert_eq!(report.batched_verifies, 0);
+    assert!(single.accounting_errors().is_empty());
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// Shutdown drains queued jobs to a checksummed checkpoint; a successor
 /// server resumes them and produces byte-identical proofs.
 #[test]

@@ -20,6 +20,7 @@
 //! | cached-twiddle NTT (fwd/inv/coset)   | O(n²) DFT + roundtrip identity   |
 //! | four-step blocked NTT (forced path)  | flat radix-2 transform           |
 //! | `Radix2Domain::element`, Lagrange    | ω-power run + interpolation      |
+//! | twisted pairing + prepared G2 lines  | untwisted Miller + BigUint exp   |
 //! | N-thread pool execution              | 1-thread execution, bit-for-bit  |
 //! | Groth16 / PLONK pipelines            | end-to-end accept on valid input |
 
@@ -310,6 +311,99 @@ fn glv_mul_windowed_case<C: CurveParams>(rng: &mut SplitRng) -> CaseResult {
     }
     Ok(())
 }
+
+// -------------------------------------------------------------- pairing
+
+/// One randomized case of the pairing oracle for a curve module: the
+/// twisted fast path against the untwisted serial reference (bit for
+/// bit), bilinearity, non-degeneracy, identity and negated inputs, the
+/// prepared-lines route, and the documented mismatched-length truncation.
+macro_rules! pairing_case {
+    ($name:ident, $module:path) => {
+        fn $name(rng: &mut SplitRng) -> CaseResult {
+            use $module as cv;
+            use zkperf_ff::Field;
+            type Fr = <cv::G1Params as CurveParams>::Scalar;
+
+            let g1 = Projective::<cv::G1Params>::generator();
+            let g2 = Projective::<cv::G2Params>::generator();
+            let a: Fr = adversarial_field(rng);
+            let b: Fr = adversarial_field(rng);
+            let p = (g1 * a).to_affine();
+            let q = (g2 * b).to_affine();
+
+            // Fast path against the untwisted serial reference.
+            let fast = cv::pairing(&p, &q);
+            let reference = zkperf_ec::pairing::final_exponentiation(
+                cv::miller(&p, &q),
+                &cv::pairing_hard_exponent(),
+            );
+            if fast != reference {
+                return fail("pairing fast vs reference", format_args!("a {a}, b {b}"));
+            }
+
+            // Bilinearity: e(cP, Q) = e(P, cQ) = e(P, Q)^c.
+            let c: Fr = adversarial_field(rng);
+            let expect = fast.pow(&c.to_biguint());
+            if cv::pairing(&(p.to_projective() * c).to_affine(), &q) != expect {
+                return fail("pairing bilinearity (G1 side)", format_args!("c {c}"));
+            }
+            if cv::pairing(&p, &(q.to_projective() * c).to_affine()) != expect {
+                return fail("pairing bilinearity (G2 side)", format_args!("c {c}"));
+            }
+
+            // Non-degeneracy on the generators; identity inputs pair to 1.
+            if cv::pairing(&g1.to_affine(), &g2.to_affine()).is_one() {
+                return fail("pairing non-degeneracy", "e(G1, G2) = 1");
+            }
+            let o1 = Affine::<cv::G1Params>::identity();
+            let o2 = Affine::<cv::G2Params>::identity();
+            if !cv::pairing(&o1, &q).is_one() || !cv::pairing(&p, &o2).is_one() {
+                return fail("pairing identity input", "e(O, Q) or e(P, O) != 1");
+            }
+
+            // A pair and its G1-negation cancel in one product.
+            if !cv::multi_pairing(&[p, p.neg()], &[q, q]).is_one() {
+                return fail("pairing negation", format_args!("a {a}, b {b}"));
+            }
+
+            // Multi-pairing against the product of individual pairings,
+            // over adversarial points (identity / negated / duplicated).
+            let n = adversarial_len(rng, 5).max(2);
+            let ps: Vec<Affine<cv::G1Params>> = adversarial_points(rng, n);
+            let qs: Vec<Affine<cv::G2Params>> = adversarial_points(rng, n);
+            let combined = cv::multi_pairing(&ps, &qs);
+            let mut product = cv::Gt::one();
+            for (pi, qi) in ps.iter().zip(&qs) {
+                product *= cv::pairing(pi, qi);
+            }
+            if combined != product {
+                return fail("multi_pairing vs product", format_args!("n = {n}"));
+            }
+
+            // The prepared-lines route is the same function.
+            let preps: Vec<_> = qs.iter().map(cv::prepare_g2).collect();
+            let prep_refs: Vec<_> = preps.iter().collect();
+            if cv::multi_pairing_prepared(&ps, &prep_refs) != combined {
+                return fail("multi_pairing_prepared", format_args!("n = {n}"));
+            }
+
+            // Mismatched slice lengths: documented truncation to the
+            // shorter side, from either direction.
+            let short = cv::multi_pairing(&ps[..n - 1], &qs[..n - 1]);
+            if cv::multi_pairing(&ps[..n - 1], &qs) != short {
+                return fail("multi_pairing truncation (short G1)", format_args!("n = {n}"));
+            }
+            if cv::multi_pairing(&ps, &qs[..n - 1]) != short {
+                return fail("multi_pairing truncation (short G2)", format_args!("n = {n}"));
+            }
+            Ok(())
+        }
+    };
+}
+
+pairing_case!(pairing_bn254_case, zkperf_ec::bn254);
+pairing_case!(pairing_bls12_381_case, zkperf_ec::bls12_381);
 
 // ------------------------------------------------------------------ NTT
 
@@ -619,6 +713,14 @@ pub fn all_oracles() -> Vec<Oracle> {
         Oracle {
             name: "glv_mul_windowed_bn254_g1",
             run: glv_mul_windowed_case::<bn254::G1Params>,
+        },
+        Oracle {
+            name: "pairing_bn254",
+            run: pairing_bn254_case,
+        },
+        Oracle {
+            name: "pairing_bls12_381",
+            run: pairing_bls12_381_case,
         },
         Oracle {
             name: "ntt_bn254_fr",

@@ -52,6 +52,17 @@ if ! ./target/release/fuzz_lite --only glv --iters 16; then
     exit 1
 fi
 
+# The twisted-curve pairing engine sits under every Groth16/PLONK
+# verification, so its oracles get a dedicated pass: the fast path against
+# the untwisted serial reference bit-for-bit, bilinearity, non-degeneracy,
+# identity/negated inputs, prepared G2 lines, and the mismatched-length
+# truncation contract on both curves.
+echo "==> fuzz_lite pairing tier"
+if ! ./target/release/fuzz_lite --only pairing --iters 16; then
+    echo "fuzz_lite found pairing divergences; paste a replay line from above" >&2
+    exit 1
+fi
+
 # Serving smoke tier: replay a fixed-seed open-loop trace through the
 # zkperf-serve daemon with fault injection armed. The loadgen exits
 # non-zero on any panic, any accepted-but-unaccounted job, any
