@@ -12,11 +12,12 @@
 //!   path on the exponentiation workloads at 2^10..2^14 constraints.
 //! * `--smoke`: kernel micro-benches only, at reduced sizes — fast enough
 //!   for the tier-1 gate in `scripts/check.sh`.
-//! * `--large`: adds the big-domain sweep — MSM at 2^18/2^20 and NTT at
-//!   2^18/2^20/2^22 (the four-step crossover and beyond). Off in tier-1;
-//!   the small-size kernels keep their exact names so baseline
+//! * `--large`: adds the big-domain sweep — MSM at 2^18/2^20/2^22 and NTT
+//!   at 2^18/2^20/2^22 (the four-step crossover and beyond). Off in
+//!   tier-1; the small-size kernels keep their exact names so baseline
 //!   comparisons stay like-for-like, and `compare` only gates entries
-//!   present in both reports, so large entries append harmlessly.
+//!   present in both reports — a baseline refreshed with `--large`
+//!   therefore gates the big kernels too.
 //!
 //! Exit codes: 0 ok, 1 usage/IO error, 2 regression past the threshold.
 
@@ -49,6 +50,9 @@ struct StageResult {
     /// Combined setup + prove wall time: the headline number the perf
     /// trajectory is judged by.
     total_ns: u64,
+    /// Tracking-allocator high-water mark across the setup+prove cell —
+    /// the working set the `ZKPERF_MEM_BUDGET` streaming path bounds.
+    peak_live_bytes: u64,
 }
 
 /// The report written to `BENCH_results.json`.
@@ -59,6 +63,10 @@ struct BenchReport {
     /// Thread-pool size the run used (`ZKPERF_THREADS`, default 1).
     /// Comparisons are only meaningful like-for-like.
     threads: u64,
+    /// Kernel-reported peak RSS (`VmHWM`) at the end of the run, 0 when
+    /// the platform does not expose it. Informational — never gated (it
+    /// covers the whole process, bench scaffolding included).
+    peak_rss_bytes: u64,
     kernels: Vec<KernelResult>,
     stages: Vec<StageResult>,
 }
@@ -247,7 +255,7 @@ fn large_kernel_benches() -> Vec<KernelResult> {
     let mut out = Vec::new();
 
     let table = FixedBaseTable::new(&Projective::<zkperf_ec::bn254::G1Params>::generator());
-    for log in [18u32, 20] {
+    for log in [18u32, 20, 22] {
         let n = 1usize << log;
         eprintln!("  preparing bn254_msm_g1_2e{log} ({n} points)...");
         let scalars: Vec<bn254::Fr> = (0..n).map(|_| bn254::Fr::random(&mut rng)).collect();
@@ -286,6 +294,7 @@ fn stage_benches() -> Vec<StageResult> {
         let n = 1usize << log;
         let circuit = exponentiate::<bn254::Fr>(n);
         let mut rng = zkperf_ff::test_rng();
+        zkperf_pool::mem::reset_peak();
         let start = Instant::now();
         let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).expect("setup succeeds");
         let setup_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -297,17 +306,20 @@ fn stage_benches() -> Vec<StageResult> {
             prove::<Bn254, _>(&pk, circuit.r1cs(), &witness, &mut rng).expect("prove succeeds");
         let prove_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         std::hint::black_box(proof);
+        let peak_live_bytes = zkperf_pool::mem::peak_live_bytes() as u64;
         out.push(StageResult {
             curve: "bn254".into(),
             log2_constraints: log,
             setup_ns,
             prove_ns,
             total_ns: setup_ns + prove_ns,
+            peak_live_bytes,
         });
         eprintln!(
-            "  stage bn254 2^{log}: setup {:.3}s prove {:.3}s",
+            "  stage bn254 2^{log}: setup {:.3}s prove {:.3}s peak-live {:.1} MiB",
             setup_ns as f64 / 1e9,
             prove_ns as f64 / 1e9,
+            peak_live_bytes as f64 / (1u64 << 20) as f64,
         );
     }
     out
@@ -391,15 +403,17 @@ fn main() -> ExitCode {
     eprintln!("bench_regression: running {mode} suite at {threads} thread(s)");
     let mut kernels = kernel_benches(smoke);
     if large {
-        eprintln!("bench_regression: --large sweep (MSM 2^18..2^20, NTT 2^18..2^22)");
+        eprintln!("bench_regression: --large sweep (MSM 2^18..2^22, NTT 2^18..2^22)");
         kernels.extend(large_kernel_benches());
     }
+    let stages = if smoke { Vec::new() } else { stage_benches() };
     let report = BenchReport {
-        schema: 1,
+        schema: 2,
         mode: mode.into(),
         threads,
+        peak_rss_bytes: zkperf_pool::mem::peak_rss_bytes().unwrap_or(0),
         kernels,
-        stages: if smoke { Vec::new() } else { stage_benches() },
+        stages,
     };
     for k in &report.kernels {
         eprintln!("  kernel {}: {} ns", k.name, k.nanos);

@@ -15,7 +15,15 @@
 //! is that both columns come from the same estimator, so on a multicore
 //! host they are directly comparable.
 //!
-//! usage: `real_scaling [--log2 N] [--sim-log2 N] [--threads A,B,..] [--out FILE]`
+//! `--sizes A,B,..` additionally runs the size-scaling trajectory: one
+//! setup+prove round per listed `log₂(constraints)` at the current thread
+//! count, reporting wall time, per-constraint cost, and the tracking
+//! allocator's peak-live bytes — the 2^18–2^22 sweep the out-of-core
+//! prover's memory claims are judged by (run it with `ZKPERF_MEM_BUDGET`
+//! set to see the streamed path's bounded residency).
+//!
+//! usage: `real_scaling [--log2 N] [--sim-log2 N] [--threads A,B,..]
+//!         [--sizes A,B,..] [--out FILE]`
 //!
 //! Exit codes: 0 ok, 1 usage/IO error.
 
@@ -40,6 +48,18 @@ struct ScalingSeries {
     fit: ParallelismFit,
 }
 
+/// One point of the size-scaling trajectory.
+#[derive(Debug, Clone, Serialize)]
+struct SizeSweepPoint {
+    log2_constraints: u32,
+    nanos: u64,
+    nanos_per_constraint: f64,
+    /// Tracking-allocator high-water mark across the round.
+    peak_live_bytes: u64,
+    /// Bytes moved by the streaming chunk transport (0 unbudgeted).
+    streamed_bytes: u64,
+}
+
 /// The report written by `--out`.
 #[derive(Debug, Clone, Serialize)]
 struct ScalingReport {
@@ -49,20 +69,61 @@ struct ScalingReport {
     host_cores: usize,
     measured: ScalingSeries,
     simulated: ScalingSeries,
+    /// The `--sizes` trajectory, empty when not requested.
+    size_sweep: Vec<SizeSweepPoint>,
 }
 
-/// Wall time of one setup+prove round at `n` constraints, nanoseconds.
-fn time_setup_prove(n: usize) -> u64 {
+/// Wall time of one setup+prove round at `n` constraints: `(nanos,
+/// peak_live_bytes, streamed_bytes)`.
+fn time_setup_prove(n: usize) -> (u64, u64, u64) {
     let circuit = exponentiate::<bn254::Fr>(n);
     let mut rng = zkperf_ff::test_rng();
     let witness = circuit
         .generate_witness(&[bn254::Fr::from_u64(3)], &[])
         .expect("witness generation succeeds");
+    zkperf_pool::mem::reset_peak();
+    let streamed0 = zkperf_pool::mem::streamed_bytes();
     let start = Instant::now();
     let pk = setup::<Bn254, _>(circuit.r1cs(), &mut rng).expect("setup succeeds");
     let proof = prove::<Bn254, _>(&pk, circuit.r1cs(), &witness, &mut rng).expect("prove succeeds");
     std::hint::black_box(proof);
-    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (
+        nanos,
+        zkperf_pool::mem::peak_live_bytes() as u64,
+        zkperf_pool::mem::streamed_bytes().saturating_sub(streamed0),
+    )
+}
+
+/// The `--sizes` trajectory: one round per size at the current thread
+/// count, with per-constraint cost and peak-live residency.
+fn size_scaling(logs: &[u32]) -> Vec<SizeSweepPoint> {
+    let budget = zkperf_pool::mem::budget();
+    match budget {
+        Some(b) => eprintln!("  size sweep under ZKPERF_MEM_BUDGET={} bytes", b),
+        None => eprintln!("  size sweep unbudgeted (in-memory fast path)"),
+    }
+    logs.iter()
+        .map(|&log| {
+            let n = 1usize << log;
+            let (nanos, peak_live_bytes, streamed_bytes) = time_setup_prove(n);
+            let point = SizeSweepPoint {
+                log2_constraints: log,
+                nanos,
+                nanos_per_constraint: nanos as f64 / n as f64,
+                peak_live_bytes,
+                streamed_bytes,
+            };
+            eprintln!(
+                "  size 2^{log}: {:.3}s ({:.0} ns/constraint), peak-live {:.1} MiB, streamed {:.1} MiB",
+                nanos as f64 / 1e9,
+                point.nanos_per_constraint,
+                peak_live_bytes as f64 / (1u64 << 20) as f64,
+                streamed_bytes as f64 / (1u64 << 20) as f64,
+            );
+            point
+        })
+        .collect()
 }
 
 /// Measures real strong scaling: best-of-2 setup+prove wall time at each
@@ -72,7 +133,7 @@ fn measured_scaling(log2: u32, threads: &[usize]) -> ScalingSeries {
     let mut times = Vec::new();
     for &t in threads {
         zkperf_pool::set_threads(t);
-        let ns = time_setup_prove(n).min(time_setup_prove(n));
+        let ns = time_setup_prove(n).0.min(time_setup_prove(n).0);
         eprintln!(
             "  measured {t:>2} thread(s): setup+prove 2^{log2} in {:.3}s",
             ns as f64 / 1e9
@@ -114,7 +175,10 @@ fn simulated_scaling(sim_log2: u32, threads: &[usize]) -> ScalingSeries {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: real_scaling [--log2 N] [--sim-log2 N] [--threads A,B,..] [--out FILE]");
+    eprintln!(
+        "usage: real_scaling [--log2 N] [--sim-log2 N] [--threads A,B,..] \
+         [--sizes A,B,..] [--out FILE]"
+    );
     ExitCode::from(1)
 }
 
@@ -122,6 +186,7 @@ fn main() -> ExitCode {
     let mut log2 = 14u32;
     let mut sim_log2 = 10u32;
     let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut sizes: Vec<u32> = Vec::new();
     let mut out_path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -152,6 +217,18 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
+            "--sizes" => {
+                let parsed: Option<Vec<u32>> =
+                    value.split(',').map(|s| s.trim().parse().ok()).collect();
+                match parsed {
+                    Some(list)
+                        if !list.is_empty() && list.iter().all(|&v| (4..=22).contains(&v)) =>
+                    {
+                        sizes = list;
+                    }
+                    _ => return usage(),
+                }
+            }
             "--out" => out_path = Some(value.clone()),
             _ => return usage(),
         }
@@ -163,6 +240,13 @@ fn main() -> ExitCode {
         "real_scaling: bn254 setup+prove, measured at 2^{log2}, simulated at 2^{sim_log2}, \
          host has {host_cores} core(s)"
     );
+
+    let size_sweep = if sizes.is_empty() {
+        Vec::new()
+    } else {
+        eprintln!("  size-scaling trajectory at {} thread(s)...", zkperf_pool::current_threads());
+        size_scaling(&sizes)
+    };
 
     let measured = measured_scaling(log2, &threads);
     eprintln!("  simulating i9 cell at 2^{sim_log2}...");
@@ -190,12 +274,13 @@ fn main() -> ExitCode {
 
     if let Some(path) = &out_path {
         let report = ScalingReport {
-            schema: 1,
+            schema: 2,
             log2_constraints: log2,
             sim_log2_constraints: sim_log2,
             host_cores,
             measured,
             simulated,
+            size_sweep,
         };
         let bytes = match serde_json::to_vec_pretty(&report) {
             Ok(b) => b,

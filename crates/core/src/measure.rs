@@ -44,6 +44,12 @@ pub struct StageMeasurement {
     pub regions: Vec<RegionSummary>,
     /// Host wall time of the instrumented run.
     pub wall_time: Duration,
+    /// High-water mark of live heap bytes during the stage, from the
+    /// tracking allocator.
+    pub peak_live_bytes: u64,
+    /// Bytes moved through the streaming chunk transport during the
+    /// stage (0 when the stage ran fully in memory).
+    pub streamed_bytes: u64,
 }
 
 impl StageMeasurement {
@@ -82,10 +88,16 @@ pub fn measure_stage<E: Engine>(
         emit_runtime_init();
     }
     emit_stage_io(workload.stage_read_bytes(stage));
+    // Rebase the allocator's high-water mark and the streamed-bytes
+    // counter so both deltas attribute to this stage alone.
+    zkperf_pool::mem::reset_peak();
+    let streamed_before = zkperf_pool::mem::streamed_bytes();
     if let Err(e) = workload.run_stage(stage) {
         let _ = session.finish();
         return Err(e);
     }
+    let peak_live_bytes = zkperf_pool::mem::peak_live_bytes() as u64;
+    let streamed_bytes = zkperf_pool::mem::streamed_bytes().saturating_sub(streamed_before);
     emit_stage_io(workload.stage_write_bytes(stage));
     let report = session.finish();
     let machine = handle.borrow().report();
@@ -109,6 +121,8 @@ pub fn measure_stage<E: Engine>(
         counts: report.counts,
         regions,
         wall_time: report.wall_time,
+        peak_live_bytes,
+        streamed_bytes,
     })
 }
 
@@ -133,6 +147,7 @@ mod tests {
         assert!(proving.region("msm").is_some());
         assert!(proving.region("fft").is_some());
         assert!(proving.region("runtime_init").is_some());
+        assert!(proving.peak_live_bytes > 0, "allocator high-water mark recorded");
         assert!(
             proving.machine.total_uops() > compile.machine.total_uops(),
             "proving outworks compile at this size"

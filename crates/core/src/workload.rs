@@ -159,6 +159,19 @@ impl From<zkperf_io::ArtifactError> for StageError {
     }
 }
 
+impl From<zkperf_groth16::StreamError> for StageError {
+    fn from(e: zkperf_groth16::StreamError) -> Self {
+        let path = e.path.clone().unwrap_or_else(|| "<stream>".to_string());
+        let detail = match e.offset {
+            // Keep the seekable location in the detail: a mid-stream
+            // checksum failure must say exactly which chunk broke.
+            Some(off) => format!("{} (at byte offset {off})", e.detail),
+            None => e.detail,
+        };
+        StageError::Artifact { path, detail }
+    }
+}
+
 /// A deterministic RNG per workload so measurement runs are reproducible.
 fn workload_rng(seed_tweak: u64) -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(0x7e57_0000 ^ seed_tweak)

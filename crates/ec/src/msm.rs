@@ -131,10 +131,124 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[C::Scalar]) -> Projec
 
     let total_bits = C::Scalar::modulus_bits() as usize;
     let c = window_bits::<C>(n, total_bits);
-    if use_pool {
+    let sums = if use_pool {
         pippenger_parallel(&bases[..n], &limbs, num_limbs, total_bits, c)
     } else {
         pippenger_serial(&bases[..n], &limbs, num_limbs, total_bits, c)
+    };
+    combine_windows(sums, c)
+}
+
+/// Computes `Σ scalarsᵢ · basesᵢ` with the base points arriving as a
+/// sequence of chunks instead of one resident slice — the out-of-core MSM
+/// entry point. `total` is the number of points the iterator will yield in
+/// aggregate (the window width is chosen once from the *total* problem
+/// size, exactly as [`msm`] would choose it, not per chunk).
+///
+/// Each chunk runs the same signed-digit/GLV Pippenger kernel as the
+/// in-memory path (through `zkperf-pool` when the chunk clears the
+/// parallel gate) producing per-window partial sums, which are folded into
+/// a running per-window accumulator; one final window combine finishes the
+/// job. Scalars are consumed positionally: chunk `k` pairs with the next
+/// `chunk.len()` scalars.
+///
+/// Determinism contract: for a fixed chunk sequence the result is
+/// bit-identical (including the projective representative) at any thread
+/// count, because the per-chunk kernels are and the fold order is the
+/// chunk order. Across *different* chunkings — including against [`msm`]
+/// itself — the result is the same group element and therefore identical
+/// after affine normalization (`to_affine`), which is the form every
+/// serialized artifact uses; only the internal projective representative
+/// may differ, since bucket sums associate differently.
+///
+/// The first chunk error aborts the fold and is returned as-is. Points
+/// yielded beyond `total` (or beyond the scalar count) are ignored.
+pub fn msm_stream<C, T, E, I>(
+    total: usize,
+    chunks: I,
+    scalars: &[C::Scalar],
+) -> Result<Projective<C>, E>
+where
+    C: CurveParams,
+    T: AsRef<[Affine<C>]>,
+    I: IntoIterator<Item = Result<T, E>>,
+{
+    let _g = trace::region_profile("msm");
+    let n = total.min(scalars.len());
+    if n == 0 {
+        return Ok(Projective::identity());
+    }
+    let glv = if trace::is_active() { None } else { C::glv_params() };
+    // Window geometry fixed once from the total problem size, mirroring
+    // what msm() would pick for the same n fully resident.
+    let (total_bits, c) = match glv {
+        Some(g) => {
+            let bits = g.half_bits();
+            (bits, window_bits::<C>(2 * n, bits))
+        }
+        None => {
+            let bits = C::Scalar::modulus_bits() as usize;
+            (bits, window_bits::<C>(n, bits))
+        }
+    };
+    let num_windows = (total_bits + 1).div_ceil(c);
+    let mut acc = vec![Projective::identity(); num_windows];
+
+    let mut offset = 0usize;
+    for chunk in chunks {
+        let chunk = chunk?;
+        if offset >= n {
+            break;
+        }
+        let pts = chunk.as_ref();
+        let take = pts.len().min(n - offset);
+        if take == 0 {
+            continue;
+        }
+        let pts = &pts[..take];
+        let scs = &scalars[offset..offset + take];
+        let sums = match glv {
+            Some(g) => glv_window_sums(pts, scs, g, total_bits, c),
+            None => plain_window_sums(pts, scs, total_bits, c),
+        };
+        for (a, s) in acc.iter_mut().zip(sums) {
+            *a += s;
+        }
+        offset += take;
+    }
+    Ok(combine_windows(acc, c))
+}
+
+/// Per-chunk window sums for the non-GLV route: canonical-limb recoding of
+/// `scalars` followed by the Pippenger bucket body at the caller-fixed
+/// window width `c`.
+fn plain_window_sums<C: CurveParams>(
+    bases: &[Affine<C>],
+    scalars: &[C::Scalar],
+    total_bits: usize,
+    c: usize,
+) -> Vec<Projective<C>> {
+    let n = bases.len();
+    let use_pool = !trace::is_active() && pool::current_threads() > 1 && n >= PAR_MIN_MSM;
+    let num_limbs = C::Scalar::NUM_LIMBS;
+    let mut limbs = vec![0u64; n * num_limbs];
+    if use_pool {
+        const LIMB_GRAIN: usize = 1024;
+        pool::parallel_chunks_mut(&mut limbs, num_limbs * LIMB_GRAIN, |ci, chunk| {
+            let base = ci * LIMB_GRAIN;
+            for (j, row) in chunk.chunks_mut(num_limbs).enumerate() {
+                scalars[base + j].write_canonical_limbs(row);
+            }
+        });
+    } else {
+        for (i, s) in scalars[..n].iter().enumerate() {
+            s.write_canonical_limbs(&mut limbs[i * num_limbs..(i + 1) * num_limbs]);
+        }
+    }
+    if use_pool {
+        pippenger_parallel(bases, &limbs, num_limbs, total_bits, c)
+    } else {
+        pippenger_serial(bases, &limbs, num_limbs, total_bits, c)
     }
 }
 
@@ -147,6 +261,22 @@ fn msm_glv<C: CurveParams>(
     scalars: &[C::Scalar],
     glv: &GlvParams<C>,
 ) -> Projective<C> {
+    let total_bits = glv.half_bits();
+    let c = window_bits::<C>(2 * bases.len(), total_bits);
+    combine_windows(glv_window_sums(bases, scalars, glv, total_bits, c), c)
+}
+
+/// Per-chunk window sums for the GLV route: decomposes the chunk's scalars
+/// into signed half-width components, builds the `[±P_i | ±φ(P_i)]`
+/// 2n-point problem, and runs the Pippenger bucket body at the
+/// caller-fixed window width `c`.
+fn glv_window_sums<C: CurveParams>(
+    bases: &[Affine<C>],
+    scalars: &[C::Scalar],
+    glv: &GlvParams<C>,
+    total_bits: usize,
+    c: usize,
+) -> Vec<Projective<C>> {
     let n = bases.len();
     let use_pool = !trace::is_active() && pool::current_threads() > 1 && n >= PAR_MIN_MSM;
     const GLV_GRAIN: usize = 512;
@@ -214,8 +344,6 @@ fn msm_glv<C: CurveParams>(
         fill_half(p2, l2, true);
     }
 
-    let total_bits = glv.half_bits();
-    let c = window_bits::<C>(2 * n, total_bits);
     if use_pool {
         pippenger_parallel(&points, &limbs, HALF_LIMBS, total_bits, c)
     } else {
@@ -225,14 +353,16 @@ fn msm_glv<C: CurveParams>(
 
 /// The serial Pippenger body over a prepared point array and flat unsigned
 /// limb buffer (`stride` limbs per point, digits meaningful up to
-/// `total_bits`).
+/// `total_bits`). Returns the per-window bucket sums so callers can either
+/// combine them directly ([`combine_windows`]) or fold them into a
+/// streaming accumulator ([`msm_stream`]).
 fn pippenger_serial<C: CurveParams>(
     points: &[Affine<C>],
     limbs: &[u64],
     stride: usize,
     total_bits: usize,
     c: usize,
-) -> Projective<C> {
+) -> Vec<Projective<C>> {
     let n = points.len();
     // Magnitudes stay below 2^total_bits; the +1 leaves room for the final
     // signed carry.
@@ -303,7 +433,7 @@ fn pippenger_serial<C: CurveParams>(
         window_sums.push(sum);
     }
 
-    combine_windows(window_sums, c)
+    window_sums
 }
 
 /// Window-parallel Pippenger: the same bucket method as
@@ -314,8 +444,8 @@ fn pippenger_serial<C: CurveParams>(
 /// 1. signed-digit recoding, chunked over *points* (each row's carry chain
 ///    is local, so rows recode independently);
 /// 2. bucket accumulation, one task per *window*, each writing its
-///    index-addressed `window_sums` slot with private scratch buffers;
-/// 3. the serial top-down window combine (`log₂` depth, negligible cost).
+///    index-addressed `window_sums` slot with private scratch buffers
+///    (the caller finishes with the serial top-down window combine).
 ///
 /// The decomposition depends only on `n`, and every task writes only
 /// index-addressed slots, so the result is bit-identical to the serial
@@ -326,7 +456,7 @@ fn pippenger_parallel<C: CurveParams>(
     stride: usize,
     total_bits: usize,
     c: usize,
-) -> Projective<C> {
+) -> Vec<Projective<C>> {
     let n = points.len();
     let num_windows = (total_bits + 1).div_ceil(c);
     let half = 1usize << (c - 1);
@@ -399,7 +529,7 @@ fn pippenger_parallel<C: CurveParams>(
         sum
     });
 
-    combine_windows(window_sums, c)
+    window_sums
 }
 
 /// Combines per-window sums from the top down: `acc = acc·2^c + window`.
@@ -567,6 +697,94 @@ mod tests {
         assert_eq!(msm(&bases, &scalars), msm_naive(&bases, &scalars));
     }
 
+    /// msm_stream over in-memory slices split at `chunk`, compared in
+    /// affine form (the bit-identity level the streaming contract claims).
+    fn stream_of(bases: &[G1Affine], scalars: &[Fr], chunk: usize) -> G1Affine {
+        msm_stream(
+            bases.len(),
+            bases.chunks(chunk).map(Ok::<_, std::convert::Infallible>),
+            scalars,
+        )
+        .unwrap()
+        .to_affine()
+    }
+
+    #[test]
+    fn msm_stream_matches_in_memory_at_any_chunking() {
+        let mut rng = zkperf_ff::test_rng();
+        let n = 333;
+        let bases: Vec<G1Affine> = (0..n)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        let mut scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        scalars[0] = Fr::zero();
+        scalars[1] = -Fr::one();
+        let expect = msm(&bases, &scalars).to_affine();
+        for chunk in [1usize, 7, 64, 100, n - 1, n, n + 50] {
+            assert_eq!(stream_of(&bases, &scalars, chunk), expect, "chunk = {chunk}");
+        }
+    }
+
+    #[test]
+    fn msm_stream_empty_and_error_paths() {
+        let empty: Vec<G1Affine> = Vec::new();
+        let ok: Result<Projective<crate::bn254::G1Params>, ()> =
+            msm_stream(0, std::iter::empty::<Result<Vec<G1Affine>, ()>>(), &[]);
+        assert!(ok.unwrap().is_identity());
+        // Zero scalars: the iterator must not be required to succeed.
+        let ok: Result<Projective<crate::bn254::G1Params>, ()> =
+            msm_stream(4, std::iter::once(Err::<Vec<G1Affine>, ()>(())), &[]);
+        assert!(ok.unwrap().is_identity());
+        let _ = empty;
+        // A failing chunk aborts the fold with the error.
+        let g = G1Affine::generator();
+        let s = vec![Fr::one(); 4];
+        let chunks: Vec<Result<Vec<G1Affine>, &str>> =
+            vec![Ok(vec![g, g]), Err("checksum"), Ok(vec![g, g])];
+        assert_eq!(msm_stream(4, chunks, &s).unwrap_err(), "checksum");
+    }
+
+    #[test]
+    fn msm_stream_truncates_like_msm() {
+        let mut rng = zkperf_ff::test_rng();
+        let bases: Vec<G1Affine> = (0..20)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        let scalars: Vec<Fr> = (0..12).map(|_| Fr::random(&mut rng)).collect();
+        // total > scalars: the scalar count wins, extra points ignored.
+        let expect = msm(&bases, &scalars).to_affine();
+        assert_eq!(stream_of(&bases, &scalars, 5), expect);
+        // total < yielded points: total wins.
+        let expect = msm(&bases[..10], &scalars).to_affine();
+        let got = msm_stream(
+            10,
+            bases.chunks(3).map(Ok::<_, std::convert::Infallible>),
+            &scalars,
+        )
+        .unwrap()
+        .to_affine();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn msm_stream_is_thread_invariant_at_fixed_chunking() {
+        let _lock = crate::TEST_POOL_LOCK.lock().unwrap();
+        let mut rng = zkperf_ff::test_rng();
+        let n = PAR_MIN_MSM + 11; // chunks straddle the parallel gate
+        let table = FixedBaseTable::new(&G1Projective::generator());
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let bases = table.mul_batch(&scalars);
+        let chunk = PAR_MIN_MSM / 2 + 3;
+
+        pool::set_threads(1);
+        let serial = stream_of(&bases, &scalars, chunk);
+        pool::set_threads(4);
+        let par = stream_of(&bases, &scalars, chunk);
+        pool::set_threads(1);
+        assert_eq!(serial, par);
+        assert_eq!(serial, msm(&bases, &scalars).to_affine());
+    }
+
     #[test]
     fn glv_msm_matches_plain_pippenger() {
         // Run the same inputs through the GLV front end and the plain
@@ -586,12 +804,10 @@ mod tests {
         for (i, s) in scalars.iter().enumerate() {
             s.write_canonical_limbs(&mut limbs[i * num_limbs..(i + 1) * num_limbs]);
         }
-        let plain = pippenger_serial(
-            &bases,
-            &limbs,
-            num_limbs,
-            Fr::modulus_bits() as usize,
-            window_bits::<crate::bn254::G1Params>(n, Fr::modulus_bits() as usize),
+        let c = window_bits::<crate::bn254::G1Params>(n, Fr::modulus_bits() as usize);
+        let plain = combine_windows(
+            pippenger_serial(&bases, &limbs, num_limbs, Fr::modulus_bits() as usize, c),
+            c,
         );
         let naive = msm_naive(&bases, &scalars);
         assert_eq!(via_glv, naive);

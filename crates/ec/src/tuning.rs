@@ -125,6 +125,34 @@ pub fn window_bits(n: usize, scalar_bits: usize, point_bytes: usize) -> usize {
     best.1
 }
 
+/// Smallest chunk the streaming planner will emit: below this the
+/// per-chunk Pippenger setup (limb recoding, bucket scratch) dominates.
+pub const MIN_STREAM_CHUNK: usize = 256;
+
+/// Largest chunk the streaming planner will emit, regardless of budget:
+/// past this the chunk stops fitting any reasonable LLC share and larger
+/// chunks buy nothing.
+pub const MAX_STREAM_CHUNK: usize = 1 << 22;
+
+/// Derives the streaming-MSM chunk size (in points) from a memory budget.
+///
+/// The per-point transient working set of one chunk pass is priced at
+/// `4·point_bytes + 4·scalar_bytes`: the decoded chunk buffer, the GLV
+/// expansion to `[±P | ±φP]` plus sorted bucket scratch (≈ 3 extra point
+/// copies), and the decomposed half-limb rows. A quarter of the budget is
+/// granted to that transient set — the rest stays available for the
+/// resident scalars, accumulators, and whatever else the stage holds —
+/// and the result is clamped to `[MIN_STREAM_CHUNK, MAX_STREAM_CHUNK]`.
+///
+/// Pure function of its arguments: the chunking (and therefore the exact
+/// fold sequence of the streaming path) is reproducible from the budget
+/// alone.
+pub fn stream_chunk_points(budget_bytes: u64, point_bytes: usize, scalar_bytes: usize) -> usize {
+    let per_point = (4 * point_bytes + 4 * scalar_bytes).max(1) as u64;
+    let chunk = (budget_bytes / 4) / per_point;
+    (chunk as usize).clamp(MIN_STREAM_CHUNK, MAX_STREAM_CHUNK)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +208,20 @@ mod tests {
             .min_by_key(|&c| cost_big_cache(c))
             .unwrap();
         assert!(best <= best_big, "small caches must not pick wider windows");
+    }
+
+    #[test]
+    fn stream_chunks_scale_with_budget_and_stay_clamped() {
+        let at = |budget: u64| stream_chunk_points(budget, 72, 32);
+        assert_eq!(at(0), MIN_STREAM_CHUNK);
+        assert_eq!(at(1 << 10), MIN_STREAM_CHUNK);
+        assert_eq!(at(u64::MAX / 8), MAX_STREAM_CHUNK);
+        let small = at(32 << 20);
+        let big = at(256 << 20);
+        assert!(small < big, "{small} vs {big}");
+        // 32 MiB must split a 2^16-point query into several chunks — the
+        // check.sh memory-bounded smoke tier relies on this.
+        assert!(small < 1 << 16, "{small}");
+        assert!(small >= MIN_STREAM_CHUNK);
     }
 }

@@ -32,6 +32,7 @@ mod prepared;
 mod prove;
 mod qap;
 mod setup;
+mod stream;
 mod verify;
 
 pub use batch::verify_batch;
@@ -41,6 +42,11 @@ pub use prepared::PreparedVerifyingKey;
 pub use prove::{prove, ProveError};
 pub use qap::{compute_h_coefficients, evaluate_constraints, evaluate_matrices_at};
 pub use setup::{setup, SetupError};
+pub use stream::{
+    prove_streamed, setup_streamed, ChunkedKey, FixedParts, G1Chunks, G1Query, G2Chunks,
+    MemorySink, QuerySink, QuerySource, StreamError, StreamHeader, StreamProveError,
+    StreamSetupError, G1_QUERIES,
+};
 pub use verify::{verify, VerifyError};
 
 #[cfg(test)]

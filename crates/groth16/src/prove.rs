@@ -3,7 +3,7 @@
 use rand::Rng;
 
 use zkperf_circuit::{R1cs, Witness};
-use zkperf_ec::{msm, Engine, Projective};
+use zkperf_ec::{Engine, Projective};
 use zkperf_ff::Field;
 use zkperf_poly::Radix2Domain;
 use zkperf_trace as trace;
@@ -130,6 +130,13 @@ pub fn prove<E: Engine, R: Rng + ?Sized>(
     }
 
     let (r, s) = (E::Fr::random(rng), E::Fr::random(rng));
+
+    // Every query MSM routes through the ZKPERF_MEM_BUDGET gate: under a
+    // budget the bases stream in chunks (bounding the GLV/limb transient
+    // tables), unbudgeted they take the resident kernel; same group
+    // elements, and the proof normalizes to affine below, so proof bytes
+    // are identical either way.
+    use crate::stream::msm_budgeted as msm;
 
     // A = α + Σ wᵢ·uᵢ(τ) + r·δ
     let g_a = pk.vk.alpha_g1.to_projective()

@@ -59,7 +59,42 @@ pub fn setup<E: Engine, R: Rng + ?Sized>(
     r1cs: &R1cs<E::Fr>,
     rng: &mut R,
 ) -> Result<ProvingKey<E>, SetupError> {
+    // Under a memory budget the fixed-base passes run chunked through the
+    // QuerySink machinery instead of one concatenated batch — identical
+    // RNG draws and field values (the scalar phase below is shared), and
+    // affine points are canonical per group element, so the key is
+    // byte-identical either way. Instrumented runs stay on this body so
+    // the characterization op stream is unchanged.
+    if !trace::is_active() && pool::mem::budget().is_some() {
+        return crate::stream::setup_budgeted(r1cs, rng);
+    }
     let _g = trace::region_profile("setup");
+    let scalars = setup_scalars::<E, R>(r1cs, rng)?;
+    build_key_monolithic(r1cs, scalars)
+}
+
+/// Everything [`setup`] does before any group operation: domain
+/// construction, toxic-waste sampling, and the per-query scalar batches.
+/// Shared verbatim by the monolithic and streamed key builders so both
+/// consume identical RNG draws and produce identical field values.
+pub(crate) struct SetupScalars<E: Engine> {
+    pub domain: Radix2Domain<E::Fr>,
+    pub alpha: E::Fr,
+    pub beta: E::Fr,
+    pub gamma: E::Fr,
+    pub delta: E::Fr,
+    pub u: Vec<E::Fr>,
+    pub v: Vec<E::Fr>,
+    pub ic_scalars: Vec<E::Fr>,
+    pub l_scalars: Vec<E::Fr>,
+    pub h_scalars: Vec<E::Fr>,
+    pub num_public: usize,
+}
+
+pub(crate) fn setup_scalars<E: Engine, R: Rng + ?Sized>(
+    r1cs: &R1cs<E::Fr>,
+    rng: &mut R,
+) -> Result<SetupScalars<E>, SetupError> {
     let domain =
         Radix2Domain::<E::Fr>::new(r1cs.num_constraints().max(2)).ok_or(
             SetupError::CircuitTooLarge {
@@ -154,6 +189,41 @@ pub fn setup<E: Engine, R: Rng + ?Sized>(
     if pool::cancellation_pending() {
         return Err(SetupError::Cancelled);
     }
+
+    Ok(SetupScalars {
+        domain,
+        alpha,
+        beta,
+        gamma,
+        delta,
+        u,
+        v,
+        ic_scalars,
+        l_scalars,
+        h_scalars,
+        num_public,
+    })
+}
+
+/// The in-memory group-operation phase of [`setup`]: one concatenated
+/// fixed-base batch per group.
+fn build_key_monolithic<E: Engine>(
+    r1cs: &R1cs<E::Fr>,
+    scalars: SetupScalars<E>,
+) -> Result<ProvingKey<E>, SetupError> {
+    let SetupScalars {
+        domain,
+        alpha,
+        beta,
+        gamma,
+        delta,
+        u,
+        v,
+        ic_scalars,
+        l_scalars,
+        h_scalars,
+        num_public,
+    } = scalars;
 
     // One fixed-base window table per generator, each built once and
     // shared by every tau-power query vector. All G1 scalars ride a single

@@ -52,14 +52,19 @@ impl ArtifactError {
     /// for environmental failures (file missing, permission denied),
     /// where rebuilding over the path would mask a real problem.
     pub fn is_corruption(&self) -> bool {
-        match &self.error {
-            FormatError::Io(e) => e.kind() == io::ErrorKind::UnexpectedEof,
-            FormatError::BadMagic { .. }
-            | FormatError::BadVersion(_)
-            | FormatError::MissingSection(_)
-            | FormatError::ChecksumMismatch { .. }
-            | FormatError::Corrupt(_) => true,
+        fn classify(e: &FormatError) -> bool {
+            match e {
+                FormatError::Io(e) => e.kind() == io::ErrorKind::UnexpectedEof,
+                FormatError::BadMagic { .. }
+                | FormatError::BadVersion(_)
+                | FormatError::MissingSection(_)
+                | FormatError::ChecksumMismatch { .. }
+                | FormatError::Corrupt(_) => true,
+                // A located error classifies by what actually failed there.
+                FormatError::AtOffset { inner, .. } => classify(inner),
+            }
         }
+        classify(&self.error)
     }
 
     /// True when the artifact simply does not exist (a cache miss, not a

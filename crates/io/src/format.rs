@@ -41,6 +41,31 @@ pub enum FormatError {
     },
     /// A section payload was malformed.
     Corrupt(&'static str),
+    /// A failure at a known byte offset within the file — the streamed
+    /// reader path wraps its errors with the seekable location of the
+    /// failing section so mid-stream corruption is diagnosable without
+    /// re-reading the artifact.
+    AtOffset {
+        /// Byte offset (from the start of the file) of the failing
+        /// section's payload.
+        offset: u64,
+        /// The underlying failure.
+        inner: Box<FormatError>,
+    },
+}
+
+impl FormatError {
+    /// Wraps `self` with the byte offset where it was detected (idempotent:
+    /// an already-located error keeps its original, innermost offset).
+    pub fn at_offset(self, offset: u64) -> FormatError {
+        match self {
+            FormatError::AtOffset { .. } => self,
+            other => FormatError::AtOffset {
+                offset,
+                inner: Box::new(other),
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for FormatError {
@@ -62,6 +87,9 @@ impl std::fmt::Display for FormatError {
                 "section {section} checksum mismatch: stored {stored:#010x}, computed {computed:#010x} (file is corrupt or tampered)"
             ),
             FormatError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+            FormatError::AtOffset { offset, inner } => {
+                write!(f, "{inner} (at byte offset {offset})")
+            }
         }
     }
 }

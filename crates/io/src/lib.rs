@@ -29,6 +29,7 @@ mod artifact;
 mod codec;
 mod files;
 mod format;
+mod stream;
 
 pub use artifact::{
     read_container_file, read_proof_file, read_r1cs_file, read_vkey_file, read_zkey_file,
@@ -42,3 +43,4 @@ pub use files::{
     write_vkey, write_witness, write_zkey,
 };
 pub use format::{Container, Cursor, FormatError, Payload, MIN_VERSION, VERSION};
+pub use stream::{StreamedZkeyReader, StreamedZkeyWriter, MAGIC_ZKEY_STREAM};

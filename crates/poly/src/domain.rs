@@ -34,6 +34,31 @@ const MAX_CACHED_TWIDDLE_LOG: u32 = 17;
 /// three extra transposes.
 const FOUR_STEP_MIN_LOG: u32 = 18;
 
+/// Smallest `log₂(size)` at which a memory budget can spill the four-step
+/// transform back to the flat in-place pass. Below this the scratch is a
+/// few megabytes at most and never worth giving up the blocked layout.
+const SPILL_MIN_LOG: u32 = 20;
+
+/// Whether a domain of `size = 2^log_size` elements of `elem_bytes` each
+/// should abandon the four-step layout under `budget`.
+///
+/// The four-step transform buys its cache locality with a full-size
+/// scratch buffer (`size · elem_bytes`, allocated per transform). Under
+/// `ZKPERF_MEM_BUDGET`, once that scratch would claim more than a quarter
+/// of the budget on a domain of 2^20 points or larger, the transform
+/// takes the flat in-place radix-2 pass with incremental twiddles instead
+/// — O(1) scratch, and bit-identical output (the four-step path is pinned
+/// to the flat one by the characterization oracles).
+fn spill_to_flat(log_size: u32, size: usize, elem_bytes: usize, budget: Option<u64>) -> bool {
+    if log_size < SPILL_MIN_LOG {
+        return false;
+    }
+    match budget {
+        Some(budget) => (size as u64).saturating_mul(elem_bytes as u64) > budget / 4,
+        None => false,
+    }
+}
+
 /// A multiplicative subgroup of size `2^log_size` with its NTT machinery.
 ///
 /// Groth16 uses one domain per circuit: polynomials are interpolated over
@@ -246,7 +271,9 @@ impl<F: PrimeField> Radix2Domain<F> {
     /// trace session is live (the characterization suite pins the flat
     /// serial op stream).
     fn use_four_step(&self) -> bool {
-        self.four_step.is_some() && !trace::is_active()
+        self.four_step.is_some()
+            && !trace::is_active()
+            && !spill_to_flat(self.log_size, self.size, std::mem::size_of::<F>(), pool::mem::budget())
     }
 
     /// The final `1/n` scaling of an inverse transform.
@@ -940,6 +967,18 @@ mod tests {
         zkperf_pool::set_threads(1);
         assert_eq!(serial, parallel);
         assert_eq!(round, coeffs);
+    }
+
+    #[test]
+    fn budget_spills_large_transforms_to_the_flat_pass() {
+        // Below the spill floor the blocked layout is kept at any budget.
+        assert!(!spill_to_flat(18, 1 << 18, 32, Some(1)));
+        // Unbudgeted large domains keep it too.
+        assert!(!spill_to_flat(20, 1 << 20, 32, None));
+        // A 2^20 domain of 32-byte elements carries a 32 MiB scratch:
+        // budgets under 128 MiB spill to the flat pass, larger ones don't.
+        assert!(spill_to_flat(20, 1 << 20, 32, Some(64 << 20)));
+        assert!(!spill_to_flat(20, 1 << 20, 32, Some(256 << 20)));
     }
 
     #[test]

@@ -56,6 +56,14 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod mem;
+
+/// Every zkperf binary allocates through the tracking shim so
+/// [`mem::peak_live_bytes`] is an exact high-water mark; registration
+/// lives here because the whole workspace links `zkperf-pool`.
+#[global_allocator]
+static GLOBAL_ALLOCATOR: mem::TrackingAllocator = mem::TrackingAllocator;
+
 use std::any::Any;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -43,6 +43,8 @@ mod server;
 pub use breaker::{BreakerDecision, CircuitBreaker};
 pub use cache::{content_key, ArtifactCache, CacheEntry, CacheStats, LoadTiming};
 pub use job::{CircuitSpec, JobId, JobKind, JobOutcome, JobSpec, Priority, RejectReason};
-pub use metrics::{LatencyRecorder, ServeReport, StageTable, DEFAULT_DOLLARS_PER_CPU_HOUR};
+pub use metrics::{
+    LatencyRecorder, MemoryStats, ServeReport, StageRow, StageTable, DEFAULT_DOLLARS_PER_CPU_HOUR,
+};
 pub use queue::{AdmissionConfig, AdmissionQueue, QueuedJob};
 pub use server::{prove_serial, ResumeOutcomes, ServerConfig, ServiceMode, Server};

@@ -4,6 +4,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use zkperf_pool as pool;
+
 /// A working assumption for converting CPU-busy time into dollars:
 /// roughly an on-demand cloud vCPU-hour.
 pub const DEFAULT_DOLLARS_PER_CPU_HOUR: f64 = 0.045;
@@ -58,6 +60,7 @@ impl LatencyRecorder {
 #[derive(Debug, Default)]
 pub struct StageTable {
     stages: BTreeMap<String, LatencyRecorder>,
+    streamed: BTreeMap<String, u64>,
 }
 
 impl StageTable {
@@ -69,6 +72,17 @@ impl StageTable {
     /// Records `nanos` against `stage`.
     pub fn record(&mut self, stage: &str, nanos: u64) {
         self.stages.entry(stage.to_string()).or_default().record(nanos);
+    }
+
+    /// Adds `bytes` moved through the streaming chunk transport while
+    /// `stage` ran (out-of-core chunk reads/writes under a memory budget).
+    pub fn record_streamed(&mut self, stage: &str, bytes: u64) {
+        *self.streamed.entry(stage.to_string()).or_default() += bytes;
+    }
+
+    /// Total streamed bytes attributed to `stage`.
+    pub fn streamed_for(&self, stage: &str) -> u64 {
+        self.streamed.get(stage).copied().unwrap_or(0)
     }
 
     /// The recorder for `stage`, if any samples exist.
@@ -84,6 +98,46 @@ impl StageTable {
     /// Iterates `(stage, recorder)` pairs in stable order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &LatencyRecorder)> {
         self.stages.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Process-level memory accounting attached to a [`ServeReport`]: the
+/// tracking allocator's high-water mark, the kernel's peak RSS, the bytes
+/// moved by the streaming chunk transport, and the active budget.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemoryStats {
+    /// High-water mark of live heap bytes (tracking allocator).
+    pub peak_live_bytes: u64,
+    /// Kernel-reported peak resident set (`VmHWM`), when available.
+    pub peak_rss_bytes: Option<u64>,
+    /// Total bytes moved through the streaming chunk transport.
+    pub streamed_bytes: u64,
+    /// The `ZKPERF_MEM_BUDGET` in force, when one is set.
+    pub budget_bytes: Option<u64>,
+}
+
+impl MemoryStats {
+    /// Snapshots the ambient accounting (allocator high-water mark,
+    /// `/proc` peak RSS, streamed-byte counter, budget).
+    pub fn capture() -> MemoryStats {
+        MemoryStats {
+            peak_live_bytes: pool::mem::peak_live_bytes() as u64,
+            peak_rss_bytes: pool::mem::peak_rss_bytes(),
+            streamed_bytes: pool::mem::streamed_bytes(),
+            budget_bytes: pool::mem::budget(),
+        }
     }
 }
 
@@ -125,6 +179,8 @@ pub struct ServeReport {
     pub busy_nanos: u64,
     /// Price assumption used for the cost line.
     pub dollars_per_cpu_hour: f64,
+    /// Process memory accounting at report time.
+    pub memory: MemoryStats,
 }
 
 /// One row of the stage table.
@@ -142,6 +198,9 @@ pub struct StageRow {
     pub max: u64,
     /// Sample count.
     pub count: usize,
+    /// Bytes moved through the streaming chunk transport during this
+    /// stage across all jobs (0 for fully in-memory stages).
+    pub streamed: u64,
 }
 
 impl ServeReport {
@@ -158,6 +217,7 @@ impl ServeReport {
         verify_batches: u64,
         batched_verifies: u64,
         dollars_per_cpu_hour: f64,
+        memory: MemoryStats,
     ) -> ServeReport {
         let stages = table
             .iter()
@@ -168,6 +228,7 @@ impl ServeReport {
                 p999: rec.percentile(99.9),
                 max: rec.max(),
                 count: rec.count(),
+                streamed: table.streamed_for(stage),
             })
             .collect();
         ServeReport {
@@ -182,6 +243,7 @@ impl ServeReport {
             batched_verifies,
             busy_nanos: table.total_busy_nanos(),
             dollars_per_cpu_hour,
+            memory,
         }
     }
 
@@ -207,19 +269,20 @@ impl fmt::Display for ServeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<10} {:>10} {:>10} {:>10} {:>10} {:>8}",
-            "stage", "p50", "p99", "p99.9", "max", "count"
+            "{:<10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10}",
+            "stage", "p50", "p99", "p99.9", "max", "count", "streamed"
         )?;
         for row in &self.stages {
             writeln!(
                 f,
-                "{:<10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+                "{:<10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10}",
                 row.stage,
                 fmt_nanos(row.p50),
                 fmt_nanos(row.p99),
                 fmt_nanos(row.p999),
                 fmt_nanos(row.max),
-                row.count
+                row.count,
+                fmt_bytes(row.streamed)
             )?;
         }
         writeln!(
@@ -227,6 +290,20 @@ impl fmt::Display for ServeReport {
             "outcomes: served={} rejected={} deadline_exceeded={} failed={} cancelled={}",
             self.served, self.rejected, self.deadline_exceeded, self.failed, self.cancelled
         )?;
+        write!(
+            f,
+            "memory: peak-live={} streamed={}",
+            fmt_bytes(self.memory.peak_live_bytes),
+            fmt_bytes(self.memory.streamed_bytes)
+        )?;
+        match self.memory.peak_rss_bytes {
+            Some(rss) => write!(f, " peak-rss={}", fmt_bytes(rss))?,
+            None => write!(f, " peak-rss=n/a")?,
+        }
+        match self.memory.budget_bytes {
+            Some(b) => writeln!(f, " budget={}", fmt_bytes(b))?,
+            None => writeln!(f, " budget=unset")?,
+        }
         if self.verify_batches > 0 {
             writeln!(
                 f,
@@ -277,13 +354,25 @@ mod tests {
     fn report_cost_per_proof() {
         let mut t = StageTable::new();
         t.record("prove", 3_600_000_000); // 3.6s busy
-        let report = ServeReport::new(&t, 1, 1, 0, 0, 0, 0, 0, 0, 36.0);
+        t.record_streamed("prove", 5 << 20);
+        let mem = MemoryStats {
+            peak_live_bytes: 100 << 20,
+            peak_rss_bytes: Some(200 << 20),
+            streamed_bytes: 5 << 20,
+            budget_bytes: Some(64 << 20),
+        };
+        let report = ServeReport::new(&t, 1, 1, 0, 0, 0, 0, 0, 0, 36.0, mem);
         // 3.6s = 1e-3 hours; at $36/hr that is $0.036 for one proof.
         let c = report.cost_per_proof().unwrap();
         assert!((c - 0.036).abs() < 1e-12, "{c}");
         let rendered = report.to_string();
         assert!(rendered.contains("prove"));
         assert!(rendered.contains("/proof"));
+        // The per-stage streamed column and the memory line both render.
+        assert!(rendered.contains("5.0MiB"), "{rendered}");
+        assert!(rendered.contains("memory: peak-live=100.0MiB"), "{rendered}");
+        assert!(rendered.contains("peak-rss=200.0MiB"), "{rendered}");
+        assert!(rendered.contains("budget=64.0MiB"), "{rendered}");
         // No batching happened → no batching line.
         assert!(!rendered.contains("batching:"));
     }
@@ -293,7 +382,7 @@ mod tests {
         let t = StageTable::new();
         // 16 verifies through 2 combined checks of 8: each check costs
         // 2·8 + 3 = 19 loops instead of 4·8 = 32, saving 13 — 26 total.
-        let report = ServeReport::new(&t, 16, 0, 0, 0, 0, 0, 2, 16, 36.0);
+        let report = ServeReport::new(&t, 16, 0, 0, 0, 0, 0, 2, 16, 36.0, MemoryStats::default());
         assert_eq!(report.miller_loops_saved(), 26);
         let rendered = report.to_string();
         assert!(rendered.contains("batching: 16 verifies in 2 combined checks"));

@@ -580,9 +580,16 @@ where
         let _scope = token.enter();
 
         self.pre_stage(id, attempt, Stage::Compile)?;
+        let streamed0 = zkperf_pool::mem::streamed_bytes();
         let (entry, timing) = self.cache.load_or_build(&spec.circuit)?;
         self.metrics.record("compile", timing.compile_nanos);
         self.metrics.record("setup", timing.setup_nanos);
+        // A budgeted setup streams its key material; a cache hit streams
+        // nothing — either way the delta belongs to the setup stage.
+        self.metrics.record_streamed(
+            "setup",
+            zkperf_pool::mem::streamed_bytes().saturating_sub(streamed0),
+        );
         if entry.circuit.r1cs().num_constraints() != spec.circuit.constraints {
             return Err(StageError::ConstraintCountMismatch {
                 declared: spec.circuit.constraints,
@@ -605,6 +612,7 @@ where
             JobKind::Prove => {
                 self.pre_stage(id, attempt, Stage::Proving)?;
                 let start = Instant::now();
+                let streamed0 = zkperf_pool::mem::streamed_bytes();
                 let mut rng = rand::rngs::StdRng::seed_from_u64(prove_seed(entry.key, &spec.circuit));
                 let proof = prove::<E, _>(&entry.pk, entry.circuit.r1cs(), &witness, &mut rng)?;
                 let mut bytes = Vec::new();
@@ -613,6 +621,10 @@ where
                     detail: e.to_string(),
                 })?;
                 self.metrics.record("prove", start.elapsed().as_nanos() as u64);
+                self.metrics.record_streamed(
+                    "prove",
+                    zkperf_pool::mem::streamed_bytes().saturating_sub(streamed0),
+                );
                 Ok((bytes, None))
             }
             JobKind::Verify { proof } => {
@@ -711,6 +723,7 @@ where
             self.counters.verify_batches,
             self.counters.batched_verifies,
             self.cfg.dollars_per_cpu_hour,
+            crate::metrics::MemoryStats::capture(),
         )
     }
 

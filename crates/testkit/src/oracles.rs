@@ -25,7 +25,7 @@
 //! | Groth16 / PLONK pipelines            | end-to-end accept on valid input |
 
 use rand::Rng;
-use zkperf_ec::{msm, msm_naive, Affine, CurveParams, Engine, FixedBaseTable, Projective};
+use zkperf_ec::{msm, msm_naive, msm_stream, Affine, CurveParams, Engine, FixedBaseTable, Projective};
 use zkperf_ff::{batch_inverse, BigUint, PrimeField};
 use zkperf_poly::Radix2Domain;
 use zkperf_pool as pool;
@@ -639,6 +639,157 @@ where
     Ok(())
 }
 
+// ------------------------------------------------------------- streaming
+
+/// Restores the ambient memory budget on drop, so a budgeted case can't
+/// leak its budget into the rest of the sweep.
+struct BudgetGuard(Option<u64>);
+
+impl BudgetGuard {
+    fn set(bytes: Option<u64>) -> BudgetGuard {
+        let prev = pool::mem::budget();
+        pool::mem::set_budget(bytes);
+        BudgetGuard(prev)
+    }
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        pool::mem::set_budget(self.0);
+    }
+}
+
+fn stream_msm_case<C: CurveParams>(rng: &mut SplitRng) -> CaseResult {
+    let n = adversarial_len(rng, 300).max(3);
+    let bases: Vec<Affine<C>> = adversarial_points(rng, n);
+    let scalars: Vec<C::Scalar> = adversarial_scalars(rng, n);
+    let expect = msm(&bases, &scalars);
+    // Degenerate (1), prime-stride (13), and boundary-straddling chunk
+    // layouts; n+7 exercises a final chunk larger than the tail.
+    for chunk in [1usize, 13, n - 1, n, n + 7] {
+        let got = msm_stream(
+            n,
+            bases.chunks(chunk).map(Ok::<_, std::convert::Infallible>),
+            &scalars,
+        )
+        .unwrap_or_else(|e| match e {});
+        if got != expect {
+            return fail("msm_stream", format_args!("chunk = {chunk}, n = {n}"));
+        }
+    }
+    Ok(())
+}
+
+fn stream_budget_groth16_case<E: Engine>(rng: &mut SplitRng) -> CaseResult {
+    let (circuit, witness) = adversarial_circuit::<E::Fr>(rng);
+    let run = |budget: Option<u64>, rng: &SplitRng| {
+        let _b = BudgetGuard::set(budget);
+        // Clone the RNG so both legs see the identical randomness stream;
+        // any divergence is then a real budget-path difference.
+        let mut local = rng.clone();
+        let pk = zkperf_groth16::setup::<E, _>(circuit.r1cs(), &mut local)
+            .map_err(|e| format!("setup failed: {e}"))?;
+        let proof = zkperf_groth16::prove::<E, _>(&pk, circuit.r1cs(), &witness, &mut local)
+            .map_err(|e| format!("prove failed: {e}"))?;
+        Ok::<_, String>((pk, proof))
+    };
+    let (ref_pk, ref_proof) = run(None, rng)?;
+    // A budget this small forces the chunked path on every query.
+    let (pk, proof) = run(Some(1 << 16), rng)?;
+    if pk != ref_pk {
+        return fail("stream budget groth16", "budgeted setup key diverges from in-memory");
+    }
+    if proof != ref_proof {
+        return fail("stream budget groth16", "budgeted proof diverges from in-memory");
+    }
+    Ok(())
+}
+
+fn stream_threads_case<E: Engine>(rng: &mut SplitRng) -> CaseResult {
+    let _guard = ThreadGuard;
+    let _b = BudgetGuard::set(Some(1 << 16));
+    let (circuit, witness) = adversarial_circuit::<E::Fr>(rng);
+    let chunk = 1 + rng.gen_range(0..50) as usize;
+    let mut sink = zkperf_groth16::MemorySink::<E>::new();
+    let mut setup_rng = rng.clone();
+    zkperf_groth16::setup_streamed::<E, _, _>(circuit.r1cs(), &mut setup_rng, chunk, &mut sink)
+        .map_err(|e| format!("setup_streamed failed: {e}"))?;
+    let pk = sink
+        .into_proving_key()
+        .ok_or_else(|| "setup_streamed left the sink incomplete".to_string())?;
+    let src = zkperf_groth16::ChunkedKey::new(&pk, chunk);
+    let proof_at = |threads: usize, rng: &SplitRng| {
+        pool::set_threads(threads);
+        let mut local = rng.clone();
+        zkperf_groth16::prove_streamed::<E, _, _>(&src, circuit.r1cs(), &witness, &mut local)
+            .map_err(|e| format!("prove_streamed failed: {e}"))
+    };
+    let serial = proof_at(1, rng)?;
+    for threads in [2usize, 4] {
+        let par = proof_at(threads, rng)?;
+        if par != serial {
+            return fail(
+                "stream threads",
+                format_args!("{threads} threads, chunk = {chunk}"),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn stream_file_roundtrip_case<E: Engine>(rng: &mut SplitRng) -> CaseResult
+where
+    <E::G1 as CurveParams>::Base: zkperf_io::FieldCodec,
+    <E::G2 as CurveParams>::Base: zkperf_io::FieldCodec,
+{
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+
+    let (circuit, witness) = adversarial_circuit::<E::Fr>(rng);
+    let chunk = 1 + rng.gen_range(0..40) as usize;
+    // In-memory reference under the identical randomness stream.
+    let mut ref_rng = rng.clone();
+    let ref_pk = zkperf_groth16::setup::<E, _>(circuit.r1cs(), &mut ref_rng)
+        .map_err(|e| format!("setup failed: {e}"))?;
+    let ref_proof = zkperf_groth16::prove::<E, _>(&ref_pk, circuit.r1cs(), &witness, &mut ref_rng)
+        .map_err(|e| format!("prove failed: {e}"))?;
+    // Streamed to disk and proved back off the file.
+    let path = std::env::temp_dir().join(format!(
+        "zkperf_fuzz_{}_{}.zks",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut local = rng.clone();
+    let streamed = (|| {
+        let mut writer = zkperf_io::StreamedZkeyWriter::<E>::create(&path)
+            .map_err(|e| format!("writer create failed: {e}"))?;
+        let vk =
+            zkperf_groth16::setup_streamed::<E, _, _>(circuit.r1cs(), &mut local, chunk, &mut writer)
+                .map_err(|e| format!("setup_streamed failed: {e}"))?;
+        let reader = zkperf_io::StreamedZkeyReader::<E>::open(&path)
+            .map_err(|e| format!("reader open failed: {e}"))?;
+        let proof =
+            zkperf_groth16::prove_streamed::<E, _, _>(&reader, circuit.r1cs(), &witness, &mut local)
+                .map_err(|e| format!("prove_streamed failed: {e}"))?;
+        Ok::<_, String>((vk, proof))
+    })();
+    let _ = std::fs::remove_file(&path);
+    let (vk, proof) = streamed?;
+    if vk != ref_pk.vk {
+        return fail(
+            "stream file roundtrip",
+            format_args!("vk diverges from in-memory setup (chunk = {chunk})"),
+        );
+    }
+    if proof != ref_proof {
+        return fail(
+            "stream file roundtrip",
+            format_args!("proof off the streamed file diverges (chunk = {chunk})"),
+        );
+    }
+    Ok(())
+}
+
 // ------------------------------------------------------------ inventory
 
 /// The full oracle inventory, one entry per (kernel, instantiation).
@@ -769,6 +920,34 @@ pub fn all_oracles() -> Vec<Oracle> {
         Oracle {
             name: "plonk_roundtrip_bn254",
             run: plonk_roundtrip_case::<zkperf_ec::Bn254>,
+        },
+        Oracle {
+            name: "stream_msm_bn254_g1",
+            run: stream_msm_case::<bn254::G1Params>,
+        },
+        Oracle {
+            name: "stream_msm_bn254_g2",
+            run: stream_msm_case::<bn254::G2Params>,
+        },
+        Oracle {
+            name: "stream_msm_bls12_381_g1",
+            run: stream_msm_case::<bls12_381::G1Params>,
+        },
+        Oracle {
+            name: "stream_budget_groth16_bn254",
+            run: stream_budget_groth16_case::<zkperf_ec::Bn254>,
+        },
+        Oracle {
+            name: "stream_budget_groth16_bls12_381",
+            run: stream_budget_groth16_case::<zkperf_ec::Bls12_381>,
+        },
+        Oracle {
+            name: "stream_threads_groth16_bn254",
+            run: stream_threads_case::<zkperf_ec::Bn254>,
+        },
+        Oracle {
+            name: "stream_file_roundtrip_bn254",
+            run: stream_file_roundtrip_case::<zkperf_ec::Bn254>,
         },
     ]
 }

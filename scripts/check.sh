@@ -63,6 +63,27 @@ if ! ./target/release/fuzz_lite --only pairing --iters 16; then
     exit 1
 fi
 
+# The out-of-core proving pipeline must be invisible in the artifacts:
+# budgeted setup/prove, the streamed .zkey file, and N-thread streaming
+# must all produce the bytes the in-memory path produces. The stream
+# oracles pin msm_stream folding, budgeted setup/prove, thread-count
+# bit-identity, and the on-disk roundtrip against in-memory references.
+echo "==> fuzz_lite stream tier"
+if ! ./target/release/fuzz_lite --only stream --iters 12; then
+    echo "fuzz_lite found streaming divergences; paste a replay line from above" >&2
+    exit 1
+fi
+
+# Memory-bounded smoke: a 2^16 circuit proved under a 32 MiB budget —
+# smaller than its in-memory working set — must complete and byte-match
+# the unbudgeted run, both resident-budgeted and through the streamed
+# .zkey file. Exit code 2 means the streaming pipeline changed the bytes.
+echo "==> stream_smoke: 2^16 under a 32 MiB budget"
+if ! ./target/release/stream_smoke --log2 16 --budget 32M --threads 1,4; then
+    echo "stream_smoke failed: budgeted proving diverged or crashed" >&2
+    exit 1
+fi
+
 # Serving smoke tier: replay a fixed-seed open-loop trace through the
 # zkperf-serve daemon with fault injection armed. The loadgen exits
 # non-zero on any panic, any accepted-but-unaccounted job, any
