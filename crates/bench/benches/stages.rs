@@ -53,7 +53,7 @@ fn bench_stage(c: &mut Criterion) {
         BenchmarkId::new("proving", CONSTRAINTS),
         &CONSTRAINTS,
         |b, &n| {
-            let mut w = Workload::<Bn254>::exponentiate(n);
+            let mut w = Workload::<zkperf_core::Groth16Backend<Bn254>>::exponentiate(n);
             w.prepare_for(Stage::Proving).expect("prerequisites run");
             let circuit = exponentiate::<Fr>(n);
             let mut rng = zkperf_ff::test_rng();

@@ -244,6 +244,58 @@ fn kernel_benches(smoke: bool) -> Vec<KernelResult> {
             }),
         });
     }
+
+    // STARK kernels: the transparent backend's prover and verifier at the
+    // acceptance size, plus one bare FRI fold at a domain large enough
+    // for the parallel grain to matter. Parameters are pinned (not
+    // `from_env`) so the baseline is insensitive to ZKPERF_STARK_* knobs.
+    {
+        use zkperf_ff::Goldilocks;
+        let params = zkperf_stark::StarkParams {
+            blowup: 4,
+            num_queries: 12,
+        };
+        let circuit = exponentiate::<Goldilocks>(1 << 14);
+        let witness = circuit
+            .generate_witness(&[Goldilocks::from_u64(3)], &[])
+            .expect("witness generation succeeds");
+        out.push(KernelResult {
+            name: "stark_prove_2e14".into(),
+            nanos: best_of(if smoke { 2 } else { 3 }, || {
+                std::hint::black_box(
+                    zkperf_stark::prove(circuit.r1cs(), witness.full(), &params)
+                        .expect("prove succeeds"),
+                );
+            }),
+        });
+        let proof = zkperf_stark::prove(circuit.r1cs(), witness.full(), &params)
+            .expect("prove succeeds");
+        out.push(KernelResult {
+            name: "stark_verify".into(),
+            nanos: best_of(if smoke { 3 } else { 5 }, || {
+                zkperf_stark::verify(circuit.r1cs(), witness.public(), &proof, &params)
+                    .expect("bench proof must verify");
+            }),
+        });
+
+        let fold_log = 18u32;
+        let domain = Radix2Domain::<Goldilocks>::new(1 << fold_log).expect("domain fits");
+        let layer = zkperf_stark::fri::LayerDomain {
+            shift: domain.coset_shift(),
+            omega: domain.group_gen(),
+            size: domain.size(),
+        };
+        let values: Vec<Goldilocks> = (0..layer.size)
+            .map(|_| Goldilocks::random(&mut rng))
+            .collect();
+        let beta = Goldilocks::random(&mut rng);
+        out.push(KernelResult {
+            name: format!("fri_fold_2e{fold_log}"),
+            nanos: best_of(reps, || {
+                std::hint::black_box(zkperf_stark::fri::fold_layer(&values, beta, &layer));
+            }),
+        });
+    }
     out
 }
 

@@ -22,8 +22,15 @@
 //! prover's memory claims are judged by (run it with `ZKPERF_MEM_BUDGET`
 //! set to see the streamed path's bounded residency).
 //!
+//! `--backends N` runs the three-backend comparison instead: the same
+//! `exponentiate 2^N` workload through Groth16, PLONK, and the
+//! transparent STARK via the unified `ProverBackend` trait, one
+//! setup/prove/verify round each, reporting trusted-setup requirement,
+//! key and proof sizes, and per-stage wall time — the README comparison
+//! table is generated from this mode.
+//!
 //! usage: `real_scaling [--log2 N] [--sim-log2 N] [--threads A,B,..]
-//!         [--sizes A,B,..] [--out FILE]`
+//!         [--sizes A,B,..] [--backends N] [--out FILE]`
 //!
 //! Exit codes: 0 ok, 1 usage/IO error.
 
@@ -33,7 +40,10 @@ use std::time::Instant;
 use serde::Serialize;
 
 use zkperf_circuit::library::exponentiate;
-use zkperf_core::{measure_cell, stage_task_graph, Curve, Stage};
+use zkperf_core::{
+    measure_cell, stage_task_graph, Curve, Groth16Backend, PlonkBackend, ProverBackend, Stage,
+    StarkBackend,
+};
 use zkperf_ec::Bn254;
 use zkperf_ff::{bn254, Field};
 use zkperf_groth16::{prove, setup};
@@ -126,6 +136,82 @@ fn size_scaling(logs: &[u32]) -> Vec<SizeSweepPoint> {
         .collect()
 }
 
+/// One row of the three-backend comparison table.
+struct BackendRow {
+    label: &'static str,
+    transparent: bool,
+    keys_size: usize,
+    proof_size: usize,
+    setup_ns: u64,
+    prove_ns: u64,
+    verify_ns: u64,
+}
+
+/// One setup/prove/verify round of `exponentiate 2^log2` through a
+/// backend, purely via the unified trait.
+fn backend_round<B: ProverBackend>(log2: u32) -> BackendRow {
+    use rand::SeedableRng;
+    let circuit = exponentiate::<B::Fr>(1usize << log2);
+    let witness = circuit
+        .generate_witness(&[B::Fr::from_u64(3)], &[])
+        .expect("witness generation succeeds");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed_cafe);
+    let start = Instant::now();
+    let keys = B::setup(circuit.r1cs(), &mut rng).expect("setup succeeds");
+    let setup_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let start = Instant::now();
+    let proof = B::prove(&keys, circuit.r1cs(), &witness, &mut rng).expect("prove succeeds");
+    let prove_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let start = Instant::now();
+    let ok = B::verify(&keys, circuit.r1cs(), &proof, witness.public())
+        .expect("verify well-formed");
+    let verify_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    assert!(ok, "{}: comparison proof must verify", B::label());
+    BackendRow {
+        label: B::label(),
+        transparent: B::transparent_setup(),
+        keys_size: B::keys_size_bytes(&keys),
+        proof_size: B::proof_size_bytes(&proof),
+        setup_ns,
+        prove_ns,
+        verify_ns,
+    }
+}
+
+/// The `--backends` mode: the same workload through all three proof
+/// systems, printed as the markdown table the README embeds.
+fn backend_comparison(log2: u32) {
+    let rows = [
+        backend_round::<Groth16Backend<Bn254>>(log2),
+        backend_round::<PlonkBackend<Bn254>>(log2),
+        backend_round::<StarkBackend>(log2),
+    ];
+    let ms = |ns: u64| format!("{:.1} ms", ns as f64 / 1e6);
+    let kib = |b: usize| {
+        if b >= 1 << 20 {
+            format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+        } else {
+            format!("{:.1} KiB", b as f64 / 1024.0)
+        }
+    };
+    println!("three-backend comparison, exponentiate 2^{log2}, {} thread(s):", zkperf_pool::current_threads());
+    println!();
+    println!("| backend | trusted setup | key material | proof size | setup | prove | verify |");
+    println!("|---|---|---|---|---|---|---|");
+    for r in rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            r.label,
+            if r.transparent { "none (transparent)" } else { "required (SRS)" },
+            kib(r.keys_size),
+            kib(r.proof_size),
+            ms(r.setup_ns),
+            ms(r.prove_ns),
+            ms(r.verify_ns),
+        );
+    }
+}
+
 /// Measures real strong scaling: best-of-2 setup+prove wall time at each
 /// thread count, normalized to the 1-thread time.
 fn measured_scaling(log2: u32, threads: &[usize]) -> ScalingSeries {
@@ -177,7 +263,7 @@ fn simulated_scaling(sim_log2: u32, threads: &[usize]) -> ScalingSeries {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: real_scaling [--log2 N] [--sim-log2 N] [--threads A,B,..] \
-         [--sizes A,B,..] [--out FILE]"
+         [--sizes A,B,..] [--backends N] [--out FILE]"
     );
     ExitCode::from(1)
 }
@@ -187,6 +273,7 @@ fn main() -> ExitCode {
     let mut sim_log2 = 10u32;
     let mut threads: Vec<usize> = vec![1, 2, 4, 8];
     let mut sizes: Vec<u32> = Vec::new();
+    let mut backends_log2: Option<u32> = None;
     let mut out_path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -229,10 +316,22 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
+            "--backends" => match value.parse() {
+                // 2^18 STARK traces at blowup 4 stay inside Goldilocks'
+                // 2^32 two-adicity with plenty of headroom; the cap keeps
+                // the comparison round interactive.
+                Ok(v) if (4..=18).contains(&v) => backends_log2 = Some(v),
+                _ => return usage(),
+            },
             "--out" => out_path = Some(value.clone()),
             _ => return usage(),
         }
         i += 2;
+    }
+
+    if let Some(log2) = backends_log2 {
+        backend_comparison(log2);
+        return ExitCode::SUCCESS;
     }
 
     let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());

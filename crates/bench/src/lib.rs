@@ -61,8 +61,8 @@ pub fn results_dir() -> PathBuf {
 fn config_fingerprint(config: &SweepConfig) -> String {
     let cpus: Vec<&str> = config.cpus.iter().map(|c| c.name).collect();
     format!(
-        "logs={:?};cpus={:?};curves={:?};stages={:?}",
-        config.log_sizes, cpus, config.curves, config.stages
+        "logs={:?};cpus={:?};curves={:?};stages={:?};backends={:?}",
+        config.log_sizes, cpus, config.curves, config.stages, config.backends
     )
 }
 
@@ -321,6 +321,7 @@ mod tests {
             cpus: vec![CpuProfile::i7_8650u()],
             curves: vec![Curve::Bn128],
             stages: vec![Stage::Witness],
+            backends: vec![zkperf_core::BackendKind::Groth16],
         }
     }
 

@@ -21,6 +21,47 @@ pub const FULL_ROUNDS: usize = 8;
 /// Number of partial rounds (S-box on one lane).
 pub const PARTIAL_ROUNDS: usize = 56;
 
+/// The derived permutation constants for one field instantiation.
+///
+/// Deriving them costs a few hundred field inversions and `BigUint`
+/// reductions — irrelevant per circuit build, but the STARK backend calls
+/// `poseidon_hash2` once per Merkle tree node, where rederivation would
+/// dominate the hash itself. The registry below builds them once per field
+/// type and serves a leaked static thereafter (same shape as the tower
+/// Frobenius-coefficient cache in `zkperf-ff`).
+struct PoseidonConstants<F: PrimeField> {
+    round_constants: Vec<[F; T]>,
+    mds: [[F; T]; T],
+}
+
+fn constants<F: PrimeField>() -> &'static PoseidonConstants<F> {
+    use std::any::{Any, TypeId};
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type Registry = Mutex<HashMap<TypeId, &'static (dyn Any + Send + Sync)>>;
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = TypeId::of::<F>();
+    let lock = || registry.lock().expect("poseidon constants registry poisoned");
+    if let Some(cached) = lock().get(&key) {
+        return cached
+            .downcast_ref::<PoseidonConstants<F>>()
+            .expect("registry entries are keyed by field type");
+    }
+    // Built outside the lock (the build recurses into field arithmetic); a
+    // race at first use builds twice and keeps one.
+    let built: &'static PoseidonConstants<F> = Box::leak(Box::new(PoseidonConstants {
+        round_constants: round_constants::<F>(),
+        mds: mds_matrix::<F>(),
+    }));
+    let mut guard = lock();
+    guard
+        .entry(key)
+        .or_insert(built as &'static (dyn Any + Send + Sync))
+        .downcast_ref::<PoseidonConstants<F>>()
+        .expect("just inserted with this type")
+}
+
 fn round_constants<F: PrimeField>() -> Vec<[F; T]> {
     // A fixed xorshift64* stream, domain-separated per position.
     let mut state = 0x0123_4567_89ab_cdefu64;
@@ -67,10 +108,10 @@ fn sbox<F: Field>(x: F) -> F {
 /// Applies the Poseidon permutation to a state natively.
 pub fn poseidon_permute<F: PrimeField>(mut state: [F; T]) -> [F; T] {
     let _g = trace::region_profile("poseidon");
-    let constants = round_constants::<F>();
-    let mds = mds_matrix::<F>();
+    let cached = constants::<F>();
+    let mds = &cached.mds;
     let half_full = FULL_ROUNDS / 2;
-    for (round, rc) in constants.iter().enumerate() {
+    for (round, rc) in cached.round_constants.iter().enumerate() {
         for (lane, c) in state.iter_mut().zip(rc) {
             *lane += *c;
         }
@@ -114,11 +155,11 @@ pub fn poseidon_permute_gadget<F: PrimeField>(
     b: &mut CircuitBuilder<F>,
     state: [LinearCombination<F>; T],
 ) -> [LinearCombination<F>; T] {
-    let constants = round_constants::<F>();
-    let mds = mds_matrix::<F>();
+    let cached = constants::<F>();
+    let mds = &cached.mds;
     let half_full = FULL_ROUNDS / 2;
     let mut state = state;
-    for (round, rc) in constants.iter().enumerate() {
+    for (round, rc) in cached.round_constants.iter().enumerate() {
         for (lane, c) in state.iter_mut().zip(rc) {
             *lane = &*lane + &LinearCombination::constant(*c);
         }

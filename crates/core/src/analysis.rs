@@ -585,6 +585,7 @@ mod tests {
             cpus: vec![CpuProfile::i7_8650u(), CpuProfile::i9_13900k()],
             curves: vec![Curve::Bn128],
             stages: Stage::ALL.to_vec(),
+            backends: vec![crate::BackendKind::Groth16],
         };
         run_sweep(&config, |_, _| {}).unwrap()
     }

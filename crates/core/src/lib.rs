@@ -36,6 +36,7 @@
 
 pub mod analysis;
 pub mod report;
+mod backend;
 mod graphs;
 mod matrix;
 mod measure;
@@ -43,8 +44,11 @@ pub mod render;
 mod stage;
 mod workload;
 
+pub use backend::{
+    BackendKind, Groth16Backend, KeyLoad, PlonkBackend, ProverBackend, StarkBackend,
+};
 pub use graphs::stage_task_graph;
-pub use matrix::{measure_cell, run_sweep, SweepConfig};
+pub use matrix::{measure_cell, measure_cell_backend, run_sweep, SweepConfig};
 pub use measure::{measure_stage, RegionSummary, StageMeasurement};
 pub use stage::{Curve, Stage};
 pub use workload::{emit_runtime_init, StageError, Workload};

@@ -1,11 +1,12 @@
 //! Sweep driver: runs the measurement matrix
-//! (stage × constraint size × CPU × curve).
+//! (stage × constraint size × CPU × curve × backend).
 
 use serde::Serialize;
-use zkperf_ec::{Bls12_381, Bn254, Engine};
+use zkperf_ec::{Bls12_381, Bn254};
 use zkperf_machine::CpuProfile;
 use zkperf_pool as pool;
 
+use crate::backend::{BackendKind, Groth16Backend, PlonkBackend, ProverBackend, StarkBackend};
 use crate::measure::{measure_stage, StageMeasurement};
 use crate::stage::{Curve, Stage};
 use crate::workload::{StageError, Workload};
@@ -21,6 +22,11 @@ pub struct SweepConfig {
     pub curves: Vec<Curve>,
     /// Stages to measure.
     pub stages: Vec<Stage>,
+    /// Proving backends. The paper's tables are Groth16-only, so that is
+    /// the default; adding [`BackendKind::Plonk`] or [`BackendKind::Stark`]
+    /// grows the matrix by a backend dimension (the STARK backend ignores
+    /// the curve axis and contributes one Goldilocks row set instead).
+    pub backends: Vec<BackendKind>,
 }
 
 impl SweepConfig {
@@ -33,7 +39,15 @@ impl SweepConfig {
             cpus: CpuProfile::paper_cpus(),
             curves: Curve::ALL.to_vec(),
             stages: Stage::ALL.to_vec(),
+            backends: vec![BackendKind::Groth16],
         }
+    }
+
+    /// Replaces the backend set (e.g. all three of [`BackendKind::ALL`]
+    /// for the cross-scheme comparison).
+    pub fn with_backends(mut self, backends: impl IntoIterator<Item = BackendKind>) -> Self {
+        self.backends = backends.into_iter().collect();
+        self
     }
 
     /// Restricts the sweep to one CPU (for the scalability experiments the
@@ -68,21 +82,21 @@ impl Default for SweepConfig {
             cpus: CpuProfile::paper_cpus(),
             curves: Curve::ALL.to_vec(),
             stages: Stage::ALL.to_vec(),
+            backends: vec![BackendKind::Groth16],
         }
     }
 }
 
-fn measure_pipeline<E: Engine>(
-    curve: Curve,
+fn measure_pipeline<B: ProverBackend>(
     cpu: &CpuProfile,
     constraints: usize,
     stages: &[Stage],
 ) -> Result<Vec<StageMeasurement>, StageError> {
-    let mut workload = Workload::<E>::exponentiate(constraints);
+    let mut workload = Workload::<B>::exponentiate(constraints);
     let mut out = Vec::new();
     for stage in Stage::ALL {
         if stages.contains(&stage) {
-            out.push(measure_stage(&mut workload, stage, curve, cpu)?);
+            out.push(measure_stage(&mut workload, stage, cpu)?);
         } else {
             // Still run it (untraced) so later stages have prerequisites.
             workload.run_stage(stage)?;
@@ -91,7 +105,10 @@ fn measure_pipeline<E: Engine>(
     Ok(out)
 }
 
-/// Measures the requested stages for one (curve, CPU, size) pipeline.
+/// Measures the requested stages for one (curve, CPU, size) pipeline,
+/// using each curve's canonical backend: Groth16 on the pairing curves,
+/// the transparent STARK on [`Curve::Goldilocks`]. For explicit backend
+/// choice (e.g. PLONK) use [`measure_cell_backend`].
 ///
 /// # Errors
 ///
@@ -105,8 +122,46 @@ pub fn measure_cell(
     stages: &[Stage],
 ) -> Result<Vec<StageMeasurement>, StageError> {
     match curve {
-        Curve::Bn128 => measure_pipeline::<Bn254>(curve, cpu, constraints, stages),
-        Curve::Bls12_381 => measure_pipeline::<Bls12_381>(curve, cpu, constraints, stages),
+        Curve::Bn128 => measure_pipeline::<Groth16Backend<Bn254>>(cpu, constraints, stages),
+        Curve::Bls12_381 => {
+            measure_pipeline::<Groth16Backend<Bls12_381>>(cpu, constraints, stages)
+        }
+        Curve::Goldilocks => measure_pipeline::<StarkBackend>(cpu, constraints, stages),
+    }
+}
+
+/// Measures the requested stages for one (backend, curve, CPU, size)
+/// pipeline — the fully explicit entry point behind the unified
+/// [`ProverBackend`] dispatch. The STARK backend ignores `curve` (it
+/// always runs over Goldilocks); the pairing backends reject
+/// [`Curve::Goldilocks`] with a typed error.
+///
+/// # Errors
+///
+/// [`StageError::UnsupportedCurve`] for a (pairing backend, Goldilocks)
+/// request, otherwise the first [`StageError`] from the pipeline.
+pub fn measure_cell_backend(
+    backend: BackendKind,
+    curve: Curve,
+    cpu: &CpuProfile,
+    constraints: usize,
+    stages: &[Stage],
+) -> Result<Vec<StageMeasurement>, StageError> {
+    match (backend, curve) {
+        (BackendKind::Groth16, Curve::Bn128) => {
+            measure_pipeline::<Groth16Backend<Bn254>>(cpu, constraints, stages)
+        }
+        (BackendKind::Groth16, Curve::Bls12_381) => {
+            measure_pipeline::<Groth16Backend<Bls12_381>>(cpu, constraints, stages)
+        }
+        (BackendKind::Plonk, Curve::Bn128) => {
+            measure_pipeline::<PlonkBackend<Bn254>>(cpu, constraints, stages)
+        }
+        (BackendKind::Plonk, Curve::Bls12_381) => {
+            measure_pipeline::<PlonkBackend<Bls12_381>>(cpu, constraints, stages)
+        }
+        (BackendKind::Stark, _) => measure_pipeline::<StarkBackend>(cpu, constraints, stages),
+        (b, Curve::Goldilocks) => Err(StageError::UnsupportedCurve { backend: b, curve }),
     }
 }
 
@@ -136,10 +191,18 @@ pub fn run_sweep(
     mut progress: impl FnMut(usize, usize),
 ) -> Result<Vec<StageMeasurement>, StageError> {
     let mut cells = Vec::new();
-    for &curve in &config.curves {
-        for cpu in &config.cpus {
-            for &log in &config.log_sizes {
-                cells.push((curve, cpu, log));
+    for &backend in &config.backends {
+        // The transparent backend has no pairing-curve axis: it always
+        // runs over Goldilocks, so the curve dimension collapses to one.
+        let curves: Vec<Curve> = match backend {
+            BackendKind::Stark => vec![Curve::Goldilocks],
+            _ => config.curves.clone(),
+        };
+        for curve in curves {
+            for cpu in &config.cpus {
+                for &log in &config.log_sizes {
+                    cells.push((backend, curve, cpu, log));
+                }
             }
         }
     }
@@ -148,10 +211,10 @@ pub fn run_sweep(
     let mut slots: Vec<Option<Result<Vec<StageMeasurement>, StageError>>> = Vec::new();
     slots.resize_with(total, || None);
     pool::parallel_for_each_mut(&mut slots, |i, slot| {
-        let (curve, cpu, log) = cells[i];
+        let (backend, curve, cpu, log) = cells[i];
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool::chaos_checkpoint();
-            measure_cell(curve, cpu, 1 << log, &config.stages)
+            measure_cell_backend(backend, curve, cpu, 1 << log, &config.stages)
         }));
         *slot = Some(run.unwrap_or_else(|payload| {
             let message = payload
@@ -206,6 +269,7 @@ mod tests {
             cpus: vec![CpuProfile::i7_8650u()],
             curves: vec![Curve::Bn128],
             stages: vec![Stage::Compile],
+            backends: vec![BackendKind::Groth16],
         };
         pool::set_threads(2);
         pool::chaos_arm_panic_after(1);
@@ -223,6 +287,7 @@ mod tests {
             cpus: vec![CpuProfile::i7_8650u()],
             curves: vec![Curve::Bn128],
             stages: vec![Stage::Compile, Stage::Witness],
+            backends: vec![BackendKind::Groth16],
         };
         pool::set_threads(1);
         let serial = run_sweep(&config, |_, _| {}).unwrap();
@@ -246,6 +311,7 @@ mod tests {
             cpus: vec![CpuProfile::i7_8650u()],
             curves: vec![Curve::Bn128],
             stages: vec![Stage::Compile, Stage::Witness],
+            backends: vec![BackendKind::Groth16],
         };
         let mut calls = 0;
         let ms = run_sweep(&config, |done, total| {

@@ -3,10 +3,10 @@
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
-use zkperf_ec::Engine;
 use zkperf_machine::{CpuProfile, MachineReport, MachineSim};
 use zkperf_trace::{self as trace, OpCounts};
 
+use crate::backend::{BackendKind, ProverBackend};
 use crate::stage::{Curve, Stage};
 use crate::workload::{emit_runtime_init, emit_stage_io, StageError, Workload};
 
@@ -32,10 +32,16 @@ pub struct RegionSummary {
 pub struct StageMeasurement {
     /// Stage that ran.
     pub stage: Stage,
+    /// Proving backend it ran through (older serialized sweeps, which
+    /// predate multi-backend rows, deserialize as Groth16).
+    pub backend: BackendKind,
     /// Curve it ran on.
     pub curve: Curve,
     /// Constraint count of the workload.
     pub constraints: usize,
+    /// Exact serialized proof size after the proving stage (0 for every
+    /// other stage, and in rows from older sweeps).
+    pub proof_bytes: usize,
     /// The simulated CPU's view of the run.
     pub machine: MachineReport,
     /// Raw tracer counters (CPU-independent).
@@ -75,12 +81,12 @@ impl StageMeasurement {
 /// Propagates the [`StageError`] when the stage itself fails; the trace
 /// session is torn down cleanly first, so a failed cell never poisons the
 /// next measurement.
-pub fn measure_stage<E: Engine>(
-    workload: &mut Workload<E>,
+pub fn measure_stage<B: ProverBackend>(
+    workload: &mut Workload<B>,
     stage: Stage,
-    curve: Curve,
     cpu: &CpuProfile,
 ) -> Result<StageMeasurement, StageError> {
+    let curve: Curve = B::curve();
     let (sink, handle) = MachineSim::new(cpu.clone(), stage.exec_env()).shared();
     let session = trace::Session::begin_with_sink(Box::new(sink));
     if stage.exec_env() != zkperf_machine::ExecEnv::Native {
@@ -115,8 +121,13 @@ pub fn measure_stage<E: Engine>(
         .collect();
     Ok(StageMeasurement {
         stage,
+        backend: B::kind(),
         curve,
         constraints: workload.constraints(),
+        proof_bytes: match stage {
+            Stage::Proving => workload.proof_size_bytes().unwrap_or(0),
+            _ => 0,
+        },
         machine,
         counts: report.counts,
         regions,
@@ -134,8 +145,8 @@ mod tests {
     #[test]
     fn measuring_compile_then_proving_isolates_stages() {
         let cpu = CpuProfile::i7_8650u();
-        let mut w = Workload::<Bn254>::exponentiate(32);
-        let compile = measure_stage(&mut w, Stage::Compile, Curve::Bn128, &cpu).unwrap();
+        let mut w = Workload::<crate::backend::Groth16Backend<Bn254>>::exponentiate(32);
+        let compile = measure_stage(&mut w, Stage::Compile, &cpu).unwrap();
         assert_eq!(compile.stage, Stage::Compile);
         assert!(compile.counts.total_uops() > 0);
         assert!(compile.region("parser").is_some());
@@ -143,7 +154,7 @@ mod tests {
         assert!(compile.region("runtime_init").is_none());
 
         w.prepare_for(Stage::Proving).unwrap();
-        let proving = measure_stage(&mut w, Stage::Proving, Curve::Bn128, &cpu).unwrap();
+        let proving = measure_stage(&mut w, Stage::Proving, &cpu).unwrap();
         assert!(proving.region("msm").is_some());
         assert!(proving.region("fft").is_some());
         assert!(proving.region("runtime_init").is_some());
@@ -157,9 +168,9 @@ mod tests {
     #[test]
     fn verifying_measurement_contains_pairing_regions() {
         let cpu = CpuProfile::i9_13900k();
-        let mut w = Workload::<Bn254>::exponentiate(8);
+        let mut w = Workload::<crate::backend::Groth16Backend<Bn254>>::exponentiate(8);
         w.prepare_for(Stage::Verifying).unwrap();
-        let m = measure_stage(&mut w, Stage::Verifying, Curve::Bn128, &cpu).unwrap();
+        let m = measure_stage(&mut w, Stage::Verifying, &cpu).unwrap();
         assert!(m.region("miller_loop").is_some());
         assert!(m.region("final_exp").is_some());
         assert!(m.region_uops("final_exp") > 0);
@@ -169,12 +180,12 @@ mod tests {
     #[test]
     fn failed_stage_tears_down_the_session_cleanly() {
         let cpu = CpuProfile::i7_8650u();
-        let mut w = Workload::<Bn254>::exponentiate(8);
+        let mut w = Workload::<crate::backend::Groth16Backend<Bn254>>::exponentiate(8);
         // Setup without compile: a typed error, not a panic...
-        let err = measure_stage(&mut w, Stage::Setup, Curve::Bn128, &cpu).unwrap_err();
+        let err = measure_stage(&mut w, Stage::Setup, &cpu).unwrap_err();
         assert!(matches!(err, StageError::MissingPrerequisite { .. }));
         // ...and the tracer is reusable immediately afterwards.
-        let ok = measure_stage(&mut w, Stage::Compile, Curve::Bn128, &cpu).unwrap();
+        let ok = measure_stage(&mut w, Stage::Compile, &cpu).unwrap();
         assert!(ok.counts.total_uops() > 0);
     }
 }

@@ -65,10 +65,16 @@ pub enum Curve {
     Bn128,
     /// BLS12-381.
     Bls12_381,
+    /// The 64-bit Goldilocks prime field — not a pairing curve; the tag
+    /// for transparent-backend (STARK) measurements. Deliberately absent
+    /// from [`Curve::ALL`], which enumerates the paper's pairing sweep.
+    Goldilocks,
 }
 
 impl Curve {
-    /// Both curves in the paper's order.
+    /// Both pairing curves in the paper's order ([`Curve::Goldilocks`] is
+    /// excluded: it only appears on STARK rows, never in the pairing
+    /// sweep).
     pub const ALL: [Curve; 2] = [Curve::Bn128, Curve::Bls12_381];
 
     /// The paper's curve label.
@@ -76,6 +82,7 @@ impl Curve {
         match self {
             Curve::Bn128 => "BN",
             Curve::Bls12_381 => "BLS",
+            Curve::Goldilocks => "GL64",
         }
     }
 }

@@ -1,18 +1,23 @@
 //! The benchmark workload: the exponentiation circuit pipeline, runnable
 //! one stage at a time so each stage can be measured in isolation.
+//!
+//! The pipeline is generic over the proving system: every scheme-specific
+//! step (setup, prove, verify, artifact sizing) dispatches through
+//! [`ProverBackend`], so the same five-stage workload characterizes
+//! Groth16, PLONK, and the transparent STARK backend.
 
 use rand::SeedableRng;
 
 use zkperf_circuit::{lang, library, Circuit, Witness, WitnessError};
-use zkperf_ec::Engine;
 use zkperf_ff::Field;
-use zkperf_groth16::{
-    contribute, prove, setup, verify, Proof, ProveError, ProvingKey, SetupError, VerifyError,
-};
+use zkperf_groth16::{ProveError, SetupError, VerifyError};
+use zkperf_plonk::PlonkError;
 use zkperf_resilience::{chaos_mode, ChaosMode};
+use zkperf_stark::StarkError;
 use zkperf_trace as trace;
 
-use crate::stage::Stage;
+use crate::backend::{BackendKind, ProverBackend};
+use crate::stage::{Curve, Stage};
 
 /// Errors from [`Workload::run_stage`].
 ///
@@ -45,6 +50,19 @@ pub enum StageError {
     Prove(ProveError),
     /// The verification inputs are malformed.
     Verify(VerifyError),
+    /// A PLONK stage failed (arithmetization, witness shape, or
+    /// cancellation inside the PLONK prover).
+    Plonk(PlonkError),
+    /// A STARK stage failed with a typed transparent-backend error.
+    Stark(StarkError),
+    /// The requested (backend, curve) cell does not exist — pairing
+    /// backends cannot run over the Goldilocks field.
+    UnsupportedCurve {
+        /// The backend that was asked for.
+        backend: BackendKind,
+        /// The curve it cannot run on.
+        curve: Curve,
+    },
     /// A chaos-mode fault was injected at this stage boundary.
     Injected {
         /// The stage whose boundary tripped.
@@ -88,6 +106,11 @@ impl std::fmt::Display for StageError {
             StageError::Witness(e) => write!(f, "witness: {e}"),
             StageError::Prove(e) => write!(f, "proving: {e}"),
             StageError::Verify(e) => write!(f, "verifying: {e}"),
+            StageError::Plonk(e) => write!(f, "plonk: {e}"),
+            StageError::Stark(e) => write!(f, "stark: {e}"),
+            StageError::UnsupportedCurve { backend, curve } => {
+                write!(f, "backend {backend} does not run on curve {curve}")
+            }
             StageError::Injected { stage } => {
                 write!(f, "chaos fault injected at the {} boundary", stage.name())
             }
@@ -114,11 +137,25 @@ impl StageError {
             StageError::Cancelled { .. }
                 | StageError::Setup(SetupError::Cancelled)
                 | StageError::Prove(ProveError::Cancelled)
+                | StageError::Plonk(PlonkError::Cancelled)
+                | StageError::Stark(StarkError::Cancelled)
         )
     }
 }
 
 impl std::error::Error for StageError {}
+
+impl From<PlonkError> for StageError {
+    fn from(e: PlonkError) -> Self {
+        StageError::Plonk(e)
+    }
+}
+
+impl From<StarkError> for StageError {
+    fn from(e: StarkError) -> Self {
+        StageError::Stark(e)
+    }
+}
 
 impl From<lang::CompileError> for StageError {
     fn from(e: lang::CompileError) -> Self {
@@ -177,19 +214,30 @@ fn workload_rng(seed_tweak: u64) -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(0x7e57_0000 ^ seed_tweak)
 }
 
-/// The exponentiation pipeline for one engine at one constraint count.
+/// The exponentiation pipeline for one proving backend at one constraint
+/// count.
 ///
 /// Stages are run explicitly via [`run_stage`](Workload::run_stage); the
 /// artifacts of earlier stages are cached so that measuring `proving` does
-/// not re-measure `setup`.
+/// not re-measure `setup`. Every scheme-specific step dispatches through
+/// the [`ProverBackend`] type parameter, so
+/// `Workload::<Groth16Backend<Bn254>>`, `Workload::<PlonkBackend<Bn254>>`
+/// and `Workload::<StarkBackend>` run the identical five-stage pipeline.
 ///
 /// # Examples
 ///
 /// ```
-/// use zkperf_core::{Stage, Workload};
+/// use zkperf_core::{Groth16Backend, Stage, StarkBackend, Workload};
 /// use zkperf_ec::Bn254;
 ///
-/// let mut w = Workload::<Bn254>::exponentiate(16);
+/// let mut w = Workload::<Groth16Backend<Bn254>>::exponentiate(16);
+/// for stage in Stage::ALL {
+///     w.run_stage(stage)?;
+/// }
+/// assert_eq!(w.verified(), Some(true));
+///
+/// // The transparent backend runs the same pipeline, no ceremony needed.
+/// let mut w = Workload::<StarkBackend>::exponentiate(16);
 /// for stage in Stage::ALL {
 ///     w.run_stage(stage)?;
 /// }
@@ -197,19 +245,19 @@ fn workload_rng(seed_tweak: u64) -> rand::rngs::StdRng {
 /// # Ok::<(), zkperf_core::StageError>(())
 /// ```
 #[derive(Debug)]
-pub struct Workload<E: Engine> {
+pub struct Workload<B: ProverBackend> {
     constraints: usize,
     source: String,
-    public_inputs: Vec<E::Fr>,
-    private_inputs: Vec<E::Fr>,
-    circuit: Option<Circuit<E::Fr>>,
-    pk: Option<ProvingKey<E>>,
-    witness: Option<Witness<E::Fr>>,
-    proof: Option<Proof<E>>,
+    public_inputs: Vec<B::Fr>,
+    private_inputs: Vec<B::Fr>,
+    circuit: Option<Circuit<B::Fr>>,
+    keys: Option<B::Keys>,
+    witness: Option<Witness<B::Fr>>,
+    proof: Option<B::Proof>,
     verified: Option<bool>,
 }
 
-impl<E: Engine> Workload<E> {
+impl<B: ProverBackend> Workload<B> {
     /// Builds the paper's `y = x^e` workload with `constraints` constraints.
     ///
     /// # Panics
@@ -219,10 +267,10 @@ impl<E: Engine> Workload<E> {
         Workload {
             constraints,
             source: library::exponentiate_source(constraints),
-            public_inputs: vec![E::Fr::from_u64(3)],
+            public_inputs: vec![B::Fr::from_u64(3)],
             private_inputs: Vec::new(),
             circuit: None,
-            pk: None,
+            keys: None,
             witness: None,
             proof: None,
             verified: None,
@@ -238,13 +286,14 @@ impl<E: Engine> Workload<E> {
     /// # Examples
     ///
     /// ```
-    /// use zkperf_core::{Stage, Workload};
+    /// use zkperf_core::{Groth16Backend, Stage, Workload};
     /// use zkperf_ec::Bn254;
     /// use zkperf_ff::{bn254::Fr, Field};
     ///
     /// let src = "circuit sq { public input x; output y = x * x; }";
     /// // one multiplication gate plus the output-binding row = 2 constraints
-    /// let mut w = Workload::<Bn254>::from_source(src, 2, vec![Fr::from_u64(4)], vec![]);
+    /// let mut w = Workload::<Groth16Backend<Bn254>>::from_source(
+    ///     src, 2, vec![Fr::from_u64(4)], vec![]);
     /// for stage in Stage::ALL {
     ///     w.run_stage(stage)?;
     /// }
@@ -254,8 +303,8 @@ impl<E: Engine> Workload<E> {
     pub fn from_source(
         source: impl Into<String>,
         expected_constraints: usize,
-        public_inputs: Vec<E::Fr>,
-        private_inputs: Vec<E::Fr>,
+        public_inputs: Vec<B::Fr>,
+        private_inputs: Vec<B::Fr>,
     ) -> Self {
         Workload {
             constraints: expected_constraints,
@@ -263,7 +312,7 @@ impl<E: Engine> Workload<E> {
             public_inputs,
             private_inputs,
             circuit: None,
-            pk: None,
+            keys: None,
             witness: None,
             proof: None,
             verified: None,
@@ -297,8 +346,18 @@ impl<E: Engine> Workload<E> {
     }
 
     /// The compiled circuit, if the compile stage has run.
-    pub fn circuit(&self) -> Option<&Circuit<E::Fr>> {
+    pub fn circuit(&self) -> Option<&Circuit<B::Fr>> {
         self.circuit.as_ref()
+    }
+
+    /// Exact serialized size of the proof, once the proving stage ran.
+    pub fn proof_size_bytes(&self) -> Option<usize> {
+        self.proof.as_ref().map(B::proof_size_bytes)
+    }
+
+    /// Approximate serialized size of the key material, once setup ran.
+    pub fn keys_size_bytes(&self) -> Option<usize> {
+        self.keys.as_ref().map(B::keys_size_bytes)
     }
 
     /// Runs every stage strictly before `stage` (untraced), so `stage` can
@@ -339,7 +398,7 @@ impl<E: Engine> Workload<E> {
         let missing = |needs: Stage| StageError::MissingPrerequisite { stage, needs };
         match stage {
             Stage::Compile => {
-                let circuit = lang::compile::<E::Fr>(&self.source)?;
+                let circuit = lang::compile::<B::Fr>(&self.source)?;
                 if circuit.r1cs().num_constraints() != self.constraints {
                     return Err(StageError::ConstraintCountMismatch {
                         declared: self.constraints,
@@ -351,12 +410,7 @@ impl<E: Engine> Workload<E> {
             Stage::Setup => {
                 let circuit = self.circuit.as_ref().ok_or(missing(Stage::Compile))?;
                 let mut rng = workload_rng(1);
-                let mut pk = setup::<E, _>(circuit.r1cs(), &mut rng)?;
-                // snarkjs zkeys need at least one phase-2 contribution
-                // before they are usable; the paper's setup measurement
-                // includes it.
-                contribute::<E, _>(&mut pk, &mut rng);
-                self.pk = Some(pk);
+                self.keys = Some(B::setup(circuit.r1cs(), &mut rng)?);
             }
             Stage::Witness => {
                 let circuit = self.circuit.as_ref().ok_or(missing(Stage::Compile))?;
@@ -366,17 +420,18 @@ impl<E: Engine> Workload<E> {
             }
             Stage::Proving => {
                 let circuit = self.circuit.as_ref().ok_or(missing(Stage::Compile))?;
-                let pk = self.pk.as_ref().ok_or(missing(Stage::Setup))?;
+                let keys = self.keys.as_ref().ok_or(missing(Stage::Setup))?;
                 let witness = self.witness.as_ref().ok_or(missing(Stage::Witness))?;
                 let mut rng = workload_rng(2);
-                let proof = prove::<E, _>(pk, circuit.r1cs(), witness, &mut rng)?;
+                let proof = B::prove(keys, circuit.r1cs(), witness, &mut rng)?;
                 self.proof = Some(proof);
             }
             Stage::Verifying => {
-                let pk = self.pk.as_ref().ok_or(missing(Stage::Setup))?;
+                let circuit = self.circuit.as_ref().ok_or(missing(Stage::Compile))?;
+                let keys = self.keys.as_ref().ok_or(missing(Stage::Setup))?;
                 let witness = self.witness.as_ref().ok_or(missing(Stage::Witness))?;
                 let proof = self.proof.as_ref().ok_or(missing(Stage::Proving))?;
-                let ok = verify::<E>(&pk.vk, proof, witness.public())?;
+                let ok = B::verify(keys, circuit.r1cs(), proof, witness.public())?;
                 self.verified = Some(ok);
             }
         }
@@ -398,22 +453,22 @@ impl<E: Engine> Workload<E> {
 /// files snarkjs streams into and out of every stage). Read sizes come
 /// from prerequisites (or dimension-based predictions for the ptau); write
 /// sizes from the stage's own artifact after it runs.
-fn staged_sizes<E: Engine>(w: &Workload<E>, stage: Stage) -> (usize, usize) {
-    let fr = std::mem::size_of::<E::Fr>();
+fn staged_sizes<B: ProverBackend>(w: &Workload<B>, stage: Stage) -> (usize, usize) {
+    let fr = std::mem::size_of::<B::Fr>();
     let ccs = w.circuit.as_ref().map_or(0, |c| {
         c.r1cs().num_nonzero_entries() * (fr + 8) + c.r1cs().num_wires() * 4
     });
-    // Powers-of-tau file: 2n G1 + n G2 points over the padded domain.
-    let ptau = w.circuit.as_ref().map_or(0, |c| {
-        let n = c.r1cs().num_constraints().next_power_of_two();
-        2 * n * 2 * fr + n * 4 * fr
-    });
-    let pk = w.pk.as_ref().map_or(0, |pk| {
-        (pk.a_query.len() + pk.b_g1_query.len() + pk.l_query.len() + pk.h_query.len())
-            * 2
-            * fr
-            + pk.b_g2_query.len() * 4 * fr
-    });
+    // Powers-of-tau file: 2n G1 + n G2 points over the padded domain
+    // (zero for transparent backends, which stage no ceremony file).
+    let ptau = if B::transparent_setup() {
+        0
+    } else {
+        w.circuit.as_ref().map_or(0, |c| {
+            let n = c.r1cs().num_constraints().next_power_of_two();
+            2 * n * 2 * fr + n * 4 * fr
+        })
+    };
+    let pk = w.keys.as_ref().map_or(0, B::keys_size_bytes);
     let wtns = w
         .witness
         .as_ref()
@@ -488,7 +543,7 @@ mod tests {
 
     #[test]
     fn pipeline_runs_in_order_and_verifies() {
-        let mut w = Workload::<Bn254>::exponentiate(8);
+        let mut w = Workload::<crate::backend::Groth16Backend<Bn254>>::exponentiate(8);
         assert!(w.verified().is_none());
         w.prepare_for(Stage::Verifying).unwrap();
         w.run_stage(Stage::Verifying).unwrap();
@@ -498,7 +553,7 @@ mod tests {
 
     #[test]
     fn skipping_prerequisites_is_a_typed_error() {
-        let mut w = Workload::<Bn254>::exponentiate(8);
+        let mut w = Workload::<crate::backend::Groth16Backend<Bn254>>::exponentiate(8);
         let err = w.run_stage(Stage::Setup).unwrap_err();
         assert_eq!(
             err,
@@ -512,7 +567,7 @@ mod tests {
 
     #[test]
     fn bad_inputs_surface_as_witness_errors() {
-        let mut w = Workload::<Bn254>::from_source(
+        let mut w = Workload::<crate::backend::Groth16Backend<Bn254>>::from_source(
             "circuit sq { public input x; output y = x * x; }",
             2,
             vec![], // missing the public input
@@ -530,7 +585,7 @@ mod tests {
         let sweep = |mode: ChaosMode| -> Vec<Option<StageError>> {
             (1..=10)
                 .flat_map(|n| {
-                    let w = Workload::<Bn254>::exponentiate(n);
+                    let w = Workload::<crate::backend::Groth16Backend<Bn254>>::exponentiate(n);
                     Stage::ALL.map(|s| w.chaos_injection(s, mode))
                 })
                 .collect()
@@ -548,7 +603,7 @@ mod tests {
         use zkperf_ff::Field;
         let src = "circuit lin { public input x; private input k; \
                     output y = k * x + 1; }";
-        let mut w = Workload::<Bn254>::from_source(
+        let mut w = Workload::<crate::backend::Groth16Backend<Bn254>>::from_source(
             src,
             2, // one mul gate + one output row
             vec![zkperf_ff::bn254::Fr::from_u64(10)],

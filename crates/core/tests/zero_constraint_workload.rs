@@ -1,0 +1,51 @@
+//! Boundary test: `Workload::from_source` with a zero-constraint circuit.
+//!
+//! A circuit that declares inputs but no gates is the smallest legal
+//! workload. Every backend must drive it through the full five-stage
+//! pipeline without panicking — padded proving domains, empty constraint
+//! matrices, and zero-length quotients all get exercised at their
+//! degenerate size — and verification must accept.
+
+use zkperf_core::{Groth16Backend, PlonkBackend, Stage, StarkBackend, Workload};
+use zkperf_ec::Bn254;
+use zkperf_ff::{bn254::Fr, Field, Goldilocks};
+
+const EMPTY: &str = "circuit empty { public input x; }";
+
+#[test]
+fn zero_constraint_circuit_compiles_to_zero_rows() {
+    let c = zkperf_circuit::lang::compile::<Fr>(EMPTY).unwrap();
+    assert_eq!(c.r1cs().num_constraints(), 0);
+    // wire 0 is the constant-one wire, wire 1 the declared input
+    assert_eq!(c.r1cs().num_public_wires(), 2);
+}
+
+#[test]
+fn zero_constraint_workload_runs_every_stage_on_every_backend() {
+    let mut groth16 =
+        Workload::<Groth16Backend<Bn254>>::from_source(EMPTY, 0, vec![Fr::from_u64(5)], vec![]);
+    let mut plonk =
+        Workload::<PlonkBackend<Bn254>>::from_source(EMPTY, 0, vec![Fr::from_u64(5)], vec![]);
+    let mut stark =
+        Workload::<StarkBackend>::from_source(EMPTY, 0, vec![Goldilocks::from_u64(5)], vec![]);
+
+    for stage in Stage::ALL {
+        groth16
+            .run_stage(stage)
+            .unwrap_or_else(|e| panic!("groth16 {stage:?} on zero constraints: {e}"));
+        plonk
+            .run_stage(stage)
+            .unwrap_or_else(|e| panic!("plonk {stage:?} on zero constraints: {e}"));
+        stark
+            .run_stage(stage)
+            .unwrap_or_else(|e| panic!("stark {stage:?} on zero constraints: {e}"));
+    }
+    assert_eq!(groth16.verified(), Some(true));
+    assert_eq!(plonk.verified(), Some(true));
+    assert_eq!(stark.verified(), Some(true));
+
+    // The degenerate workload still reports real artifact sizes.
+    assert!(groth16.proof_size_bytes().unwrap() > 0);
+    assert!(plonk.proof_size_bytes().unwrap() > 0);
+    assert!(stark.proof_size_bytes().unwrap() > 0);
+}

@@ -1,0 +1,404 @@
+//! The 64-bit "Goldilocks" prime field `F_p`, `p = 2^64 − 2^32 + 1`.
+//!
+//! The transparent STARK backend lives here rather than on the pairing
+//! scalar fields: hashing and FRI folding dominate its prover, and a
+//! one-word field makes both cheap. `p − 1 = 2^32 · 3 · 5 · 17 · 257 ·
+//! 65537` gives two-adicity 32, enough for every domain size in the
+//! suite's sweep range with an 8× blowup on top.
+//!
+//! The generic Montgomery tower ([`crate::Fp`]) deliberately excludes this
+//! modulus: its no-carry CIOS multiplier requires the top limb of `p` to
+//! leave a spare bit (`MODULUS[N−1] < 2^63`), which `0xffff_ffff_0000_0001`
+//! violates. Goldilocks instead gets the dedicated reduction its shape was
+//! chosen for: with `ε = 2^32 − 1` we have `2^64 ≡ ε` and `2^96 ≡ −1
+//! (mod p)`, so a 128-bit product `lo + 2^64·(hi_lo + 2^32·hi_hi)` reduces
+//! as `lo + ε·hi_lo − hi_hi` in a handful of word ops and two conditional
+//! corrections — no Montgomery form, elements are the canonical `u64`.
+
+use std::fmt;
+use std::hash::Hash;
+
+use rand::Rng;
+use zkperf_trace::{self as trace, OpCost};
+
+use crate::bigint::BigUint;
+use crate::traits::{Field, Frobenius, PrimeField};
+
+/// The modulus `p = 2^64 − 2^32 + 1`.
+pub const MODULUS: u64 = 0xffff_ffff_0000_0001;
+
+/// `ε = 2^32 − 1 = 2^64 mod p`, the reduction constant.
+const EPSILON: u64 = 0xffff_ffff;
+
+mod sites {
+    pub const MUL_REDUCE: u64 = 0x1011;
+    pub const ADD_REDUCE: u64 = 0x1012;
+    pub const SUB_BORROW: u64 = 0x1013;
+    pub const SQR_REDUCE: u64 = 0x1014;
+}
+
+/// An element of the Goldilocks field, held as its canonical
+/// representative in `[0, p)`.
+///
+/// Unlike [`crate::Fp`] there is no Montgomery form: `Ord`, `Hash` and
+/// serialization all see the plain integer.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Goldilocks(u64);
+
+impl Goldilocks {
+    /// Wraps a value already known to be `< p`.
+    #[inline]
+    const fn new_unchecked(v: u64) -> Self {
+        debug_assert!(v < MODULUS);
+        Goldilocks(v)
+    }
+
+    /// The canonical `u64` representative in `[0, p)`.
+    #[inline]
+    pub const fn as_canonical_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Reduces an arbitrary `u64` (one conditional subtract suffices:
+    /// `2^64 − 1 − p < p`).
+    #[inline]
+    const fn reduce64(v: u64) -> u64 {
+        if v >= MODULUS {
+            v - MODULUS
+        } else {
+            v
+        }
+    }
+
+    /// Reduces a 128-bit value to `[0, p)`.
+    ///
+    /// With `x = lo + 2^64·hi` and `hi = hi_lo + 2^32·hi_hi`:
+    /// `x ≡ lo − hi_hi + ε·hi_lo (mod p)`. The borrow of the first
+    /// subtraction is repaid with `−ε` (i.e. `+p − 2^64`), the carry of
+    /// the addition with `+ε`; neither correction can overflow because
+    /// `ε·hi_lo ≤ (2^32 − 1)² = 2^64 − 2^33 + 1`.
+    #[inline]
+    fn reduce128(x: u128) -> u64 {
+        let lo = x as u64;
+        let hi = (x >> 64) as u64;
+        let hi_lo = hi & EPSILON;
+        let hi_hi = hi >> 32;
+        let (mut t, borrow) = lo.overflowing_sub(hi_hi);
+        if borrow {
+            t = t.wrapping_sub(EPSILON);
+        }
+        let (mut r, carry) = t.overflowing_add(hi_lo * EPSILON);
+        if carry {
+            r = r.wrapping_add(EPSILON);
+        }
+        Self::reduce64(r)
+    }
+
+    #[inline]
+    fn trace_binop(a: &Self, b: &Self, out: &Self, cost: OpCost, site: u64, taken: bool) {
+        if trace::is_active() {
+            trace::load(a as *const Self as usize, 8);
+            trace::load(b as *const Self as usize, 8);
+            trace::compute(cost.compute);
+            trace::control(cost.control);
+            trace::data_move(cost.data);
+            trace::store(out as *const Self as usize, 8);
+            trace::branch(site, taken);
+        }
+    }
+
+    /// `self^exp` for a machine-word exponent (square-and-multiply without
+    /// the `BigUint` round trip of [`Field::pow`]).
+    pub fn pow_u64(self, exp: u64) -> Self {
+        let mut acc = Self::one();
+        let mut base = self;
+        let mut e = exp;
+        while e != 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base = base.square();
+            e >>= 1;
+        }
+        acc
+    }
+}
+
+impl Field for Goldilocks {
+    fn zero() -> Self {
+        Goldilocks(0)
+    }
+
+    fn one() -> Self {
+        Goldilocks(1)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    fn square(&self) -> Self {
+        let out = Self::new_unchecked(Self::reduce128(u128::from(self.0) * u128::from(self.0)));
+        Self::trace_binop(
+            self,
+            self,
+            &out,
+            OpCost::mont_sqr(1),
+            sites::SQR_REDUCE,
+            out.0 & 3 == 0,
+        );
+        out
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
+        let _g = trace::region_profile("field_inverse");
+        // Fermat: a^(p−2).
+        Some(self.pow_u64(MODULUS - 2))
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Goldilocks(Self::reduce64(v))
+    }
+
+    fn characteristic() -> BigUint {
+        BigUint::from_limbs(&[MODULUS])
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Sample two words and reduce: statistical distance < 2^-64.
+        let lo: u64 = rng.gen();
+        let hi: u64 = rng.gen();
+        Goldilocks(Self::reduce128((u128::from(hi) << 64) | u128::from(lo)))
+    }
+}
+
+impl PrimeField for Goldilocks {
+    const NUM_LIMBS: usize = 1;
+
+    fn modulus() -> BigUint {
+        BigUint::from_limbs(&[MODULUS])
+    }
+
+    fn to_biguint(&self) -> BigUint {
+        BigUint::from_limbs(&[self.0])
+    }
+
+    fn from_biguint(v: &BigUint) -> Self {
+        let limbs = v.rem(&Self::modulus()).to_limbs(1);
+        Goldilocks(limbs[0])
+    }
+
+    fn write_canonical_limbs(&self, out: &mut [u64]) {
+        out[0] = self.0;
+    }
+
+    fn two_adic_root_of_unity() -> Self {
+        // 7 generates F_p^×; its odd-part power has exact order 2^32.
+        let s = Self::two_adicity();
+        let odd = (MODULUS - 1) >> s;
+        let mut candidate = 7u64;
+        loop {
+            let root = Self::from_u64(candidate).pow_u64(odd);
+            let mut probe = root;
+            for _ in 0..s.saturating_sub(1) {
+                probe = probe.square();
+            }
+            if !probe.is_one() && !probe.is_zero() {
+                return root;
+            }
+            candidate += 1;
+        }
+    }
+}
+
+impl Frobenius for Goldilocks {
+    /// The Frobenius endomorphism is the identity on the prime field.
+    fn frobenius(&self, _power: usize) -> Self {
+        *self
+    }
+}
+
+impl std::ops::Add for Goldilocks {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        let (mut sum, carry) = self.0.overflowing_add(rhs.0);
+        if carry {
+            // a + b − 2^64 + ε = a + b − p, already < p since a, b < p.
+            sum = sum.wrapping_add(EPSILON);
+        }
+        let out = Self::new_unchecked(Self::reduce64(sum));
+        Self::trace_binop(
+            &self,
+            &rhs,
+            &out,
+            OpCost::mod_add(1),
+            sites::ADD_REDUCE,
+            carry,
+        );
+        out
+    }
+}
+
+impl std::ops::Sub for Goldilocks {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        let (mut diff, borrow) = self.0.overflowing_sub(rhs.0);
+        if borrow {
+            // a − b + 2^64 − ε = a − b + p, in (0, p) since −p < a − b < 0.
+            diff = diff.wrapping_sub(EPSILON);
+        }
+        let out = Self::new_unchecked(diff);
+        Self::trace_binop(
+            &self,
+            &rhs,
+            &out,
+            OpCost::mod_add(1),
+            sites::SUB_BORROW,
+            borrow,
+        );
+        out
+    }
+}
+
+impl std::ops::Mul for Goldilocks {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        let out = Self::new_unchecked(Self::reduce128(u128::from(self.0) * u128::from(rhs.0)));
+        Self::trace_binop(
+            &self,
+            &rhs,
+            &out,
+            OpCost::mont_mul(1),
+            sites::MUL_REDUCE,
+            out.0 & 3 == 0,
+        );
+        out
+    }
+}
+
+impl std::ops::Neg for Goldilocks {
+    type Output = Self;
+    fn neg(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            Self::new_unchecked(MODULUS - self.0)
+        }
+    }
+}
+
+impl std::ops::AddAssign for Goldilocks {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::SubAssign for Goldilocks {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl std::ops::MulAssign for Goldilocks {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl std::iter::Sum for Goldilocks {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), |a, b| a + b)
+    }
+}
+
+impl std::iter::Product for Goldilocks {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::one(), |a, b| a * b)
+    }
+}
+
+impl fmt::Display for Goldilocks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Goldilocks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Goldilocks({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_rng;
+
+    #[test]
+    fn modulus_shape() {
+        assert_eq!(u128::from(MODULUS), (1u128 << 64) - (1 << 32) + 1);
+        // ε = 2^64 mod p.
+        assert_eq!(0u64.wrapping_sub(MODULUS), EPSILON);
+        assert_eq!(Goldilocks::two_adicity(), 32);
+    }
+
+    #[test]
+    fn arithmetic_matches_biguint() {
+        let p = Goldilocks::modulus();
+        let mut rng = test_rng();
+        for _ in 0..200 {
+            let a = Goldilocks::random(&mut rng);
+            let b = Goldilocks::random(&mut rng);
+            let big = |x: Goldilocks| x.to_biguint();
+            assert_eq!(big(a + b), (&big(a) + &big(b)).rem(&p));
+            assert_eq!(big(a * b), (&big(a) * &big(b)).rem(&p));
+            assert_eq!(big(a.square()), (&big(a) * &big(a)).rem(&p));
+            let diff = a - b;
+            assert_eq!((&big(diff) + &big(b)).rem(&p), big(a));
+            assert!((a + (-a)).is_zero());
+        }
+    }
+
+    #[test]
+    fn boundary_values_reduce_canonically() {
+        assert_eq!(Goldilocks::from_u64(MODULUS), Goldilocks::zero());
+        assert_eq!(Goldilocks::from_u64(MODULUS - 1) + Goldilocks::one(), Goldilocks::zero());
+        assert_eq!(Goldilocks::from_u64(u64::MAX).as_canonical_u64(), EPSILON - 1);
+        let max = Goldilocks::from_u64(MODULUS - 1);
+        assert_eq!(max * max, Goldilocks::one());
+    }
+
+    #[test]
+    fn inverse_and_pow() {
+        let mut rng = test_rng();
+        for _ in 0..50 {
+            let a = Goldilocks::random(&mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = a.inverse().unwrap();
+            assert!((a * inv).is_one());
+        }
+        assert!(Goldilocks::zero().inverse().is_none());
+        let g = Goldilocks::from_u64(7);
+        assert_eq!(g.pow_u64(5), g * g * g * g * g);
+    }
+
+    #[test]
+    fn two_adic_root_has_exact_order() {
+        let root = Goldilocks::two_adic_root_of_unity();
+        let mut probe = root;
+        for _ in 0..31 {
+            probe = probe.square();
+        }
+        assert!(!probe.is_one(), "order divides 2^31: not exact");
+        assert!((probe.square()).is_one(), "order does not divide 2^32");
+        // Domain machinery contract.
+        let w8 = Goldilocks::root_of_unity_pow2(3).unwrap();
+        assert!(w8.pow_u64(8).is_one());
+        assert!(!w8.pow_u64(4).is_one());
+    }
+}

@@ -33,6 +33,7 @@ pub mod bn254;
 mod cubic;
 mod fp;
 mod frob_cache;
+pub mod goldilocks;
 mod quad;
 mod tower;
 mod traits;
@@ -41,6 +42,7 @@ pub use batch::{batch_inverse, batch_inverse_with_scratch};
 pub use bigint::{BigUint, ParseBigIntError};
 pub use cubic::{CubicExt, CubicExtParams};
 pub use fp::{Fp, FpParams};
+pub use goldilocks::Goldilocks;
 pub use quad::{QuadExt, QuadExtParams};
 pub use traits::{Field, Frobenius, PrimeField};
 

@@ -10,13 +10,6 @@ use zkperf_circuit::{LinearCombination, R1cs};
 /// Why a circuit could not be arithmetized for PLONK.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArithmetizeError {
-    /// A constraint side had more than one wire term; this PLONK front end
-    /// supports the single-wire-per-slot gate form the benchmark circuits
-    /// use (each R1CS row `cₐ·wₐ × c_b·w_b = c_c·w_c`).
-    UnsupportedConstraint {
-        /// Index of the offending R1CS row.
-        row: usize,
-    },
     /// The padded gate count exceeds the field's FFT domain.
     TooManyGates {
         /// Gates requested.
@@ -27,9 +20,6 @@ pub enum ArithmetizeError {
 impl std::fmt::Display for ArithmetizeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ArithmetizeError::UnsupportedConstraint { row } => {
-                write!(f, "constraint {row} is not in single-wire gate form")
-            }
             ArithmetizeError::TooManyGates { gates } => {
                 write!(f, "{gates} gates exceed the FFT domain")
             }
@@ -67,88 +57,154 @@ pub struct PlonkCircuit<F: PrimeField> {
     pub sigma: [Vec<F>; 3],
     /// Rows carrying public inputs (gate `q_L = 1` pinning wire = input).
     pub public_rows: Vec<usize>,
-    /// Total wires in the underlying witness vector.
+    /// Wires in the witness the caller supplies (the R1CS wire count).
+    pub num_base_wires: usize,
+    /// Total wires in the permutation argument: base wires plus the
+    /// auxiliary wires introduced when multi-term linear combinations are
+    /// lowered to addition-gate chains.
     pub num_wires: usize,
+    /// Defining pair of each auxiliary wire, in evaluation order: aux
+    /// wire `num_base_wires + i` equals `c₀·w₀ + c₁·w₁` over earlier
+    /// wires (base or auxiliary).
+    pub aux_defs: Vec<[(WireId, F); 2]>,
     /// The coset labels (k₀ = 1, k₁, k₂) used by the permutation encoding.
     pub coset_ks: [F; 3],
 }
 
-fn single_term<F: PrimeField>(
-    lc: &LinearCombination<F>,
-    row: usize,
-) -> Result<(WireId, F), ArithmetizeError> {
-    match lc.terms() {
-        [] => Ok((0, F::zero())), // the constant-one wire with coefficient 0
-        [(v, c)] => Ok((v.index(), *c)),
-        _ => Err(ArithmetizeError::UnsupportedConstraint { row }),
+/// Growable gate lists used while lowering an R1CS, before the domain
+/// size is known.
+struct GateBuilder<F: PrimeField> {
+    q_l: Vec<F>,
+    q_r: Vec<F>,
+    q_o: Vec<F>,
+    q_m: Vec<F>,
+    wires: [Vec<WireId>; 3],
+    num_base_wires: usize,
+    aux_defs: Vec<[(WireId, F); 2]>,
+}
+
+impl<F: PrimeField> GateBuilder<F> {
+    fn push_gate(&mut self, q: [F; 4], w: [WireId; 3]) {
+        self.q_l.push(q[0]);
+        self.q_r.push(q[1]);
+        self.q_o.push(q[2]);
+        self.q_m.push(q[3]);
+        for (col, wire) in self.wires.iter_mut().zip(w) {
+            col.push(wire);
+        }
+    }
+
+    /// Reduces a linear combination to a single `(wire, coefficient)`
+    /// pair. Zero- and one-term combinations are free; a k-term
+    /// combination spends k−1 addition gates (`q_L·wₐ + q_R·w_b − aux = 0`),
+    /// each defining a fresh auxiliary wire that carries the running sum.
+    fn lower(&mut self, lc: &LinearCombination<F>) -> (WireId, F) {
+        match lc.terms() {
+            [] => (0, F::zero()), // the constant-one wire with coefficient 0
+            [(v, c)] => (v.index(), *c),
+            terms => {
+                let (mut acc_w, mut acc_c) = (terms[0].0.index(), terms[0].1);
+                for (v, c) in &terms[1..] {
+                    let aux = self.num_base_wires + self.aux_defs.len();
+                    self.aux_defs.push([(acc_w, acc_c), (v.index(), *c)]);
+                    self.push_gate(
+                        [acc_c, *c, -F::one(), F::zero()],
+                        [acc_w, v.index(), aux],
+                    );
+                    acc_w = aux;
+                    acc_c = F::one();
+                }
+                (acc_w, acc_c)
+            }
+        }
     }
 }
 
 impl<F: PrimeField> PlonkCircuit<F> {
-    /// Arithmetizes an R1CS whose rows are in single-wire form
-    /// (`cₐwₐ · c_b w_b = c_c w_c`): each row becomes one multiplication
-    /// gate, and each public wire gets one input-pinning gate.
+    /// Arithmetizes an R1CS row `A·B = C` (each side an arbitrary linear
+    /// combination): multi-term sides are first lowered to a single
+    /// auxiliary wire through a chain of addition gates, then the row
+    /// becomes one multiplication gate
+    /// (`cₐwₐ · c_b w_b = c_c w_c  ⇒  q_M = cₐc_b, q_O = −c_c`). Each
+    /// public wire additionally gets one input-pinning gate.
     ///
     /// # Errors
     ///
-    /// [`ArithmetizeError::UnsupportedConstraint`] for multi-term rows,
-    /// [`ArithmetizeError::TooManyGates`] past the FFT limit.
+    /// [`ArithmetizeError::TooManyGates`] when the lowered gate count
+    /// exceeds the field's FFT domain.
     pub fn from_r1cs(r1cs: &R1cs<F>) -> Result<Self, ArithmetizeError> {
         let _g = trace::region_profile("plonk_arithmetize");
         let num_public = r1cs.num_public_wires();
-        let raw_gates = r1cs.num_constraints() + num_public;
+
+        let mut gb = GateBuilder {
+            q_l: Vec::new(),
+            q_r: Vec::new(),
+            q_o: Vec::new(),
+            q_m: Vec::new(),
+            wires: [Vec::new(), Vec::new(), Vec::new()],
+            num_base_wires: r1cs.num_wires(),
+            aux_defs: Vec::new(),
+        };
+
+        // Public-input rows first: q_L·a + PI = 0 pins wire a to the input.
+        // Unused slots alias the a-wire so the copy constraint is
+        // trivially satisfied.
+        for wire in 0..num_public {
+            gb.push_gate(
+                [F::one(), F::zero(), F::zero(), F::zero()],
+                [wire, wire, wire],
+            );
+        }
+        let public_rows: Vec<usize> = (0..num_public).collect();
+
+        // One multiplication gate per R1CS row, preceded by the addition
+        // gates its sides require.
+        for cst in r1cs.constraints() {
+            let (wa, ca) = gb.lower(&cst.a);
+            let (wb, cb) = gb.lower(&cst.b);
+            let (wc, cc) = gb.lower(&cst.c);
+            gb.push_gate([F::zero(), F::zero(), -cc, ca * cb], [wa, wb, wc]);
+            trace::control(2);
+        }
+
+        let raw_gates = gb.q_l.len();
         let n = raw_gates.next_power_of_two().max(4);
         if Radix2Domain::<F>::new(4 * n).is_none() {
             return Err(ArithmetizeError::TooManyGates { gates: raw_gates });
         }
 
-        let zero = vec![F::zero(); n];
-        let mut q_l = zero.clone();
-        let q_r = zero.clone();
-        let mut q_o = zero.clone();
-        let mut q_m = zero.clone();
-        let q_c = zero.clone();
-        let mut wires = [vec![0usize; n], vec![0usize; n], vec![0usize; n]];
-        let mut public_rows = Vec::with_capacity(num_public);
-
-        // Public-input rows first: q_L·a + PI = 0 pins wire a to the input.
-        for (row, wire) in (0..num_public).enumerate() {
-            q_l[row] = F::one();
-            wires[0][row] = wire;
-            // Unused slots alias the a-wire so the copy constraint is
-            // trivially satisfied.
-            wires[1][row] = wire;
-            wires[2][row] = wire;
-            public_rows.push(row);
-        }
-
-        // One multiplication gate per R1CS row:
-        // (cₐwₐ)(c_b w_b) = c_c w_c  ⇒  q_M = cₐc_b, q_O = −c_c.
-        for (i, cst) in r1cs.constraints().iter().enumerate() {
-            let row = num_public + i;
-            let (wa, ca) = single_term(&cst.a, i)?;
-            let (wb, cb) = single_term(&cst.b, i)?;
-            let (wc, cc) = single_term(&cst.c, i)?;
-            q_m[row] = ca * cb;
-            q_o[row] = -cc;
-            wires[0][row] = wa;
-            wires[1][row] = wb;
-            wires[2][row] = wc;
-            trace::control(2);
-        }
         // Padding rows: all-zero selectors, wires alias wire 0 (the
         // constant-one wire, present in every witness).
+        let GateBuilder {
+            mut q_l,
+            mut q_r,
+            mut q_o,
+            mut q_m,
+            mut wires,
+            num_base_wires,
+            aux_defs,
+        } = gb;
+        q_l.resize(n, F::zero());
+        q_r.resize(n, F::zero());
+        q_o.resize(n, F::zero());
+        q_m.resize(n, F::zero());
+        let q_c = vec![F::zero(); n];
+        for col in wires.iter_mut() {
+            col.resize(n, 0);
+        }
 
         // Copy-constraint permutation: cycle the positions of each wire.
+        let num_wires = num_base_wires + aux_defs.len();
         let domain = Radix2Domain::<F>::new(n).expect("checked above");
         let ks = Self::coset_labels(&domain);
         let encode = |col: usize, row: usize| ks[col] * domain.element(row);
-        let mut positions: Vec<Vec<(usize, usize)>> = vec![Vec::new(); r1cs.num_wires()];
+        let mut positions: Vec<Vec<(usize, usize)>> = vec![Vec::new(); num_wires];
         for col in 0..3 {
             for row in 0..n {
                 positions[wires[col][row]].push((col, row));
             }
         }
+        let zero = vec![F::zero(); n];
         let mut sigma = [zero.clone(), zero.clone(), zero];
         for cycle in &positions {
             for (i, &(col, row)) in cycle.iter().enumerate() {
@@ -167,9 +223,23 @@ impl<F: PrimeField> PlonkCircuit<F> {
             wires,
             sigma,
             public_rows,
-            num_wires: r1cs.num_wires(),
+            num_base_wires,
+            num_wires,
+            aux_defs,
             coset_ks: ks,
         })
+    }
+
+    /// Extends a base R1CS witness with the auxiliary-wire values, in
+    /// definition order.
+    pub fn extend_witness(&self, witness: &[F]) -> Vec<F> {
+        let mut full = Vec::with_capacity(self.num_wires);
+        full.extend_from_slice(witness);
+        for def in &self.aux_defs {
+            let v = def.iter().fold(F::zero(), |acc, &(w, c)| acc + c * full[w]);
+            full.push(v);
+        }
+        full
     }
 
     /// Picks coset labels `1, k₁, k₂` such that `H`, `k₁H`, `k₂H` are
@@ -190,10 +260,12 @@ impl<F: PrimeField> PlonkCircuit<F> {
         [F::one(), k1, k2]
     }
 
-    /// Gate-slot values `(a, b, c)` columns drawn from a full R1CS witness.
+    /// Gate-slot values `(a, b, c)` columns drawn from a full R1CS
+    /// witness (auxiliary wires are computed here).
     pub fn wire_columns(&self, witness: &[F]) -> [Vec<F>; 3] {
+        let full = self.extend_witness(witness);
         let col = |c: usize| -> Vec<F> {
-            self.wires[c].iter().map(|&w| witness[w]).collect()
+            self.wires[c].iter().map(|&w| full[w]).collect()
         };
         [col(0), col(1), col(2)]
     }
@@ -257,12 +329,57 @@ mod tests {
         assert_eq!(all, images, "σ permutes the 3n encoded slots");
     }
 
+    /// Every gate must hold on the extended witness; shared with the
+    /// multi-term lowering test below.
+    #[allow(clippy::needless_range_loop)] // row indexes 8 parallel vectors
+    fn assert_gates_hold(plonk: &PlonkCircuit<Fr>, witness: &[Fr]) {
+        let cols = plonk.wire_columns(witness);
+        let pi = plonk.public_values(witness);
+        for row in 0..plonk.n {
+            let (a, b, c) = (cols[0][row], cols[1][row], cols[2][row]);
+            let mut acc = plonk.q_l[row] * a
+                + plonk.q_r[row] * b
+                + plonk.q_o[row] * c
+                + plonk.q_m[row] * a * b
+                + plonk.q_c[row];
+            if let Some(idx) = plonk.public_rows.iter().position(|&r| r == row) {
+                acc -= pi[idx];
+            }
+            assert!(acc.is_zero(), "gate {row} violated");
+        }
+    }
+
     #[test]
-    fn multi_term_constraints_are_rejected() {
-        // x + y = z uses a multi-term LC: (x + y)·1 = z.
+    fn multi_term_constraints_are_lowered_to_addition_chains() {
+        // x + y = z uses a multi-term LC: (x + y)·1 = z. The lowering
+        // spends one addition gate and one auxiliary wire on it.
         let src = "circuit s { public input x; private input y; output z = x + y; }";
         let circuit = zkperf_circuit::lang::compile::<Fr>(src).unwrap();
-        let err = PlonkCircuit::from_r1cs(circuit.r1cs()).unwrap_err();
-        assert!(matches!(err, ArithmetizeError::UnsupportedConstraint { .. }));
+        let plonk = PlonkCircuit::from_r1cs(circuit.r1cs()).unwrap();
+        assert!(!plonk.aux_defs.is_empty(), "no auxiliary wires introduced");
+        assert_eq!(plonk.num_wires, plonk.num_base_wires + plonk.aux_defs.len());
+        let w = circuit
+            .generate_witness(&[Fr::from_u64(3)], &[Fr::from_u64(4)])
+            .unwrap();
+        assert_gates_hold(&plonk, w.full());
+        // The extended witness carries the running sums after the base
+        // wires.
+        let full = plonk.extend_witness(w.full());
+        assert_eq!(full.len(), plonk.num_wires);
+        assert_eq!(&full[..w.full().len()], w.full());
+    }
+
+    #[test]
+    fn poseidon_circuit_arithmetizes_and_gates_hold() {
+        // The Poseidon gadget's MDS rows are the heaviest multi-term LCs
+        // in the library; the lowering must keep every gate satisfied.
+        let circuit = zkperf_circuit::library::merkle_membership_poseidon::<Fr>(2);
+        let path = [(Fr::from_u64(11), true), (Fr::from_u64(12), false)];
+        let (inputs, _root) =
+            zkperf_circuit::library::merkle_path_inputs_poseidon(Fr::from_u64(7), &path);
+        let w = circuit.generate_witness(&[], &inputs).unwrap();
+        let plonk = PlonkCircuit::from_r1cs(circuit.r1cs()).unwrap();
+        assert!(!plonk.aux_defs.is_empty());
+        assert_gates_hold(&plonk, w.full());
     }
 }

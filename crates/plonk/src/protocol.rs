@@ -206,9 +206,9 @@ where
 {
     let _g = trace::region_profile("plonk_prove");
     let circuit = &pk.circuit;
-    if witness.len() != circuit.num_wires {
+    if witness.len() != circuit.num_base_wires {
         return Err(PlonkError::WitnessLength {
-            expected: circuit.num_wires,
+            expected: circuit.num_base_wires,
             got: witness.len(),
         });
     }

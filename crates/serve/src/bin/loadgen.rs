@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use rand::{Rng, SeedableRng};
 
+use zkperf_core::Groth16Backend;
 use zkperf_ec::Bn254;
 use zkperf_resilience::chaos_mode;
 use zkperf_serve::{
@@ -135,7 +136,7 @@ fn run() -> Result<Vec<String>, String> {
     };
     let mut cfg = cfg;
     cfg.admission.max_depth = args.max_depth;
-    let mut server: Server<Bn254> =
+    let mut server: Server<Groth16Backend<Bn254>> =
         Server::open(format!("{cache_dir}/server"), cfg).map_err(|e| e.to_string())?;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
@@ -180,7 +181,7 @@ fn run() -> Result<Vec<String>, String> {
 
     // Every accepted prove job that was served must byte-match the
     // serial reference pipeline.
-    let mut serial_cache: ArtifactCache<Bn254> =
+    let mut serial_cache: ArtifactCache<Groth16Backend<Bn254>> =
         ArtifactCache::open(format!("{cache_dir}/serial")).map_err(|e| e.to_string())?;
     let mut compared = 0usize;
     for (id, spec) in &accepted {
@@ -205,7 +206,7 @@ fn run() -> Result<Vec<String>, String> {
 }
 
 fn harvest_proofs(
-    server: &Server<Bn254>,
+    server: &Server<Groth16Backend<Bn254>>,
     accepted: &[(u64, JobSpec)],
     out: &mut Vec<(CircuitSpec, Vec<u8>)>,
 ) {

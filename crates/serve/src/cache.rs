@@ -1,13 +1,17 @@
 //! A content-addressed artifact cache for compiled circuits and setup
 //! keys.
 //!
-//! Entries are keyed by a hash of the curve name and the circuit source,
-//! so identical shapes share one compile + trusted setup across jobs,
-//! retries, and server restarts. On disk each entry is a pair of
-//! checksummed v2 containers (`{key}.r1cs`, `{key}.zkey`) written
-//! atomically; reads that fail the container checks are classified by
-//! [`zkperf_io::ArtifactError::is_corruption`] and the entry is evicted
-//! and rebuilt — a corrupt artifact is never served.
+//! Entries are keyed by a hash of the backend label and the circuit
+//! source, so identical shapes share one compile + setup across jobs,
+//! retries, and server restarts. On disk each entry is a compiled R1CS
+//! container (`{key}.r1cs`) plus — for backends that persist key material
+//! ([`ProverBackend::save_keys`]) — a key container (`{key}.zkey`), both
+//! written atomically; reads that fail integrity checks are classified
+//! ([`KeyLoad::Corrupt`], [`zkperf_io::ArtifactError::is_corruption`])
+//! and the entry is evicted and rebuilt — a corrupt artifact is never
+//! served. Backends whose keys are cheap and deterministic (PLONK's
+//! seeded SRS, the STARK's parameter set) report [`KeyLoad::Unsupported`]
+//! and rebuild on every cold load instead.
 //!
 //! Setup randomness is derived from the content key alone, so a rebuilt
 //! entry is bit-identical to the original and proofs stay reproducible
@@ -21,19 +25,17 @@ use std::sync::Arc;
 use rand::SeedableRng;
 
 use zkperf_circuit::{lang, Circuit};
-use zkperf_core::StageError;
-use zkperf_ec::{CurveParams, Engine};
-use zkperf_groth16::{contribute, setup, ProvingKey};
-use zkperf_io::{
-    read_r1cs_file, read_zkey_file, write_r1cs_file, write_zkey_file, FieldCodec,
-};
+use zkperf_core::{KeyLoad, ProverBackend, StageError};
+use zkperf_io::{read_r1cs_file, write_r1cs_file};
 
 use crate::job::CircuitSpec;
 
 /// Domain-separation constant for setup randomness.
 const SETUP_SEED: u64 = 0x5e7_cafe_0000;
 
-/// Hashes `(curve, source)` into a 64-bit content key (FNV-1a).
+/// Hashes `(backend label, source)` into a 64-bit content key (FNV-1a).
+/// The Groth16 labels are the bare engine names, preserving the on-disk
+/// entries written before the backend-generic refactor.
 pub fn content_key(curve: &str, source: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for chunk in [curve.as_bytes(), &[0u8], source.as_bytes()] {
@@ -68,35 +70,32 @@ pub struct LoadTiming {
     pub setup_nanos: u64,
 }
 
-/// A compiled circuit and its proving key, shared across jobs.
-pub struct CacheEntry<E: Engine> {
+/// A compiled circuit and its backend key material, shared across jobs.
+pub struct CacheEntry<B: ProverBackend> {
     /// The compiled circuit (witness generation needs the instruction
     /// stream, not just the R1CS).
-    pub circuit: Circuit<E::Fr>,
-    /// The Groth16 proving key (embeds the verification key).
-    pub pk: ProvingKey<E>,
+    pub circuit: Circuit<B::Fr>,
+    /// The backend's prover-side keys (Groth16 proving key, PLONK SRS +
+    /// selectors, STARK parameter set).
+    pub keys: B::Keys,
     /// The entry's content key.
     pub key: u64,
 }
 
 /// The cache itself: an in-memory map over a disk directory.
-pub struct ArtifactCache<E: Engine> {
+pub struct ArtifactCache<B: ProverBackend> {
     dir: PathBuf,
-    mem: HashMap<u64, Arc<CacheEntry<E>>>,
+    mem: HashMap<u64, Arc<CacheEntry<B>>>,
     stats: CacheStats,
 }
 
-impl<E: Engine> ArtifactCache<E>
-where
-    <E::G1 as CurveParams>::Base: FieldCodec,
-    <E::G2 as CurveParams>::Base: FieldCodec,
-{
+impl<B: ProverBackend> ArtifactCache<B> {
     /// Opens (creating if needed) a cache rooted at `dir`.
     ///
     /// # Errors
     ///
     /// [`StageError::Artifact`] when the directory cannot be created.
-    pub fn open(dir: impl Into<PathBuf>) -> Result<ArtifactCache<E>, StageError> {
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ArtifactCache<B>, StageError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| StageError::Artifact {
             path: dir.display().to_string(),
@@ -139,8 +138,8 @@ where
     pub fn load_or_build(
         &mut self,
         spec: &CircuitSpec,
-    ) -> Result<(Arc<CacheEntry<E>>, LoadTiming), StageError> {
-        let key = content_key(E::NAME, &spec.source);
+    ) -> Result<(Arc<CacheEntry<B>>, LoadTiming), StageError> {
+        let key = content_key(B::label(), &spec.source);
         if let Some(entry) = self.mem.get(&key) {
             self.stats.mem_hits += 1;
             return Ok((Arc::clone(entry), LoadTiming::default()));
@@ -151,15 +150,15 @@ where
         // trusted setup (the paper's 76%-of-runtime stage) and to
         // cross-check the compile output.
         let start = std::time::Instant::now();
-        let circuit = lang::compile::<E::Fr>(&spec.source)?;
+        let circuit = lang::compile::<B::Fr>(&spec.source)?;
         self.reconcile_r1cs(key, &circuit)?;
         let compile_nanos = start.elapsed().as_nanos() as u64;
 
         let start = std::time::Instant::now();
-        let pk = self.load_or_setup_pk(key, &circuit)?;
+        let keys = self.load_or_setup_keys(key, &circuit)?;
         let setup_nanos = start.elapsed().as_nanos() as u64;
 
-        let entry = Arc::new(CacheEntry { circuit, pk, key });
+        let entry = Arc::new(CacheEntry { circuit, keys, key });
         self.mem.insert(key, Arc::clone(&entry));
         Ok((
             entry,
@@ -174,9 +173,9 @@ where
     /// A readable-but-different R1CS under a content-addressed key means
     /// the file was tampered with or corrupted in a checksum-colliding
     /// way; it is evicted like any other corruption.
-    fn reconcile_r1cs(&mut self, key: u64, circuit: &Circuit<E::Fr>) -> Result<(), StageError> {
+    fn reconcile_r1cs(&mut self, key: u64, circuit: &Circuit<B::Fr>) -> Result<(), StageError> {
         let path = self.r1cs_path(key);
-        match read_r1cs_file::<E::Fr>(&path) {
+        match read_r1cs_file::<B::Fr>(&path) {
             Ok(on_disk) if &on_disk == circuit.r1cs() => Ok(()),
             Ok(_) => {
                 self.evict(&path);
@@ -196,40 +195,42 @@ where
         }
     }
 
-    fn load_or_setup_pk(
+    fn load_or_setup_keys(
         &mut self,
         key: u64,
-        circuit: &Circuit<E::Fr>,
-    ) -> Result<ProvingKey<E>, StageError> {
+        circuit: &Circuit<B::Fr>,
+    ) -> Result<B::Keys, StageError> {
         let path = self.zkey_path(key);
-        match read_zkey_file::<E>(&path) {
-            Ok(pk) => {
+        match B::load_keys(&path) {
+            KeyLoad::Loaded(keys) => {
                 self.stats.disk_hits += 1;
-                Ok(pk)
+                Ok(keys)
             }
-            Err(e) if e.is_missing() => self.build_pk(key, circuit, &path),
-            Err(e) if e.is_corruption() => {
+            // `Unsupported`: this backend rebuilds deterministically from
+            // the seed instead of persisting keys — same build path as a
+            // cold cache, minus the disk write (save_keys no-ops).
+            KeyLoad::Missing | KeyLoad::Unsupported => self.build_keys(key, circuit, &path),
+            KeyLoad::Corrupt => {
                 self.evict(&path);
-                self.build_pk(key, circuit, &path)
+                self.build_keys(key, circuit, &path)
             }
-            Err(e) => Err(e.into()),
+            KeyLoad::Failed(e) => Err(e),
         }
     }
 
-    fn build_pk(
+    fn build_keys(
         &mut self,
         key: u64,
-        circuit: &Circuit<E::Fr>,
+        circuit: &Circuit<B::Fr>,
         path: &Path,
-    ) -> Result<ProvingKey<E>, StageError> {
+    ) -> Result<B::Keys, StageError> {
         self.stats.builds += 1;
         // Seeding from the content key makes rebuilt keys bit-identical,
         // which in turn keeps proofs byte-reproducible across evictions.
         let mut rng = rand::rngs::StdRng::seed_from_u64(SETUP_SEED ^ key);
-        let mut pk = setup::<E, _>(circuit.r1cs(), &mut rng)?;
-        contribute::<E, _>(&mut pk, &mut rng);
-        write_zkey_file::<E>(path, &pk)?;
-        Ok(pk)
+        let keys = B::setup(circuit.r1cs(), &mut rng)?;
+        B::save_keys(path, &keys)?;
+        Ok(keys)
     }
 
     fn evict(&mut self, path: &Path) {
@@ -243,7 +244,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use zkperf_ec::Bn254;
+    use zkperf_core::{Groth16Backend, ProverBackend, StarkBackend};
+    use zkperf_ec::{Bn254, Engine};
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -258,17 +260,17 @@ mod tests {
     fn disk_round_trip_skips_setup() {
         let dir = tmpdir("roundtrip");
         let spec = CircuitSpec::exponentiate(8, 3);
-        let mut cache = ArtifactCache::<Bn254>::open(&dir).unwrap();
+        let mut cache = ArtifactCache::<Groth16Backend<Bn254>>::open(&dir).unwrap();
         let (first, timing) = cache.load_or_build(&spec).unwrap();
         assert!(timing.setup_nanos > 0);
         assert_eq!(cache.stats().builds, 1);
 
         // A fresh cache over the same directory loads from disk.
-        let mut cache2 = ArtifactCache::<Bn254>::open(&dir).unwrap();
+        let mut cache2 = ArtifactCache::<Groth16Backend<Bn254>>::open(&dir).unwrap();
         let (second, _) = cache2.load_or_build(&spec).unwrap();
         assert_eq!(cache2.stats().builds, 0);
         assert_eq!(cache2.stats().disk_hits, 1);
-        assert_eq!(first.pk, second.pk);
+        assert_eq!(first.keys, second.keys);
 
         // Memory hit on repeat.
         cache2.load_or_build(&spec).unwrap();
@@ -280,7 +282,7 @@ mod tests {
     fn corrupt_zkey_is_evicted_and_rebuilt_identically() {
         let dir = tmpdir("corrupt");
         let spec = CircuitSpec::exponentiate(8, 3);
-        let mut cache = ArtifactCache::<Bn254>::open(&dir).unwrap();
+        let mut cache = ArtifactCache::<Groth16Backend<Bn254>>::open(&dir).unwrap();
         let (original, _) = cache.load_or_build(&spec).unwrap();
 
         let key = content_key(Bn254::NAME, &spec.source);
@@ -290,12 +292,39 @@ mod tests {
         bytes[mid] ^= 0x40;
         fs::write(&zkey, bytes).unwrap();
 
-        let mut cache2 = ArtifactCache::<Bn254>::open(&dir).unwrap();
+        let mut cache2 = ArtifactCache::<Groth16Backend<Bn254>>::open(&dir).unwrap();
         let (rebuilt, _) = cache2.load_or_build(&spec).unwrap();
         assert_eq!(cache2.stats().corrupt_evictions, 1);
         assert_eq!(cache2.stats().builds, 1);
         // Deterministic setup seed ⇒ the rebuild is bit-identical.
-        assert_eq!(original.pk, rebuilt.pk);
+        assert_eq!(original.keys, rebuilt.keys);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transparent_backend_rebuilds_instead_of_persisting_keys() {
+        let dir = tmpdir("stark");
+        let spec = CircuitSpec::exponentiate(8, 3);
+        let mut cache = ArtifactCache::<StarkBackend>::open(&dir).unwrap();
+        let (entry, _) = cache.load_or_build(&spec).unwrap();
+        assert_eq!(cache.stats().builds, 1);
+        // No key artifact is written; only the compiled R1CS is cached.
+        let zkey = dir.join(format!("{:016x}.zkey", entry.key));
+        assert!(!zkey.exists(), "transparent keys are not persisted");
+
+        // A fresh cache rebuilds (KeyLoad::Unsupported) rather than
+        // reading from disk — transparent setup is cheap and seedless.
+        let mut cache2 = ArtifactCache::<StarkBackend>::open(&dir).unwrap();
+        cache2.load_or_build(&spec).unwrap();
+        assert_eq!(cache2.stats().builds, 1);
+        assert_eq!(cache2.stats().disk_hits, 0);
+
+        // Distinct label ⇒ distinct content key from the Groth16 entry
+        // for the same source.
+        assert_ne!(
+            content_key(StarkBackend::label(), &spec.source),
+            content_key(Bn254::NAME, &spec.source)
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 }

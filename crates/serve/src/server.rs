@@ -14,13 +14,10 @@ use std::time::{Duration, Instant};
 
 use rand::SeedableRng;
 
-use zkperf_core::{Stage, StageError};
-use zkperf_ec::{CurveParams, Engine};
+use zkperf_core::{ProverBackend, Stage, StageError};
 use zkperf_ff::Field;
-use zkperf_groth16::{prove, verify, verify_batch};
 use zkperf_io::{
-    read_container_file, read_proof, write_container_file, write_proof, Container, Cursor,
-    FieldCodec, Payload,
+    read_container_file, write_container_file, Container, Cursor, Payload,
 };
 use zkperf_pool::CancelToken;
 use zkperf_resilience::{ChaosMode, RetryPolicy};
@@ -118,12 +115,12 @@ struct Counters {
     batched_verifies: u64,
 }
 
-/// A proving-as-a-service instance over engine `E`.
-pub struct Server<E: Engine> {
+/// A proving-as-a-service instance over proving backend `B`.
+pub struct Server<B: ProverBackend> {
     cfg: ServerConfig,
     queue: AdmissionQueue,
     breaker: CircuitBreaker,
-    cache: ArtifactCache<E>,
+    cache: ArtifactCache<B>,
     metrics: StageTable,
     outcomes: BTreeMap<JobId, JobOutcome>,
     deadlines: HashMap<JobId, Instant>,
@@ -138,7 +135,7 @@ pub struct Server<E: Engine> {
 /// content key and the job's inputs, so retries, resubmissions, and the
 /// serial path all produce byte-identical proofs.
 fn prove_seed(key: u64, spec: &CircuitSpec) -> u64 {
-    let mut h = 0x70_1e5e ^ key;
+    let mut h: u64 = 0x70_1e5e ^ key;
     for &v in spec.public_inputs.iter().chain(&spec.private_inputs) {
         h ^= v;
         h = h.wrapping_mul(0x100_0000_01b3).rotate_left(17);
@@ -146,18 +143,14 @@ fn prove_seed(key: u64, spec: &CircuitSpec) -> u64 {
     h
 }
 
-impl<E: Engine> Server<E>
-where
-    <E::G1 as CurveParams>::Base: FieldCodec,
-    <E::G2 as CurveParams>::Base: FieldCodec,
-{
+impl<B: ProverBackend> Server<B> {
     /// Opens a server whose artifact cache lives under `cache_dir`.
     ///
     /// # Errors
     ///
     /// [`StageError::Artifact`] when the cache directory cannot be
     /// created.
-    pub fn open(cache_dir: impl Into<std::path::PathBuf>, cfg: ServerConfig) -> Result<Server<E>, StageError> {
+    pub fn open(cache_dir: impl Into<std::path::PathBuf>, cfg: ServerConfig) -> Result<Server<B>, StageError> {
         let cache = ArtifactCache::open(cache_dir)?;
         Ok(Server {
             breaker: CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown_ticks),
@@ -238,7 +231,7 @@ where
             _ => {}
         }
 
-        let key = content_key(E::NAME, &spec.circuit.source);
+        let key = content_key(B::label(), &spec.circuit.source);
         let key_label = format!("{key:016x}");
         match self.breaker.check(&key_label, self.tick) {
             BreakerDecision::Reject { until_tick } => {
@@ -339,11 +332,11 @@ where
         if self.cfg.verify_batch_max < 2 || !batchable(&self.deadlines, &batch[0]) {
             return batch;
         }
-        let key = content_key(E::NAME, &batch[0].spec.circuit.source);
+        let key = content_key(B::label(), &batch[0].spec.circuit.source);
         while batch.len() < self.cfg.verify_batch_max {
             let deadlines = &self.deadlines;
             let Some(next) = self.queue.pop_if(|j| {
-                batchable(deadlines, j) && content_key(E::NAME, &j.spec.circuit.source) == key
+                batchable(deadlines, j) && content_key(B::label(), &j.spec.circuit.source) == key
             }) else {
                 break;
             };
@@ -360,7 +353,7 @@ where
     fn probe_verify(
         &mut self,
         job: &QueuedJob,
-    ) -> Result<(zkperf_groth16::Proof<E>, Vec<E::Fr>, LoadTiming, u64), StageError> {
+    ) -> Result<(B::Proof, Vec<B::Fr>, LoadTiming, u64), StageError> {
         self.pre_stage(job.id, 1, Stage::Compile)?;
         let (entry, timing) = self.cache.load_or_build(&job.spec.circuit)?;
         if entry.circuit.r1cs().num_constraints() != job.spec.circuit.constraints {
@@ -372,8 +365,8 @@ where
 
         self.pre_stage(job.id, 1, Stage::Witness)?;
         let start = Instant::now();
-        let to_field = |vals: &[u64]| -> Vec<E::Fr> {
-            vals.iter().map(|&v| E::Fr::from_u64(v)).collect()
+        let to_field = |vals: &[u64]| -> Vec<B::Fr> {
+            vals.iter().map(|&v| B::Fr::from_u64(v)).collect()
         };
         let witness = entry.circuit.generate_witness(
             &to_field(&job.spec.circuit.public_inputs),
@@ -387,21 +380,19 @@ where
                 stage: Stage::Verifying,
             });
         };
-        let parsed =
-            read_proof::<E>(&mut proof.as_slice()).map_err(|e| StageError::Artifact {
-                path: format!("(job {} proof payload)", job.id),
-                detail: e.to_string(),
-            })?;
+        let parsed = B::decode_proof(proof)?;
         Ok((parsed, witness.public().to_vec(), timing, witness_nanos))
     }
 
-    /// Runs `batch` (≥ 2 same-circuit verify jobs) through one combined
+    /// Runs `batch` (≥ 2 same-circuit verify jobs) through the backend's
+    /// combined check ([`ProverBackend::verify_batch`]; for Groth16 one
     /// random-linear-combination pairing check — `2k + 3` Miller loops
-    /// instead of `4k`. RLC coefficients come from an rng seeded purely by
-    /// the batch's job content, so replays are deterministic. Jobs whose
-    /// pre-verify stages fail, and every job of a batch whose combined
-    /// check does not pass, fall back to the standard per-job path for
-    /// individual outcomes.
+    /// instead of `4k`). RLC coefficients come from an rng seeded purely
+    /// by the batch's job content, so replays are deterministic. Jobs
+    /// whose pre-verify stages fail, every job of a batch whose combined
+    /// check does not pass, and all jobs of backends with no batch path
+    /// (`None`) fall back to the standard per-job path for individual
+    /// outcomes.
     fn execute_verify_batch(&mut self, batch: Vec<QueuedJob>) {
         let mut ready = Vec::with_capacity(batch.len());
         let mut singles = Vec::new();
@@ -424,20 +415,20 @@ where
                             ^ job.id;
                     }
                     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                    let items: Vec<(zkperf_groth16::Proof<E>, Vec<E::Fr>)> = ready
+                    let items: Vec<(B::Proof, Vec<B::Fr>)> = ready
                         .iter()
                         .map(|(_, (proof, public, _, _))| (proof.clone(), public.clone()))
                         .collect();
                     let start = Instant::now();
-                    let verdict = verify_batch::<E, _>(&entry.pk.vk, &items, &mut rng);
+                    let verdict = B::verify_batch(&entry.keys, &items, &mut rng);
                     let batch_nanos = start.elapsed().as_nanos() as u64;
-                    if matches!(verdict, Ok(true)) {
+                    if matches!(verdict, Some(true)) {
                         let per_job = batch_nanos / ready.len() as u64;
                         self.counters.verify_batches += 1;
                         self.counters.batched_verifies += ready.len() as u64;
                         for (job, (_, _, timing, witness_nanos)) in ready {
                             let key_label =
-                                format!("{:016x}", content_key(E::NAME, &job.spec.circuit.source));
+                                format!("{:016x}", content_key(B::label(), &job.spec.circuit.source));
                             self.breaker.record_success(&key_label);
                             self.metrics.record("compile", timing.compile_nanos);
                             self.metrics.record("setup", timing.setup_nanos);
@@ -482,7 +473,7 @@ where
     /// policy's jittered backoff, cancellation short-circuits, and the
     /// breaker records the terminal result for the circuit shape.
     fn execute(&mut self, id: JobId, spec: &JobSpec) -> JobOutcome {
-        let key = content_key(E::NAME, &spec.circuit.source);
+        let key = content_key(B::label(), &spec.circuit.source);
         let key_label = format!("{key:016x}");
         let deadline = self.deadlines.remove(&id);
         let token = match deadline {
@@ -599,8 +590,8 @@ where
 
         self.pre_stage(id, attempt, Stage::Witness)?;
         let start = Instant::now();
-        let to_field = |vals: &[u64]| -> Vec<E::Fr> {
-            vals.iter().map(|&v| E::Fr::from_u64(v)).collect()
+        let to_field = |vals: &[u64]| -> Vec<B::Fr> {
+            vals.iter().map(|&v| B::Fr::from_u64(v)).collect()
         };
         let witness = entry.circuit.generate_witness(
             &to_field(&spec.circuit.public_inputs),
@@ -614,12 +605,8 @@ where
                 let start = Instant::now();
                 let streamed0 = zkperf_pool::mem::streamed_bytes();
                 let mut rng = rand::rngs::StdRng::seed_from_u64(prove_seed(entry.key, &spec.circuit));
-                let proof = prove::<E, _>(&entry.pk, entry.circuit.r1cs(), &witness, &mut rng)?;
-                let mut bytes = Vec::new();
-                write_proof::<E>(&mut bytes, &proof).map_err(|e| StageError::Artifact {
-                    path: format!("(job {id} proof encoding)"),
-                    detail: e.to_string(),
-                })?;
+                let proof = B::prove(&entry.keys, entry.circuit.r1cs(), &witness, &mut rng)?;
+                let bytes = B::encode_proof(&proof);
                 self.metrics.record("prove", start.elapsed().as_nanos() as u64);
                 self.metrics.record_streamed(
                     "prove",
@@ -630,13 +617,8 @@ where
             JobKind::Verify { proof } => {
                 self.pre_stage(id, attempt, Stage::Verifying)?;
                 let start = Instant::now();
-                let parsed = read_proof::<E>(&mut proof.as_slice()).map_err(|e| {
-                    StageError::Artifact {
-                        path: format!("(job {id} proof payload)"),
-                        detail: e.to_string(),
-                    }
-                })?;
-                let ok = verify::<E>(&entry.pk.vk, &parsed, witness.public())?;
+                let parsed = B::decode_proof(proof)?;
+                let ok = B::verify(&entry.keys, entry.circuit.r1cs(), &parsed, witness.public())?;
                 self.metrics.record("verify", start.elapsed().as_nanos() as u64);
                 Ok((Vec::new(), Some(ok)))
             }
@@ -866,27 +848,18 @@ fn decode_u64s(cur: &mut Cursor<'_>) -> Result<Vec<u64>, zkperf_io::FormatError>
 /// # Errors
 ///
 /// The same [`StageError`]s the server-side pipeline produces.
-pub fn prove_serial<E: Engine>(
-    cache: &mut ArtifactCache<E>,
+pub fn prove_serial<B: ProverBackend>(
+    cache: &mut ArtifactCache<B>,
     spec: &CircuitSpec,
-) -> Result<Vec<u8>, StageError>
-where
-    <E::G1 as CurveParams>::Base: FieldCodec,
-    <E::G2 as CurveParams>::Base: FieldCodec,
-{
+) -> Result<Vec<u8>, StageError> {
     let (entry, _) = cache.load_or_build(spec)?;
-    let to_field = |vals: &[u64]| -> Vec<E::Fr> {
-        vals.iter().map(|&v| E::Fr::from_u64(v)).collect()
+    let to_field = |vals: &[u64]| -> Vec<B::Fr> {
+        vals.iter().map(|&v| B::Fr::from_u64(v)).collect()
     };
     let witness = entry
         .circuit
         .generate_witness(&to_field(&spec.public_inputs), &to_field(&spec.private_inputs))?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(prove_seed(entry.key, spec));
-    let proof = prove::<E, _>(&entry.pk, entry.circuit.r1cs(), &witness, &mut rng)?;
-    let mut bytes = Vec::new();
-    write_proof::<E>(&mut bytes, &proof).map_err(|e| StageError::Artifact {
-        path: "(serial proof encoding)".to_string(),
-        detail: e.to_string(),
-    })?;
-    Ok(bytes)
+    let proof = B::prove(&entry.keys, entry.circuit.r1cs(), &witness, &mut rng)?;
+    Ok(B::encode_proof(&proof))
 }

@@ -8,6 +8,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use zkperf_core::Groth16Backend;
 use zkperf_ec::Bn254;
 use zkperf_serve::{
     prove_serial, ArtifactCache, CircuitSpec, JobKind, JobOutcome, JobSpec, Priority,
@@ -37,7 +38,7 @@ fn overload_sheds_lowest_priority_first_and_stays_deterministic() {
     let dir = tmpdir("overload");
     let mut cfg = ServerConfig::default();
     cfg.admission.max_depth = 3;
-    let mut server: Server<Bn254> = Server::open(dir.join("server"), cfg).unwrap();
+    let mut server: Server<Groth16Backend<Bn254>> = Server::open(dir.join("server"), cfg).unwrap();
 
     // Five Low arrivals against a depth-3 queue: 1..3 admitted, 4..5
     // rejected outright (nothing to shed at equal priority).
@@ -90,7 +91,7 @@ fn overload_sheds_lowest_priority_first_and_stays_deterministic() {
     assert!(server.accounting_errors().is_empty());
 
     // Byte-identical to the serial reference pipeline.
-    let mut serial: ArtifactCache<Bn254> = ArtifactCache::open(dir.join("serial")).unwrap();
+    let mut serial: ArtifactCache<Groth16Backend<Bn254>> = ArtifactCache::open(dir.join("serial")).unwrap();
     for (id, x) in [(norm_id, 7u64), (high1, 8), (high2, 9)] {
         let spec = CircuitSpec::exponentiate(8, x);
         let expected = prove_serial(&mut serial, &spec).unwrap();
@@ -109,7 +110,7 @@ fn overload_sheds_lowest_priority_first_and_stays_deterministic() {
 #[test]
 fn expired_deadline_is_a_typed_outcome() {
     let dir = tmpdir("deadline");
-    let mut server: Server<Bn254> =
+    let mut server: Server<Groth16Backend<Bn254>> =
         Server::open(dir.join("server"), ServerConfig::default()).unwrap();
     let (id, res) = server.submit(JobSpec {
         circuit: CircuitSpec::exponentiate(8, 3),
@@ -139,7 +140,7 @@ fn failing_circuit_shape_is_quarantined() {
     cfg.retry.base_backoff = Duration::ZERO;
     cfg.breaker_threshold = 2;
     cfg.breaker_cooldown_ticks = 3;
-    let mut server: Server<Bn254> = Server::open(dir.join("server"), cfg).unwrap();
+    let mut server: Server<Groth16Backend<Bn254>> = Server::open(dir.join("server"), cfg).unwrap();
 
     let bad = JobSpec {
         circuit: CircuitSpec {
@@ -199,7 +200,7 @@ fn overload_degrades_to_verify_only_and_recovers() {
         verify_only_depth: 2,
         ..ServerConfig::default()
     };
-    let mut server: Server<Bn254> = Server::open(dir.join("server"), cfg).unwrap();
+    let mut server: Server<Groth16Backend<Bn254>> = Server::open(dir.join("server"), cfg).unwrap();
 
     let (first, res) = server.submit(prove_job(8, 3, Priority::Normal));
     assert!(res.is_ok());
@@ -243,7 +244,7 @@ fn overload_degrades_to_verify_only_and_recovers() {
 #[test]
 fn verify_jobs_batch_into_one_pairing_check() {
     let dir = tmpdir("vbatch");
-    let mut server: Server<Bn254> =
+    let mut server: Server<Groth16Backend<Bn254>> =
         Server::open(dir.join("server"), ServerConfig::default()).unwrap();
 
     // Produce real proof bytes for x = 3 and x = 4.
@@ -252,7 +253,7 @@ fn verify_jobs_batch_into_one_pairing_check() {
     let (p4, res) = server.submit(prove_job(8, 4, Priority::Normal));
     assert!(res.is_ok());
     server.run_until_drained();
-    let proof_of = |server: &Server<Bn254>, id| match server.outcome(id) {
+    let proof_of = |server: &Server<Groth16Backend<Bn254>>, id| match server.outcome(id) {
         Some(JobOutcome::Served { proof, .. }) => proof.clone(),
         other => panic!("{other:?}"),
     };
@@ -315,7 +316,7 @@ fn verify_jobs_batch_into_one_pairing_check() {
         verify_batch_max: 1,
         ..ServerConfig::default()
     };
-    let mut single: Server<Bn254> = Server::open(dir.join("single"), cfg).unwrap();
+    let mut single: Server<Groth16Backend<Bn254>> = Server::open(dir.join("single"), cfg).unwrap();
     for (x, proof) in [(3, &proof3), (4, &proof4)] {
         let (_, res) = single.submit(verify_job(x, proof.clone()));
         assert!(res.is_ok());
@@ -337,7 +338,7 @@ fn drain_checkpoint_resume_round_trip() {
     let ckpt = dir.join("drain.zksv");
     let specs = [(16usize, 5u64), (8, 6)];
 
-    let mut server: Server<Bn254> =
+    let mut server: Server<Groth16Backend<Bn254>> =
         Server::open(dir.join("server"), ServerConfig::default()).unwrap();
     let mut ids = Vec::new();
     for &(constraints, x) in &specs {
@@ -359,14 +360,14 @@ fn drain_checkpoint_resume_round_trip() {
     assert!(server.accounting_errors().is_empty());
 
     // A successor over the same artifact cache resumes the queue.
-    let mut successor: Server<Bn254> =
+    let mut successor: Server<Groth16Backend<Bn254>> =
         Server::open(dir.join("server"), ServerConfig::default()).unwrap();
     let resumed = successor.resume_from_checkpoint(&ckpt).unwrap();
     assert_eq!(resumed.len(), 2);
     assert!(resumed.iter().all(|(_, r)| r.is_ok()));
     successor.run_until_drained();
 
-    let mut serial: ArtifactCache<Bn254> = ArtifactCache::open(dir.join("serial")).unwrap();
+    let mut serial: ArtifactCache<Groth16Backend<Bn254>> = ArtifactCache::open(dir.join("serial")).unwrap();
     for (i, &(constraints, x)) in specs.iter().enumerate() {
         let new_id = *resumed[i].1.as_ref().unwrap();
         let expected = prove_serial(&mut serial, &CircuitSpec::exponentiate(constraints, x)).unwrap();
@@ -383,7 +384,7 @@ fn drain_checkpoint_resume_round_trip() {
     // A truncated checkpoint is typed corruption, never replayed.
     let bytes = fs::read(&ckpt).unwrap();
     fs::write(&ckpt, &bytes[..bytes.len() / 2]).unwrap();
-    let mut another: Server<Bn254> =
+    let mut another: Server<Groth16Backend<Bn254>> =
         Server::open(dir.join("server2"), ServerConfig::default()).unwrap();
     let err = another.resume_from_checkpoint(&ckpt).unwrap_err();
     assert!(

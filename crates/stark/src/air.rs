@@ -1,0 +1,214 @@
+//! The R1CS → AIR mapping: execution-trace columns and the public-input
+//! boundary polynomials.
+//!
+//! The suite's front end produces R1CS, so the "AIR" here is the direct
+//! tabular reading of it: row `i` of the trace holds the three inner
+//! products `aᵢ = ⟨Aᵢ, w⟩`, `bᵢ = ⟨Bᵢ, w⟩`, `cᵢ = ⟨Cᵢ, w⟩` of constraint
+//! `i`, and a fourth column `p` laying the `k` public wires out over the
+//! first `k` rows. Two constraint families cover the system:
+//!
+//! 1. `a(x)·b(x) − c(x)` vanishes on the whole trace domain `H`
+//!    (quotient by `Z_H = xⁿ − 1`);
+//! 2. `p(x) − I_pub(x)` vanishes on the first `k` points of `H`, where
+//!    `I_pub` interpolates the claimed public inputs (quotient by
+//!    `Z_pub = Π_{i<k}(x − ωⁱ)`) — the binding that makes tampered
+//!    public inputs a rejected mutation class.
+//!
+//! Rows past the last constraint pad with the zero combination
+//! (`0·0 − 0 = 0`), so padding never weakens constraint 1.
+
+use zkperf_circuit::R1cs;
+use zkperf_ff::{Field, Goldilocks, PrimeField};
+use zkperf_poly::Radix2Domain;
+use zkperf_pool as pool;
+use zkperf_trace as trace;
+
+use crate::error::StarkError;
+
+type F = Goldilocks;
+
+/// Parallelization grain for per-row LC evaluation.
+const GRAIN: usize = 128;
+
+/// The shape of the trace: domain size and public-wire count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceLayout {
+    /// Trace-domain size: the smallest power of two covering both the
+    /// constraint rows and the public-wire rows.
+    pub n: usize,
+    /// Number of public wires (`1 + outputs + public inputs`).
+    pub k: usize,
+}
+
+impl TraceLayout {
+    /// The layout induced by a circuit.
+    pub fn of<Fx: PrimeField>(r1cs: &R1cs<Fx>) -> Self {
+        let k = r1cs.num_public_wires();
+        let n = r1cs.num_constraints().max(k).max(1).next_power_of_two();
+        TraceLayout { n, k }
+    }
+}
+
+/// The four trace columns, evaluated over the trace domain `H`.
+#[derive(Debug, Clone)]
+pub struct TraceColumns {
+    /// The layout the columns were built for.
+    pub layout: TraceLayout,
+    /// `⟨Aᵢ, w⟩` per row.
+    pub a: Vec<F>,
+    /// `⟨Bᵢ, w⟩` per row.
+    pub b: Vec<F>,
+    /// `⟨Cᵢ, w⟩` per row.
+    pub c: Vec<F>,
+    /// Public wires over the first `k` rows, zero elsewhere.
+    pub p: Vec<F>,
+}
+
+/// Evaluates every constraint row of `r1cs` on `witness`.
+///
+/// # Errors
+///
+/// [`StarkError::WitnessLength`] when the witness does not cover the
+/// circuit's wires. An *unsatisfying* witness is accepted — the resulting
+/// proof simply fails verification, matching the pairing backends, where
+/// soundness (not the prover) polices satisfaction.
+pub fn build_trace(r1cs: &R1cs<F>, witness: &[F]) -> Result<TraceColumns, StarkError> {
+    if witness.len() != r1cs.num_wires() {
+        return Err(StarkError::WitnessLength {
+            expected: r1cs.num_wires(),
+            got: witness.len(),
+        });
+    }
+    let _g = trace::region_profile("arithmetize");
+    let layout = TraceLayout::of(r1cs);
+    let rows = r1cs.num_constraints();
+    let mut a = vec![F::zero(); layout.n];
+    let mut b = vec![F::zero(); layout.n];
+    let mut c = vec![F::zero(); layout.n];
+    let constraints = r1cs.constraints();
+    for (col, pick) in [&mut a, &mut b, &mut c].into_iter().zip([0usize, 1, 2]) {
+        pool::parallel_fill(&mut col[..rows], GRAIN, |i| {
+            let cs = &constraints[i];
+            match pick {
+                0 => cs.a.evaluate(witness),
+                1 => cs.b.evaluate(witness),
+                _ => cs.c.evaluate(witness),
+            }
+        });
+    }
+    let mut p = vec![F::zero(); layout.n];
+    p[..layout.k].copy_from_slice(&witness[..layout.k]);
+    Ok(TraceColumns { layout, a, b, c, p })
+}
+
+/// Coefficients of `I_pub`, the degree `< k` interpolation of `public`
+/// over the first `k` trace-domain points (O(k²) Lagrange; `k` is a
+/// handful for every circuit in the suite).
+pub fn public_interpolant(domain_h: &Radix2Domain<F>, public: &[F]) -> Vec<F> {
+    let k = public.len();
+    let points: Vec<F> = (0..k).map(|i| domain_h.element(i)).collect();
+    let mut coeffs = vec![F::zero(); k.max(1)];
+    for (j, (xj, yj)) in points.iter().zip(public).enumerate() {
+        // ℓ_j(x) = Π_{m≠j} (x − x_m) / (x_j − x_m), accumulated as a
+        // coefficient vector.
+        let mut basis = vec![F::one()];
+        let mut denom = F::one();
+        for (m, xm) in points.iter().enumerate() {
+            if m == j {
+                continue;
+            }
+            basis = poly_mul_linear(&basis, -*xm);
+            denom *= *xj - *xm;
+        }
+        let scale = *yj * denom.inverse().expect("interpolation points are distinct");
+        for (slot, cb) in coeffs.iter_mut().zip(&basis) {
+            *slot += *cb * scale;
+        }
+    }
+    coeffs
+}
+
+/// Coefficients of `Z_pub = Π_{i<k}(x − ωⁱ)` (degree `k`).
+pub fn public_vanishing(domain_h: &Radix2Domain<F>, k: usize) -> Vec<F> {
+    let mut acc = vec![F::one()];
+    for i in 0..k {
+        acc = poly_mul_linear(&acc, -domain_h.element(i));
+    }
+    acc
+}
+
+/// Multiplies a coefficient vector by `(x + c)`.
+fn poly_mul_linear(poly: &[F], c: F) -> Vec<F> {
+    let mut out = vec![F::zero(); poly.len() + 1];
+    for (i, &pi) in poly.iter().enumerate() {
+        out[i] += pi * c;
+        out[i + 1] += pi;
+    }
+    out
+}
+
+/// Horner evaluation of a coefficient vector.
+pub fn eval_poly(coeffs: &[F], x: F) -> F {
+    let mut acc = F::zero();
+    for &ci in coeffs.iter().rev() {
+        acc = acc * x + ci;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_circuit::library::exponentiate;
+
+    #[test]
+    fn trace_rows_satisfy_the_r1cs_rowwise() {
+        let circuit = exponentiate::<F>(8);
+        let w = circuit.generate_witness(&[F::from_u64(3)], &[]).unwrap();
+        let cols = build_trace(circuit.r1cs(), w.full()).unwrap();
+        assert!(cols.layout.n.is_power_of_two());
+        for i in 0..cols.layout.n {
+            assert_eq!(cols.a[i] * cols.b[i], cols.c[i], "row {i}");
+        }
+        assert_eq!(cols.p[0], F::one(), "wire 0 is the constant 1");
+        assert_eq!(&cols.p[..cols.layout.k], w.public());
+    }
+
+    #[test]
+    fn wrong_witness_length_is_typed() {
+        let circuit = exponentiate::<F>(4);
+        let err = build_trace(circuit.r1cs(), &[F::one()]).unwrap_err();
+        assert!(matches!(err, StarkError::WitnessLength { .. }));
+    }
+
+    #[test]
+    fn interpolant_matches_on_domain_points_and_vanishing_vanishes() {
+        let domain = Radix2Domain::<F>::new(16).unwrap();
+        let public = [F::from_u64(1), F::from_u64(42), F::from_u64(7)];
+        let interp = public_interpolant(&domain, &public);
+        let vanish = public_vanishing(&domain, public.len());
+        assert_eq!(interp.len(), 3);
+        assert_eq!(vanish.len(), 4);
+        for (i, want) in public.iter().enumerate() {
+            let x = domain.element(i);
+            assert_eq!(eval_poly(&interp, x), *want);
+            assert!(eval_poly(&vanish, x).is_zero());
+        }
+        // Off the constrained points, Z_pub must not vanish.
+        assert!(!eval_poly(&vanish, domain.element(7)).is_zero());
+    }
+
+    #[test]
+    fn zero_constraint_layout_still_covers_public_wires() {
+        // A source with no constraints still has wire 0; the layout pads
+        // to a non-empty power of two.
+        let layout = TraceLayout {
+            n: 1usize.next_power_of_two(),
+            k: 1,
+        };
+        assert_eq!(layout.n, 1);
+        let domain = Radix2Domain::<F>::new(1).unwrap();
+        assert_eq!(domain.size(), 1);
+        assert!(domain.element(0).is_one());
+    }
+}

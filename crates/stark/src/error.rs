@@ -1,0 +1,142 @@
+//! The typed error surface of the transparent backend.
+//!
+//! Every rejection a mutated proof can trigger has its own variant, so
+//! the soundness-negative battery can assert not just *that* a corruption
+//! was caught but *where* — a tampered Merkle path must die in the path
+//! check, not fall through to a generic failure.
+
+use std::fmt;
+
+/// Everything that can go wrong proving or verifying a STARK.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StarkError {
+    /// The witness vector does not match the circuit's wire count.
+    WitnessLength {
+        /// Wires the R1CS declares.
+        expected: usize,
+        /// Elements supplied.
+        got: usize,
+    },
+    /// The padded trace (times blowup) exceeds the field's 2-adic domain.
+    DomainTooLarge {
+        /// Evaluation-domain size that was requested.
+        needed: usize,
+    },
+    /// The ambient [`zkperf_pool::CancelToken`] fired mid-stage.
+    Cancelled,
+    /// A proof header field disagrees with the verifier's own parameters
+    /// (trace length, public-wire count, blowup, query count).
+    ParamsMismatch {
+        /// Which header field diverged.
+        what: &'static str,
+        /// The verifier's value.
+        expected: u64,
+        /// The proof's value.
+        got: u64,
+    },
+    /// The proof body has the wrong shape (truncated query set, missing
+    /// FRI layer, path of the wrong length, …).
+    Malformed {
+        /// Which structural invariant failed.
+        what: &'static str,
+    },
+    /// The proof bytes failed to decode.
+    Decode {
+        /// Which field of the encoding was unreadable.
+        what: &'static str,
+    },
+    /// A Merkle authentication path does not lead to the committed root.
+    MerklePath {
+        /// Which tree ("trace", "quotient" or "fri").
+        tree: &'static str,
+        /// Query round that failed.
+        query: usize,
+    },
+    /// The out-of-domain evaluations do not satisfy the constraint
+    /// identity at the DEEP point — the committed trace is unsatisfied or
+    /// the evaluations were tampered with.
+    OodInconsistent,
+    /// An opened quotient value disagrees with the constraint formula at
+    /// its own domain point.
+    QuotientMismatch {
+        /// Query round that failed.
+        query: usize,
+    },
+    /// The DEEP composition recomputed from the openings disagrees with
+    /// the committed first FRI layer.
+    DeepMismatch {
+        /// Query round that failed.
+        query: usize,
+    },
+    /// Two consecutive FRI layers are inconsistent under the fold.
+    FriFold {
+        /// Layer whose folded value diverged.
+        layer: usize,
+        /// Query round that failed.
+        query: usize,
+    },
+    /// The last fold disagrees with the final polynomial sent in the
+    /// clear.
+    FriFinal {
+        /// Query round that failed.
+        query: usize,
+    },
+}
+
+impl fmt::Display for StarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StarkError::WitnessLength { expected, got } => {
+                write!(f, "witness has {got} elements, circuit has {expected} wires")
+            }
+            StarkError::DomainTooLarge { needed } => {
+                write!(f, "evaluation domain of {needed} exceeds the 2-adic subgroup")
+            }
+            StarkError::Cancelled => write!(f, "cancelled by the ambient CancelToken"),
+            StarkError::ParamsMismatch { what, expected, got } => {
+                write!(f, "proof header {what} is {got}, verifier expects {expected}")
+            }
+            StarkError::Malformed { what } => write!(f, "malformed proof: {what}"),
+            StarkError::Decode { what } => write!(f, "undecodable proof bytes: {what}"),
+            StarkError::MerklePath { tree, query } => {
+                write!(f, "{tree} Merkle path rejected at query {query}")
+            }
+            StarkError::OodInconsistent => {
+                write!(f, "out-of-domain evaluations violate the constraint identity")
+            }
+            StarkError::QuotientMismatch { query } => {
+                write!(f, "opened quotient violates the constraint identity at query {query}")
+            }
+            StarkError::DeepMismatch { query } => {
+                write!(f, "DEEP composition mismatch at query {query}")
+            }
+            StarkError::FriFold { layer, query } => {
+                write!(f, "FRI fold inconsistent at layer {layer}, query {query}")
+            }
+            StarkError::FriFinal { query } => {
+                write!(f, "final FRI polynomial mismatch at query {query}")
+            }
+        }
+    }
+}
+
+impl StarkError {
+    /// Whether this error is a *soundness rejection* — the proof (or its
+    /// claimed statement) was examined and refused — as opposed to an
+    /// environmental failure (bad witness shape, oversized domain,
+    /// cancellation) where no verdict about the proof was reached.
+    ///
+    /// Backend-generic callers map rejections to `verified = false` and
+    /// propagate everything else as an error, matching the pairing
+    /// backends' accept/reject surface.
+    pub fn is_rejection(&self) -> bool {
+        !matches!(
+            self,
+            StarkError::WitnessLength { .. }
+                | StarkError::DomainTooLarge { .. }
+                | StarkError::Cancelled
+        )
+    }
+}
+
+impl std::error::Error for StarkError {}

@@ -1,0 +1,166 @@
+//! Poseidon Merkle commitments over Goldilocks rows.
+//!
+//! One tree commits one codeword (or one multi-column row per leaf).
+//! Leaves are compressed with a sponge chain over [`poseidon_hash2`],
+//! internal nodes with a single two-to-one call. Layer construction runs
+//! on the deterministic pool: every node is a pure function of its two
+//! children and nodes are written to disjoint slots, so the tree — and
+//! with it every STARK proof byte — is identical at any thread count.
+
+use zkperf_circuit::poseidon::poseidon_hash2;
+use zkperf_ff::{Field, Goldilocks};
+use zkperf_pool as pool;
+use zkperf_trace as trace;
+
+type F = Goldilocks;
+
+/// Parallelization grain: hashing fewer nodes than this per task would be
+/// dominated by pool dispatch.
+const GRAIN: usize = 64;
+
+/// Compresses one leaf row (any length, including empty) to a digest with
+/// a zero-initialized sponge chain.
+pub fn hash_row(row: &[F]) -> F {
+    let mut acc = F::zero();
+    for v in row {
+        acc = poseidon_hash2(acc, *v);
+    }
+    acc
+}
+
+/// A fully materialized Merkle tree over a power-of-two number of leaf
+/// digests.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` are the leaf digests; each later level halves; the
+    /// last holds the single root.
+    levels: Vec<Vec<F>>,
+}
+
+impl MerkleTree {
+    /// Builds the tree over precomputed leaf digests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `digests` is empty or not a power of two — domain
+    /// sizes in this crate always are.
+    pub fn from_leaf_digests(digests: Vec<F>) -> Self {
+        assert!(
+            digests.len().is_power_of_two(),
+            "leaf count must be a power of two"
+        );
+        let _g = trace::region_profile("merkle");
+        let mut levels = vec![digests];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = vec![F::zero(); prev.len() / 2];
+            pool::parallel_fill(&mut next, GRAIN, |i| {
+                poseidon_hash2(prev[2 * i], prev[2 * i + 1])
+            });
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Builds the tree over per-leaf rows produced by `row(i)`, hashing
+    /// the leaves in parallel.
+    pub fn from_rows(leaves: usize, row: impl Fn(usize) -> Vec<F> + Sync) -> Self {
+        let _g = trace::region_profile("merkle");
+        let mut digests = vec![F::zero(); leaves];
+        pool::parallel_fill(&mut digests, GRAIN, |i| hash_row(&row(i)));
+        Self::from_leaf_digests(digests)
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> F {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// The authentication path for `index`: sibling digests bottom-up.
+    pub fn open(&self, index: usize) -> Vec<F> {
+        let mut path = Vec::with_capacity(self.levels.len() - 1);
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            path.push(level[i ^ 1]);
+            i >>= 1;
+        }
+        path
+    }
+}
+
+/// Recomputes the root from a leaf digest and its authentication path;
+/// `true` iff it matches `root`.
+pub fn verify_path(root: F, index: usize, leaf_digest: F, path: &[F]) -> bool {
+    let mut acc = leaf_digest;
+    let mut i = index;
+    for sibling in path {
+        acc = if i & 1 == 0 {
+            poseidon_hash2(acc, *sibling)
+        } else {
+            poseidon_hash2(*sibling, acc)
+        };
+        i >>= 1;
+    }
+    i == 0 && acc == root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_ff::test_rng;
+
+    #[test]
+    fn open_verifies_at_every_index() {
+        let mut rng = test_rng();
+        let digests: Vec<F> = (0..32).map(|_| F::random(&mut rng)).collect();
+        let tree = MerkleTree::from_leaf_digests(digests.clone());
+        for (i, d) in digests.iter().enumerate() {
+            let path = tree.open(i);
+            assert_eq!(path.len(), 5);
+            assert!(verify_path(tree.root(), i, *d, &path));
+            // Wrong index, wrong leaf, tampered sibling: all rejected.
+            assert!(!verify_path(tree.root(), i ^ 1, *d, &path));
+            assert!(!verify_path(tree.root(), i, *d + F::one(), &path));
+            let mut bad = path.clone();
+            bad[2] += F::one();
+            assert!(!verify_path(tree.root(), i, *d, &bad));
+        }
+    }
+
+    #[test]
+    fn path_longer_than_tree_is_rejected() {
+        let tree = MerkleTree::from_leaf_digests(vec![F::one(); 4]);
+        let mut path = tree.open(1);
+        assert!(verify_path(tree.root(), 1, F::one(), &path));
+        path.push(F::zero());
+        assert!(!verify_path(tree.root(), 1, F::one(), &path));
+    }
+
+    #[test]
+    fn trees_are_thread_count_invariant() {
+        let mut rng = test_rng();
+        let rows: Vec<Vec<F>> = (0..256)
+            .map(|_| (0..4).map(|_| F::random(&mut rng)).collect())
+            .collect();
+        let build = || MerkleTree::from_rows(rows.len(), |i| rows[i].clone()).root();
+        pool::set_threads(1);
+        let serial = build();
+        pool::set_threads(4);
+        let parallel = build();
+        pool::set_threads(1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn single_leaf_tree_is_its_own_root() {
+        let tree = MerkleTree::from_leaf_digests(vec![F::from_u64(9)]);
+        assert_eq!(tree.root(), F::from_u64(9));
+        assert!(tree.open(0).is_empty());
+        assert!(verify_path(tree.root(), 0, F::from_u64(9), &[]));
+    }
+}

@@ -1,0 +1,349 @@
+//! The STARK proof object and its byte codec.
+//!
+//! Proofs are plain data: field elements are canonical little-endian
+//! `u64`s, lengths are `u64`s, and the layout is fixed by the header.
+//! The decoder validates every length against hard caps before
+//! allocating, so garbage bytes produce a typed [`StarkError::Decode`]
+//! rather than an OOM or panic — serve feeds it untrusted job payloads.
+
+use zkperf_ff::{Field, Goldilocks};
+
+use crate::error::StarkError;
+
+type F = Goldilocks;
+
+/// Format magic: `"zkSTARK1"` as a little-endian word.
+const MAGIC: u64 = 0x314b_5241_5453_6b7a;
+
+/// Hard cap on any decoded length: no real proof in the sweep range
+/// exceeds it, and it bounds allocation on hostile input.
+const MAX_LEN: u64 = 1 << 26;
+
+/// The out-of-domain evaluations at the DEEP point `z`, in column order
+/// `a, b, c, p, q`.
+pub type OodEvals = [F; 5];
+
+/// One FRI query step: the `(lo, hi)` pair of a committed layer with
+/// both authentication paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FriStep {
+    /// Value at pair index `i` (the `x` half).
+    pub lo: F,
+    /// Value at `i + size/2` (the `−x` half).
+    pub hi: F,
+    /// Authentication path of `lo`.
+    pub lo_path: Vec<F>,
+    /// Authentication path of `hi`.
+    pub hi_path: Vec<F>,
+}
+
+/// Everything opened for one query index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOpening {
+    /// The queried LDE position.
+    pub index: u64,
+    /// The trace row `(a, b, c, p)` at that position.
+    pub trace_row: [F; 4],
+    /// Authentication path of the trace row.
+    pub trace_path: Vec<F>,
+    /// The quotient value at that position.
+    pub q_value: F,
+    /// Authentication path of the quotient value.
+    pub q_path: Vec<F>,
+    /// One step per committed FRI layer.
+    pub fri: Vec<FriStep>,
+}
+
+/// A transparent proof for one (circuit, public input) statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StarkProof {
+    /// Trace-domain size the prover used.
+    pub n: u64,
+    /// Public-wire count the prover used.
+    pub k: u64,
+    /// LDE blowup factor the prover used.
+    pub blowup: u64,
+    /// Query count the prover used.
+    pub num_queries: u64,
+    /// Root of the trace commitment.
+    pub trace_root: F,
+    /// Root of the quotient commitment.
+    pub q_root: F,
+    /// Out-of-domain evaluations at `z`.
+    pub ood: OodEvals,
+    /// Roots of the committed FRI layers.
+    pub fri_roots: Vec<F>,
+    /// Final FRI polynomial, low-order coefficient first.
+    pub final_coeffs: Vec<F>,
+    /// Per-query openings.
+    pub queries: Vec<QueryOpening>,
+}
+
+impl StarkProof {
+    /// Serialized size in bytes (every word is 8 bytes).
+    pub fn size_bytes(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Encodes to the canonical byte layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.word(MAGIC);
+        for v in [self.n, self.k, self.blowup, self.num_queries] {
+            w.word(v);
+        }
+        w.field(self.trace_root);
+        w.field(self.q_root);
+        for v in self.ood {
+            w.field(v);
+        }
+        w.fields(&self.fri_roots);
+        w.fields(&self.final_coeffs);
+        w.word(self.queries.len() as u64);
+        for q in &self.queries {
+            w.word(q.index);
+            for v in q.trace_row {
+                w.field(v);
+            }
+            w.fields(&q.trace_path);
+            w.field(q.q_value);
+            w.fields(&q.q_path);
+            w.word(q.fri.len() as u64);
+            for step in &q.fri {
+                w.field(step.lo);
+                w.field(step.hi);
+                w.fields(&step.lo_path);
+                w.fields(&step.hi_path);
+            }
+        }
+        w.out
+    }
+
+    /// Decodes the canonical byte layout.
+    ///
+    /// # Errors
+    ///
+    /// [`StarkError::Decode`] on truncation, bad magic, non-canonical
+    /// field words, or lengths past the sanity cap.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StarkError> {
+        let mut r = Reader { bytes, at: 0 };
+        if r.word("magic")? != MAGIC {
+            return Err(StarkError::Decode { what: "magic" });
+        }
+        let n = r.word("n")?;
+        let k = r.word("k")?;
+        let blowup = r.word("blowup")?;
+        let num_queries = r.word("num_queries")?;
+        let trace_root = r.field("trace_root")?;
+        let q_root = r.field("q_root")?;
+        let mut ood = [F::default(); 5];
+        for slot in ood.iter_mut() {
+            *slot = r.field("ood")?;
+        }
+        let fri_roots = r.fields("fri_roots")?;
+        let final_coeffs = r.fields("final_coeffs")?;
+        let num_openings = r.len("queries")?;
+        let mut queries = Vec::with_capacity(num_openings);
+        for _ in 0..num_openings {
+            let index = r.word("query index")?;
+            let mut trace_row = [F::default(); 4];
+            for slot in trace_row.iter_mut() {
+                *slot = r.field("trace row")?;
+            }
+            let trace_path = r.fields("trace path")?;
+            let q_value = r.field("q value")?;
+            let q_path = r.fields("q path")?;
+            let steps = r.len("fri steps")?;
+            let mut fri = Vec::with_capacity(steps);
+            for _ in 0..steps {
+                fri.push(FriStep {
+                    lo: r.field("fri lo")?,
+                    hi: r.field("fri hi")?,
+                    lo_path: r.fields("fri lo path")?,
+                    hi_path: r.fields("fri hi path")?,
+                });
+            }
+            queries.push(QueryOpening {
+                index,
+                trace_row,
+                trace_path,
+                q_value,
+                q_path,
+                fri,
+            });
+        }
+        if r.at != bytes.len() {
+            return Err(StarkError::Decode { what: "trailing bytes" });
+        }
+        Ok(StarkProof {
+            n,
+            k,
+            blowup,
+            num_queries,
+            trace_root,
+            q_root,
+            ood,
+            fri_roots,
+            final_coeffs,
+            queries,
+        })
+    }
+}
+
+#[derive(Default)]
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn word(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn field(&mut self, v: F) {
+        self.word(v.as_canonical_u64());
+    }
+
+    fn fields(&mut self, vs: &[F]) {
+        self.word(vs.len() as u64);
+        for v in vs {
+            self.field(*v);
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn word(&mut self, what: &'static str) -> Result<u64, StarkError> {
+        let end = self
+            .at
+            .checked_add(8)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(StarkError::Decode { what })?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.bytes[self.at..end]);
+        self.at = end;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn field(&mut self, what: &'static str) -> Result<F, StarkError> {
+        let v = self.word(what)?;
+        if v >= zkperf_ff::goldilocks::MODULUS {
+            return Err(StarkError::Decode { what });
+        }
+        Ok(F::from_u64(v))
+    }
+
+    fn len(&mut self, what: &'static str) -> Result<usize, StarkError> {
+        let v = self.word(what)?;
+        if v > MAX_LEN {
+            return Err(StarkError::Decode { what });
+        }
+        Ok(v as usize)
+    }
+
+    fn fields(&mut self, what: &'static str) -> Result<Vec<F>, StarkError> {
+        let n = self.len(what)?;
+        // A second guard against hostile lengths: the remaining bytes
+        // must actually contain the announced words.
+        if n * 8 > self.bytes.len() - self.at {
+            return Err(StarkError::Decode { what });
+        }
+        (0..n).map(|_| self.field(what)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkperf_ff::Field;
+
+    fn sample() -> StarkProof {
+        let f = |v: u64| F::from_u64(v);
+        StarkProof {
+            n: 16,
+            k: 3,
+            blowup: 8,
+            num_queries: 2,
+            trace_root: f(11),
+            q_root: f(12),
+            ood: [f(1), f(2), f(3), f(4), f(5)],
+            fri_roots: vec![f(21), f(22)],
+            final_coeffs: vec![f(31), f(32), f(33)],
+            queries: vec![QueryOpening {
+                index: 9,
+                trace_row: [f(41), f(42), f(43), f(44)],
+                trace_path: vec![f(51)],
+                q_value: f(61),
+                q_path: vec![f(71), f(72)],
+                fri: vec![FriStep {
+                    lo: f(81),
+                    hi: f(82),
+                    lo_path: vec![f(91)],
+                    hi_path: vec![f(92)],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let proof = sample();
+        let bytes = proof.encode();
+        assert_eq!(bytes.len(), proof.size_bytes());
+        assert_eq!(StarkProof::decode(&bytes).unwrap(), proof);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_decode_errors() {
+        let bytes = sample().encode();
+        for cut in [0, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(matches!(
+                StarkProof::decode(&bytes[..cut]),
+                Err(StarkError::Decode { .. })
+            ));
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            StarkProof::decode(&trailing),
+            Err(StarkError::Decode { what: "trailing bytes" })
+        ));
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 1;
+        assert!(matches!(
+            StarkProof::decode(&bad_magic),
+            Err(StarkError::Decode { what: "magic" })
+        ));
+        // A non-canonical field word (≥ p) is rejected, not reduced.
+        let mut bad_field = bytes;
+        bad_field[5 * 8..6 * 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            StarkProof::decode(&bad_field),
+            Err(StarkError::Decode { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_length_is_capped() {
+        let mut w = Writer::default();
+        w.word(MAGIC);
+        for _ in 0..4 {
+            w.word(1);
+        }
+        w.field(F::zero());
+        w.field(F::zero());
+        for _ in 0..5 {
+            w.field(F::zero());
+        }
+        w.word(u64::MAX); // fri_roots length
+        assert!(matches!(
+            StarkProof::decode(&w.out),
+            Err(StarkError::Decode { what: "fri_roots" })
+        ));
+    }
+}

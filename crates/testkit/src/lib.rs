@@ -21,8 +21,9 @@
 //!   with the optimized kernels;
 //! - [`oracles`] — the differential comparisons themselves, one named
 //!   oracle per (kernel, instantiation);
-//! - [`soundness`] — mutation classes over valid Groth16/PLONK proofs
-//!   that verification must reject;
+//! - [`soundness`] — mutation classes over valid Groth16/PLONK/STARK
+//!   proofs that verification must reject (each STARK class pinned to the
+//!   typed [`zkperf_stark::StarkError`] variant that owns it);
 //! - [`campaign`] — the driver that iterates oracles, collects failures
 //!   and renders `ZKPERF_TESTKIT_SEED=… fuzz_lite --only …` replay lines.
 //!
@@ -39,4 +40,4 @@ pub mod soundness;
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Failure};
 pub use oracles::{all_oracles, Oracle};
 pub use rng::{case_rng, parse_seed, seed_from_env, SplitRng, DEFAULT_SEED, SEED_ENV};
-pub use soundness::{run_all_mutations, MutationOutcome};
+pub use soundness::{run_all_mutations, run_stark_mutations, MutationOutcome};

@@ -23,20 +23,28 @@
 //! | twisted pairing + prepared G2 lines  | untwisted Miller + BigUint exp   |
 //! | N-thread pool execution              | 1-thread execution, bit-for-bit  |
 //! | Groth16 / PLONK pipelines            | end-to-end accept on valid input |
+//! | Goldilocks field arithmetic          | `BigUint` canonical arithmetic   |
+//! | Poseidon Merkle tree (STARK)         | recursive shared-nothing root    |
+//! | FRI fold kernel                      | even/odd Horner on squared coset |
+//! | STARK pipeline + proof codec         | end-to-end accept + roundtrip    |
 
 use rand::Rng;
 use zkperf_ec::{msm, msm_naive, msm_stream, Affine, CurveParams, Engine, FixedBaseTable, Projective};
-use zkperf_ff::{batch_inverse, BigUint, PrimeField};
+use zkperf_ff::{batch_inverse, BigUint, Goldilocks, PrimeField};
 use zkperf_poly::Radix2Domain;
 use zkperf_pool as pool;
+use zkperf_stark::fri::{fold_layer, fold_pair, LayerDomain};
+use zkperf_stark::merkle::{hash_row, verify_path, MerkleTree};
+use zkperf_stark::{StarkParams, StarkProof};
 
 use crate::gen::{
     adversarial_circuit, adversarial_field, adversarial_len, adversarial_points,
     adversarial_pow2, adversarial_scalars,
 };
 use crate::reference::{
-    add_mod_biguint, coset_dft_reference, dft_reference, horner, msm_double_and_add,
-    mul_mod_biguint, pow_mod_biguint, sub_mod_biguint,
+    add_mod_biguint, coset_dft_reference, dft_reference, horner, merkle_root_reference,
+    merkle_row_digest_reference, msm_double_and_add, mul_mod_biguint, pow_mod_biguint,
+    sub_mod_biguint,
 };
 use crate::rng::SplitRng;
 
@@ -790,6 +798,149 @@ where
     Ok(())
 }
 
+// --------------------------------------------------------------- stark
+
+/// The transparent backend's commitment layer against a shared-nothing
+/// reference: row digests re-derived by an explicit sponge fold, the root
+/// by recursive halving, every opening re-verified and tampered openings
+/// refused.
+fn stark_merkle_case(rng: &mut SplitRng) -> CaseResult {
+    use zkperf_ff::Field;
+    type F = Goldilocks;
+    let leaves = adversarial_pow2(rng, 6);
+    let width = adversarial_len(rng, 5);
+    let rows: Vec<Vec<F>> = (0..leaves)
+        .map(|_| adversarial_scalars(rng, width))
+        .collect();
+    let tree = MerkleTree::from_rows(leaves, |i| rows[i].clone());
+    let digests: Vec<F> = rows.iter().map(|r| merkle_row_digest_reference(r)).collect();
+    for (i, row) in rows.iter().enumerate() {
+        if hash_row(row) != digests[i] {
+            return fail("stark merkle row digest", format_args!("row {i}, width {width}"));
+        }
+    }
+    if tree.root() != merkle_root_reference(&digests) {
+        return fail(
+            "stark merkle root vs recursive reference",
+            format_args!("{leaves} leaves, width {width}"),
+        );
+    }
+    for (i, digest) in digests.iter().enumerate() {
+        let path = tree.open(i);
+        if !verify_path(tree.root(), i, *digest, &path) {
+            return fail("stark merkle open", format_args!("leaf {i} of {leaves}"));
+        }
+        if verify_path(tree.root(), i, *digest + F::one(), &path) {
+            return fail(
+                "stark merkle tampered leaf accepted",
+                format_args!("leaf {i} of {leaves}"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// One FRI fold against the even/odd polynomial decomposition it claims
+/// to implement: `f(x) = e(x²) + x·o(x²)` folds to `e + β·o`, so the
+/// folded codeword must equal a direct Horner evaluation of `e + β·o` on
+/// the squared coset — coefficients, points and evaluation all derived
+/// independently of the fold kernel.
+fn stark_fri_fold_case(rng: &mut SplitRng) -> CaseResult {
+    type F = Goldilocks;
+    let size = adversarial_pow2(rng, 7).max(2);
+    let Some(domain) = Radix2Domain::<F>::new(size) else {
+        return fail("stark fri fold", format_args!("no domain of size {size}"));
+    };
+    let layer = LayerDomain {
+        shift: domain.coset_shift(),
+        omega: domain.group_gen(),
+        size,
+    };
+    let coeffs: Vec<F> = adversarial_scalars(rng, size);
+    // The input codeword: Horner on an independent ω power run, never
+    // through the NTT or the layer's own element().
+    let mut values = Vec::with_capacity(size);
+    let mut x = layer.shift;
+    for _ in 0..size {
+        values.push(horner(&coeffs, x));
+        x *= layer.omega;
+    }
+    let beta: F = adversarial_field(rng);
+    let folded = fold_layer(&values, beta, &layer);
+    let even: Vec<F> = coeffs.iter().copied().step_by(2).collect();
+    let odd: Vec<F> = coeffs.iter().copied().skip(1).step_by(2).collect();
+    let mut y = layer.shift * layer.shift;
+    let omega2 = layer.omega * layer.omega;
+    for (i, got) in folded.iter().enumerate() {
+        let want = horner(&even, y) + beta * horner(&odd, y);
+        if *got != want {
+            return fail(
+                "stark fri fold vs poly eval",
+                format_args!("slot {i}, size {size}"),
+            );
+        }
+        // The verifier-side pairwise fold is the same function.
+        if fold_pair(values[i], values[i + size / 2], beta, &layer, i) != *got {
+            return fail("stark fri fold_pair", format_args!("slot {i}, size {size}"));
+        }
+        y *= omega2;
+    }
+    Ok(())
+}
+
+/// End-to-end transparent pipeline on an adversarial circuit: prove,
+/// verify, and close the proof byte codec roundtrip.
+fn stark_roundtrip_case(rng: &mut SplitRng) -> CaseResult {
+    let (circuit, witness) = adversarial_circuit::<Goldilocks>(rng);
+    let params = StarkParams {
+        blowup: 4,
+        num_queries: 8,
+    };
+    let proof = zkperf_stark::prove(circuit.r1cs(), witness.full(), &params)
+        .map_err(|e| format!("stark prove failed: {e}"))?;
+    zkperf_stark::verify(circuit.r1cs(), witness.public(), &proof, &params)
+        .map_err(|e| format!("stark roundtrip: valid proof rejected: {e} ({})", circuit.name()))?;
+    let bytes = proof.encode();
+    let decoded =
+        StarkProof::decode(&bytes).map_err(|e| format!("stark codec decode failed: {e}"))?;
+    if decoded != proof {
+        return fail("stark codec roundtrip", circuit.name());
+    }
+    Ok(())
+}
+
+/// Merkle construction and FRI folding at sizes past the pool grain,
+/// byte-compared across 1/2/4-thread pools.
+fn stark_threads_case(rng: &mut SplitRng) -> CaseResult {
+    let _guard = ThreadGuard;
+    type F = Goldilocks;
+    // 2^10 leaves clears the merkle grain (64) and the fold grain (256).
+    let size = 1 << 10;
+    let Some(domain) = Radix2Domain::<F>::new(size) else {
+        return fail("stark threads", "no 2^10 domain");
+    };
+    let layer = LayerDomain {
+        shift: domain.coset_shift(),
+        omega: domain.group_gen(),
+        size,
+    };
+    let values: Vec<F> = adversarial_scalars(rng, size);
+    let beta: F = adversarial_field(rng);
+    pool::set_threads(1);
+    let fold_serial = fold_layer(&values, beta, &layer);
+    let root_serial = MerkleTree::from_rows(size, |i| vec![values[i]]).root();
+    for threads in [2usize, 4] {
+        pool::set_threads(threads);
+        if fold_layer(&values, beta, &layer) != fold_serial {
+            return fail("stark threads fold", format_args!("{threads} threads"));
+        }
+        if MerkleTree::from_rows(size, |i| vec![values[i]]).root() != root_serial {
+            return fail("stark threads merkle", format_args!("{threads} threads"));
+        }
+    }
+    Ok(())
+}
+
 // ------------------------------------------------------------ inventory
 
 /// The full oracle inventory, one entry per (kernel, instantiation).
@@ -948,6 +1099,30 @@ pub fn all_oracles() -> Vec<Oracle> {
         Oracle {
             name: "stream_file_roundtrip_bn254",
             run: stream_file_roundtrip_case::<zkperf_ec::Bn254>,
+        },
+        Oracle {
+            name: "stark_goldilocks_field_ops",
+            run: field_ops_case::<Goldilocks>,
+        },
+        Oracle {
+            name: "stark_goldilocks_inverse",
+            run: field_inverse_case::<Goldilocks>,
+        },
+        Oracle {
+            name: "stark_merkle_vs_reference",
+            run: stark_merkle_case,
+        },
+        Oracle {
+            name: "stark_fri_fold_vs_poly_eval",
+            run: stark_fri_fold_case,
+        },
+        Oracle {
+            name: "stark_roundtrip_goldilocks",
+            run: stark_roundtrip_case,
+        },
+        Oracle {
+            name: "stark_threads_merkle_fold",
+            run: stark_threads_case,
         },
     ]
 }

@@ -8,8 +8,9 @@
 //! optimized Montgomery/window/butterfly machinery cannot cancel itself
 //! out on both sides of a comparison.
 
+use zkperf_circuit::poseidon::poseidon_hash2;
 use zkperf_ec::{Affine, CurveParams, Projective};
-use zkperf_ff::{BigUint, Field, PrimeField};
+use zkperf_ff::{BigUint, Field, Goldilocks, PrimeField};
 use zkperf_poly::Radix2Domain;
 
 /// `a · b mod p` via canonical [`BigUint`] schoolbook multiplication.
@@ -101,6 +102,33 @@ pub fn horner<F: Field>(coeffs: &[F], x: F) -> F {
     acc
 }
 
+/// Compresses one Merkle leaf row exactly as the STARK commitment layer
+/// defines it — a zero-initialized [`poseidon_hash2`] chain — but written
+/// as an explicit fold rather than through `zkperf_stark::merkle`.
+pub fn merkle_row_digest_reference(row: &[Goldilocks]) -> Goldilocks {
+    row.iter()
+        .fold(Goldilocks::zero(), |acc, v| poseidon_hash2(acc, *v))
+}
+
+/// The Merkle root over a power-of-two leaf-digest slice by recursive
+/// halving — a shared-nothing re-derivation of the tree the parallel
+/// level-by-level builder in `zkperf_stark::merkle` commits to.
+///
+/// # Panics
+///
+/// Panics on an empty slice; callers supply domain-sized (power-of-two)
+/// leaf sets.
+pub fn merkle_root_reference(digests: &[Goldilocks]) -> Goldilocks {
+    match digests.len() {
+        0 => panic!("reference Merkle root of zero leaves"),
+        1 => digests[0],
+        n => {
+            let (lo, hi) = digests.split_at(n / 2);
+            poseidon_hash2(merkle_root_reference(lo), merkle_root_reference(hi))
+        }
+    }
+}
+
 /// `base^exp mod p` on canonical integers (square-and-multiply over
 /// [`BigUint`]), for pinning [`Field::pow`] and Fermat inversion.
 pub fn pow_mod_biguint<F: PrimeField>(base: F, exp: &BigUint) -> F {
@@ -154,6 +182,22 @@ mod tests {
         let coeffs = [Fr::from_u64(3), Fr::from_u64(2), Fr::from_u64(1)];
         assert_eq!(horner(&coeffs, Fr::from_u64(5)), Fr::from_u64(38));
         assert_eq!(horner(&[], Fr::from_u64(5)), Fr::zero());
+    }
+
+    #[test]
+    fn merkle_reference_matches_a_hand_built_tree() {
+        type G = Goldilocks;
+        let leaves: Vec<G> = (0..4).map(G::from_u64).collect();
+        let l = poseidon_hash2(leaves[0], leaves[1]);
+        let r = poseidon_hash2(leaves[2], leaves[3]);
+        assert_eq!(merkle_root_reference(&leaves), poseidon_hash2(l, r));
+        assert_eq!(merkle_root_reference(&leaves[..1]), leaves[0]);
+        // The row digest is the zero-seeded sponge chain.
+        assert_eq!(merkle_row_digest_reference(&[]), G::zero());
+        assert_eq!(
+            merkle_row_digest_reference(&leaves[..2]),
+            poseidon_hash2(poseidon_hash2(G::zero(), leaves[0]), leaves[1])
+        );
     }
 
     #[test]

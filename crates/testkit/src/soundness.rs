@@ -18,9 +18,10 @@
 
 use rand::Rng;
 use zkperf_ec::{Affine, CurveParams, Engine};
-use zkperf_ff::{Field, PrimeField};
+use zkperf_ff::{Field, Goldilocks, PrimeField};
 use zkperf_groth16::{Proof, VerifyingKey};
 use zkperf_plonk::{PlonkProof, PlonkVerifyingKey};
+use zkperf_stark::{StarkError, StarkParams, StarkProof};
 
 use crate::rng::SplitRng;
 
@@ -440,8 +441,303 @@ where
     Ok(out)
 }
 
+// ----------------------------------------------------------------- STARK
+
+/// What a STARK mutation class is allowed to die as. Classes whose
+/// corruption lands *before* a transcript absorption have one forced
+/// variant; classes that also perturb downstream challenges may surface
+/// in the first check that reads the re-derived values, so those list the
+/// full set of checks that own the corruption.
+type StarkExpect = fn(&StarkError) -> bool;
+
+struct StarkFixture {
+    circuit: zkperf_circuit::Circuit<Goldilocks>,
+    params: StarkParams,
+    proof: StarkProof,
+    public: Vec<Goldilocks>,
+    /// A valid proof for a different statement under the same circuit.
+    proof_other: StarkProof,
+}
+
+fn stark_fixture(rng: &mut SplitRng) -> Result<StarkFixture, String> {
+    type F = Goldilocks;
+    // 32 constraints → at least two committed FRI layers at blowup 4, so
+    // the per-layer mutation classes have real structure to corrupt.
+    let circuit = zkperf_circuit::library::exponentiate::<F>(32);
+    let params = StarkParams {
+        blowup: 4,
+        num_queries: 12,
+    };
+    let x = F::from_u64(2 + rng.gen_range(0..64));
+    let prove_at = |x: F| -> Result<(StarkProof, Vec<F>), String> {
+        let w = circuit
+            .generate_witness(&[x], &[])
+            .map_err(|e| format!("fixture witness failed: {e}"))?;
+        let proof = zkperf_stark::prove(circuit.r1cs(), w.full(), &params)
+            .map_err(|e| format!("fixture prove failed: {e}"))?;
+        Ok((proof, w.public().to_vec()))
+    };
+    let (proof, public) = prove_at(x)?;
+    let (proof_other, _) = prove_at(x + F::one())?;
+    if let Err(e) = zkperf_stark::verify(circuit.r1cs(), &public, &proof, &params) {
+        return Err(format!("fixture proof does not verify: {e}"));
+    }
+    Ok(StarkFixture {
+        circuit,
+        params,
+        proof,
+        public,
+        proof_other,
+    })
+}
+
+fn record_stark(
+    out: &mut Vec<MutationOutcome>,
+    fx: &StarkFixture,
+    name: &'static str,
+    proof: &StarkProof,
+    public: &[Goldilocks],
+    expect: StarkExpect,
+) {
+    let res = zkperf_stark::verify(fx.circuit.r1cs(), public, proof, &fx.params);
+    // A class only counts as rejected when verification failed *and* the
+    // error is both a soundness rejection and one of the typed variants
+    // that own this corruption — a mutation falling through to a generic
+    // or environmental error is reported as a hole.
+    let rejected = matches!(&res, Err(e) if e.is_rejection() && expect(e));
+    out.push(MutationOutcome {
+        scheme: "stark",
+        name,
+        rejected,
+        outcome: format!("{res:?}"),
+    });
+}
+
+/// Runs every STARK mutation class against a fresh fixture, asserting
+/// each dies in the typed [`StarkError`] variant that owns the corrupted
+/// structure.
+///
+/// # Errors
+///
+/// Fails only when the fixture itself cannot be built or does not verify.
+pub fn run_stark_mutations(rng: &mut SplitRng) -> Result<Vec<MutationOutcome>, String> {
+    type F = Goldilocks;
+    let fx = stark_fixture(rng)?;
+    let (proof, public) = (&fx.proof, fx.public.as_slice());
+    let one = F::one();
+    let mut out = Vec::new();
+    let with = |name: &'static str,
+                    mutate: &dyn Fn(&mut StarkProof),
+                    expect: StarkExpect,
+                    out: &mut Vec<MutationOutcome>| {
+        let mut bad = proof.clone();
+        mutate(&mut bad);
+        record_stark(&mut *out, &fx, name, &bad, public, expect);
+    };
+
+    // -- commitment mutations ---------------------------------------
+    // The tampered root perturbs every later challenge, so the first
+    // check that can see it is the OOD identity; the Merkle check owns
+    // it when the challenges happen to survive.
+    with(
+        "trace_root_tampered",
+        &|p| p.trace_root += one,
+        |e| {
+            matches!(
+                e,
+                StarkError::OodInconsistent | StarkError::MerklePath { tree: "trace", .. }
+            )
+        },
+        &mut out,
+    );
+    with(
+        "quotient_root_tampered",
+        &|p| p.q_root += one,
+        |e| {
+            matches!(
+                e,
+                StarkError::OodInconsistent | StarkError::MerklePath { tree: "quotient", .. }
+            )
+        },
+        &mut out,
+    );
+    with(
+        "fri_layer_commitment_tampered",
+        &|p| p.fri_roots[0] += one,
+        // Re-derived β and query indices change first; an index collision
+        // falls through to the FRI Merkle check that owns the root.
+        |e| {
+            matches!(
+                e,
+                StarkError::Malformed { what: "query index" }
+                    | StarkError::MerklePath { tree: "fri", .. }
+            )
+        },
+        &mut out,
+    );
+
+    // -- out-of-domain mutations ------------------------------------
+    with(
+        "ood_trace_eval_tampered",
+        &|p| p.ood[0] += one,
+        |e| matches!(e, StarkError::OodInconsistent),
+        &mut out,
+    );
+    with(
+        "ood_quotient_eval_tampered",
+        &|p| p.ood[4] += one,
+        |e| matches!(e, StarkError::OodInconsistent),
+        &mut out,
+    );
+
+    // -- header / parameter mutations -------------------------------
+    with(
+        "header_blowup_mismatch",
+        &|p| p.blowup *= 2,
+        |e| matches!(e, StarkError::ParamsMismatch { what: "blowup", .. }),
+        &mut out,
+    );
+    with(
+        "header_query_count_mismatch",
+        &|p| p.num_queries += 1,
+        |e| matches!(e, StarkError::ParamsMismatch { what: "num_queries", .. }),
+        &mut out,
+    );
+
+    // -- structural truncations -------------------------------------
+    with(
+        "query_set_truncated",
+        &|p| {
+            p.queries.pop();
+        },
+        |e| matches!(e, StarkError::Malformed { what: "query count" }),
+        &mut out,
+    );
+    with(
+        "fri_layers_truncated",
+        &|p| {
+            p.fri_roots.pop();
+        },
+        |e| matches!(e, StarkError::Malformed { what: "fri layer count" }),
+        &mut out,
+    );
+    with(
+        "final_polynomial_tampered",
+        &|p| p.final_coeffs[0] += one,
+        // The final coefficients are absorbed before the query indices
+        // are drawn, so the index check usually fires; the final-poly
+        // spot check owns it otherwise.
+        |e| {
+            matches!(
+                e,
+                StarkError::Malformed { what: "query index" } | StarkError::FriFinal { .. }
+            )
+        },
+        &mut out,
+    );
+
+    // -- per-query opening mutations --------------------------------
+    with(
+        "query_index_tampered",
+        &|p| p.queries[0].index += 1,
+        |e| matches!(e, StarkError::Malformed { what: "query index" }),
+        &mut out,
+    );
+    with(
+        "trace_opening_tampered",
+        &|p| p.queries[0].trace_row[0] += one,
+        |e| matches!(e, StarkError::MerklePath { tree: "trace", query: 0 }),
+        &mut out,
+    );
+    with(
+        "trace_path_tampered",
+        &|p| p.queries[0].trace_path[0] += one,
+        |e| matches!(e, StarkError::MerklePath { tree: "trace", query: 0 }),
+        &mut out,
+    );
+    with(
+        "quotient_opening_tampered",
+        &|p| p.queries[0].q_value += one,
+        |e| matches!(e, StarkError::MerklePath { tree: "quotient", query: 0 }),
+        &mut out,
+    );
+    with(
+        "fri_opening_tampered",
+        &|p| p.queries[0].fri[0].lo += one,
+        |e| matches!(e, StarkError::MerklePath { tree: "fri", query: 0 }),
+        &mut out,
+    );
+    with(
+        "fri_openings_swapped",
+        &|p| {
+            let step = &mut p.queries[0].fri[0];
+            std::mem::swap(&mut step.lo, &mut step.hi);
+            std::mem::swap(&mut step.lo_path, &mut step.hi_path);
+        },
+        // Each value now rides a path authenticating the opposite leaf
+        // slot; a (vanishingly unlikely) colliding layout would surface
+        // in the DEEP consistency check instead.
+        |e| {
+            matches!(
+                e,
+                StarkError::MerklePath { tree: "fri", .. } | StarkError::DeepMismatch { .. }
+            )
+        },
+        &mut out,
+    );
+
+    // -- statement mutations ----------------------------------------
+    let mut tampered = public.to_vec();
+    tampered[1] += one;
+    record_stark(&mut out, &fx, "public_input_tampered", proof, &tampered, |e| {
+        matches!(e, StarkError::OodInconsistent)
+    });
+    record_stark(
+        &mut out,
+        &fx,
+        "public_truncated",
+        proof,
+        &public[..public.len() - 1],
+        |e| matches!(e, StarkError::ParamsMismatch { what: "public input count", .. }),
+    );
+    record_stark(
+        &mut out,
+        &fx,
+        "proof_for_other_statement",
+        &fx.proof_other,
+        public,
+        |e| matches!(e, StarkError::OodInconsistent),
+    );
+
+    // -- byte-level mutations ---------------------------------------
+    // Garbage and truncation must die in the decoder, never reach the
+    // verifier: serve hands this decoder untrusted job payloads.
+    let bytes = proof.encode();
+    let decode_rejects = |what: &str, bytes: &[u8]| -> MutationOutcome {
+        let res = StarkProof::decode(bytes);
+        MutationOutcome {
+            scheme: "stark",
+            name: match what {
+                "truncated" => "encoding_truncated",
+                _ => "encoding_garbage",
+            },
+            rejected: matches!(res, Err(StarkError::Decode { .. })),
+            outcome: format!("{:?}", res.map(|_| "decoded")),
+        }
+    };
+    out.push(decode_rejects("truncated", &bytes[..bytes.len() / 2]));
+    // A non-canonical field word (≥ p) must be refused, not reduced:
+    // stomp the trace-root word (bytes 40..48, after magic + 4 header
+    // words) with u64::MAX.
+    let mut garbage = bytes.clone();
+    garbage[40..48].copy_from_slice(&u64::MAX.to_le_bytes());
+    out.push(decode_rejects("garbage", &garbage));
+
+    Ok(out)
+}
+
 /// Runs the full mutation suite (Groth16 over BN254 and BLS12-381, PLONK
-/// over BN254) and returns every class outcome.
+/// over BN254, STARK over Goldilocks) and returns every class outcome.
 ///
 /// # Errors
 ///
@@ -454,6 +750,7 @@ pub fn run_all_mutations(rng: &mut SplitRng) -> Result<Vec<MutationOutcome>, Str
     // stay per-scheme.
     out.extend(run_groth16_mutations::<zkperf_ec::Bls12_381>(&mut rng.fork(2))?);
     out.extend(run_plonk_mutations::<zkperf_ec::Bn254>(&mut rng.fork(3))?);
+    out.extend(run_stark_mutations(&mut rng.fork(4))?);
     Ok(out)
 }
 
@@ -487,6 +784,20 @@ mod tests {
         assert!(outcomes.len() >= 15);
         for o in &outcomes {
             assert!(o.rejected, "{} accepted a mutated input: {}", o.name, o.outcome);
+        }
+    }
+
+    #[test]
+    fn stark_mutation_classes_all_die_in_their_typed_variant() {
+        let mut rng = SplitRng::from_seed(0x50d6);
+        let outcomes = run_stark_mutations(&mut rng).unwrap();
+        assert!(outcomes.len() >= 12, "only {} STARK classes", outcomes.len());
+        for o in &outcomes {
+            assert!(
+                o.rejected,
+                "{} was not rejected with its typed error: {}",
+                o.name, o.outcome
+            );
         }
     }
 }

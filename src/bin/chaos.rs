@@ -231,14 +231,14 @@ fn io_fault_pass(mode: ChaosMode, artifacts: &Artifacts, tally: &mut Tally) {
 }
 
 fn stage_boundary_pass(tally: &mut Tally) {
-    use zkperf_core::{Stage, StageError, Workload};
+    use zkperf_core::{Groth16Backend, Stage, StageError, Workload};
     let policy = RetryPolicy::once();
     let mut quarantine = Quarantine::new(1);
     let mut injected = 0u64;
     for log in 2..=5u32 {
         let label = format!("pipeline:2^{log}");
         let outcome = run_with_retry(&policy, &label, &mut quarantine, move || {
-            let mut w = Workload::<Bn254>::exponentiate(1 << log);
+            let mut w = Workload::<Groth16Backend<Bn254>>::exponentiate(1 << log);
             for stage in Stage::ALL {
                 w.run_stage(stage)?;
             }

@@ -14,6 +14,7 @@
 //! * [`circuit`] — circuit DSL, circom-like language, R1CS, witness solver;
 //! * [`groth16`] — setup / prove / verify (plus ceremony contributions);
 //! * [`plonk`] — the PlonK comparison scheme on KZG commitments;
+//! * [`stark`] — the transparent FRI/STARK backend over Goldilocks;
 //! * [`io`] — `.r1cs`/`.wtns`/`.zkey`-style binary file formats;
 //! * [`pool`] — the deterministic work-stealing thread pool;
 //! * [`trace`] — the event-tracing layer;
@@ -53,4 +54,5 @@ pub use zkperf_pool as pool;
 pub use zkperf_resilience as resilience;
 pub use zkperf_scale as scale;
 pub use zkperf_serve as serve;
+pub use zkperf_stark as stark;
 pub use zkperf_trace as trace;

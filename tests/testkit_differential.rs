@@ -66,6 +66,11 @@ fn inventory_covers_every_optimized_kernel_family() {
         "threads_",       // N-thread vs 1-thread determinism
         "groth16_roundtrip",
         "plonk_roundtrip",
+        "stark_goldilocks",      // Goldilocks arithmetic vs BigUint
+        "stark_merkle",          // Poseidon Merkle vs recursive reference
+        "stark_fri_fold",        // FRI fold vs even/odd Horner evaluation
+        "stark_roundtrip",       // transparent pipeline + proof codec
+        "stark_threads",         // STARK kernels across pool sizes
     ] {
         assert!(
             names.iter().any(|n| n.contains(family)),

@@ -1,7 +1,9 @@
 //! Integration: the soundness-negative audit — every mutation class over
-//! valid Groth16 and PLONK proofs must be rejected by verification.
+//! valid Groth16, PLONK, and STARK proofs must be rejected by
+//! verification, the STARK classes in the typed `StarkError` variant
+//! that owns each corruption.
 
-use zkperf_testkit::soundness::{distinct_classes, run_all_mutations};
+use zkperf_testkit::soundness::{distinct_classes, run_all_mutations, run_stark_mutations};
 use zkperf_testkit::SplitRng;
 
 #[test]
@@ -9,15 +11,20 @@ fn all_mutation_classes_are_rejected_and_coverage_is_wide() {
     let mut rng = SplitRng::from_seed(0x7e57_0002);
     let outcomes = run_all_mutations(&mut rng).expect("fixtures build and verify");
 
-    // Acceptance bar: at least 25 distinct mutation classes across the two
-    // proof systems, with both schemes represented.
+    // Acceptance bar: at least 37 distinct mutation classes across the
+    // three proof systems (25 from the pairing schemes, 12+ from the
+    // STARK battery), with every scheme represented.
     assert!(
-        distinct_classes(&outcomes) >= 25,
+        distinct_classes(&outcomes) >= 37,
         "only {} distinct mutation classes",
         distinct_classes(&outcomes)
     );
-    assert!(outcomes.iter().any(|o| o.scheme == "groth16"));
-    assert!(outcomes.iter().any(|o| o.scheme == "plonk"));
+    for scheme in ["groth16", "plonk", "stark"] {
+        assert!(
+            outcomes.iter().any(|o| o.scheme == scheme),
+            "no mutation classes ran for {scheme}"
+        );
+    }
 
     let accepted: Vec<String> = outcomes
         .iter()
@@ -28,6 +35,21 @@ fn all_mutation_classes_are_rejected_and_coverage_is_wide() {
         accepted.is_empty(),
         "soundness holes — mutated inputs accepted: {accepted:?}"
     );
+}
+
+#[test]
+fn stark_battery_meets_the_class_floor() {
+    let mut rng = SplitRng::from_seed(0x7e57_0003);
+    let outcomes = run_stark_mutations(&mut rng).expect("fixture builds and verifies");
+    let distinct = distinct_classes(&outcomes);
+    assert!(distinct >= 12, "only {distinct} distinct STARK mutation classes");
+    for o in &outcomes {
+        assert!(
+            o.rejected,
+            "stark/{} not rejected in its typed variant: {}",
+            o.name, o.outcome
+        );
+    }
 }
 
 #[test]

@@ -1,25 +1,36 @@
 //! Integration: proofs are byte-identical at any thread-pool size.
 //!
 //! The pool decomposes work purely by input size and reduces in a fixed
-//! order, so setup, witness evaluation, NTT, and MSM must produce the
-//! same bits whether they ran serially or on N workers. This is the
-//! workspace-level seal on that rule: a full setup→prove→serialize round
-//! at a size that clears every parallel threshold, compared byte for
-//! byte across pool sizes.
+//! order, so setup, witness evaluation, NTT, MSM, Merkle hashing, and
+//! FRI folding must produce the same bits whether they ran serially or
+//! on N workers. This is the workspace-level seal on that rule: a full
+//! setup→prove→serialize round at a size that clears every parallel
+//! threshold, compared byte for byte across pool sizes — once for the
+//! randomness-carrying Groth16 pipeline (under a pinned RNG) and once
+//! for the randomness-free STARK pipeline.
+//!
+//! A single `#[test]` drives both pipelines because the pool size is
+//! process-global state.
 
 use zkperf::circuit::library;
 use zkperf::ec::Bn254;
-use zkperf::ff::Field;
+use zkperf::ff::{Field, Goldilocks};
 use zkperf::groth16::{prove, setup, verify};
 use zkperf::io::write_proof;
 use zkperf::pool;
+use zkperf::stark::StarkParams;
 
-/// 2^12 constraints clears every parallel gate in the pipeline
+/// 2^12 constraints clears every parallel gate in the pairing pipeline
 /// (MSM ≥ 2^10 points, NTT ≥ 2^12 domain, setup/quotient ≥ 2^12 scalars,
 /// constraint evaluation ≥ 2^10 rows).
 const CONSTRAINTS: usize = 1 << 12;
 
-fn proof_bytes() -> Vec<u8> {
+/// 2^10 constraints at blowup 8 puts the STARK LDE at 2^13, past the
+/// NTT parallel gate as well as the Merkle (64) and FRI fold (256)
+/// grains.
+const STARK_CONSTRAINTS: usize = 1 << 10;
+
+fn groth16_proof_bytes() -> Vec<u8> {
     type Fr = zkperf::ff::bn254::Fr;
     let circuit = library::exponentiate::<Fr>(CONSTRAINTS);
     let mut rng = zkperf::ff::test_rng();
@@ -32,16 +43,38 @@ fn proof_bytes() -> Vec<u8> {
     bytes
 }
 
+fn stark_proof_bytes() -> Vec<u8> {
+    type F = Goldilocks;
+    let circuit = library::exponentiate::<F>(STARK_CONSTRAINTS);
+    let witness = circuit.generate_witness(&[F::from_u64(3)], &[]).unwrap();
+    let params = StarkParams {
+        blowup: 8,
+        num_queries: 16,
+    };
+    let proof = zkperf::stark::prove(circuit.r1cs(), witness.full(), &params).unwrap();
+    zkperf::stark::verify(circuit.r1cs(), witness.public(), &proof, &params).unwrap();
+    proof.encode()
+}
+
 #[test]
 fn proofs_are_byte_identical_across_thread_counts() {
     // First round at the ambient pool size (ZKPERF_THREADS when
     // scripts/check.sh drives this binary), then explicit 1/2/4-thread
     // pools; every round must serialize to the same bytes.
-    let baseline = proof_bytes();
+    let groth16_baseline = groth16_proof_bytes();
+    let stark_baseline = stark_proof_bytes();
     for threads in [1usize, 2, 4] {
         pool::set_threads(threads);
-        let bytes = proof_bytes();
-        assert_eq!(baseline, bytes, "proof bytes differ at {threads} thread(s)");
+        assert_eq!(
+            groth16_baseline,
+            groth16_proof_bytes(),
+            "Groth16 proof bytes differ at {threads} thread(s)"
+        );
+        assert_eq!(
+            stark_baseline,
+            stark_proof_bytes(),
+            "STARK proof bytes differ at {threads} thread(s)"
+        );
     }
     pool::set_threads(1);
 }
